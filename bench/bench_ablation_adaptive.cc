@@ -1,0 +1,78 @@
+// Ablation (extension, not a paper figure): the adaptive CST dispatcher.
+//
+// Figures 8/9 show a crossover — global search wins at very small k
+// (|V≥k| ≈ |V|) while local search wins everywhere else. CstAdaptive uses
+// the degree-tail fraction to pick a side per query. This bench sweeps k
+// from 1 through 8·s and reports global, ls-li, and adaptive means: the
+// adaptive column should track the lower envelope of the other two.
+
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "common/datasets.h"
+#include "common/reporting.h"
+#include "common/workload.h"
+#include "core/kcore.h"
+#include "core/searcher.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace locs::bench {
+namespace {
+
+int Run(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  const auto queries = static_cast<size_t>(cli.GetInt("queries", 30));
+  const std::string name = cli.GetString("dataset", "dblp-sim");
+
+  PrintBanner(
+      "Ablation — adaptive CST dispatch (extension)",
+      "n/a (design-choice ablation; motivated by the small-k crossover "
+      "in Figures 8 and 9)",
+      "the adaptive column tracking min(global, ls-li) at every k, "
+      "within dispatch-overhead noise");
+
+  Dataset dataset = LoadStandIn(name);
+  CommunitySearcher searcher(std::move(dataset.graph));
+  const CoreDecomposition cores = ComputeCores(searcher.graph());
+  const uint32_t s = std::max(1u, cores.degeneracy / 10);
+
+  std::vector<uint32_t> ks = {1, 2, 4};
+  for (uint32_t mult = 1; mult <= 8; ++mult) ks.push_back(s * mult);
+  std::sort(ks.begin(), ks.end());
+  ks.erase(std::unique(ks.begin(), ks.end()), ks.end());
+
+  std::printf("dataset %s: delta*=%u, s=%u\n", name.c_str(),
+              cores.degeneracy, s);
+  TableWriter table({"k", "tail |V>=k|/|V|", "global ms", "ls-li ms",
+                     "adaptive ms", "picks"});
+  for (uint32_t k : ks) {
+    const auto sample = SampleFromKCore(cores, k, queries, 5150 + k);
+    if (sample.empty()) continue;
+    std::vector<double> t_global;
+    std::vector<double> t_li;
+    std::vector<double> t_adaptive;
+    for (VertexId v0 : sample) {
+      t_global.push_back(TimeMs([&] { searcher.CstGlobal(v0, k); }));
+      t_li.push_back(TimeMs([&] { searcher.Cst(v0, k); }));
+      t_adaptive.push_back(TimeMs([&] { searcher.CstAdaptive(v0, k); }));
+    }
+    const double tail = searcher.DegreeTailFraction(k);
+    table.Row()
+        .Num(uint64_t{k})
+        .Num(tail, 3)
+        .Num(Summarize(t_global).mean, 3)
+        .Num(Summarize(t_li).mean, 3)
+        .Num(Summarize(t_adaptive).mean, 3)
+        .Cell(k > 2 && tail > 0.35 ? "global" : "local");
+  }
+  table.Print("ablation_adaptive_" + name);
+  return 0;
+}
+
+}  // namespace
+}  // namespace locs::bench
+
+int main(int argc, char** argv) { return locs::bench::Run(argc, argv); }

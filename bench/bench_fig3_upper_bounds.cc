@@ -1,0 +1,104 @@
+// Figure 3: simulation of the candidate-size upper bounds of §4.2.3 —
+// |V|, |V≥k|, the realized naive candidate set size |C|, and the answer
+// size of the improved local search, across graph sizes, for k = 50 and
+// k = 100. Also prints the Theorem-4 analytic estimates of |V≥k| and the
+// edge count m' of G[V≥k].
+//
+// Paper's shape: |C| tracks |V≥k| closely and both sit orders of
+// magnitude below |V|; the local-search answer is smaller still.
+
+#include <cstdio>
+#include <vector>
+
+#include "common/datasets.h"
+#include "common/reporting.h"
+#include "common/workload.h"
+#include "core/kcore.h"
+#include "core/local_cst.h"
+#include "estimate/theorem4.h"
+#include "gen/lfr.h"
+#include "graph/ordering.h"
+#include "util/cli.h"
+#include "util/stats.h"
+#include "util/table.h"
+
+namespace locs::bench {
+namespace {
+
+void RunForK(uint32_t k, size_t queries) {
+  std::printf("k = %u\n", k);
+  TableWriter table({"|V|", "|V>=k|", "est |V>=k|", "|C| naive",
+                     "local answer", "est m'"});
+  const VertexId sizes[] = {20000, 40000, 60000, 80000, 100000};
+  for (VertexId n : sizes) {
+    gen::LfrParams params;
+    params.n = n;
+    params.degree_exponent = 2.0;
+    params.community_exponent = 3.0;
+    params.mu = 0.1;
+    params.min_degree = 5;
+    params.max_degree = 250;
+    params.min_community = 50;
+    params.max_community = 400;
+    params.seed = 300 + n / 1000;
+    char tag[64];
+    std::snprintf(tag, sizeof(tag), "lfr_fig3_%u", n);
+    Graph g = CachedLfrComponent(params, tag);
+    const GraphFacts facts = GraphFacts::Compute(g);
+    const OrderedAdjacency ordered(g);
+    LocalCstSolver naive_solver(g, &ordered, &facts);
+    LocalCstSolver li_solver(g, &ordered, &facts);
+
+    uint64_t v_ge_k = 0;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      v_ge_k += g.Degree(v) >= k;
+    }
+    const auto sample = SampleWithDegreeAtLeast(g, k, queries, 3300 + k);
+    std::vector<double> candidate_sizes;
+    std::vector<double> answer_sizes;
+    for (VertexId v0 : sample) {
+      QueryStats stats;
+      CstOptions options;
+      options.strategy = Strategy::kNaive;
+      naive_solver.Solve(v0, k, options, &stats);
+      candidate_sizes.push_back(
+          static_cast<double>(stats.visited_vertices));
+      options.strategy = Strategy::kLI;
+      const auto answer = li_solver.Solve(v0, k, options, &stats);
+      answer_sizes.push_back(
+          answer.has_value() ? static_cast<double>(answer->members.size())
+                             : 0.0);
+    }
+    table.Row()
+        .Cell(FormatCount(g.NumVertices()))
+        .Cell(FormatCount(v_ge_k))
+        .Num(estimate::EstimateVerticesAbove(g, k), 1)
+        .Num(Summarize(candidate_sizes).mean, 1)
+        .Num(Summarize(answer_sizes).mean, 1)
+        .Num(estimate::EstimateEdgesAbove(g, k), 1);
+  }
+  char tag[32];
+  std::snprintf(tag, sizeof(tag), "fig3_k%u", k);
+  table.Print(tag);
+  std::printf("\n");
+}
+
+int Run(int argc, char** argv) {
+  const CommandLine cli(argc, argv);
+  const auto queries = static_cast<size_t>(cli.GetInt("queries", 10));
+  PrintBanner(
+      "Figure 3 — upper bounds on the candidate set size |C|",
+      "|C| and the realized community size hug |V≥k| and sit far below "
+      "|V| (log-scale gap of 1-3 orders of magnitude)",
+      "the '|C| naive' column close to '|V>=k|' and both well under "
+      "'|V|'; 'local answer' smaller still; Theorem-4 estimates tracking "
+      "the measured |V>=k|");
+  RunForK(50, queries);
+  RunForK(100, queries);
+  return 0;
+}
+
+}  // namespace
+}  // namespace locs::bench
+
+int main(int argc, char** argv) { return locs::bench::Run(argc, argv); }

@@ -1,0 +1,122 @@
+// Figure 6: the two case studies, reproduced on labeled planted graphs.
+//
+//  (a) Coauthor community: the paper queries "Jiawei Han" in DBLP with
+//      k = 5 and finds a 6-author clique-like community of leading data
+//      mining researchers. Stand-in: a relaxed-caveman collaboration
+//      network whose first cave holds six "senior researchers".
+//  (b) Semantic community: the paper queries "pot" in WordNet with k = 3
+//      and finds the vessel cluster {pot, bowl, dish, vessel, container,
+//      containerful}. Stand-in: a small labeled sense graph with exactly
+//      that cluster plus distractor senses.
+//
+// The point both demonstrate: CST around a query vertex extracts its
+// dense semantic cluster and nothing else, even though the graph at
+// large is much bigger.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/reporting.h"
+#include "core/searcher.h"
+#include "gen/planted.h"
+#include "graph/builder.h"
+#include "util/check.h"
+
+namespace locs::bench {
+namespace {
+
+void CoauthorStudy() {
+  std::printf("(a) coauthor community, query \"author0\" with k = 5\n");
+  // 12 caves of varied sizes; cave 0 (authors 0..5) is the senior group.
+  const std::vector<uint32_t> caves = {6, 8, 5, 7, 9, 6, 5, 8, 7, 6, 5, 8};
+  const gen::PlantedGraph net = gen::RelaxedCaveman(caves, 0.08, 42);
+  CommunitySearcher searcher(Graph(net.graph));
+  const auto community = searcher.Cst(/*v0=*/0, /*k=*/5);
+  if (!community.has_value()) {
+    std::printf("  no community at k=5 (rewiring removed too many edges); "
+                "falling back to k=4\n");
+    const auto relaxed = searcher.Cst(0, 4);
+    LOCS_CHECK(relaxed.has_value());
+    std::printf("  members:");
+    for (VertexId v : relaxed->members) std::printf(" author%u", v);
+    std::printf("\n");
+    return;
+  }
+  std::printf("  members:");
+  for (VertexId v : community->members) std::printf(" author%u", v);
+  std::printf("\n  δ = %u; all members from cave 0 expected: ",
+              community->min_degree);
+  bool all_cave0 = true;
+  for (VertexId v : community->members) all_cave0 &= net.community[v] == 0;
+  std::printf("%s\n\n", all_cave0 ? "yes" : "no (rewired edge included)");
+}
+
+void WordNetStudy() {
+  std::printf("(b) semantic community, query \"pot\" with k = 3\n");
+  // Vessel cluster (dense) + kitchen distractors (sparse attachments) +
+  // an unrelated 'marijuana' sense of pot linked weakly.
+  const std::vector<std::string> senses = {
+      "pot",        "bowl",   "dish",    "vessel",  "container",
+      "containerful", "kitchen", "cook",  "stove",   "marijuana",
+      "drug",       "plant"};
+  auto id = [&senses](const std::string& name) -> VertexId {
+    for (size_t i = 0; i < senses.size(); ++i) {
+      if (senses[i] == name) return static_cast<VertexId>(i);
+    }
+    LOCS_CHECK_MSG(false, "unknown sense");
+    return 0;
+  };
+  GraphBuilder builder(static_cast<VertexId>(senses.size()));
+  auto link = [&](const std::string& a, const std::string& b) {
+    builder.AddEdge(id(a), id(b));
+  };
+  // Dense vessel cluster (the paper's Figure 6(b) community).
+  const std::vector<std::string> cluster = {"pot",       "bowl",
+                                            "dish",      "vessel",
+                                            "container", "containerful"};
+  for (size_t i = 0; i < cluster.size(); ++i) {
+    for (size_t j = i + 1; j < cluster.size(); ++j) {
+      if ((i + j) % 3 != 0) link(cluster[i], cluster[j]);
+    }
+  }
+  link("pot", "containerful");
+  link("bowl", "vessel");
+  // Weak attachments outside the cluster.
+  link("pot", "kitchen");
+  link("kitchen", "cook");
+  link("cook", "stove");
+  link("kitchen", "stove");
+  link("pot", "marijuana");
+  link("marijuana", "drug");
+  link("marijuana", "plant");
+  link("drug", "plant");
+
+  CommunitySearcher searcher(builder.Build());
+  const auto community = searcher.Cst(id("pot"), /*k=*/3);
+  LOCS_CHECK(community.has_value());
+  std::printf("  members:");
+  for (VertexId v : community->members) {
+    std::printf(" %s", senses[v].c_str());
+  }
+  std::printf("\n  δ = %u — the vessel senses, excluding the kitchen and "
+              "marijuana tails\n",
+              community->min_degree);
+}
+
+int Run() {
+  PrintBanner(
+      "Figure 6 — case studies: communities are semantically coherent",
+      "(a) k=5 around Jiawei Han yields 6 leading data-mining authors; "
+      "(b) k=3 around 'pot' yields the vessel senses",
+      "(a) exactly the planted senior cave; (b) exactly the planted "
+      "vessel cluster — no distractor senses");
+  CoauthorStudy();
+  WordNetStudy();
+  return 0;
+}
+
+}  // namespace
+}  // namespace locs::bench
+
+int main() { return locs::bench::Run(); }

@@ -1,0 +1,28 @@
+#include "common/reporting.h"
+
+#include <cstdio>
+
+namespace locs::bench {
+
+void PrintBanner(const std::string& experiment, const std::string& paper,
+                 const std::string& expectation) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment.c_str());
+  std::printf("Paper reports : %s\n", paper.c_str());
+  std::printf("Expected shape: %s\n", expectation.c_str());
+  std::printf("================================================================\n\n");
+  std::fflush(stdout);
+}
+
+double TimeMs(const std::function<void()>& fn) {
+  WallTimer timer;
+  fn();
+  return timer.Millis();
+}
+
+std::string MeanStd(const Summary& summary, int digits) {
+  return FormatDouble(summary.mean, digits) + "±" +
+         FormatDouble(summary.stddev, digits);
+}
+
+}  // namespace locs::bench

@@ -1,0 +1,30 @@
+// Reporting helpers shared by the benchmark drivers: experiment banners
+// that state what the paper reports and what to look for, and timing
+// utilities.
+
+#ifndef LOCS_BENCH_COMMON_REPORTING_H_
+#define LOCS_BENCH_COMMON_REPORTING_H_
+
+#include <functional>
+#include <string>
+
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace locs::bench {
+
+/// Prints a standard banner: experiment id, what the paper's figure/table
+/// shows, and what shape to expect from this run.
+void PrintBanner(const std::string& experiment, const std::string& paper,
+                 const std::string& expectation);
+
+/// Runs `fn` once and returns elapsed milliseconds.
+double TimeMs(const std::function<void()>& fn);
+
+/// Formats "mean±std" with the given decimals.
+std::string MeanStd(const Summary& summary, int digits = 2);
+
+}  // namespace locs::bench
+
+#endif  // LOCS_BENCH_COMMON_REPORTING_H_

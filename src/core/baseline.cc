@@ -1,0 +1,125 @@
+#include "core/baseline.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace locs {
+
+namespace {
+
+/// DFS state for Algorithm 1. Degrees within H are maintained
+/// incrementally; the monotonicity test "δ(H ∪ {v}) >= δ(H)" reduces to
+/// "v has at least δ(H) links into H", because adding a vertex never
+/// decreases the degree of existing members.
+class BaselineSearch {
+ public:
+  BaselineSearch(const Graph& graph, uint32_t k, uint64_t max_steps,
+                 double max_millis)
+      : graph_(graph),
+        k_(k),
+        max_steps_(max_steps),
+        max_millis_(max_millis),
+        in_h_(graph.NumVertices(), 0),
+        deg_in_h_(graph.NumVertices(), 0) {}
+
+  BaselineResult Run(VertexId v0) {
+    BaselineResult result;
+    members_.push_back(v0);
+    in_h_[v0] = 1;
+    const bool found = Search(result);
+    if (found) {
+      Community community;
+      community.members = members_;
+      community.min_degree = MinDegree();
+      result.community = std::move(community);
+    }
+    return result;
+  }
+
+ private:
+  uint32_t MinDegree() const {
+    uint32_t min_deg = ~uint32_t{0};
+    for (VertexId v : members_) min_deg = std::min(min_deg, deg_in_h_[v]);
+    return min_deg;
+  }
+
+  /// Returns true when `members_` currently holds a solution.
+  bool Search(BaselineResult& result) {
+    if (result.steps >= max_steps_) {
+      result.budget_exhausted = true;
+      return false;
+    }
+    if (max_millis_ > 0.0 && (result.steps & 63) == 0 &&
+        timer_.Millis() > max_millis_) {
+      result.budget_exhausted = true;
+      return false;
+    }
+    ++result.steps;
+    const uint32_t delta = MinDegree();
+    if (delta >= k_) return true;
+    // Enumerate the neighbors of H (each once), keeping those that do not
+    // decrease δ and are not prunable by Proposition 3.
+    std::vector<VertexId> frontier;
+    for (VertexId u : members_) {
+      for (VertexId w : graph_.Neighbors(u)) {
+        if (in_h_[w] != 0 || graph_.Degree(w) < k_) continue;
+        in_h_[w] = 2;  // 2 = staged in frontier (dedup)
+        frontier.push_back(w);
+      }
+    }
+    for (VertexId w : frontier) in_h_[w] = 0;
+    for (VertexId w : frontier) {
+      uint32_t incidence = 0;
+      for (VertexId x : graph_.Neighbors(w)) incidence += in_h_[x] == 1;
+      if (incidence < delta) continue;  // would decrease δ
+      Push(w, incidence);
+      if (Search(result)) return true;
+      Pop(w);
+      if (result.budget_exhausted) return false;
+    }
+    return false;
+  }
+
+  void Push(VertexId w, uint32_t incidence) {
+    in_h_[w] = 1;
+    deg_in_h_[w] = incidence;
+    members_.push_back(w);
+    for (VertexId x : graph_.Neighbors(w)) {
+      if (in_h_[x] == 1 && x != w) ++deg_in_h_[x];
+    }
+  }
+
+  void Pop(VertexId w) {
+    members_.pop_back();
+    in_h_[w] = 0;
+    deg_in_h_[w] = 0;
+    for (VertexId x : graph_.Neighbors(w)) {
+      if (in_h_[x] == 1) --deg_in_h_[x];
+    }
+  }
+
+  const Graph& graph_;
+  const uint32_t k_;
+  const uint64_t max_steps_;
+  const double max_millis_;
+  WallTimer timer_;
+  std::vector<uint8_t> in_h_;
+  std::vector<uint32_t> deg_in_h_;
+  std::vector<VertexId> members_;
+};
+
+}  // namespace
+
+BaselineResult BaselineCst(const Graph& graph, VertexId v0, uint32_t k,
+                           uint64_t max_steps, double max_millis) {
+  LOCS_CHECK_LT(v0, graph.NumVertices());
+  if (k > 0 && graph.Degree(v0) < k) {
+    // Proposition 3: no solution can exist.
+    return BaselineResult{};
+  }
+  BaselineSearch search(graph, k, max_steps, max_millis);
+  return search.Run(v0);
+}
+
+}  // namespace locs

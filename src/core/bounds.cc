@@ -1,0 +1,58 @@
+#include "core/bounds.h"
+
+#include <cmath>
+#include <limits>
+
+namespace locs {
+
+uint32_t MStarUpperBound(uint64_t num_edges, uint64_t num_vertices) {
+  // A connected graph has |E| >= |V| - 1; tolerate disconnected inputs by
+  // clamping the excess at 0 (bound stays valid for every component because
+  // each component's excess is at most the global excess + 1).
+  const double excess =
+      num_edges >= num_vertices
+          ? static_cast<double>(num_edges - num_vertices)
+          : 0.0;
+  const double bound = (1.0 + std::sqrt(9.0 + 8.0 * excess)) / 2.0;
+  return static_cast<uint32_t>(std::floor(bound));
+}
+
+uint32_t MStarUpperBound(const Graph& graph) {
+  return MStarUpperBound(graph.NumEdges(), graph.NumVertices());
+}
+
+uint64_t CstSizeUpperBound(uint64_t num_edges, uint64_t num_vertices,
+                           uint32_t k) {
+  if (k <= 2) return std::numeric_limits<uint64_t>::max();
+  const uint64_t excess = num_edges >= num_vertices
+                              ? num_edges - num_vertices
+                              : 0;
+  const double denom = static_cast<double>(k) / 2.0 - 1.0;
+  return static_cast<uint64_t>(
+      std::floor(static_cast<double>(excess) / denom));
+}
+
+uint64_t CsmExpansionBudget(uint64_t num_edges, uint64_t num_vertices,
+                            uint32_t delta_h, uint64_t h_size) {
+  const uint64_t size_bound =
+      CstSizeUpperBound(num_edges, num_vertices, delta_h + 1);
+  if (size_bound == std::numeric_limits<uint64_t>::max()) return size_bound;
+  return size_bound > h_size ? size_bound - h_size : 0;
+}
+
+uint64_t GammaScaledBudget(uint64_t num_edges, uint64_t num_vertices,
+                           uint32_t delta_h, uint64_t h_size, double gamma) {
+  const uint64_t base =
+      CsmExpansionBudget(num_edges, num_vertices, delta_h, h_size);
+  if (base == std::numeric_limits<uint64_t>::max() ||
+      (std::isinf(gamma) && gamma < 0)) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  const double scaled = std::exp(-gamma) * static_cast<double>(base);
+  if (scaled >= static_cast<double>(std::numeric_limits<uint64_t>::max())) {
+    return std::numeric_limits<uint64_t>::max();
+  }
+  return static_cast<uint64_t>(std::floor(scaled));
+}
+
+}  // namespace locs

@@ -1,0 +1,44 @@
+// Analytic bounds from §4.2.1 and §5.1 of the paper.
+
+#ifndef LOCS_CORE_BOUNDS_H_
+#define LOCS_CORE_BOUNDS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace locs {
+
+/// Theorem 3: for a connected simple graph G(V, E),
+///   m*(G, v) ≤ ⌊(1 + √(9 + 8(|E| − |V|))) / 2⌋ for every v.
+/// If k exceeds this bound, CST(k) has no solution anywhere in G.
+uint32_t MStarUpperBound(uint64_t num_edges, uint64_t num_vertices);
+
+/// Convenience overload over a graph.
+uint32_t MStarUpperBound(const Graph& graph);
+
+/// Theorem 5: a CST(k) solution H in a connected graph satisfies
+///   |H| ≤ ⌊(|E| − |V|) / (k/2 − 1)⌋.
+/// For k ≤ 2 the bound degenerates (non-positive denominator); we return
+/// UINT64_MAX to mean "unbounded".
+uint64_t CstSizeUpperBound(uint64_t num_edges, uint64_t num_vertices,
+                           uint32_t k);
+
+/// Corollary 1: if the current best solution H with δ(G[H]) = delta_h can
+/// be improved, at most
+///   ⌊(|E| − |V|) / ((delta_h + 1)/2 − 1)⌋ − |H|
+/// extra vertices need to be added. Returns UINT64_MAX when the bound
+/// degenerates (delta_h + 1 ≤ 2) and 0 when the bound is already exceeded.
+uint64_t CsmExpansionBudget(uint64_t num_edges, uint64_t num_vertices,
+                            uint32_t delta_h, uint64_t h_size);
+
+/// Equation 8: the γ-scaled budget e^(−γ) · CsmExpansionBudget(...), the
+/// knob that trades CSM1 quality for performance (γ → −∞ removes the
+/// constraint, γ = 0 is the exact Corollary-1 bound). Saturates at
+/// UINT64_MAX.
+uint64_t GammaScaledBudget(uint64_t num_edges, uint64_t num_vertices,
+                           uint32_t delta_h, uint64_t h_size, double gamma);
+
+}  // namespace locs
+
+#endif  // LOCS_CORE_BOUNDS_H_

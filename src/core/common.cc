@@ -1,0 +1,17 @@
+#include "core/common.h"
+
+namespace locs {
+
+std::string_view StrategyName(Strategy strategy) {
+  switch (strategy) {
+    case Strategy::kNaive:
+      return "naive";
+    case Strategy::kLG:
+      return "lg";
+    case Strategy::kLI:
+      return "li";
+  }
+  return "unknown";
+}
+
+}  // namespace locs

@@ -1,0 +1,179 @@
+#include "core/core_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace locs {
+
+namespace {
+
+/// Union-find with path halving and union by size, tracking the merge-tree
+/// node owned by each component root.
+class MergeDsu {
+ public:
+  explicit MergeDsu(uint32_t capacity)
+      : parent_(capacity), size_(capacity, 1), node_(capacity) {
+    std::iota(parent_.begin(), parent_.end(), 0u);
+    std::iota(node_.begin(), node_.end(), 0u);  // leaf node i for vertex i
+  }
+
+  uint32_t Find(uint32_t v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  /// Merges the components of roots ra != rb; returns the surviving root.
+  uint32_t Link(uint32_t ra, uint32_t rb) {
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+    return ra;
+  }
+
+  uint32_t NodeOf(uint32_t root) const { return node_[root]; }
+  void SetNode(uint32_t root, uint32_t node) { node_[root] = node; }
+
+ private:
+  std::vector<uint32_t> parent_;
+  std::vector<uint32_t> size_;
+  std::vector<uint32_t> node_;
+};
+
+}  // namespace
+
+CoreIndex::CoreIndex(const Graph& graph) : cores_(ComputeCores(graph)) {
+  const VertexId n = graph.NumVertices();
+  // Leaves 0..n-1 mirror the vertices.
+  node_level_.resize(n);
+  node_parent_.assign(n, kNil);
+  node_first_child_.assign(n, kNil);
+  node_next_sibling_.assign(n, kNil);
+  node_vertex_.resize(n);
+  for (VertexId v = 0; v < n; ++v) {
+    node_level_[v] = cores_.core[v];
+    node_vertex_[v] = v;
+  }
+  if (n == 0) return;
+
+  auto new_node = [this](uint32_t level) {
+    const auto id = static_cast<uint32_t>(node_level_.size());
+    node_level_.push_back(level);
+    node_parent_.push_back(kNil);
+    node_first_child_.push_back(kNil);
+    node_next_sibling_.push_back(kNil);
+    node_vertex_.push_back(kNil);
+    return id;
+  };
+  auto attach = [this](uint32_t parent, uint32_t child) {
+    node_parent_[child] = parent;
+    node_next_sibling_[child] = node_first_child_[parent];
+    node_first_child_[parent] = child;
+  };
+
+  MergeDsu dsu(n);
+  // Vertices grouped by core number; peel_order is sorted by
+  // non-decreasing core number, so iterate it backwards for the
+  // decreasing-level sweep.
+  const std::vector<VertexId>& order = cores_.peel_order;
+  size_t hi = order.size();
+  while (hi > 0) {
+    // [lo, hi) is the block of vertices with this core number.
+    const uint32_t level = cores_.core[order[hi - 1]];
+    size_t lo = hi;
+    while (lo > 0 && cores_.core[order[lo - 1]] == level) --lo;
+    // All level-`level` vertices are now active; union each with its
+    // already-active neighbors (core >= level).
+    for (size_t i = lo; i < hi; ++i) {
+      const VertexId v = order[i];
+      for (VertexId w : graph.Neighbors(v)) {
+        if (cores_.core[w] < level) continue;
+        uint32_t rv = dsu.Find(v);
+        const uint32_t rw = dsu.Find(w);
+        if (rv == rw) continue;
+        const uint32_t nv = dsu.NodeOf(rv);
+        const uint32_t nw = dsu.NodeOf(rw);
+        // A component may be represented by an internal node already
+        // created at this level — reuse it as the merge target so leaf
+        // paths stay short (one node per (component, level)). Leaves are
+        // never targets: they cannot adopt children.
+        const bool nv_reusable =
+            node_level_[nv] == level && node_vertex_[nv] == kNil;
+        const bool nw_reusable =
+            node_level_[nw] == level && node_vertex_[nw] == kNil;
+        uint32_t target;
+        if (nv_reusable && nw_reusable) {
+          // Fold nw's children into nv; nw becomes an orphan no leaf
+          // path traverses.
+          target = nv;
+          uint32_t child = node_first_child_[nw];
+          while (child != kNil) {
+            const uint32_t next = node_next_sibling_[child];
+            attach(nv, child);
+            child = next;
+          }
+          node_first_child_[nw] = kNil;
+        } else if (nv_reusable) {
+          target = nv;
+          attach(nv, nw);
+        } else if (nw_reusable) {
+          target = nw;
+          attach(nw, nv);
+        } else {
+          target = new_node(level);
+          attach(target, nv);
+          attach(target, nw);
+        }
+        const uint32_t root = dsu.Link(rv, rw);
+        dsu.SetNode(root, target);
+      }
+    }
+    hi = lo;
+  }
+}
+
+uint32_t CoreIndex::AncestorAtLevel(VertexId v, uint32_t k) const {
+  if (cores_.core[v] < k) return kNil;
+  uint32_t node = v;  // leaf
+  while (node_parent_[node] != kNil &&
+         node_level_[node_parent_[node]] >= k) {
+    node = node_parent_[node];
+  }
+  return node;
+}
+
+std::vector<VertexId> CoreIndex::SubtreeLeaves(uint32_t node) const {
+  std::vector<VertexId> members;
+  std::vector<uint32_t> stack = {node};
+  while (!stack.empty()) {
+    const uint32_t cur = stack.back();
+    stack.pop_back();
+    if (node_vertex_[cur] != kNil) {
+      members.push_back(node_vertex_[cur]);
+      continue;
+    }
+    for (uint32_t child = node_first_child_[cur]; child != kNil;
+         child = node_next_sibling_[child]) {
+      stack.push_back(child);
+    }
+  }
+  return members;
+}
+
+std::vector<VertexId> CoreIndex::CstMembers(VertexId v, uint32_t k) const {
+  LOCS_CHECK_LT(v, node_vertex_.size());
+  const uint32_t node = AncestorAtLevel(v, k);
+  if (node == kNil) return {};
+  return SubtreeLeaves(node);
+}
+
+Community CoreIndex::Csm(VertexId v) const {
+  Community community;
+  community.min_degree = cores_.core[v];
+  community.members = CstMembers(v, cores_.core[v]);
+  return community;
+}
+
+}  // namespace locs

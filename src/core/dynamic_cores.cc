@@ -1,0 +1,173 @@
+#include "core/dynamic_cores.h"
+
+#include <algorithm>
+
+#include "core/kcore.h"
+#include "graph/builder.h"
+
+namespace locs {
+
+DynamicCores::DynamicCores(VertexId num_vertices)
+    : adjacency_(num_vertices),
+      core_(num_vertices, 0),
+      visit_stamp_(num_vertices, 0),
+      drop_stamp_(num_vertices, 0),
+      support_(num_vertices, 0) {}
+
+DynamicCores::DynamicCores(const Graph& graph)
+    : DynamicCores(graph.NumVertices()) {
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    const auto nbrs = graph.Neighbors(v);
+    adjacency_[v].assign(nbrs.begin(), nbrs.end());
+  }
+  num_edges_ = graph.NumEdges();
+  core_ = ComputeCores(graph).core;
+}
+
+uint32_t DynamicCores::Degeneracy() const {
+  uint32_t best = 0;
+  for (uint32_t c : core_) best = std::max(best, c);
+  return best;
+}
+
+bool DynamicCores::HasEdge(VertexId u, VertexId v) const {
+  LOCS_CHECK_LT(u, NumVertices());
+  LOCS_CHECK_LT(v, NumVertices());
+  const auto& list =
+      Degree(u) <= Degree(v) ? adjacency_[u] : adjacency_[v];
+  const VertexId target = Degree(u) <= Degree(v) ? v : u;
+  return std::find(list.begin(), list.end(), target) != list.end();
+}
+
+void DynamicCores::BumpStamp() { ++stamp_; }
+
+std::vector<VertexId> DynamicCores::CollectSubcore(
+    const std::vector<VertexId>& roots, uint32_t k) {
+  std::vector<VertexId> subcore;
+  for (VertexId r : roots) {
+    if (core_[r] != k || visit_stamp_[r] == stamp_) continue;
+    visit_stamp_[r] = stamp_;
+    subcore.push_back(r);
+  }
+  for (size_t head = 0; head < subcore.size(); ++head) {
+    const VertexId w = subcore[head];
+    for (VertexId x : adjacency_[w]) {
+      if (core_[x] == k && visit_stamp_[x] != stamp_) {
+        visit_stamp_[x] = stamp_;
+        subcore.push_back(x);
+      }
+    }
+  }
+  return subcore;
+}
+
+bool DynamicCores::AddEdge(VertexId u, VertexId v) {
+  LOCS_CHECK_LT(u, NumVertices());
+  LOCS_CHECK_LT(v, NumVertices());
+  if (u == v || HasEdge(u, v)) return false;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+  ++num_edges_;
+
+  const uint32_t k = std::min(core_[u], core_[v]);
+  BumpStamp();
+  // Candidates: the K-subcore around the endpoint(s) at level K. Only
+  // they can rise to K+1 (by exactly 1).
+  const std::vector<VertexId> subcore = CollectSubcore({u, v}, k);
+  // Support of a candidate: neighbors already above K plus fellow
+  // candidates (which may rise together).
+  for (VertexId w : subcore) {
+    uint32_t s = 0;
+    for (VertexId x : adjacency_[w]) {
+      s += core_[x] > k || (core_[x] == k && visit_stamp_[x] == stamp_);
+    }
+    support_[w] = s;
+  }
+  // Peel candidates that cannot reach degree K+1 in the hypothetical
+  // (K+1)-core; survivors are promoted.
+  std::vector<VertexId> worklist;
+  for (VertexId w : subcore) {
+    if (support_[w] <= k) {
+      drop_stamp_[w] = stamp_;
+      worklist.push_back(w);
+    }
+  }
+  for (size_t head = 0; head < worklist.size(); ++head) {
+    const VertexId w = worklist[head];
+    for (VertexId x : adjacency_[w]) {
+      if (core_[x] == k && visit_stamp_[x] == stamp_ &&
+          drop_stamp_[x] != stamp_) {
+        if (--support_[x] <= k) {
+          drop_stamp_[x] = stamp_;
+          worklist.push_back(x);
+        }
+      }
+    }
+  }
+  for (VertexId w : subcore) {
+    if (drop_stamp_[w] != stamp_) core_[w] = k + 1;
+  }
+  return true;
+}
+
+bool DynamicCores::RemoveEdge(VertexId u, VertexId v) {
+  LOCS_CHECK_LT(u, NumVertices());
+  LOCS_CHECK_LT(v, NumVertices());
+  if (u == v || !HasEdge(u, v)) return false;
+  auto drop = [this](VertexId a, VertexId b) {
+    auto& list = adjacency_[a];
+    const auto it = std::find(list.begin(), list.end(), b);
+    *it = list.back();
+    list.pop_back();
+  };
+  drop(u, v);
+  drop(v, u);
+  --num_edges_;
+
+  const uint32_t k = std::min(core_[u], core_[v]);
+  if (k == 0) return true;  // level-0 vertices cannot sink lower
+  BumpStamp();
+  // Only K-level vertices in the endpoint subcores can sink (to K-1).
+  const std::vector<VertexId> subcore = CollectSubcore({u, v}, k);
+  for (VertexId w : subcore) {
+    uint32_t s = 0;
+    for (VertexId x : adjacency_[w]) s += core_[x] >= k;
+    support_[w] = s;
+  }
+  std::vector<VertexId> worklist;
+  for (VertexId w : subcore) {
+    if (support_[w] < k) {
+      drop_stamp_[w] = stamp_;
+      worklist.push_back(w);
+    }
+  }
+  for (size_t head = 0; head < worklist.size(); ++head) {
+    const VertexId w = worklist[head];
+    core_[w] = k - 1;
+    for (VertexId x : adjacency_[w]) {
+      // Same-level subcore members lose support when w sinks. (Their
+      // subcore membership is implied: a K-level neighbor of a subcore
+      // vertex is itself reachable, hence visited.)
+      if (core_[x] == k && visit_stamp_[x] == stamp_ &&
+          drop_stamp_[x] != stamp_) {
+        if (--support_[x] < k) {
+          drop_stamp_[x] = stamp_;
+          worklist.push_back(x);
+        }
+      }
+    }
+  }
+  return true;
+}
+
+Graph DynamicCores::Freeze() const {
+  GraphBuilder builder(NumVertices());
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    for (VertexId w : adjacency_[v]) {
+      if (v < w) builder.AddEdge(v, w);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace locs

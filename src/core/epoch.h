@@ -1,0 +1,61 @@
+// Epoch-stamped per-vertex scratch arrays.
+//
+// Local search must not pay O(|V|) per query (that would erase its whole
+// advantage over global search), so per-vertex scratch state is validated
+// by an epoch stamp instead of being cleared: bumping the epoch invalidates
+// every entry in O(1).
+
+#ifndef LOCS_CORE_EPOCH_H_
+#define LOCS_CORE_EPOCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace locs {
+
+/// Fixed-capacity array of T whose entries reset to T{} whenever the shared
+/// epoch advances past their stamp.
+template <typename T>
+class EpochArray {
+ public:
+  explicit EpochArray(size_t capacity)
+      : value_(capacity), stamp_(capacity, 0) {}
+
+  /// Invalidates all entries in O(1).
+  void NewEpoch() { ++epoch_; }
+
+  /// Read: returns T{} for entries not written this epoch.
+  T Get(uint32_t i) const {
+    LOCS_DCHECK(i < value_.size());
+    return stamp_[i] == epoch_ ? value_[i] : T{};
+  }
+
+  /// Write access: freshens the entry (resetting it to T{} first if stale).
+  T& Ref(uint32_t i) {
+    LOCS_DCHECK(i < value_.size());
+    if (stamp_[i] != epoch_) {
+      stamp_[i] = epoch_;
+      value_[i] = T{};
+    }
+    return value_[i];
+  }
+
+  /// True if the entry was written during the current epoch.
+  bool Fresh(uint32_t i) const {
+    LOCS_DCHECK(i < value_.size());
+    return stamp_[i] == epoch_;
+  }
+
+  size_t capacity() const { return value_.size(); }
+
+ private:
+  std::vector<T> value_;
+  std::vector<uint64_t> stamp_;
+  uint64_t epoch_ = 1;
+};
+
+}  // namespace locs
+
+#endif  // LOCS_CORE_EPOCH_H_

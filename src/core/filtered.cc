@@ -1,0 +1,44 @@
+#include "core/filtered.h"
+
+#include "graph/subgraph.h"
+
+namespace locs {
+
+FilteredCommunitySearcher::FilteredCommunitySearcher(
+    const Graph& graph, const std::vector<uint8_t>& admitted) {
+  LOCS_CHECK_EQ(admitted.size(), graph.NumVertices());
+  to_filtered_.assign(graph.NumVertices(), kInvalidVertex);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (admitted[v] != 0) {
+      to_filtered_[v] = static_cast<VertexId>(to_original_.size());
+      to_original_.push_back(v);
+    }
+  }
+  MappedSubgraph sub = InducedSubgraph(graph, to_original_);
+  searcher_.emplace(std::move(sub.graph));
+}
+
+Community FilteredCommunitySearcher::Translate(Community community) const {
+  for (VertexId& member : community.members) {
+    member = to_original_[member];
+  }
+  return community;
+}
+
+std::optional<Community> FilteredCommunitySearcher::Cst(
+    VertexId v0, uint32_t k, const CstOptions& options, QueryStats* stats) {
+  LOCS_CHECK_LT(v0, to_filtered_.size());
+  if (!IsAdmitted(v0)) return std::nullopt;
+  auto community = searcher_->Cst(to_filtered_[v0], k, options, stats);
+  if (!community.has_value()) return std::nullopt;
+  return Translate(std::move(*community));
+}
+
+std::optional<Community> FilteredCommunitySearcher::Csm(
+    VertexId v0, const CsmOptions& options, QueryStats* stats) {
+  LOCS_CHECK_LT(v0, to_filtered_.size());
+  if (!IsAdmitted(v0)) return std::nullopt;
+  return Translate(searcher_->Csm(to_filtered_[v0], options, stats));
+}
+
+}  // namespace locs

@@ -1,0 +1,64 @@
+// Constrained community search — the future-work direction the paper's
+// conclusion names ("consider constraints in community search").
+//
+// The constraint model: a vertex predicate (membership mask). A community
+// must consist solely of admitted vertices; everything else (minimum
+// degree, connectivity, query containment) is unchanged. This covers the
+// paper's emerging-social-settings examples: "only users who opted in",
+// "only accounts active this month", "only senses from this domain".
+//
+// Implementation: queries run on the induced subgraph of admitted
+// vertices, with id translation handled here. The filtered graph and its
+// precomputations are built once per (graph, mask) and reused across
+// queries, mirroring CommunitySearcher.
+
+#ifndef LOCS_CORE_FILTERED_H_
+#define LOCS_CORE_FILTERED_H_
+
+#include <optional>
+#include <vector>
+
+#include "core/searcher.h"
+#include "graph/graph.h"
+
+namespace locs {
+
+/// Community search restricted to an admitted subset of vertices.
+class FilteredCommunitySearcher {
+ public:
+  /// `admitted[v]` != 0 admits vertex v. The mask must cover every vertex.
+  FilteredCommunitySearcher(const Graph& graph,
+                            const std::vector<uint8_t>& admitted);
+
+  /// Number of admitted vertices.
+  VertexId NumAdmitted() const {
+    return static_cast<VertexId>(to_original_.size());
+  }
+
+  bool IsAdmitted(VertexId v) const {
+    return to_filtered_[v] != kInvalidVertex;
+  }
+
+  /// CST(k) among admitted vertices only. Returns std::nullopt when v0 is
+  /// not admitted or no constrained community exists. Members are
+  /// reported in original-graph ids.
+  std::optional<Community> Cst(VertexId v0, uint32_t k,
+                               const CstOptions& options = {},
+                               QueryStats* stats = nullptr);
+
+  /// Best constrained community for v0 (original-graph ids); v0 itself
+  /// must be admitted or std::nullopt is returned.
+  std::optional<Community> Csm(VertexId v0, const CsmOptions& options = {},
+                               QueryStats* stats = nullptr);
+
+ private:
+  Community Translate(Community community) const;
+
+  std::vector<VertexId> to_filtered_;  // original -> filtered id or kInvalid
+  std::vector<VertexId> to_original_;  // filtered -> original id
+  std::optional<CommunitySearcher> searcher_;
+};
+
+}  // namespace locs
+
+#endif  // LOCS_CORE_FILTERED_H_

@@ -1,0 +1,138 @@
+#include "core/global.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "graph/subgraph.h"
+#include "util/bucket_queue.h"
+
+namespace locs {
+
+std::optional<Community> GlobalCst(const Graph& graph, VertexId v0,
+                                   uint32_t k, QueryStats* stats) {
+  LOCS_CHECK_LT(v0, graph.NumVertices());
+  QueryStats local_stats;
+  QueryStats& st = stats != nullptr ? *stats : local_stats;
+  st = QueryStats{};
+  st.visited_vertices = graph.NumVertices();
+  st.scanned_edges = 2 * graph.NumEdges();
+
+  // Iteratively delete vertices of degree < k (Lemma 3), then return the
+  // connected component of v0 among the survivors.
+  const VertexId n = graph.NumVertices();
+  std::vector<uint32_t> degree(n);
+  std::vector<uint8_t> removed(n, 0);
+  std::vector<VertexId> worklist;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(v);
+    if (degree[v] < k) {
+      removed[v] = 1;
+      worklist.push_back(v);
+    }
+  }
+  for (size_t head = 0; head < worklist.size(); ++head) {
+    const VertexId v = worklist[head];
+    for (VertexId w : graph.Neighbors(v)) {
+      if (removed[w] == 0 && --degree[w] < k) {
+        removed[w] = 1;
+        worklist.push_back(w);
+      }
+    }
+  }
+  if (removed[v0] != 0) return std::nullopt;
+
+  // BFS within the survivors.
+  Community community;
+  community.members.push_back(v0);
+  removed[v0] = 2;  // 2 = visited
+  uint32_t min_degree = degree[v0];
+  for (size_t head = 0; head < community.members.size(); ++head) {
+    const VertexId u = community.members[head];
+    min_degree = std::min(min_degree, degree[u]);
+    for (VertexId w : graph.Neighbors(u)) {
+      if (removed[w] == 0) {
+        removed[w] = 2;
+        community.members.push_back(w);
+      }
+    }
+  }
+  community.min_degree = min_degree;
+  st.answer_size = community.members.size();
+  return community;
+}
+
+Community GlobalCsm(const Graph& graph, VertexId v0, QueryStats* stats) {
+  LOCS_CHECK_LT(v0, graph.NumVertices());
+  QueryStats local_stats;
+  QueryStats& st = stats != nullptr ? *stats : local_stats;
+  st = QueryStats{};
+  st.visited_vertices = graph.NumVertices();
+  st.scanned_edges = 2 * graph.NumEdges();
+
+  const CoreDecomposition cores = ComputeCores(graph);
+  Community community;
+  community.members = MaxCoreComponentOf(graph, cores, v0);
+  community.min_degree = cores.core[v0];
+  st.answer_size = community.members.size();
+  return community;
+}
+
+Community GreedyGlobalCsm(const Graph& graph, VertexId v0) {
+  LOCS_CHECK_LT(v0, graph.NumVertices());
+  const VertexId n = graph.NumVertices();
+  // Literal greedy deletion with a lazy binary heap — deliberately written
+  // independently from the bucket-based core decomposition so the two can
+  // validate each other.
+  std::vector<uint32_t> degree(n);
+  std::vector<uint8_t> alive(n, 1);
+  using Entry = std::pair<uint32_t, VertexId>;  // (degree, vertex)
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(v);
+    heap.emplace(degree[v], v);
+  }
+  // removal_step[v]: index at which v was deleted; kept alive => ~0.
+  std::vector<uint64_t> removal_step(n, ~uint64_t{0});
+  uint64_t step = 0;
+  uint32_t best_delta = 0;
+  uint64_t best_step = 0;  // first step at which δ(G_i) == best_delta
+  while (!heap.empty()) {
+    const auto [d, v] = heap.top();
+    heap.pop();
+    if (alive[v] == 0 || d != degree[v]) continue;  // stale entry
+    // δ of the current remaining graph is d (v is a minimum-degree vertex).
+    if (d > best_delta || step == 0) {
+      best_delta = d;
+      best_step = step;
+    }
+    if (v == v0) break;  // v0 is next to be deleted: stop (§3.2).
+    alive[v] = 0;
+    removal_step[v] = step++;
+    for (VertexId w : graph.Neighbors(v)) {
+      if (alive[w] != 0) {
+        heap.emplace(--degree[w], w);
+      }
+    }
+  }
+  // G_{best_step} contains every vertex not yet deleted before best_step.
+  std::vector<uint8_t> in_gi(n, 0);
+  for (VertexId v = 0; v < n; ++v) {
+    if (removal_step[v] >= best_step) in_gi[v] = 1;
+  }
+  // Component of v0 within G_{best_step}.
+  Community community;
+  community.members.push_back(v0);
+  in_gi[v0] = 2;
+  for (size_t head = 0; head < community.members.size(); ++head) {
+    for (VertexId w : graph.Neighbors(community.members[head])) {
+      if (in_gi[w] == 1) {
+        in_gi[w] = 2;
+        community.members.push_back(w);
+      }
+    }
+  }
+  community.min_degree = MinDegreeOfInduced(graph, community.members);
+  return community;
+}
+
+}  // namespace locs

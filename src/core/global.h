@@ -1,0 +1,40 @@
+// Global-search solvers for CST and CSM (§3 of the paper).
+//
+// Both visit every vertex and edge of the graph: CST peels all vertices of
+// degree < k and returns the query vertex's component of the k-core
+// (Lemma 3); CSM greedily deletes minimum-degree vertices and returns the
+// best intermediate component containing the query vertex (the [5]
+// algorithm, equivalent to the maxcore of Lemma 4).
+
+#ifndef LOCS_CORE_GLOBAL_H_
+#define LOCS_CORE_GLOBAL_H_
+
+#include <optional>
+
+#include "core/common.h"
+#include "core/kcore.h"
+#include "graph/graph.h"
+
+namespace locs {
+
+/// Global CST(k): the connected component of v0 in the k-core of G, or
+/// std::nullopt when v0 is outside the k-core. O(|V| + |E|).
+std::optional<Community> GlobalCst(const Graph& graph, VertexId v0,
+                                   uint32_t k, QueryStats* stats = nullptr);
+
+/// Global CSM via core decomposition — the linear implementation of the
+/// greedy algorithm (m*(G, v0) equals the core number of v0; the answer is
+/// v0's component of its maxcore). O(|V| + |E|).
+Community GlobalCsm(const Graph& graph, VertexId v0,
+                    QueryStats* stats = nullptr);
+
+/// Global CSM by literal greedy deletion as described in §3.2: repeatedly
+/// delete a minimum-degree vertex, forming G0 ⊃ G1 ⊃ …, stop when v0 is
+/// next to be deleted, and return the component of v0 in the Gi with the
+/// largest δ(Gi). Kept as an independently-implemented oracle for the
+/// decomposition-based solver. O(|V| + |E|).
+Community GreedyGlobalCsm(const Graph& graph, VertexId v0);
+
+}  // namespace locs
+
+#endif  // LOCS_CORE_GLOBAL_H_

@@ -1,0 +1,83 @@
+#include "core/kcore.h"
+
+#include "util/bucket_queue.h"
+
+namespace locs {
+
+CoreDecomposition ComputeCores(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  CoreDecomposition result;
+  result.core.resize(n);
+  result.peel_order.reserve(n);
+  if (n == 0) return result;
+
+  std::vector<uint32_t> degree(n);
+  for (VertexId v = 0; v < n; ++v) degree[v] = graph.Degree(v);
+  MinBucketQueue queue(degree);
+
+  uint32_t current = 0;
+  while (!queue.Empty()) {
+    const uint32_t key = queue.MinKey();
+    if (key > current) current = key;
+    const VertexId v = queue.PopMin();
+    result.core[v] = current;
+    result.peel_order.push_back(v);
+    for (VertexId w : graph.Neighbors(v)) {
+      if (!queue.Popped(w) && queue.Key(w) > current) {
+        queue.DecrementKey(w);
+      }
+    }
+  }
+  result.degeneracy = current;
+  return result;
+}
+
+std::vector<VertexId> KCoreMembers(const CoreDecomposition& cores,
+                                   uint32_t k) {
+  std::vector<VertexId> members;
+  for (VertexId v = 0; v < cores.core.size(); ++v) {
+    if (cores.core[v] >= k) members.push_back(v);
+  }
+  return members;
+}
+
+namespace {
+
+/// BFS from v0 restricted to vertices with core number >= k.
+std::vector<VertexId> CoreComponent(const Graph& graph,
+                                    const std::vector<uint32_t>& core,
+                                    VertexId v0, uint32_t k) {
+  if (core[v0] < k) return {};
+  std::vector<uint8_t> seen(graph.NumVertices(), 0);
+  std::vector<VertexId> component;
+  component.push_back(v0);
+  seen[v0] = 1;
+  for (size_t head = 0; head < component.size(); ++head) {
+    const VertexId u = component[head];
+    for (VertexId w : graph.Neighbors(u)) {
+      if (seen[w] == 0 && core[w] >= k) {
+        seen[w] = 1;
+        component.push_back(w);
+      }
+    }
+  }
+  return component;
+}
+
+}  // namespace
+
+std::vector<VertexId> KCoreComponentOf(const Graph& graph,
+                                       const CoreDecomposition& cores,
+                                       VertexId v0, uint32_t k) {
+  LOCS_CHECK_LT(v0, graph.NumVertices());
+  return CoreComponent(graph, cores.core, v0, k);
+}
+
+std::vector<VertexId> MaxCoreComponentOf(const Graph& graph,
+                                         const CoreDecomposition& cores,
+                                         VertexId v0) {
+  LOCS_CHECK_LT(v0, graph.NumVertices());
+  return CoreComponent(graph, cores.core, v0, cores.core[v0]);
+}
+
+}  // namespace locs

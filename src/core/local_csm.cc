@@ -1,0 +1,276 @@
+#include "core/local_csm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/bounds.h"
+#include "core/kcore.h"
+#include "graph/subgraph.h"
+#include "util/bucket_queue.h"
+
+namespace locs {
+
+LocalCsmSolver::LocalCsmSolver(const Graph& graph,
+                               const OrderedAdjacency* ordered,
+                               const GraphFacts* facts)
+    : graph_(graph),
+      ordered_(ordered),
+      facts_(facts),
+      in_a_(graph.NumVertices()),
+      discovered_(graph.NumVertices()),
+      deg_in_a_(graph.NumVertices()),
+      bfs_seen_(graph.NumVertices()),
+      local_id_(graph.NumVertices()),
+      frontier_(graph.NumVertices(), graph.MaxDegree() + 1),
+      degree_count_(static_cast<size_t>(graph.MaxDegree()) + 2, 0) {}
+
+void LocalCsmSolver::AddToA(VertexId v, QueryStats& stats) {
+  // Count v's links into A and bump the in-A degrees of its A-neighbors.
+  uint32_t incidence = 0;
+  // Insert v into the histogram *before* advancing δ so the histogram is
+  // never transiently empty.
+  for (VertexId w : graph_.Neighbors(v)) {
+    ++stats.scanned_edges;
+    if (in_a_.Get(w) != 0) {
+      ++incidence;
+      uint32_t& deg_w = deg_in_a_.Ref(w);
+      --degree_count_[deg_w];
+      ++deg_w;
+      ++degree_count_[deg_w];
+      max_count_touched_ = std::max(max_count_touched_, deg_w);
+    }
+  }
+  in_a_.Ref(v) = 1;
+  deg_in_a_.Ref(v) = incidence;
+  ++degree_count_[incidence];
+  max_count_touched_ = std::max(max_count_touched_, incidence);
+  order_.push_back(v);
+  ++stats.visited_vertices;
+  // Re-establish δ(G[A]): drop to the new vertex's degree if lower, then
+  // advance past empty buckets (amortized O(1): δ only advances as many
+  // times as degrees are incremented).
+  if (order_.size() == 1 || incidence < delta_a_) delta_a_ = incidence;
+  while (degree_count_[delta_a_] == 0) ++delta_a_;
+}
+
+Community LocalCsmSolver::Solve(VertexId v0, const CsmOptions& options,
+                                QueryStats* stats) {
+  LOCS_CHECK_LT(v0, graph_.NumVertices());
+  QueryStats local_stats;
+  QueryStats& st = stats != nullptr ? *stats : local_stats;
+  st = QueryStats{};
+
+  // O(1) query reset (the histogram is reset over the range touched by the
+  // previous query).
+  in_a_.NewEpoch();
+  discovered_.NewEpoch();
+  deg_in_a_.NewEpoch();
+  frontier_.NewEpoch();
+  order_.clear();
+  std::fill(degree_count_.begin(),
+            degree_count_.begin() + max_count_touched_ + 1, 0);
+  max_count_touched_ = 0;
+  delta_a_ = 0;
+
+  // Equation 7 upper bound: m*(G, v0) <= min(deg(v0), Theorem-3 bound).
+  uint32_t upper = graph_.Degree(v0);
+  if (facts_ != nullptr && facts_->connected) {
+    upper = std::min(
+        upper, MStarUpperBound(facts_->num_edges, facts_->num_vertices));
+  }
+  const bool budget_enabled =
+      facts_ != nullptr && facts_->connected &&
+      !(std::isinf(options.gamma) && options.gamma < 0);
+
+  // Step 1: iterative searching and filtering (lines 1-15 of Algorithm 4).
+  AddToA(v0, st);
+  discovered_.Ref(v0) = 1;
+  size_t h_len = 1;        // |H|: best prefix of order_
+  uint32_t delta_h = 0;    // δ(G[H])
+  uint64_t s = 0;          // vertices added since the last improvement
+
+  for (VertexId w : graph_.Neighbors(v0)) {
+    ++st.scanned_edges;
+    if (graph_.Degree(w) > delta_h) {
+      discovered_.Ref(w) = 1;
+      frontier_.Insert(w, 1);
+    }
+  }
+
+  while (delta_h < upper && !frontier_.Empty()) {
+    if (budget_enabled) {
+      const uint64_t budget =
+          GammaScaledBudget(facts_->num_edges, facts_->num_vertices,
+                            delta_h, h_len, options.gamma);
+      if (s > budget) break;
+    }
+    const VertexId v = frontier_.PopMax();
+    // Stale entry: a vertex whose global degree can no longer improve on
+    // δ(G[H]) cannot be part of any strictly better solution
+    // (Proposition 3 applied at threshold δ(G[H]) + 1).
+    if (graph_.Degree(v) <= delta_h) continue;
+    AddToA(v, st);
+    ++s;
+    if (delta_a_ > delta_h) {
+      delta_h = delta_a_;
+      h_len = order_.size();
+      s = 0;
+    }
+    // Line 14: extend the frontier with v's neighbors of sufficient degree.
+    for (VertexId w : graph_.Neighbors(v)) {
+      ++st.scanned_edges;
+      if (in_a_.Get(w) != 0) continue;
+      if (frontier_.Contains(w)) {
+        frontier_.Increment(w);
+      } else if (discovered_.Get(w) == 0 && graph_.Degree(w) > delta_h) {
+        discovered_.Ref(w) = 1;
+        frontier_.Insert(w, 1);
+      }
+    }
+  }
+
+  // Sufficient condition met: the prefix H is provably optimal (Eq. 7).
+  if (delta_h == upper) {
+    Community community;
+    community.members.assign(order_.begin(),
+                             order_.begin() + static_cast<ptrdiff_t>(h_len));
+    community.min_degree = delta_h;
+    st.answer_size = community.members.size();
+    return community;
+  }
+
+  // Steps 2-3: candidate generation + maxcore.
+  st.used_global_fallback = true;
+  std::vector<VertexId> candidates;
+  if (options.candidate_rule == CsmCandidateRule::kFromVisited) {
+    candidates = order_;  // CSM1: C <- A (Theorem 6).
+  } else {
+    candidates = NaiveCandidates(v0, delta_h, st);  // CSM2 (Theorem 7).
+  }
+  Community best = MaxCoreOfCandidates(v0, candidates);
+  st.answer_size = best.members.size();
+  return best;
+}
+
+std::vector<VertexId> LocalCsmSolver::NaiveCandidates(VertexId v0,
+                                                      uint32_t k,
+                                                      QueryStats& stats) {
+  // Cnaive(k): BFS from v0 over vertices of global degree >= k
+  // (Algorithm 3 run to exhaustion). Uses the ordered adjacency when
+  // available to cut each neighbor scan at the first sub-threshold entry.
+  bfs_seen_.NewEpoch();
+  std::vector<VertexId> out;
+  if (graph_.Degree(v0) < k) {
+    // H itself proves δ = k is reachable, so this only happens for k = 0
+    // answers on isolated vertices; keep v0 so maxcore stays well-defined.
+    out.push_back(v0);
+    return out;
+  }
+  out.push_back(v0);
+  bfs_seen_.Ref(v0) = 1;
+  const bool use_ordered = ordered_ != nullptr;
+  for (size_t head = 0; head < out.size(); ++head) {
+    const VertexId u = out[head];
+    ++stats.visited_vertices;
+    auto consider = [&](VertexId w) {
+      ++stats.scanned_edges;
+      if (bfs_seen_.Get(w) == 0) {
+        bfs_seen_.Ref(w) = 1;
+        out.push_back(w);
+      }
+    };
+    if (use_ordered) {
+      for (VertexId w : ordered_->Neighbors(u)) {
+        if (graph_.Degree(w) < k) break;
+        consider(w);
+      }
+    } else {
+      for (VertexId w : graph_.Neighbors(u)) {
+        if (graph_.Degree(w) < k) {
+          ++stats.scanned_edges;
+          continue;
+        }
+        consider(w);
+      }
+    }
+  }
+  return out;
+}
+
+Community LocalCsmSolver::MaxCoreOfCandidates(
+    VertexId v0, const std::vector<VertexId>& candidates) {
+  LOCS_CHECK(!candidates.empty());
+  LOCS_CHECK_EQ(candidates.front(), v0);
+  // Build a compact (unsorted) CSR over the candidate set. Core
+  // decomposition is insensitive to adjacency order, so no sorting is
+  // needed, and all scratch is either epoch-stamped or sized O(|C|).
+  const auto sub_n = static_cast<uint32_t>(candidates.size());
+  local_id_.NewEpoch();
+  for (uint32_t i = 0; i < sub_n; ++i) {
+    local_id_.Ref(candidates[i]) = i + 1;  // 0 = not a candidate
+  }
+  sub_degree_.assign(sub_n, 0);
+  for (uint32_t i = 0; i < sub_n; ++i) {
+    uint32_t deg = 0;
+    for (VertexId w : graph_.Neighbors(candidates[i])) {
+      deg += local_id_.Get(w) != 0;
+    }
+    sub_degree_[i] = deg;
+  }
+  sub_offsets_.assign(sub_n + 1, 0);
+  for (uint32_t i = 0; i < sub_n; ++i) {
+    sub_offsets_[i + 1] = sub_offsets_[i] + sub_degree_[i];
+  }
+  sub_neighbors_.resize(sub_offsets_[sub_n]);
+  for (uint32_t i = 0; i < sub_n; ++i) {
+    uint64_t cursor = sub_offsets_[i];
+    for (VertexId w : graph_.Neighbors(candidates[i])) {
+      const uint32_t id = local_id_.Get(w);
+      if (id != 0) sub_neighbors_[cursor++] = id - 1;
+    }
+  }
+
+  // Bucket peel (Batagelj–Zaversnik) over the compact subgraph.
+  MinBucketQueue queue(sub_degree_);
+  std::vector<uint32_t> core(sub_n);
+  uint32_t current = 0;
+  while (!queue.Empty()) {
+    const uint32_t key = queue.MinKey();
+    if (key > current) current = key;
+    const uint32_t v = queue.PopMin();
+    core[v] = current;
+    for (uint64_t e = sub_offsets_[v]; e < sub_offsets_[v + 1]; ++e) {
+      const uint32_t w = sub_neighbors_[e];
+      if (!queue.Popped(w) && queue.Key(w) > current) {
+        queue.DecrementKey(w);
+      }
+    }
+  }
+
+  // Component of v0 (local id 0) within its maxcore.
+  const uint32_t k_star = core[0];
+  std::vector<uint8_t> seen(sub_n, 0);
+  std::vector<uint32_t> component;
+  component.push_back(0);
+  seen[0] = 1;
+  for (size_t head = 0; head < component.size(); ++head) {
+    const uint32_t u = component[head];
+    for (uint64_t e = sub_offsets_[u]; e < sub_offsets_[u + 1]; ++e) {
+      const uint32_t w = sub_neighbors_[e];
+      if (seen[w] == 0 && core[w] >= k_star) {
+        seen[w] = 1;
+        component.push_back(w);
+      }
+    }
+  }
+  Community community;
+  community.min_degree = k_star;
+  community.members.reserve(component.size());
+  for (uint32_t local : component) {
+    community.members.push_back(candidates[local]);
+  }
+  return community;
+}
+
+}  // namespace locs

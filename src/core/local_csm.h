@@ -1,0 +1,70 @@
+// Local search for CSM — Algorithm 4 of the paper (§5).
+//
+// Three phases:
+//   1. Expansion from the query vertex by the `li` rule, tracking the best
+//      prefix H of the visited sequence by δ(G[H]); the loop stops when the
+//      γ-scaled Corollary-1 budget (Eq. 8) is exceeded, when the frontier
+//      empties, or immediately when δ(G[H]) hits the Eq.-7 upper bound
+//      min(deg(v0), Theorem-3 bound).
+//   2. Candidate generation: C ← A (Solution 1, "CSM1") or
+//      C ← Cnaive(δ(G[H])) (Solution 2, "CSM2", Theorem 7).
+//   3. maxcore(G[C], v0) — the final answer.
+//
+// CSM2 is always exact; CSM1 is exact for γ → −∞ (Theorem 6) and trades
+// quality for speed as γ grows (Figure 14).
+
+#ifndef LOCS_CORE_LOCAL_CSM_H_
+#define LOCS_CORE_LOCAL_CSM_H_
+
+#include "core/bucket_list.h"
+#include "core/common.h"
+#include "core/epoch.h"
+#include "core/local_cst.h"
+#include "graph/graph.h"
+#include "graph/ordering.h"
+
+namespace locs {
+
+/// Reusable local-CSM solver bound to one graph. Not thread-safe.
+class LocalCsmSolver {
+ public:
+  LocalCsmSolver(const Graph& graph, const OrderedAdjacency* ordered,
+                 const GraphFacts* facts);
+
+  /// Solves CSM for `v0`: a connected community containing v0 whose
+  /// minimum degree is maximal (exact for CSM2 or γ → −∞; a lower bound
+  /// otherwise).
+  Community Solve(VertexId v0, const CsmOptions& options = {},
+                  QueryStats* stats = nullptr);
+
+ private:
+  void AddToA(VertexId v, QueryStats& stats);
+  std::vector<VertexId> NaiveCandidates(VertexId v0, uint32_t k,
+                                        QueryStats& stats);
+  Community MaxCoreOfCandidates(VertexId v0,
+                                const std::vector<VertexId>& candidates);
+
+  const Graph& graph_;
+  const OrderedAdjacency* ordered_;
+  const GraphFacts* facts_;
+
+  EpochArray<uint8_t> in_a_;       // visited-set membership
+  EpochArray<uint8_t> discovered_; // entered the frontier at least once
+  EpochArray<uint32_t> deg_in_a_;  // degree within G[A]
+  EpochArray<uint8_t> bfs_seen_;   // scratch for Cnaive BFS (CSM2)
+  EpochArray<uint32_t> local_id_;  // candidate -> compact id + 1
+  EpochBucketList frontier_;       // B, keyed by incidence to A
+  std::vector<VertexId> order_;    // A in insertion order
+  // Compact unsorted CSR over the candidate set, rebuilt per query for
+  // the maxcore phase (allocations amortize across queries).
+  std::vector<uint64_t> sub_offsets_;
+  std::vector<uint32_t> sub_neighbors_;
+  std::vector<uint32_t> sub_degree_;
+  std::vector<uint64_t> degree_count_;  // histogram of deg_in_a values
+  uint32_t max_count_touched_ = 0;
+  uint32_t delta_a_ = 0;           // δ(G[A]), maintained incrementally
+};
+
+}  // namespace locs
+
+#endif  // LOCS_CORE_LOCAL_CSM_H_

@@ -1,0 +1,275 @@
+#include "core/local_cst.h"
+
+#include <algorithm>
+
+#include "core/bounds.h"
+#include "core/kcore.h"
+#include "graph/subgraph.h"
+#include "graph/traversal.h"
+
+namespace locs {
+
+GraphFacts GraphFacts::Compute(const Graph& graph) {
+  GraphFacts facts;
+  facts.num_vertices = graph.NumVertices();
+  facts.num_edges = graph.NumEdges();
+  facts.max_degree = graph.MaxDegree();
+  if (graph.NumVertices() == 0) {
+    facts.connected = true;
+  } else {
+    facts.connected =
+        BfsOrder(graph, 0).size() == graph.NumVertices();
+  }
+  return facts;
+}
+
+LocalCstSolver::LocalCstSolver(const Graph& graph,
+                               const OrderedAdjacency* ordered,
+                               const GraphFacts* facts)
+    : graph_(graph),
+      ordered_(ordered),
+      facts_(facts),
+      in_c_(graph.NumVertices()),
+      enqueued_(graph.NumVertices()),
+      peeled_(graph.NumVertices()),
+      deg_in_c_(graph.NumVertices()),
+      cursor_(graph.NumVertices()),
+      li_queue_(graph.NumVertices(), graph.MaxDegree() + 1),
+      lg_sources_(graph.NumVertices(), graph.MaxDegree() + 1) {}
+
+std::optional<Community> LocalCstSolver::Solve(VertexId v0, uint32_t k,
+                                               const CstOptions& options,
+                                               QueryStats* stats) {
+  LOCS_CHECK_LT(v0, graph_.NumVertices());
+  QueryStats local_stats;
+  QueryStats& st = stats != nullptr ? *stats : local_stats;
+  st = QueryStats{};
+
+  // Trivial threshold: the singleton community qualifies.
+  if (k == 0) {
+    st.visited_vertices = 1;
+    st.answer_size = 1;
+    return Community{{v0}, 0};
+  }
+  // Proposition 3: v0 itself must have degree >= k.
+  if (graph_.Degree(v0) < k) return std::nullopt;
+  // Theorem 3 admission test (valid on connected graphs only).
+  if (facts_ != nullptr && facts_->connected &&
+      k > MStarUpperBound(facts_->num_edges, facts_->num_vertices)) {
+    return std::nullopt;
+  }
+
+  const bool use_ordered =
+      ordered_ != nullptr && options.use_ordered_adjacency;
+
+  // Reset per-query state in O(1).
+  in_c_.NewEpoch();
+  enqueued_.NewEpoch();
+  deg_in_c_.NewEpoch();
+  cursor_.NewEpoch();
+  li_queue_.NewEpoch();
+  lg_sources_.NewEpoch();
+  fifo_.clear();
+  fifo_head_ = 0;
+  c_members_.clear();
+  deficient_ = 0;
+
+  enqueued_.Ref(v0) = 1;
+  AddToC(v0, k, options.strategy, use_ordered, st);
+  while (deficient_ > 0) {
+    const VertexId next = SelectNext(options.strategy, k, use_ordered);
+    if (next == kInvalidVertex) {
+      // Candidates exhausted: global peel on G[C] (Proposition 4). Because
+      // the candidate generation never skips a vertex of degree >= k that
+      // is reachable through such vertices, C contains the whole k-core
+      // component of v0 and the fallback answer is exact.
+      return GlobalFallback(v0, k, st);
+    }
+    AddToC(next, k, options.strategy, use_ordered, st);
+  }
+
+  // Early success: δ(G[C]) >= k. Report the exact minimum degree.
+  Community community;
+  community.members = c_members_;
+  uint32_t min_degree = ~uint32_t{0};
+  for (VertexId v : c_members_) {
+    min_degree = std::min(min_degree, deg_in_c_.Get(v));
+  }
+  community.min_degree = min_degree;
+  st.answer_size = community.members.size();
+  return community;
+}
+
+void LocalCstSolver::AddToC(VertexId v, uint32_t k, Strategy strategy,
+                            bool use_ordered, QueryStats& stats) {
+  in_c_.Ref(v) = 1;
+  c_members_.push_back(v);
+  ++stats.visited_vertices;
+
+  uint32_t incidence = 0;
+  auto visit_neighbor = [&](VertexId w) {
+    ++stats.scanned_edges;
+    if (in_c_.Get(w) != 0) {
+      ++incidence;
+      uint32_t& deg_w = deg_in_c_.Ref(w);
+      ++deg_w;
+      if (deg_w == k) --deficient_;
+      if (strategy == Strategy::kLG && lg_sources_.Contains(w)) {
+        lg_sources_.Increment(w);
+      }
+      return;
+    }
+    if (enqueued_.Get(w) == 0) {
+      enqueued_.Ref(w) = 1;
+      fifo_.push_back(w);
+      if (strategy == Strategy::kLI) li_queue_.Insert(w, 1);
+    } else if (strategy == Strategy::kLI && li_queue_.Contains(w)) {
+      li_queue_.Increment(w);
+    }
+  };
+
+  if (use_ordered) {
+    // Neighbors sorted by descending degree: stop at the first one below k
+    // (§4.3.2) — everything after it is prunable by Proposition 3.
+    for (VertexId w : ordered_->Neighbors(v)) {
+      if (graph_.Degree(w) < k) break;
+      visit_neighbor(w);
+    }
+  } else {
+    for (VertexId w : graph_.Neighbors(v)) {
+      if (graph_.Degree(w) < k) {
+        ++stats.scanned_edges;
+        continue;
+      }
+      visit_neighbor(w);
+    }
+  }
+
+  deg_in_c_.Ref(v) = incidence;
+  if (incidence < k) ++deficient_;
+  if (strategy == Strategy::kLG) {
+    lg_sources_.Insert(v, incidence);
+    cursor_.Ref(v) = 0;
+  }
+}
+
+VertexId LocalCstSolver::SelectNext(Strategy strategy, uint32_t k,
+                                    bool use_ordered) {
+  switch (strategy) {
+    case Strategy::kNaive:
+      while (fifo_head_ < fifo_.size()) {
+        const VertexId v = fifo_[fifo_head_++];
+        if (in_c_.Get(v) == 0) return v;
+      }
+      return kInvalidVertex;
+    case Strategy::kLI:
+      if (li_queue_.Empty()) return kInvalidVertex;
+      return li_queue_.PopMax();
+    case Strategy::kLG:
+      return SelectLg(k, use_ordered);
+  }
+  return kInvalidVertex;
+}
+
+VertexId LocalCstSolver::SelectLg(uint32_t k, bool use_ordered) {
+  // Pick a frontier vertex adjacent to a minimum-degree member of C — the
+  // selection the paper shows to be equivalent to the largest-increment-of-
+  // goodness priority (f(v) is always 0 or 1). Each member keeps a cursor
+  // into its adjacency so the total scan over a query is O(m').
+  while (!lg_sources_.Empty()) {
+    const VertexId u = lg_sources_.MinElement();
+    const auto nbrs =
+        use_ordered ? ordered_->Neighbors(u) : graph_.Neighbors(u);
+    uint32_t cur = cursor_.Get(u);
+    bool exhausted = true;
+    while (cur < nbrs.size()) {
+      const VertexId w = nbrs[cur];
+      if (graph_.Degree(w) < k) {
+        if (use_ordered) {
+          // Degree-sorted list: nothing eligible remains.
+          cur = static_cast<uint32_t>(nbrs.size());
+          break;
+        }
+        ++cur;
+        continue;
+      }
+      if (in_c_.Get(w) != 0) {
+        ++cur;
+        continue;
+      }
+      // Frontier vertex adjacent to a minimum-degree member found.
+      cursor_.Ref(u) = cur;
+      exhausted = false;
+      break;
+    }
+    if (exhausted) {
+      cursor_.Ref(u) = cur;
+      // u has no unexplored eligible neighbors left; it can no longer act
+      // as a selection source (it stays a C member regardless).
+      lg_sources_.Erase(u);
+      continue;
+    }
+    return nbrs[cur];
+  }
+  // No minimum-degree member offers a frontier neighbor: fall back to the
+  // discovery (FIFO) order.
+  while (fifo_head_ < fifo_.size()) {
+    const VertexId v = fifo_[fifo_head_++];
+    if (in_c_.Get(v) == 0) return v;
+  }
+  return kInvalidVertex;
+}
+
+std::optional<Community> LocalCstSolver::GlobalFallback(VertexId v0,
+                                                        uint32_t k,
+                                                        QueryStats& stats) {
+  // Global peel restricted to G[C] (line 6 of Algorithm 2), done in place:
+  // deg_in_c_ already holds the induced degrees, so the k-core of G[C] is
+  // a plain worklist peel over C — no subgraph is materialized and the
+  // cost stays O(|C| + edges(C)).
+  stats.used_global_fallback = true;
+  peeled_.NewEpoch();
+  peel_worklist_.clear();
+  for (VertexId v : c_members_) {
+    if (deg_in_c_.Get(v) < k) {
+      peeled_.Ref(v) = 1;
+      peel_worklist_.push_back(v);
+    }
+  }
+  for (size_t head = 0; head < peel_worklist_.size(); ++head) {
+    const VertexId v = peel_worklist_[head];
+    for (VertexId w : graph_.Neighbors(v)) {
+      ++stats.scanned_edges;
+      if (in_c_.Get(w) == 0 || peeled_.Get(w) != 0) continue;
+      uint32_t& deg_w = deg_in_c_.Ref(w);
+      if (--deg_w < k) {
+        peeled_.Ref(w) = 1;
+        peel_worklist_.push_back(w);
+      }
+    }
+  }
+  if (peeled_.Get(v0) != 0) return std::nullopt;
+
+  // BFS from v0 over the surviving candidates. Reuse peeled_ as the
+  // visited mark (2 = reached).
+  Community community;
+  community.members.push_back(v0);
+  peeled_.Ref(v0) = 2;
+  uint32_t min_degree = ~uint32_t{0};
+  for (size_t head = 0; head < community.members.size(); ++head) {
+    const VertexId u = community.members[head];
+    min_degree = std::min(min_degree, deg_in_c_.Get(u));
+    for (VertexId w : graph_.Neighbors(u)) {
+      ++stats.scanned_edges;
+      if (in_c_.Get(w) != 0 && peeled_.Get(w) == 0) {
+        peeled_.Ref(w) = 2;
+        community.members.push_back(w);
+      }
+    }
+  }
+  community.min_degree = min_degree;
+  stats.answer_size = community.members.size();
+  return community;
+}
+
+}  // namespace locs

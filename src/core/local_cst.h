@@ -1,0 +1,86 @@
+// Local search for CST(k) — §4 of the paper.
+//
+// The solver implements the three-step framework of Algorithm 2:
+//   1. upper-bound admission test (Theorem 3 and Proposition 3);
+//   2. candidate generation from the query vertex's neighborhood
+//      (Algorithm 3), with the vertex-selection strategy pluggable:
+//      naive FIFO, `lg` (largest increment of goodness, Eq. 5), or `li`
+//      (largest number of incidence, Eq. 6 — backed by the Figure-5 bucket
+//      structure for O(1) selection);
+//   3. if generation exhausts the candidates without qualifying, a global
+//      peel restricted to G[C] (sound by Proposition 4, and exact because
+//      the candidate set always contains the k-core component of v0).
+//
+// Per-query cost is proportional to the neighborhood actually explored —
+// not to |V| — thanks to epoch-stamped scratch state.
+
+#ifndef LOCS_CORE_LOCAL_CST_H_
+#define LOCS_CORE_LOCAL_CST_H_
+
+#include <optional>
+
+#include "core/bucket_list.h"
+#include "core/common.h"
+#include "core/epoch.h"
+#include "graph/graph.h"
+#include "graph/ordering.h"
+
+namespace locs {
+
+/// Whole-graph facts gathered once and shared by all queries. The
+/// Theorem-3/5 bounds require a connected graph; `connected` gates their
+/// use so the solvers stay correct on disconnected inputs.
+struct GraphFacts {
+  uint64_t num_vertices = 0;
+  uint64_t num_edges = 0;
+  uint32_t max_degree = 0;
+  bool connected = false;
+
+  static GraphFacts Compute(const Graph& graph);
+};
+
+/// Reusable local-CST solver bound to one graph. Not thread-safe; create
+/// one instance per thread.
+class LocalCstSolver {
+ public:
+  /// `ordered` (optional) enables the §4.3.2 sorted-adjacency expansion;
+  /// `facts` (optional) enables the Theorem-3 admission test.
+  LocalCstSolver(const Graph& graph, const OrderedAdjacency* ordered,
+                 const GraphFacts* facts);
+
+  /// Solves CST(k) for `v0`. Returns std::nullopt exactly when no solution
+  /// exists. The returned community is connected, contains v0, and has
+  /// minimum induced degree >= k.
+  std::optional<Community> Solve(VertexId v0, uint32_t k,
+                                 const CstOptions& options = {},
+                                 QueryStats* stats = nullptr);
+
+ private:
+  VertexId SelectNext(Strategy strategy, uint32_t k, bool use_ordered);
+  VertexId SelectLg(uint32_t k, bool use_ordered);
+  void AddToC(VertexId v, uint32_t k, Strategy strategy, bool use_ordered,
+              QueryStats& stats);
+  std::optional<Community> GlobalFallback(VertexId v0, uint32_t k,
+                                          QueryStats& stats);
+
+  const Graph& graph_;
+  const OrderedAdjacency* ordered_;
+  const GraphFacts* facts_;
+
+  EpochArray<uint8_t> in_c_;        // candidate-set membership
+  EpochArray<uint8_t> enqueued_;    // discovered (queued) at least once
+  EpochArray<uint8_t> peeled_;      // fallback: removed during the peel
+  EpochArray<uint32_t> deg_in_c_;   // degree within G[C]
+  EpochArray<uint32_t> cursor_;     // lg: adjacency scan position
+  std::vector<VertexId> peel_worklist_;
+  EpochBucketList li_queue_;        // li: frontier keyed by incidence
+  EpochBucketList lg_sources_;      // lg: C members keyed by deg_in_c
+  std::vector<VertexId> fifo_;      // naive order / lg fallback
+  size_t fifo_head_ = 0;
+  std::vector<VertexId> c_members_;
+  uint64_t deficient_ = 0;          // |{v in C : deg_in_c < k}|
+};
+
+}  // namespace locs
+
+#endif  // LOCS_CORE_LOCAL_CST_H_

@@ -1,0 +1,245 @@
+#include "core/mcst.h"
+
+#include <algorithm>
+
+#include "core/bounds.h"
+#include "core/local_cst.h"
+#include "graph/subgraph.h"
+
+namespace locs {
+
+namespace {
+
+/// Backtracking clique search restricted to v0's closed neighborhood.
+class CliqueSearch {
+ public:
+  CliqueSearch(const Graph& graph, uint32_t size, uint64_t max_steps)
+      : graph_(graph), target_(size), max_steps_(max_steps) {}
+
+  std::optional<std::vector<VertexId>> Run(VertexId v0) {
+    clique_.push_back(v0);
+    std::vector<VertexId> candidates(graph_.Neighbors(v0).begin(),
+                                     graph_.Neighbors(v0).end());
+    // Vertices of degree < target-1 cannot be in a clique of that size.
+    std::erase_if(candidates, [this](VertexId v) {
+      return graph_.Degree(v) + 1 < target_;
+    });
+    if (Extend(candidates)) return clique_;
+    return std::nullopt;
+  }
+
+ private:
+  bool Extend(const std::vector<VertexId>& candidates) {
+    if (clique_.size() == target_) return true;
+    if (steps_++ >= max_steps_) return false;
+    if (clique_.size() + candidates.size() < target_) return false;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      const VertexId v = candidates[i];
+      // Next-level candidates: later entries adjacent to v.
+      std::vector<VertexId> next;
+      for (size_t j = i + 1; j < candidates.size(); ++j) {
+        if (graph_.HasEdge(v, candidates[j])) next.push_back(candidates[j]);
+      }
+      clique_.push_back(v);
+      if (Extend(next)) return true;
+      clique_.pop_back();
+    }
+    return false;
+  }
+
+  const Graph& graph_;
+  const uint32_t target_;
+  const uint64_t max_steps_;
+  uint64_t steps_ = 0;
+  std::vector<VertexId> clique_;
+};
+
+/// Enumerates connected vertex sets containing v0 of a fixed target size,
+/// each exactly once (include/exclude branching over the expansion
+/// frontier), and reports the first one with δ >= k.
+class ExactSearch {
+ public:
+  ExactSearch(const Graph& graph, uint32_t k, size_t target,
+              uint64_t max_steps, McstResult& result)
+      : graph_(graph),
+        k_(k),
+        target_(target),
+        max_steps_(max_steps),
+        result_(result),
+        state_(graph.NumVertices(), State::kOpen),
+        deg_in_h_(graph.NumVertices(), 0) {}
+
+  bool Run(VertexId v0) {
+    members_.push_back(v0);
+    state_[v0] = State::kInH;
+    std::vector<VertexId> candidates;
+    for (VertexId w : graph_.Neighbors(v0)) {
+      if (graph_.Degree(w) >= k_) {
+        candidates.push_back(w);
+        state_[w] = State::kQueued;
+      }
+    }
+    return Dfs(candidates);
+  }
+
+  const std::vector<VertexId>& members() const { return members_; }
+
+ private:
+  enum class State : uint8_t { kOpen, kQueued, kInH, kForbidden };
+
+  bool Dfs(const std::vector<VertexId>& candidates) {
+    if (members_.size() == target_) return MinDegree() >= k_;
+    ++result_.steps;
+    if (result_.steps >= max_steps_) {
+      result_.budget_exhausted = true;
+      return false;
+    }
+    // Bound: a member short of degree k can gain at most one unit per
+    // added vertex, and only target - |H| additions remain.
+    const size_t room = target_ - members_.size();
+    for (VertexId u : members_) {
+      if (deg_in_h_[u] < k_ && k_ - deg_in_h_[u] > room) return false;
+    }
+    if (candidates.empty()) return false;
+
+    std::vector<VertexId> forbidden_here;
+    bool found = false;
+    for (size_t i = 0; i < candidates.size() && !found; ++i) {
+      const VertexId v = candidates[i];
+      // --- Include v. ---
+      state_[v] = State::kInH;
+      members_.push_back(v);
+      uint32_t deg_v = 0;
+      std::vector<VertexId> newly_queued;
+      for (VertexId w : graph_.Neighbors(v)) {
+        if (state_[w] == State::kInH) {
+          ++deg_in_h_[w];
+          ++deg_v;
+        } else if (state_[w] == State::kOpen && graph_.Degree(w) >= k_) {
+          state_[w] = State::kQueued;
+          newly_queued.push_back(w);
+        }
+      }
+      deg_in_h_[v] = deg_v;
+      std::vector<VertexId> next(candidates.begin() +
+                                     static_cast<ptrdiff_t>(i) + 1,
+                                 candidates.end());
+      next.insert(next.end(), newly_queued.begin(), newly_queued.end());
+      found = Dfs(next);
+      if (found) break;  // keep members_ intact for the caller
+      // --- Undo inclusion. ---
+      members_.pop_back();
+      state_[v] = State::kQueued;
+      for (VertexId w : graph_.Neighbors(v)) {
+        if (state_[w] == State::kInH) --deg_in_h_[w];
+      }
+      deg_in_h_[v] = 0;
+      for (VertexId w : newly_queued) state_[w] = State::kOpen;
+      if (result_.budget_exhausted) break;
+      // --- Exclude v from the rest of this subtree. ---
+      state_[v] = State::kForbidden;
+      forbidden_here.push_back(v);
+    }
+    for (VertexId v : forbidden_here) state_[v] = State::kQueued;
+    return found;
+  }
+
+  uint32_t MinDegree() const {
+    uint32_t min_deg = ~uint32_t{0};
+    for (VertexId u : members_) min_deg = std::min(min_deg, deg_in_h_[u]);
+    return min_deg;
+  }
+
+  const Graph& graph_;
+  const uint32_t k_;
+  const size_t target_;
+  const uint64_t max_steps_;
+  McstResult& result_;
+  std::vector<State> state_;
+  std::vector<uint32_t> deg_in_h_;
+  std::vector<VertexId> members_;
+};
+
+}  // namespace
+
+std::optional<std::vector<VertexId>> FindCliqueThrough(const Graph& graph,
+                                                       VertexId v0,
+                                                       uint32_t size,
+                                                       uint64_t max_steps) {
+  LOCS_CHECK_LT(v0, graph.NumVertices());
+  LOCS_CHECK_GE(size, 1u);
+  if (graph.Degree(v0) + 1 < size) return std::nullopt;
+  CliqueSearch search(graph, size, max_steps);
+  return search.Run(v0);
+}
+
+McstResult ExactMcst(const Graph& graph, VertexId v0, uint32_t k,
+                     uint64_t max_steps) {
+  LOCS_CHECK_LT(v0, graph.NumVertices());
+  McstResult result;
+  if (k == 0) {
+    result.community = Community{{v0}, 0};
+    return result;
+  }
+  // Any solution must exist inside the k-core component of v0.
+  const std::optional<Community> upper = GreedyMcst(graph, v0, k);
+  if (!upper.has_value()) return result;  // CST(k) infeasible.
+
+  // Lemma 1 shortcut: a (k+1)-clique through v0 is optimal.
+  const std::optional<std::vector<VertexId>> clique =
+      FindCliqueThrough(graph, v0, k + 1, max_steps / 4);
+  if (clique.has_value()) {
+    result.community = Community{*clique, k};
+    return result;
+  }
+
+  // Iterative deepening on the answer size, capped by the greedy answer.
+  for (size_t target = static_cast<size_t>(k) + 1;
+       target <= upper->members.size(); ++target) {
+    ExactSearch search(graph, k, target, max_steps, result);
+    if (search.Run(v0)) {
+      Community community;
+      community.members = search.members();
+      community.min_degree = MinDegreeOfInduced(graph, community.members);
+      result.community = std::move(community);
+      return result;
+    }
+    if (result.budget_exhausted) break;
+  }
+  // Fall back to the greedy answer (optimal only if the loop completed).
+  result.community = upper;
+  return result;
+}
+
+std::optional<Community> GreedyMcst(const Graph& graph, VertexId v0,
+                                    uint32_t k) {
+  LOCS_CHECK_LT(v0, graph.NumVertices());
+  LocalCstSolver solver(graph, nullptr, nullptr);
+  std::optional<Community> start = solver.Solve(v0, k);
+  if (!start.has_value()) return std::nullopt;
+
+  std::vector<VertexId> members = start->members;
+  bool changed = true;
+  while (changed && members.size() > static_cast<size_t>(k) + 1) {
+    changed = false;
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (members[i] == v0) continue;
+      std::vector<VertexId> trial;
+      trial.reserve(members.size() - 1);
+      for (size_t j = 0; j < members.size(); ++j) {
+        if (j != i) trial.push_back(members[j]);
+      }
+      if (IsValidCommunity(graph, trial, v0, k)) {
+        members = std::move(trial);
+        changed = true;
+        break;
+      }
+    }
+  }
+  Community community;
+  community.min_degree = MinDegreeOfInduced(graph, members);
+  community.members = std::move(members);
+  return community;
+}
+
+}  // namespace locs

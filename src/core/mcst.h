@@ -1,0 +1,51 @@
+// Solvers for mCST(k) — the minimum-size CST variant (Problem Definition
+// 3). The paper proves mCST NP-complete (Theorem 1) and stops there; this
+// module adds the natural follow-ups: a budgeted exact branch-and-bound for
+// small instances and a shrink-greedy heuristic for large ones, plus the
+// Lemma-1 clique shortcut both solvers exploit.
+
+#ifndef LOCS_CORE_MCST_H_
+#define LOCS_CORE_MCST_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "core/common.h"
+#include "graph/graph.h"
+
+namespace locs {
+
+/// Lemma 1: a clique of size k+1 containing v0 is a smallest possible
+/// CST(k) solution (every solution needs >= k+1 vertices). Searches v0's
+/// neighborhood for such a clique with a bounded backtracking search;
+/// returns its members on success.
+std::optional<std::vector<VertexId>> FindCliqueThrough(const Graph& graph,
+                                                       VertexId v0,
+                                                       uint32_t size,
+                                                       uint64_t max_steps);
+
+/// Result of an exact mCST run.
+struct McstResult {
+  std::optional<Community> community;
+  /// True when the step budget expired; the answer (if any) is then the
+  /// smallest found so far but not necessarily optimal.
+  bool budget_exhausted = false;
+  uint64_t steps = 0;
+};
+
+/// Exact mCST(k) by branch-and-bound over connected supersets of {v0}.
+/// Exponential; intended for small graphs / small answers. The search is
+/// bounded by `max_steps` expansion steps.
+McstResult ExactMcst(const Graph& graph, VertexId v0, uint32_t k,
+                     uint64_t max_steps);
+
+/// Heuristic mCST(k): start from any CST(k) solution (the k-core component
+/// of v0) and greedily delete vertices while the community stays valid.
+/// Returns std::nullopt when CST(k) itself has no solution. The result is
+/// inclusion-minimal but not necessarily minimum.
+std::optional<Community> GreedyMcst(const Graph& graph, VertexId v0,
+                                    uint32_t k);
+
+}  // namespace locs
+
+#endif  // LOCS_CORE_MCST_H_

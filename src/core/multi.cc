@@ -1,0 +1,330 @@
+#include "core/multi.h"
+
+#include <algorithm>
+
+#include "core/bounds.h"
+
+namespace locs {
+
+namespace {
+
+/// Validates a query set: non-empty, distinct, in range.
+void CheckQuery(const Graph& graph, const std::vector<VertexId>& query) {
+  LOCS_CHECK(!query.empty());
+  for (size_t i = 0; i < query.size(); ++i) {
+    LOCS_CHECK_LT(query[i], graph.NumVertices());
+    for (size_t j = i + 1; j < query.size(); ++j) {
+      LOCS_CHECK_MSG(query[i] != query[j], "duplicate query vertex");
+    }
+  }
+}
+
+}  // namespace
+
+std::optional<Community> GlobalCstMulti(const Graph& graph,
+                                        const std::vector<VertexId>& query,
+                                        uint32_t k, QueryStats* stats) {
+  CheckQuery(graph, query);
+  QueryStats local_stats;
+  QueryStats& st = stats != nullptr ? *stats : local_stats;
+  st = QueryStats{};
+  st.visited_vertices = graph.NumVertices();
+  st.scanned_edges = 2 * graph.NumEdges();
+
+  const VertexId n = graph.NumVertices();
+  std::vector<uint32_t> degree(n);
+  std::vector<uint8_t> removed(n, 0);
+  std::vector<VertexId> worklist;
+  for (VertexId v = 0; v < n; ++v) {
+    degree[v] = graph.Degree(v);
+    if (degree[v] < k) {
+      removed[v] = 1;
+      worklist.push_back(v);
+    }
+  }
+  for (size_t head = 0; head < worklist.size(); ++head) {
+    for (VertexId w : graph.Neighbors(worklist[head])) {
+      if (removed[w] == 0 && --degree[w] < k) {
+        removed[w] = 1;
+        worklist.push_back(w);
+      }
+    }
+  }
+  for (VertexId q : query) {
+    if (removed[q] != 0) return std::nullopt;
+  }
+  // BFS from the first query vertex over survivors; all other query
+  // vertices must be reached.
+  Community community;
+  community.members.push_back(query[0]);
+  removed[query[0]] = 2;
+  uint32_t min_degree = degree[query[0]];
+  for (size_t head = 0; head < community.members.size(); ++head) {
+    const VertexId u = community.members[head];
+    min_degree = std::min(min_degree, degree[u]);
+    for (VertexId w : graph.Neighbors(u)) {
+      if (removed[w] == 0) {
+        removed[w] = 2;
+        community.members.push_back(w);
+      }
+    }
+  }
+  for (VertexId q : query) {
+    if (removed[q] != 2) return std::nullopt;  // different component
+  }
+  community.min_degree = min_degree;
+  st.answer_size = community.members.size();
+  return community;
+}
+
+Community GlobalCsmMulti(const Graph& graph,
+                         const std::vector<VertexId>& query,
+                         QueryStats* stats) {
+  CheckQuery(graph, query);
+  // Feasibility is monotone decreasing in k (Proposition 1 lifts to query
+  // sets verbatim), so binary search over [0, min degree of queries].
+  uint32_t lo = 0;  // k = 0 always succeeds if the queries share a
+                    // component; handle the disconnected case first.
+  uint32_t hi = graph.Degree(query[0]);
+  for (VertexId q : query) hi = std::min(hi, graph.Degree(q));
+  std::optional<Community> best = GlobalCstMulti(graph, query, 0, stats);
+  if (!best.has_value()) {
+    // Queries in different components: fall back to the first query's
+    // singleton (no community spans them).
+    Community community;
+    community.members = {query[0]};
+    community.min_degree = 0;
+    return community;
+  }
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo + 1) / 2;
+    auto attempt = GlobalCstMulti(graph, query, mid, stats);
+    if (attempt.has_value()) {
+      best = std::move(attempt);
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return std::move(*best);
+}
+
+LocalMultiSolver::LocalMultiSolver(const Graph& graph,
+                                   const OrderedAdjacency* ordered,
+                                   const GraphFacts* facts)
+    : graph_(graph),
+      ordered_(ordered),
+      facts_(facts),
+      in_c_(graph.NumVertices()),
+      enqueued_(graph.NumVertices()),
+      peeled_(graph.NumVertices()),
+      deg_in_c_(graph.NumVertices()),
+      dsu_parent_(graph.NumVertices()),
+      li_queue_(graph.NumVertices(), graph.MaxDegree() + 1) {}
+
+VertexId LocalMultiSolver::Find(VertexId v) {
+  // Parent stored as id+1; 0 (stale/default) means self.
+  VertexId root = v;
+  while (true) {
+    const uint32_t p = dsu_parent_.Get(root);
+    if (p == 0 || p == root + 1) break;
+    root = p - 1;
+  }
+  // Path compression.
+  while (v != root) {
+    const uint32_t p = dsu_parent_.Get(v);
+    dsu_parent_.Ref(v) = root + 1;
+    v = p - 1;
+  }
+  return root;
+}
+
+void LocalMultiSolver::Union(VertexId a, VertexId b) {
+  const VertexId ra = Find(a);
+  const VertexId rb = Find(b);
+  if (ra != rb) dsu_parent_.Ref(ra) = rb + 1;
+}
+
+void LocalMultiSolver::AddToC(VertexId v, uint32_t k, QueryStats& stats) {
+  in_c_.Ref(v) = 1;
+  c_members_.push_back(v);
+  ++stats.visited_vertices;
+  uint32_t incidence = 0;
+  auto visit = [&](VertexId w) {
+    ++stats.scanned_edges;
+    if (in_c_.Get(w) != 0) {
+      ++incidence;
+      uint32_t& deg_w = deg_in_c_.Ref(w);
+      if (++deg_w == k) --deficient_;
+      Union(v, w);
+      return;
+    }
+    if (enqueued_.Get(w) == 0) {
+      enqueued_.Ref(w) = 1;
+      li_queue_.Insert(w, 1);
+    } else if (li_queue_.Contains(w)) {
+      li_queue_.Increment(w);
+    }
+  };
+  if (ordered_ != nullptr) {
+    for (VertexId w : ordered_->Neighbors(v)) {
+      if (graph_.Degree(w) < k) break;
+      visit(w);
+    }
+  } else {
+    for (VertexId w : graph_.Neighbors(v)) {
+      if (graph_.Degree(w) >= k) visit(w);
+    }
+  }
+  deg_in_c_.Ref(v) = incidence;
+  if (incidence < k) ++deficient_;
+}
+
+bool LocalMultiSolver::QueriesConnected(
+    const std::vector<VertexId>& query) {
+  const VertexId root = Find(query[0]);
+  for (size_t i = 1; i < query.size(); ++i) {
+    if (Find(query[i]) != root) return false;
+  }
+  return true;
+}
+
+std::optional<Community> LocalMultiSolver::CstMulti(
+    const std::vector<VertexId>& query, uint32_t k, QueryStats* stats) {
+  CheckQuery(graph_, query);
+  QueryStats local_stats;
+  QueryStats& st = stats != nullptr ? *stats : local_stats;
+  st = QueryStats{};
+
+  if (k == 0 && query.size() == 1) {
+    st.answer_size = 1;
+    return Community{{query[0]}, 0};
+  }
+  for (VertexId q : query) {
+    if (k > 0 && graph_.Degree(q) < k) return std::nullopt;
+  }
+  if (facts_ != nullptr && facts_->connected &&
+      k > MStarUpperBound(facts_->num_edges, facts_->num_vertices)) {
+    return std::nullopt;
+  }
+
+  in_c_.NewEpoch();
+  enqueued_.NewEpoch();
+  deg_in_c_.NewEpoch();
+  dsu_parent_.NewEpoch();
+  li_queue_.NewEpoch();
+  c_members_.clear();
+  deficient_ = 0;
+
+  for (VertexId q : query) {
+    enqueued_.Ref(q) = 1;
+  }
+  for (VertexId q : query) {
+    AddToC(q, k, st);
+  }
+  while (deficient_ > 0 || !QueriesConnected(query)) {
+    if (li_queue_.Empty()) return Fallback(query, k, st);
+    AddToC(li_queue_.PopMax(), k, st);
+  }
+
+  // Early success: return the connected component of the query vertices
+  // within C (other C vertices may be in separate DSU fragments).
+  const VertexId root = Find(query[0]);
+  Community community;
+  uint32_t min_degree = ~uint32_t{0};
+  for (VertexId v : c_members_) {
+    if (Find(v) == root) {
+      community.members.push_back(v);
+    }
+  }
+  // δ over the component only: recompute via membership-restricted count
+  // (the deg_in_c_ values count edges to all of C, which may exceed the
+  // component's internal degrees... they cannot: C components are
+  // edge-disjoint, every in-C neighbor of a component member is unioned
+  // into the same component).
+  for (VertexId v : community.members) {
+    min_degree = std::min(min_degree, deg_in_c_.Get(v));
+  }
+  community.min_degree = min_degree;
+  st.answer_size = community.members.size();
+  return community;
+}
+
+std::optional<Community> LocalMultiSolver::Fallback(
+    const std::vector<VertexId>& query, uint32_t k, QueryStats& stats) {
+  stats.used_global_fallback = true;
+  peeled_.NewEpoch();
+  peel_worklist_.clear();
+  for (VertexId v : c_members_) {
+    if (deg_in_c_.Get(v) < k) {
+      peeled_.Ref(v) = 1;
+      peel_worklist_.push_back(v);
+    }
+  }
+  for (size_t head = 0; head < peel_worklist_.size(); ++head) {
+    for (VertexId w : graph_.Neighbors(peel_worklist_[head])) {
+      ++stats.scanned_edges;
+      if (in_c_.Get(w) == 0 || peeled_.Get(w) != 0) continue;
+      if (--deg_in_c_.Ref(w) < k) {
+        peeled_.Ref(w) = 1;
+        peel_worklist_.push_back(w);
+      }
+    }
+  }
+  for (VertexId q : query) {
+    if (peeled_.Get(q) != 0) return std::nullopt;
+  }
+  Community community;
+  community.members.push_back(query[0]);
+  peeled_.Ref(query[0]) = 2;
+  uint32_t min_degree = ~uint32_t{0};
+  for (size_t head = 0; head < community.members.size(); ++head) {
+    const VertexId u = community.members[head];
+    min_degree = std::min(min_degree, deg_in_c_.Get(u));
+    for (VertexId w : graph_.Neighbors(u)) {
+      ++stats.scanned_edges;
+      if (in_c_.Get(w) != 0 && peeled_.Get(w) == 0) {
+        peeled_.Ref(w) = 2;
+        community.members.push_back(w);
+      }
+    }
+  }
+  for (VertexId q : query) {
+    if (peeled_.Get(q) != 2) return std::nullopt;
+  }
+  community.min_degree = min_degree;
+  stats.answer_size = community.members.size();
+  return community;
+}
+
+Community LocalMultiSolver::CsmMulti(const std::vector<VertexId>& query,
+                                     QueryStats* stats) {
+  CheckQuery(graph_, query);
+  uint32_t hi = graph_.Degree(query[0]);
+  for (VertexId q : query) hi = std::min(hi, graph_.Degree(q));
+  if (facts_ != nullptr && facts_->connected) {
+    hi = std::min(hi,
+                  MStarUpperBound(facts_->num_edges, facts_->num_vertices));
+  }
+  std::optional<Community> best = CstMulti(query, 0, stats);
+  if (!best.has_value()) {
+    Community community;
+    community.members = {query[0]};
+    community.min_degree = 0;
+    return community;
+  }
+  uint32_t lo = 0;
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo + 1) / 2;
+    auto attempt = CstMulti(query, mid, stats);
+    if (attempt.has_value()) {
+      best = std::move(attempt);
+      lo = mid;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return std::move(*best);
+}
+
+}  // namespace locs

@@ -1,0 +1,84 @@
+// Multi-vertex community search — an extension beyond the paper.
+//
+// The paper (§7) frames its problem as the single-vertex special case of
+// Sozio & Gionis's community search, which asks for a community containing
+// a *set* of query vertices. This module generalizes both solvers:
+//
+//   CstMulti(Q, k): connected H ⊇ Q with δ(G[H]) >= k, or nullopt;
+//   CsmMulti(Q):    connected H ⊇ Q maximizing δ(G[H]).
+//
+// The local CST framework carries over: candidate generation seeds C with
+// all of Q and expands by the li rule; early success additionally needs
+// G[C] to connect the query vertices, tracked incrementally with an
+// epoch-stamped union-find. CSM reduces to CST by binary search on k
+// (Propositions 1-2 make feasibility monotone in k).
+
+#ifndef LOCS_CORE_MULTI_H_
+#define LOCS_CORE_MULTI_H_
+
+#include <optional>
+
+#include "core/bucket_list.h"
+#include "core/common.h"
+#include "core/epoch.h"
+#include "core/local_cst.h"
+#include "graph/graph.h"
+#include "graph/ordering.h"
+
+namespace locs {
+
+/// Global multi-vertex CST(k): peel vertices of degree < k, then require
+/// every query vertex to survive in one common component. O(|V| + |E|).
+std::optional<Community> GlobalCstMulti(const Graph& graph,
+                                        const std::vector<VertexId>& query,
+                                        uint32_t k,
+                                        QueryStats* stats = nullptr);
+
+/// Global multi-vertex CSM: the largest k for which GlobalCstMulti
+/// succeeds, found by binary search (O((|V| + |E|) log δ*)).
+Community GlobalCsmMulti(const Graph& graph,
+                         const std::vector<VertexId>& query,
+                         QueryStats* stats = nullptr);
+
+/// Reusable local multi-vertex solver. Not thread-safe.
+class LocalMultiSolver {
+ public:
+  LocalMultiSolver(const Graph& graph, const OrderedAdjacency* ordered,
+                   const GraphFacts* facts);
+
+  /// Local CST(k) for a query set (li selection). Exact: returns
+  /// std::nullopt iff no solution exists. Query vertices must be distinct.
+  std::optional<Community> CstMulti(const std::vector<VertexId>& query,
+                                    uint32_t k,
+                                    QueryStats* stats = nullptr);
+
+  /// Local CSM for a query set via binary search over CstMulti.
+  Community CsmMulti(const std::vector<VertexId>& query,
+                     QueryStats* stats = nullptr);
+
+ private:
+  VertexId Find(VertexId v);
+  void Union(VertexId a, VertexId b);
+  void AddToC(VertexId v, uint32_t k, QueryStats& stats);
+  std::optional<Community> Fallback(const std::vector<VertexId>& query,
+                                    uint32_t k, QueryStats& stats);
+  bool QueriesConnected(const std::vector<VertexId>& query);
+
+  const Graph& graph_;
+  const OrderedAdjacency* ordered_;
+  const GraphFacts* facts_;
+
+  EpochArray<uint8_t> in_c_;
+  EpochArray<uint8_t> enqueued_;
+  EpochArray<uint8_t> peeled_;
+  EpochArray<uint32_t> deg_in_c_;
+  EpochArray<uint32_t> dsu_parent_;  // vertex id + 1; 0 = self
+  EpochBucketList li_queue_;
+  std::vector<VertexId> c_members_;
+  std::vector<VertexId> peel_worklist_;
+  uint64_t deficient_ = 0;
+};
+
+}  // namespace locs
+
+#endif  // LOCS_CORE_MULTI_H_

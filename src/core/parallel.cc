@@ -1,0 +1,78 @@
+#include "core/parallel.h"
+
+#include <atomic>
+#include <thread>
+
+#include "core/local_csm.h"
+
+namespace locs {
+
+namespace {
+
+unsigned ResolveThreads(unsigned requested, size_t work_items) {
+  unsigned threads =
+      requested != 0 ? requested : std::thread::hardware_concurrency();
+  if (threads == 0) threads = 1;
+  if (threads > work_items) threads = static_cast<unsigned>(work_items);
+  return threads == 0 ? 1 : threads;
+}
+
+/// Runs `worker(thread_index)` on `threads` std::threads and joins.
+template <typename Fn>
+void RunWorkers(unsigned threads, Fn&& worker) {
+  if (threads <= 1) {
+    worker(0);
+    return;
+  }
+  std::vector<std::thread> pool;
+  pool.reserve(threads);
+  for (unsigned t = 0; t < threads; ++t) {
+    pool.emplace_back(worker, t);
+  }
+  for (std::thread& thread : pool) thread.join();
+}
+
+}  // namespace
+
+std::vector<std::optional<Community>> SolveCstBatch(
+    const Graph& graph, const OrderedAdjacency* ordered,
+    const GraphFacts* facts, const std::vector<VertexId>& queries,
+    uint32_t k, const BatchOptions& options) {
+  std::vector<std::optional<Community>> results(queries.size());
+  if (queries.empty()) return results;
+  const unsigned threads =
+      ResolveThreads(options.num_threads, queries.size());
+  std::atomic<size_t> cursor{0};
+  RunWorkers(threads, [&](unsigned) {
+    LocalCstSolver solver(graph, ordered, facts);
+    while (true) {
+      const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= queries.size()) break;
+      results[i] = solver.Solve(queries[i], k, options.cst);
+    }
+  });
+  return results;
+}
+
+std::vector<Community> SolveCsmBatch(const Graph& graph,
+                                     const OrderedAdjacency* ordered,
+                                     const GraphFacts* facts,
+                                     const std::vector<VertexId>& queries,
+                                     const CsmOptions& csm_options,
+                                     unsigned num_threads) {
+  std::vector<Community> results(queries.size());
+  if (queries.empty()) return results;
+  const unsigned threads = ResolveThreads(num_threads, queries.size());
+  std::atomic<size_t> cursor{0};
+  RunWorkers(threads, [&](unsigned) {
+    LocalCsmSolver solver(graph, ordered, facts);
+    while (true) {
+      const size_t i = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (i >= queries.size()) break;
+      results[i] = solver.Solve(queries[i], csm_options);
+    }
+  });
+  return results;
+}
+
+}  // namespace locs

@@ -1,0 +1,105 @@
+#include "core/searcher.h"
+
+#include "core/global.h"
+#include "util/timer.h"
+
+namespace locs {
+
+namespace {
+
+std::unique_ptr<OrderedAdjacency> MaybeBuildOrdered(
+    const Graph& graph, bool enabled, double* build_ms) {
+  if (!enabled) {
+    *build_ms = 0.0;
+    return nullptr;
+  }
+  WallTimer timer;
+  auto ordered = std::make_unique<OrderedAdjacency>(graph);
+  *build_ms = timer.Millis();
+  return ordered;
+}
+
+}  // namespace
+
+namespace {
+
+/// tail[k] = |{v : deg(v) >= k}| for k in [0, max_degree + 1].
+std::vector<uint64_t> ComputeTailCounts(const Graph& graph) {
+  std::vector<uint64_t> histogram(graph.MaxDegree() + 2, 0);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    ++histogram[graph.Degree(v)];
+  }
+  // Suffix-sum in place: histogram[k] becomes the tail count.
+  for (size_t k = histogram.size() - 1; k-- > 0;) {
+    histogram[k] += histogram[k + 1];
+  }
+  return histogram;
+}
+
+}  // namespace
+
+CommunitySearcher::CommunitySearcher(Graph graph, const Options& options)
+    : graph_(std::move(graph)),
+      facts_(GraphFacts::Compute(graph_)),
+      adaptive_global_fraction_(options.adaptive_global_fraction),
+      tail_count_(ComputeTailCounts(graph_)),
+      ordered_(MaybeBuildOrdered(graph_, options.build_ordered_adjacency,
+                                 &ordering_build_ms_)),
+      cst_solver_(graph_, ordered_.get(), &facts_),
+      csm_solver_(graph_, ordered_.get(), &facts_),
+      multi_solver_(graph_, ordered_.get(), &facts_) {}
+
+std::optional<Community> CommunitySearcher::Cst(VertexId v0, uint32_t k,
+                                                const CstOptions& options,
+                                                QueryStats* stats) {
+  return cst_solver_.Solve(v0, k, options, stats);
+}
+
+std::optional<Community> CommunitySearcher::CstGlobal(VertexId v0,
+                                                      uint32_t k,
+                                                      QueryStats* stats) {
+  return GlobalCst(graph_, v0, k, stats);
+}
+
+double CommunitySearcher::DegreeTailFraction(uint32_t k) const {
+  if (graph_.NumVertices() == 0) return 0.0;
+  const uint64_t count =
+      k < tail_count_.size() ? tail_count_[k] : 0;
+  return static_cast<double>(count) /
+         static_cast<double>(graph_.NumVertices());
+}
+
+std::optional<Community> CommunitySearcher::CstAdaptive(
+    VertexId v0, uint32_t k, const CstOptions& options, QueryStats* stats) {
+  // k <= 2 answers are tiny (an incident edge / a short cycle), so local
+  // search terminates almost immediately regardless of |V>=k| — always go
+  // local there (the k=1..2 rows of Figure 9). Beyond that, when most of
+  // the graph survives the Proposition-3 pruning, candidate generation
+  // degenerates to a slower global pass (the small-k regime of Figures
+  // 8/9); dispatch straight to the global peel in that regime.
+  if (k > 2 && DegreeTailFraction(k) > adaptive_global_fraction_) {
+    return GlobalCst(graph_, v0, k, stats);
+  }
+  return cst_solver_.Solve(v0, k, options, stats);
+}
+
+Community CommunitySearcher::Csm(VertexId v0, const CsmOptions& options,
+                                 QueryStats* stats) {
+  return csm_solver_.Solve(v0, options, stats);
+}
+
+Community CommunitySearcher::CsmGlobal(VertexId v0, QueryStats* stats) {
+  return GlobalCsm(graph_, v0, stats);
+}
+
+std::optional<Community> CommunitySearcher::CstMulti(
+    const std::vector<VertexId>& query, uint32_t k, QueryStats* stats) {
+  return multi_solver_.CstMulti(query, k, stats);
+}
+
+Community CommunitySearcher::CsmMulti(const std::vector<VertexId>& query,
+                                      QueryStats* stats) {
+  return multi_solver_.CsmMulti(query, stats);
+}
+
+}  // namespace locs

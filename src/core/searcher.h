@@ -1,0 +1,122 @@
+// CommunitySearcher — the high-level public API of the library.
+//
+// Owns a graph plus every precomputation the paper's solvers use (whole-
+// graph facts for the Theorem-3/5 bounds, the §4.3.2 degree-ordered
+// adjacency) and exposes the four solver entry points: local/global CST and
+// local/global CSM.
+//
+// Typical use:
+//   CommunitySearcher searcher(std::move(graph));
+//   auto community = searcher.Cst(v, 5);            // CST(5), local search
+//   auto best = searcher.Csm(v);                    // best community
+//
+// The searcher is stateful scratch-wise (solvers reuse epoch-stamped
+// buffers) and therefore not thread-safe; create one per thread.
+
+#ifndef LOCS_CORE_SEARCHER_H_
+#define LOCS_CORE_SEARCHER_H_
+
+#include <memory>
+#include <optional>
+
+#include "core/common.h"
+#include "core/local_csm.h"
+#include "core/local_cst.h"
+#include "core/multi.h"
+#include "graph/graph.h"
+#include "graph/ordering.h"
+
+namespace locs {
+
+/// High-level community search over one graph.
+class CommunitySearcher {
+ public:
+  struct Options {
+    /// Build the degree-descending adjacency at construction (§4.3.2).
+    /// Costs one sort pass over the adjacency; per-query expansion then
+    /// prunes low-degree tails. Disable to reproduce the "non-opt" rows of
+    /// Figure 7.
+    bool build_ordered_adjacency = true;
+    /// CstAdaptive dispatches to global search when the estimated
+    /// |V≥k| / |V| ratio (Theorem 4 machinery) exceeds this fraction —
+    /// the regime where the paper observes global search competitive
+    /// (small k, §6.1.3).
+    double adaptive_global_fraction = 0.35;
+  };
+
+  // (Two overloads rather than a defaulted argument: a nested struct's
+  // default member initializers cannot be used as a default argument
+  // inside the enclosing class definition.)
+  explicit CommunitySearcher(Graph graph)
+      : CommunitySearcher(std::move(graph), Options()) {}
+  CommunitySearcher(Graph graph, const Options& options);
+
+  CommunitySearcher(const CommunitySearcher&) = delete;
+  CommunitySearcher& operator=(const CommunitySearcher&) = delete;
+
+  const Graph& graph() const { return graph_; }
+  const GraphFacts& facts() const { return facts_; }
+  bool has_ordered_adjacency() const { return ordered_ != nullptr; }
+  /// Milliseconds spent building the ordered adjacency (the offline
+  /// precomputation cost column of Table 2); 0 when disabled.
+  double ordering_build_ms() const { return ordering_build_ms_; }
+
+  /// Local CST(k) (§4). Returns std::nullopt iff no solution exists.
+  std::optional<Community> Cst(VertexId v0, uint32_t k,
+                               const CstOptions& options = {},
+                               QueryStats* stats = nullptr);
+
+  /// Global CST(k) (§3) — the baseline every figure compares against.
+  std::optional<Community> CstGlobal(VertexId v0, uint32_t k,
+                                     QueryStats* stats = nullptr);
+
+  /// Adaptive CST(k) (extension): local search when the degree
+  /// distribution predicts a small candidate universe |V≥k|, global
+  /// search otherwise. Always exact; typically within a few percent of
+  /// the better of the two fixed strategies at every k.
+  std::optional<Community> CstAdaptive(VertexId v0, uint32_t k,
+                                       const CstOptions& options = {},
+                                       QueryStats* stats = nullptr);
+
+  /// Fraction of vertices with degree >= k (exact, from the degree
+  /// histogram computed at construction) — the dispatch signal of
+  /// CstAdaptive.
+  double DegreeTailFraction(uint32_t k) const;
+
+  /// Local CSM (Algorithm 4). Exact when options select CSM2 or γ → −∞.
+  Community Csm(VertexId v0, const CsmOptions& options = {},
+                QueryStats* stats = nullptr);
+
+  /// Global CSM (§3.2): greedy minimum-degree deletion via core
+  /// decomposition.
+  Community CsmGlobal(VertexId v0, QueryStats* stats = nullptr);
+
+  /// Multi-vertex CST(k) (extension; see core/multi.h): a connected
+  /// community containing every query vertex with δ >= k.
+  std::optional<Community> CstMulti(const std::vector<VertexId>& query,
+                                    uint32_t k,
+                                    QueryStats* stats = nullptr);
+
+  /// Multi-vertex CSM (extension): maximizes δ over communities spanning
+  /// the whole query set.
+  Community CsmMulti(const std::vector<VertexId>& query,
+                     QueryStats* stats = nullptr);
+
+ private:
+  Graph graph_;
+  GraphFacts facts_;
+  double adaptive_global_fraction_;
+  /// tail_count_[k]: number of vertices with degree >= k.
+  std::vector<uint64_t> tail_count_;
+  // Declared before ordered_: MaybeBuildOrdered writes the timing through
+  // a pointer during ordered_'s initialization.
+  double ordering_build_ms_ = 0.0;
+  std::unique_ptr<OrderedAdjacency> ordered_;
+  LocalCstSolver cst_solver_;
+  LocalCsmSolver csm_solver_;
+  LocalMultiSolver multi_solver_;
+};
+
+}  // namespace locs
+
+#endif  // LOCS_CORE_SEARCHER_H_

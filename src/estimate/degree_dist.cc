@@ -1,0 +1,29 @@
+#include "estimate/degree_dist.h"
+
+namespace locs::estimate {
+
+std::vector<double> EmpiricalDegreeDistribution(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  std::vector<double> dist;
+  if (n == 0) return dist;
+  dist.assign(graph.MaxDegree() + 1, 0.0);
+  const double unit = 1.0 / static_cast<double>(n);
+  for (VertexId v = 0; v < n; ++v) dist[graph.Degree(v)] += unit;
+  return dist;
+}
+
+double Zeta(const std::vector<double>& distribution, uint32_t x) {
+  double sum = 0.0;
+  for (size_t i = x; i < distribution.size(); ++i) {
+    sum += static_cast<double>(i) * distribution[i];
+  }
+  return sum;
+}
+
+double TailMass(const std::vector<double>& distribution, uint32_t k) {
+  double sum = 0.0;
+  for (size_t i = k; i < distribution.size(); ++i) sum += distribution[i];
+  return sum;
+}
+
+}  // namespace locs::estimate

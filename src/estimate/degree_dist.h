@@ -1,0 +1,26 @@
+// Empirical degree distributions and the ζ tail sums of §4.2.3.
+
+#ifndef LOCS_ESTIMATE_DEGREE_DIST_H_
+#define LOCS_ESTIMATE_DEGREE_DIST_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace locs::estimate {
+
+/// Empirical degree distribution P = {p_0, ..., p_ω}: p_d is the fraction
+/// of vertices with degree d; ω is the maximum degree.
+std::vector<double> EmpiricalDegreeDistribution(const Graph& graph);
+
+/// ζ(x) = Σ_{i >= x} i · p_i (the tail first-moment sum used to define the
+/// stub-retention probability p = ζ(k)/ζ(0) in Theorem 4).
+double Zeta(const std::vector<double>& distribution, uint32_t x);
+
+/// Tail mass Σ_{i >= k} p_i — the expected fraction of vertices with
+/// degree at least k, so |V≥k| ≈ n · TailMass(P, k).
+double TailMass(const std::vector<double>& distribution, uint32_t k);
+
+}  // namespace locs::estimate
+
+#endif  // LOCS_ESTIMATE_DEGREE_DIST_H_

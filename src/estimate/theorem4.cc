@@ -1,0 +1,74 @@
+#include "estimate/theorem4.h"
+
+#include <cmath>
+
+#include "estimate/degree_dist.h"
+#include "util/check.h"
+
+namespace locs::estimate {
+
+namespace {
+
+/// log C(n, k) via lgamma, numerically stable for large n.
+double LogBinomial(uint32_t n, uint32_t t) {
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(t) + 1.0) -
+         std::lgamma(static_cast<double>(n - t) + 1.0);
+}
+
+}  // namespace
+
+std::vector<double> QtDistribution(const std::vector<double>& distribution,
+                                   uint32_t k) {
+  const double zeta0 = Zeta(distribution, 0);
+  std::vector<double> qt(distribution.size(), 0.0);
+  if (zeta0 <= 0.0) return qt;
+  const double p = Zeta(distribution, k) / zeta0;
+  if (p <= 0.0) {
+    if (!qt.empty()) qt[0] = 1.0;
+    return qt;
+  }
+  const double logp = std::log(p);
+  const double log1mp = p < 1.0 ? std::log1p(-p) : 0.0;
+  for (uint32_t t = 0; t < qt.size(); ++t) {
+    double sum = 0.0;
+    for (uint32_t i = t; i < distribution.size(); ++i) {
+      if (distribution[i] <= 0.0) continue;
+      double log_term = LogBinomial(i, t) + static_cast<double>(t) * logp;
+      if (i > t) {
+        if (p >= 1.0) continue;  // (1-p)^(i-t) == 0
+        log_term += static_cast<double>(i - t) * log1mp;
+      }
+      sum += distribution[i] * std::exp(log_term);
+    }
+    qt[t] = sum;
+  }
+  return qt;
+}
+
+double EstimateVerticesAbove(const std::vector<double>& distribution,
+                             uint64_t n, uint32_t k) {
+  return static_cast<double>(n) * TailMass(distribution, k);
+}
+
+double EstimateEdgesAbove(const std::vector<double>& distribution,
+                          uint64_t n, uint32_t k) {
+  const std::vector<double> qt = QtDistribution(distribution, k);
+  double mean_degree = 0.0;
+  for (uint32_t t = 0; t < qt.size(); ++t) {
+    mean_degree += static_cast<double>(t) * qt[t];
+  }
+  return EstimateVerticesAbove(distribution, n, k) * mean_degree / 2.0;
+}
+
+double EstimateVerticesAbove(const Graph& graph, uint32_t k) {
+  return EstimateVerticesAbove(EmpiricalDegreeDistribution(graph),
+                               graph.NumVertices(), k);
+}
+
+double EstimateEdgesAbove(const Graph& graph, uint32_t k) {
+  return EstimateEdgesAbove(EmpiricalDegreeDistribution(graph),
+                            graph.NumVertices(), k);
+}
+
+}  // namespace locs::estimate

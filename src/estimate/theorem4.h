@@ -1,0 +1,39 @@
+// Theorem 4 and Lemma 5 of the paper: the asymptotic degree distribution of
+// the induced subgraph G[V≥k] and the resulting estimates of its vertex and
+// edge counts (§4.2.3, Figure 3's analytic series).
+
+#ifndef LOCS_ESTIMATE_THEOREM4_H_
+#define LOCS_ESTIMATE_THEOREM4_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace locs::estimate {
+
+/// Theorem 4: for a graph with degree distribution P and stub-retention
+/// probability p = ζ(k)/ζ(0), the probability that a uniform vertex of
+/// G[V≥k] has degree t is
+///   q_t = Σ_{i >= t} p_i · C(i, t) · p^t · (1 − p)^(i − t).
+/// Returns {q_0, ..., q_ω}. (Lemma 5: the largest degree of G[V≥k] stays ω
+/// asymptotically, so the vector keeps the full range.)
+std::vector<double> QtDistribution(const std::vector<double>& distribution,
+                                   uint32_t k);
+
+/// Estimated |V≥k| = n · Σ_{i >= k} p_i.
+double EstimateVerticesAbove(const std::vector<double>& distribution,
+                             uint64_t n, uint32_t k);
+
+/// Equation 3: estimated edge count m' of G[V≥k],
+///   2m' ≈ |V≥k| · Σ_t t · q_t.
+double EstimateEdgesAbove(const std::vector<double>& distribution,
+                          uint64_t n, uint32_t k);
+
+/// Convenience overloads computing the empirical distribution internally.
+double EstimateVerticesAbove(const Graph& graph, uint32_t k);
+double EstimateEdgesAbove(const Graph& graph, uint32_t k);
+
+}  // namespace locs::estimate
+
+#endif  // LOCS_ESTIMATE_THEOREM4_H_

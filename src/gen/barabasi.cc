@@ -1,0 +1,39 @@
+#include "gen/barabasi.h"
+
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace locs::gen {
+
+Graph BarabasiAlbert(VertexId n, uint32_t m, uint64_t seed) {
+  LOCS_CHECK_GE(m, 1u);
+  LOCS_CHECK_GT(n, m);
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  // `targets` holds one entry per half-edge; uniform sampling from it is
+  // degree-proportional sampling.
+  std::vector<VertexId> targets;
+  targets.reserve(static_cast<size_t>(n) * m * 2);
+  const VertexId seed_size = m + 1;
+  for (VertexId u = 0; u < seed_size; ++u) {
+    for (VertexId v = u + 1; v < seed_size; ++v) {
+      builder.AddEdge(u, v);
+      targets.push_back(u);
+      targets.push_back(v);
+    }
+  }
+  for (VertexId v = seed_size; v < n; ++v) {
+    // Sample m endpoints (with repetition in the pool; duplicate edges are
+    // collapsed by the builder, matching the common BA implementation).
+    for (uint32_t i = 0; i < m; ++i) {
+      const VertexId t = targets[rng.Below(targets.size())];
+      if (t == v) continue;
+      builder.AddEdge(v, t);
+      targets.push_back(t);
+      targets.push_back(v);
+    }
+  }
+  return builder.Build();
+}
+
+}  // namespace locs::gen

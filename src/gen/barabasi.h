@@ -1,0 +1,20 @@
+// Barabási–Albert preferential-attachment scale-free graphs.
+
+#ifndef LOCS_GEN_BARABASI_H_
+#define LOCS_GEN_BARABASI_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace locs::gen {
+
+/// Barabási–Albert model: starts from a clique on `m + 1` vertices; each
+/// subsequent vertex attaches to `m` existing vertices chosen with
+/// probability proportional to their current degree (repeat-endpoint
+/// sampling, duplicates collapsed). Produces a power-law degree tail.
+Graph BarabasiAlbert(VertexId n, uint32_t m, uint64_t seed);
+
+}  // namespace locs::gen
+
+#endif  // LOCS_GEN_BARABASI_H_

@@ -1,0 +1,129 @@
+#include "gen/classic.h"
+
+#include "graph/builder.h"
+
+namespace locs::gen {
+
+Graph Clique(VertexId n) {
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+  }
+  return builder.Build();
+}
+
+Graph Cycle(VertexId n) {
+  LOCS_CHECK_GE(n, 3u);
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v < n; ++v) builder.AddEdge(v, (v + 1) % n);
+  return builder.Build();
+}
+
+Graph Path(VertexId n) {
+  GraphBuilder builder(n);
+  for (VertexId v = 0; v + 1 < n; ++v) builder.AddEdge(v, v + 1);
+  return builder.Build();
+}
+
+Graph Star(VertexId n) {
+  LOCS_CHECK_GE(n, 1u);
+  GraphBuilder builder(n);
+  for (VertexId v = 1; v < n; ++v) builder.AddEdge(0, v);
+  return builder.Build();
+}
+
+Graph CompleteBipartite(VertexId a, VertexId b) {
+  GraphBuilder builder(a + b);
+  for (VertexId u = 0; u < a; ++u) {
+    for (VertexId v = 0; v < b; ++v) builder.AddEdge(u, a + v);
+  }
+  return builder.Build();
+}
+
+Graph Grid(VertexId rows, VertexId cols) {
+  GraphBuilder builder(rows * cols);
+  auto id = [cols](VertexId r, VertexId c) { return r * cols + c; };
+  for (VertexId r = 0; r < rows; ++r) {
+    for (VertexId c = 0; c < cols; ++c) {
+      if (c + 1 < cols) builder.AddEdge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) builder.AddEdge(id(r, c), id(r + 1, c));
+    }
+  }
+  return builder.Build();
+}
+
+Graph Barbell(VertexId k, VertexId bridge) {
+  LOCS_CHECK_GE(k, 2u);
+  const VertexId n = 2 * k + bridge;
+  GraphBuilder builder(n);
+  for (VertexId u = 0; u < k; ++u) {
+    for (VertexId v = u + 1; v < k; ++v) builder.AddEdge(u, v);
+  }
+  const VertexId right = k + bridge;
+  for (VertexId u = right; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+  }
+  // Chain: last vertex of the left clique -> bridge vertices -> first vertex
+  // of the right clique.
+  VertexId prev = k - 1;
+  for (VertexId b = 0; b < bridge; ++b) {
+    builder.AddEdge(prev, k + b);
+    prev = k + b;
+  }
+  builder.AddEdge(prev, right);
+  return builder.Build();
+}
+
+VertexId Figure1Vertex(char label) {
+  LOCS_CHECK(label >= 'a' && label <= 'n');
+  return static_cast<VertexId>(label - 'a');
+}
+
+std::string Figure1Label(VertexId v) {
+  LOCS_CHECK_LT(v, 14u);
+  return std::string(1, static_cast<char>('a' + v));
+}
+
+Graph PaperFigure1() {
+  GraphBuilder builder(14);
+  auto edge = [&builder](char u, char v) {
+    builder.AddEdge(Figure1Vertex(u), Figure1Vertex(v));
+  };
+  // V1 = {a,b,c,d,e}: δ(G[V1]) = 3; a and c each adjacent to exactly
+  // {b,d,e} and {b,d,e} respectively within V1.
+  edge('a', 'b');
+  edge('a', 'd');
+  edge('a', 'e');
+  edge('b', 'c');
+  edge('b', 'd');
+  edge('c', 'd');
+  edge('c', 'e');
+  edge('d', 'e');
+  // f: the weak link between V1 and V2, plus the tail through m. Global
+  // degree 3 lets the naive CST(3) generation enqueue f (Example 7), while
+  // m's peeling keeps f outside the 3-core (Example 5).
+  edge('e', 'f');
+  edge('f', 'g');
+  edge('f', 'm');
+  // V2 core: K5 on {g,h,i,j,k}.
+  edge('g', 'h');
+  edge('g', 'i');
+  edge('g', 'j');
+  edge('g', 'k');
+  edge('h', 'i');
+  edge('h', 'j');
+  edge('h', 'k');
+  edge('i', 'j');
+  edge('i', 'k');
+  edge('j', 'k');
+  // l attaches with degree 4 so that the 4-core is {g,h,i,j,k,l}.
+  edge('l', 'g');
+  edge('l', 'h');
+  edge('l', 'i');
+  edge('l', 'k');
+  // Degree-1 tail removed first by global search (Example 2).
+  edge('m', 'n');
+  return builder.Build();
+}
+
+}  // namespace locs::gen

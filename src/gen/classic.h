@@ -1,0 +1,66 @@
+// Deterministic classic graph families, used heavily by the tests, plus the
+// paper's running example graph of Figure 1.
+
+#ifndef LOCS_GEN_CLASSIC_H_
+#define LOCS_GEN_CLASSIC_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace locs::gen {
+
+/// Complete graph K_n.
+Graph Clique(VertexId n);
+
+/// Cycle C_n (n >= 3).
+Graph Cycle(VertexId n);
+
+/// Path P_n (n-1 edges).
+Graph Path(VertexId n);
+
+/// Star S_n: vertex 0 connected to 1..n-1. This is the paper's Figure 2
+/// construction (one vertex of degree N, N vertices of degree 1).
+Graph Star(VertexId n);
+
+/// Complete bipartite graph K_{a,b}; part A is 0..a-1, part B is a..a+b-1.
+Graph CompleteBipartite(VertexId a, VertexId b);
+
+/// rows x cols grid graph.
+Graph Grid(VertexId rows, VertexId cols);
+
+/// Two cliques K_k joined by a path of `bridge` intermediate vertices
+/// (bridge == 0 joins them with a single edge).
+Graph Barbell(VertexId k, VertexId bridge);
+
+/// The example graph of Figure 1 in the paper: vertices a..n mapped to ids
+/// 0..13. The paper does not print the edge list, so it is reconstructed
+/// from the constraints stated across Examples 1-9:
+///   - V1 = {a,b,c,d,e} induces δ = 3 with a adjacent to exactly {b,d,e}
+///     and c adjacent to exactly {b,d,e} (Examples 1, 3, 9);
+///   - f bridges V1 and V2 as their only connection (Example 1's "weak
+///     link"), adjacent to e, g, and m — global degree 3 so the naive
+///     CST(3) candidate generation enqueues it (Example 7), yet outside
+///     the 3-core because m peels away (Example 5);
+///   - {g,h,i,j,k} form K5 and l attaches to {g,h,i,k}, so the 4-core is
+///     {g,...,l} as stated in Example 5;
+///   - the tail f—m—n gives the low-degree vertices removed first by the
+///     global search of Example 2, and keeps m, n outside every CST(2)
+///     answer so the admissible set of Example 6 is exactly V − {m,n}.
+/// Two paper statements cannot be satisfied by any reconstruction
+/// consistent with the rest: Example 2's claim that the best community for
+/// j is exactly {g,h,i,j,k} contradicts Example 5's 4-core ({g..l}) — we
+/// follow Example 5 — and Example 7's queue snapshot containing n at step 3
+/// contradicts both Example 6 and Example 7's own final candidate set
+/// V − {m,n}.
+Graph PaperFigure1();
+
+/// Human-readable label ('a'..'n') for a PaperFigure1 vertex id.
+std::string Figure1Label(VertexId v);
+
+/// Vertex id for a Figure 1 label character in 'a'..'n'.
+VertexId Figure1Vertex(char label);
+
+}  // namespace locs::gen
+
+#endif  // LOCS_GEN_CLASSIC_H_

@@ -1,0 +1,71 @@
+#include "gen/erdos_renyi.h"
+
+#include <cmath>
+
+#include "graph/builder.h"
+
+namespace locs::gen {
+
+Graph ErdosRenyiGnp(VertexId n, double p, uint64_t seed) {
+  LOCS_CHECK(p >= 0.0 && p <= 1.0);
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  if (p <= 0.0 || n < 2) return builder.Build();
+  if (p >= 1.0) {
+    for (VertexId u = 0; u < n; ++u) {
+      for (VertexId v = u + 1; v < n; ++v) builder.AddEdge(u, v);
+    }
+    return builder.Build();
+  }
+  // Enumerate potential edges (v, w) with w < v in lexicographic order,
+  // skipping ahead by geometrically-distributed gaps
+  // (Batagelj & Brandes 2005).
+  const double log1mp = std::log1p(-p);
+  int64_t v = 1;
+  int64_t w = -1;
+  const auto nn = static_cast<int64_t>(n);
+  while (v < nn) {
+    const double r = rng.NextDouble();
+    w += 1 + static_cast<int64_t>(std::floor(std::log1p(-r) / log1mp));
+    while (w >= v && v < nn) {
+      w -= v;
+      ++v;
+    }
+    if (v < nn) {
+      builder.AddEdge(static_cast<VertexId>(v), static_cast<VertexId>(w));
+    }
+  }
+  return builder.Build();
+}
+
+Graph ErdosRenyiGnm(VertexId n, uint64_t m, uint64_t seed) {
+  const uint64_t possible =
+      static_cast<uint64_t>(n) * (static_cast<uint64_t>(n) - 1) / 2;
+  LOCS_CHECK_LE(m, possible);
+  Rng rng(seed);
+  GraphBuilder builder(n);
+  // Sample m distinct edge indices in [0, possible), then decode each index
+  // into the (u, v) pair it denotes.
+  const std::vector<uint64_t> picks = rng.SampleDistinct(possible, m);
+  for (uint64_t code : picks) {
+    // Row u starts at offset u*n - u*(u+3)/2 ... decode by walking rows is
+    // O(n) worst case; use the closed form via quadratic inversion instead.
+    // code = u*(2n - u - 1)/2 + (v - u - 1)
+    const double nn = static_cast<double>(n);
+    auto u = static_cast<uint64_t>(
+        std::floor(nn - 0.5 -
+                   std::sqrt((nn - 0.5) * (nn - 0.5) -
+                             2.0 * static_cast<double>(code))));
+    // Guard floating-point rounding at row boundaries.
+    auto row_start = [n](uint64_t row) {
+      return row * (2 * static_cast<uint64_t>(n) - row - 1) / 2;
+    };
+    while (u > 0 && row_start(u) > code) --u;
+    while (row_start(u + 1) <= code) ++u;
+    const uint64_t v = u + 1 + (code - row_start(u));
+    builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v));
+  }
+  return builder.Build();
+}
+
+}  // namespace locs::gen

@@ -1,0 +1,24 @@
+// Erdős–Rényi random graphs.
+
+#ifndef LOCS_GEN_ERDOS_RENYI_H_
+#define LOCS_GEN_ERDOS_RENYI_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace locs::gen {
+
+/// G(n, p): each of the C(n,2) possible edges present independently with
+/// probability p. Uses geometric skipping, so the cost is O(n + |E|) rather
+/// than O(n^2).
+Graph ErdosRenyiGnp(VertexId n, double p, uint64_t seed);
+
+/// G(n, m): exactly m distinct edges sampled uniformly among the C(n,2)
+/// possibilities (m must not exceed that count).
+Graph ErdosRenyiGnm(VertexId n, uint64_t m, uint64_t seed);
+
+}  // namespace locs::gen
+
+#endif  // LOCS_GEN_ERDOS_RENYI_H_

@@ -1,0 +1,181 @@
+#include "gen/lfr.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "gen/powerlaw.h"
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace locs::gen {
+
+namespace {
+
+/// Samples community sizes from the bounded power law until they cover n
+/// vertices exactly (the last community absorbs the remainder).
+std::vector<uint32_t> SampleCommunitySizes(const LfrParams& params,
+                                           Rng& rng) {
+  std::vector<uint32_t> sizes;
+  uint64_t covered = 0;
+  while (covered < params.n) {
+    auto size = static_cast<uint32_t>(rng.PowerLaw(
+        params.min_community, params.max_community,
+        params.community_exponent));
+    if (covered + size > params.n) {
+      const auto remainder = static_cast<uint32_t>(params.n - covered);
+      if (remainder >= params.min_community || sizes.empty()) {
+        size = remainder;
+      } else {
+        // Too small to stand alone: fold into the previous community.
+        sizes.back() += remainder;
+        covered = params.n;
+        break;
+      }
+    }
+    sizes.push_back(size);
+    covered += size;
+  }
+  return sizes;
+}
+
+/// Pairs up `stubs` (vertex ids, one entry per half-edge) uniformly at
+/// random and adds the pairings as edges, skipping self-pairings and,
+/// when `community` is given, pairings inside the same community
+/// (used for the inter-community wiring). A bounded number of reshuffle
+/// retries untangles rejected stubs; leftovers are dropped (erased model).
+void WireStubs(std::vector<VertexId>& stubs, GraphBuilder& builder,
+               const std::vector<uint32_t>* community, Rng& rng) {
+  rng.Shuffle(stubs);
+  std::vector<VertexId> rejected;
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    rejected.clear();
+    for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+      const VertexId u = stubs[i];
+      const VertexId v = stubs[i + 1];
+      const bool same_side =
+          u == v ||
+          (community != nullptr && (*community)[u] == (*community)[v]);
+      if (same_side) {
+        rejected.push_back(u);
+        rejected.push_back(v);
+      } else {
+        builder.AddEdge(u, v);
+      }
+    }
+    if (stubs.size() % 2 == 1) rejected.push_back(stubs.back());
+    if (rejected.size() < 2) return;
+    stubs = rejected;
+    rng.Shuffle(stubs);
+  }
+}
+
+}  // namespace
+
+LfrGraph Lfr(const LfrParams& params) {
+  LOCS_CHECK_GT(params.n, 0u);
+  LOCS_CHECK(params.mu >= 0.0 && params.mu <= 1.0);
+  LOCS_CHECK_LE(params.min_community, params.max_community);
+  Rng rng(params.seed);
+
+  // 1. Degree sequence and per-vertex internal degree.
+  std::vector<uint32_t> degree = PowerLawDegreeSequence(
+      params.n, params.degree_exponent, params.min_degree, params.max_degree,
+      rng);
+  std::vector<uint32_t> internal(params.n);
+  for (VertexId v = 0; v < params.n; ++v) {
+    internal[v] = static_cast<uint32_t>(
+        std::lround((1.0 - params.mu) * static_cast<double>(degree[v])));
+    internal[v] = std::min(internal[v], degree[v]);
+  }
+
+  // 2. Community sizes and assignment. A vertex fits community c only if
+  // its internal degree is below the community size; vertices that fit
+  // nowhere get their internal degree clamped to the largest community.
+  const std::vector<uint32_t> sizes = SampleCommunitySizes(params, rng);
+  const auto num_comms = static_cast<uint32_t>(sizes.size());
+  const uint32_t max_size = *std::max_element(sizes.begin(), sizes.end());
+
+  std::vector<uint32_t> community(params.n);
+  std::vector<uint32_t> remaining = sizes;
+  std::vector<VertexId> order(params.n);
+  for (VertexId v = 0; v < params.n; ++v) order[v] = v;
+  // Place high-internal-degree vertices first so the large communities are
+  // still open for them.
+  std::sort(order.begin(), order.end(), [&internal](VertexId a, VertexId b) {
+    if (internal[a] != internal[b]) return internal[a] > internal[b];
+    return a < b;
+  });
+  // Communities sorted by size descending for first-fit placement.
+  std::vector<uint32_t> comm_by_size(num_comms);
+  for (uint32_t c = 0; c < num_comms; ++c) comm_by_size[c] = c;
+  std::sort(comm_by_size.begin(), comm_by_size.end(),
+            [&sizes](uint32_t a, uint32_t b) {
+              if (sizes[a] != sizes[b]) return sizes[a] > sizes[b];
+              return a < b;
+            });
+  for (VertexId v : order) {
+    if (internal[v] >= max_size) internal[v] = max_size - 1;
+    // Try a few random communities, then fall back to first-fit over the
+    // size-sorted list.
+    uint32_t chosen = num_comms;
+    for (int attempt = 0; attempt < 12; ++attempt) {
+      const auto c = static_cast<uint32_t>(rng.Below(num_comms));
+      if (remaining[c] > 0 && internal[v] < sizes[c]) {
+        chosen = c;
+        break;
+      }
+    }
+    if (chosen == num_comms) {
+      for (uint32_t c : comm_by_size) {
+        if (remaining[c] > 0 && internal[v] < sizes[c]) {
+          chosen = c;
+          break;
+        }
+      }
+    }
+    if (chosen == num_comms) {
+      // Everything that could host it is full; put it in any open community
+      // and clamp its internal degree to that community's capacity.
+      for (uint32_t c : comm_by_size) {
+        if (remaining[c] > 0) {
+          chosen = c;
+          internal[v] = std::min(internal[v], sizes[c] - 1);
+          break;
+        }
+      }
+    }
+    LOCS_CHECK_LT(chosen, num_comms);
+    community[v] = chosen;
+    --remaining[chosen];
+  }
+
+  // 3. Intra-community wiring: configuration model per community.
+  GraphBuilder builder(params.n);
+  std::vector<std::vector<VertexId>> members(num_comms);
+  for (VertexId v = 0; v < params.n; ++v) members[community[v]].push_back(v);
+  for (uint32_t c = 0; c < num_comms; ++c) {
+    std::vector<VertexId> stubs;
+    for (VertexId v : members[c]) {
+      for (uint32_t i = 0; i < internal[v]; ++i) stubs.push_back(v);
+    }
+    if (stubs.size() % 2 == 1) stubs.pop_back();
+    WireStubs(stubs, builder, nullptr, rng);
+  }
+
+  // 4. Inter-community wiring: global configuration model over external
+  // stubs, rejecting same-community pairings.
+  std::vector<VertexId> ext_stubs;
+  for (VertexId v = 0; v < params.n; ++v) {
+    for (uint32_t i = internal[v]; i < degree[v]; ++i) ext_stubs.push_back(v);
+  }
+  if (ext_stubs.size() % 2 == 1) ext_stubs.pop_back();
+  WireStubs(ext_stubs, builder, &community, rng);
+
+  LfrGraph result;
+  result.graph = builder.Build();
+  result.community = std::move(community);
+  result.num_communities = num_comms;
+  return result;
+}
+
+}  // namespace locs::gen

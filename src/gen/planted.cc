@@ -1,0 +1,63 @@
+#include "gen/planted.h"
+
+#include <numeric>
+
+#include "graph/builder.h"
+#include "util/rng.h"
+
+namespace locs::gen {
+
+PlantedGraph PlantedPartition(uint32_t num_communities,
+                              uint32_t community_size, double p_in,
+                              double p_out, uint64_t seed) {
+  LOCS_CHECK_GT(num_communities, 0u);
+  LOCS_CHECK_GT(community_size, 0u);
+  Rng rng(seed);
+  const VertexId n = num_communities * community_size;
+  GraphBuilder builder(n);
+  PlantedGraph result;
+  result.community.resize(n);
+  result.num_communities = num_communities;
+  for (VertexId v = 0; v < n; ++v) result.community[v] = v / community_size;
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      const double p =
+          result.community[u] == result.community[v] ? p_in : p_out;
+      if (rng.Chance(p)) builder.AddEdge(u, v);
+    }
+  }
+  result.graph = builder.Build();
+  return result;
+}
+
+PlantedGraph RelaxedCaveman(const std::vector<uint32_t>& clique_sizes,
+                            double rewire, uint64_t seed) {
+  LOCS_CHECK(!clique_sizes.empty());
+  Rng rng(seed);
+  const auto n = static_cast<VertexId>(
+      std::accumulate(clique_sizes.begin(), clique_sizes.end(), 0u));
+  PlantedGraph result;
+  result.community.resize(n);
+  result.num_communities = static_cast<uint32_t>(clique_sizes.size());
+  EdgeList edges;
+  VertexId base = 0;
+  for (uint32_t c = 0; c < clique_sizes.size(); ++c) {
+    const uint32_t size = clique_sizes[c];
+    for (VertexId i = 0; i < size; ++i) {
+      result.community[base + i] = c;
+      for (VertexId j = i + 1; j < size; ++j) {
+        edges.emplace_back(base + i, base + j);
+      }
+    }
+    base += size;
+  }
+  for (auto& [u, v] : edges) {
+    if (rng.Chance(rewire)) {
+      v = static_cast<VertexId>(rng.Below(n));
+    }
+  }
+  result.graph = BuildGraph(n, edges);
+  return result;
+}
+
+}  // namespace locs::gen

@@ -1,0 +1,38 @@
+// Planted-partition graphs with ground-truth labels — stand-ins for the
+// paper's real-world case studies (Figure 6: the DBLP coauthor community
+// and the WordNet "pot" community).
+
+#ifndef LOCS_GEN_PLANTED_H_
+#define LOCS_GEN_PLANTED_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace locs::gen {
+
+/// A graph with a planted community structure and per-vertex community ids.
+struct PlantedGraph {
+  Graph graph;
+  std::vector<uint32_t> community;
+  uint32_t num_communities = 0;
+};
+
+/// Planted partition model: `num_communities` blocks of `community_size`
+/// vertices; within-block edges appear with probability `p_in`,
+/// cross-block edges with probability `p_out`.
+PlantedGraph PlantedPartition(uint32_t num_communities,
+                              uint32_t community_size, double p_in,
+                              double p_out, uint64_t seed);
+
+/// Relaxed-caveman graph: cliques of the given sizes, then each edge is
+/// rewired to a random endpoint with probability `rewire`. Communities stay
+/// recognizable but acquire the inter-community "noise" links real networks
+/// show.
+PlantedGraph RelaxedCaveman(const std::vector<uint32_t>& clique_sizes,
+                            double rewire, uint64_t seed);
+
+}  // namespace locs::gen
+
+#endif  // LOCS_GEN_PLANTED_H_

@@ -1,0 +1,61 @@
+#include "gen/powerlaw.h"
+
+#include "graph/builder.h"
+
+namespace locs::gen {
+
+std::vector<uint32_t> PowerLawDegreeSequence(VertexId n, double exponent,
+                                             uint32_t min_degree,
+                                             uint32_t max_degree, Rng& rng) {
+  LOCS_CHECK_GE(min_degree, 1u);
+  LOCS_CHECK_LE(min_degree, max_degree);
+  std::vector<uint32_t> degrees(n);
+  uint64_t total = 0;
+  for (VertexId v = 0; v < n; ++v) {
+    degrees[v] = static_cast<uint32_t>(
+        rng.PowerLaw(min_degree, max_degree, exponent));
+    total += degrees[v];
+  }
+  if (n > 0 && total % 2 == 1) {
+    // Make the stub count even; bump the first vertex that has headroom.
+    for (VertexId v = 0; v < n; ++v) {
+      if (degrees[v] < max_degree) {
+        ++degrees[v];
+        break;
+      }
+      if (degrees[v] > min_degree) {
+        --degrees[v];
+        break;
+      }
+    }
+  }
+  return degrees;
+}
+
+Graph ConfigurationModel(const std::vector<uint32_t>& degrees, Rng& rng) {
+  const auto n = static_cast<VertexId>(degrees.size());
+  std::vector<VertexId> stubs;
+  uint64_t total = 0;
+  for (uint32_t d : degrees) total += d;
+  stubs.reserve(total);
+  for (VertexId v = 0; v < n; ++v) {
+    for (uint32_t i = 0; i < degrees[v]; ++i) stubs.push_back(v);
+  }
+  rng.Shuffle(stubs);
+  GraphBuilder builder(n);
+  for (size_t i = 0; i + 1 < stubs.size(); i += 2) {
+    // Self-loops dropped by the builder; duplicates collapsed at Build().
+    builder.AddEdge(stubs[i], stubs[i + 1]);
+  }
+  return builder.Build();
+}
+
+Graph PowerLawGraph(VertexId n, double exponent, uint32_t min_degree,
+                    uint32_t max_degree, uint64_t seed) {
+  Rng rng(seed);
+  const std::vector<uint32_t> degrees =
+      PowerLawDegreeSequence(n, exponent, min_degree, max_degree, rng);
+  return ConfigurationModel(degrees, rng);
+}
+
+}  // namespace locs::gen

@@ -1,0 +1,38 @@
+// Configuration-model graphs with power-law degree sequences.
+//
+// The paper's candidate-size estimation (§4.2.3, Theorem 4) reasons about
+// graphs characterized purely by their degree distribution; the
+// configuration model is the canonical way to realize such graphs, and it
+// also underlies the LFR generator's wiring step.
+
+#ifndef LOCS_GEN_POWERLAW_H_
+#define LOCS_GEN_POWERLAW_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/rng.h"
+
+namespace locs::gen {
+
+/// Samples a degree sequence of n values from the bounded power law
+/// P(d) ∝ d^(-exponent) over [min_degree, max_degree], then adjusts the last
+/// entry's parity so the total stub count is even.
+std::vector<uint32_t> PowerLawDegreeSequence(VertexId n, double exponent,
+                                             uint32_t min_degree,
+                                             uint32_t max_degree, Rng& rng);
+
+/// Wires a degree sequence with the configuration model: stubs are shuffled
+/// and paired; self-loops and duplicate pairings are dropped (the "erased"
+/// configuration model), so realized degrees can fall slightly short of the
+/// requested sequence.
+Graph ConfigurationModel(const std::vector<uint32_t>& degrees, Rng& rng);
+
+/// Convenience: power-law degree sequence + configuration wiring.
+Graph PowerLawGraph(VertexId n, double exponent, uint32_t min_degree,
+                    uint32_t max_degree, uint64_t seed);
+
+}  // namespace locs::gen
+
+#endif  // LOCS_GEN_POWERLAW_H_

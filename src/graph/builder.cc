@@ -1,0 +1,60 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+
+namespace locs {
+
+void GraphBuilder::AddEdge(VertexId u, VertexId v) {
+  LOCS_CHECK_LT(u, num_vertices_);
+  LOCS_CHECK_LT(v, num_vertices_);
+  if (u == v) return;
+  edges_.emplace_back(u, v);
+}
+
+void GraphBuilder::AddEdges(const EdgeList& edges) {
+  edges_.reserve(edges_.size() + edges.size());
+  for (const auto& [u, v] : edges) AddEdge(u, v);
+}
+
+Graph GraphBuilder::Build() const {
+  const VertexId n = num_vertices_;
+  // Normalize orientation, then sort + unique the half-edges once; expand to
+  // both directions with a counting pass.
+  EdgeList canon;
+  canon.reserve(edges_.size());
+  for (const auto& [u, v] : edges_) {
+    canon.emplace_back(std::min(u, v), std::max(u, v));
+  }
+  std::sort(canon.begin(), canon.end());
+  canon.erase(std::unique(canon.begin(), canon.end()), canon.end());
+
+  std::vector<uint64_t> offsets(static_cast<size_t>(n) + 1, 0);
+  for (const auto& [u, v] : canon) {
+    ++offsets[u + 1];
+    ++offsets[v + 1];
+  }
+  for (VertexId v = 0; v < n; ++v) offsets[v + 1] += offsets[v];
+
+  std::vector<VertexId> neighbors(canon.size() * 2);
+  std::vector<uint64_t> cursor(offsets.begin(), offsets.end() - 1);
+  for (const auto& [u, v] : canon) {
+    neighbors[cursor[u]++] = v;
+    neighbors[cursor[v]++] = u;
+  }
+  // Each adjacency list must be sorted ascending. Insertion order above is
+  // sorted for the "second endpoint" direction but not for the first, so
+  // sort per vertex (cheap: lists are mostly sorted already).
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(neighbors.begin() + static_cast<ptrdiff_t>(offsets[v]),
+              neighbors.begin() + static_cast<ptrdiff_t>(offsets[v + 1]));
+  }
+  return Graph::FromCsr(std::move(offsets), std::move(neighbors));
+}
+
+Graph BuildGraph(VertexId num_vertices, const EdgeList& edges) {
+  GraphBuilder builder(num_vertices);
+  builder.AddEdges(edges);
+  return builder.Build();
+}
+
+}  // namespace locs

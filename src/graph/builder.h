@@ -1,0 +1,47 @@
+// Mutable accumulation of edges into an immutable CSR Graph.
+
+#ifndef LOCS_GRAPH_BUILDER_H_
+#define LOCS_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace locs {
+
+/// Accumulates undirected edges and produces a canonical simple Graph:
+/// self-loops dropped, duplicate edges (in either orientation) collapsed,
+/// adjacency sorted. The vertex universe is [0, num_vertices); isolated
+/// vertices are allowed.
+class GraphBuilder {
+ public:
+  /// `num_vertices` fixes the vertex universe up front.
+  explicit GraphBuilder(VertexId num_vertices)
+      : num_vertices_(num_vertices) {}
+
+  /// Adds undirected edge (u, v). Self-loops are silently ignored;
+  /// duplicates are collapsed at Build() time.
+  void AddEdge(VertexId u, VertexId v);
+
+  /// Bulk edge insertion.
+  void AddEdges(const EdgeList& edges);
+
+  /// Number of raw (possibly duplicate) edges added so far.
+  size_t PendingEdges() const { return edges_.size(); }
+
+  /// Finalizes into a Graph. The builder may be reused afterwards (it keeps
+  /// its accumulated edges).
+  Graph Build() const;
+
+ private:
+  VertexId num_vertices_;
+  EdgeList edges_;
+};
+
+/// One-shot convenience: builds a Graph from an edge list.
+Graph BuildGraph(VertexId num_vertices, const EdgeList& edges);
+
+}  // namespace locs
+
+#endif  // LOCS_GRAPH_BUILDER_H_

@@ -1,0 +1,151 @@
+#include "graph/dynamic.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+
+namespace locs {
+
+// Ordering discipline: every adjacency entry e is positioned according to
+// its *published* key (sort_degree_[e], e) — not its live degree, which
+// fluctuates mid-update. Published keys change one vertex at a time, and
+// each list mutation (erase or insert) passes the moving vertex's key
+// explicitly, so binary searches always run against a consistent order.
+
+namespace {
+
+struct Key {
+  uint32_t degree;
+  VertexId id;
+
+  bool operator<(const Key& other) const {
+    if (degree != other.degree) return degree > other.degree;
+    return id < other.id;
+  }
+};
+
+}  // namespace
+
+DynamicGraph::DynamicGraph(const Graph& graph)
+    : adjacency_(graph.NumVertices()),
+      sort_degree_(graph.NumVertices(), 0) {
+  const VertexId n = graph.NumVertices();
+  for (VertexId v = 0; v < n; ++v) sort_degree_[v] = graph.Degree(v);
+  for (VertexId v = 0; v < n; ++v) {
+    const auto nbrs = graph.Neighbors(v);
+    adjacency_[v].assign(nbrs.begin(), nbrs.end());
+    std::sort(adjacency_[v].begin(), adjacency_[v].end(),
+              [this](VertexId a, VertexId b) {
+                return Key{sort_degree_[a], a} < Key{sort_degree_[b], b};
+              });
+  }
+  num_edges_ = graph.NumEdges();
+}
+
+size_t DynamicGraph::Locate(const std::vector<VertexId>& list,
+                            VertexId target) const {
+  const Key key{sort_degree_[target], target};
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), key, [this](VertexId e, const Key& k) {
+        return Key{sort_degree_[e], e} < k;
+      });
+  if (it != list.end() && *it == target) {
+    return static_cast<size_t>(it - list.begin());
+  }
+  return list.size();
+}
+
+bool DynamicGraph::HasEdge(VertexId u, VertexId v) const {
+  LOCS_CHECK_LT(u, NumVertices());
+  LOCS_CHECK_LT(v, NumVertices());
+  // Search the shorter list.
+  if (Degree(u) > Degree(v)) std::swap(u, v);
+  return Locate(adjacency_[u], v) != adjacency_[u].size();
+}
+
+void DynamicGraph::EraseEntry(std::vector<VertexId>& list, VertexId target,
+                              uint32_t key_degree) {
+  const Key key{key_degree, target};
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), key, [this](VertexId e, const Key& k) {
+        return Key{sort_degree_[e], e} < k;
+      });
+  LOCS_CHECK(it != list.end() && *it == target);
+  list.erase(it);
+}
+
+void DynamicGraph::InsertEntry(std::vector<VertexId>& list,
+                               VertexId target, uint32_t key_degree) {
+  const Key key{key_degree, target};
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), key, [this](VertexId e, const Key& k) {
+        return Key{sort_degree_[e], e} < k;
+      });
+  list.insert(it, target);
+}
+
+void DynamicGraph::Republish(VertexId v, uint32_t new_degree) {
+  const uint32_t old_degree = sort_degree_[v];
+  if (old_degree == new_degree) return;
+  for (VertexId w : adjacency_[v]) {
+    EraseEntry(adjacency_[w], v, old_degree);
+    InsertEntry(adjacency_[w], v, new_degree);
+  }
+  sort_degree_[v] = new_degree;
+}
+
+bool DynamicGraph::AddEdge(VertexId u, VertexId v) {
+  LOCS_CHECK_LT(u, NumVertices());
+  LOCS_CHECK_LT(v, NumVertices());
+  if (u == v || HasEdge(u, v)) return false;
+  // Link under the currently-published keys, then republish each
+  // endpoint's new degree.
+  InsertEntry(adjacency_[u], v, sort_degree_[v]);
+  InsertEntry(adjacency_[v], u, sort_degree_[u]);
+  Republish(u, Degree(u));
+  Republish(v, Degree(v));
+  ++num_edges_;
+  return true;
+}
+
+bool DynamicGraph::RemoveEdge(VertexId u, VertexId v) {
+  LOCS_CHECK_LT(u, NumVertices());
+  LOCS_CHECK_LT(v, NumVertices());
+  if (u == v || !HasEdge(u, v)) return false;
+  EraseEntry(adjacency_[u], v, sort_degree_[v]);
+  EraseEntry(adjacency_[v], u, sort_degree_[u]);
+  Republish(u, Degree(u));
+  Republish(v, Degree(v));
+  --num_edges_;
+  return true;
+}
+
+Graph DynamicGraph::Freeze() const {
+  GraphBuilder builder(NumVertices());
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    for (VertexId w : adjacency_[v]) {
+      if (v < w) builder.AddEdge(v, w);
+    }
+  }
+  return builder.Build();
+}
+
+bool DynamicGraph::CheckOrderInvariant() const {
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    if (sort_degree_[v] != Degree(v)) return false;
+    const auto& list = adjacency_[v];
+    for (size_t i = 1; i < list.size(); ++i) {
+      if (!(Key{sort_degree_[list[i - 1]], list[i - 1]} <
+            Key{sort_degree_[list[i]], list[i]})) {
+        return false;
+      }
+    }
+    // Symmetry: v must appear in each neighbor's list.
+    for (VertexId w : list) {
+      if (Locate(adjacency_[w], v) == adjacency_[w].size()) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace locs

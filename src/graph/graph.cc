@@ -1,0 +1,56 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+
+namespace locs {
+
+Graph Graph::FromCsr(std::vector<uint64_t> offsets,
+                     std::vector<VertexId> neighbors) {
+  LOCS_CHECK(!offsets.empty());
+  LOCS_CHECK_EQ(offsets.front(), 0u);
+  LOCS_CHECK_EQ(offsets.back(), neighbors.size());
+#ifndef NDEBUG
+  const auto n = static_cast<VertexId>(offsets.size() - 1);
+  for (VertexId v = 0; v < n; ++v) {
+    LOCS_CHECK_LE(offsets[v], offsets[v + 1]);
+    for (uint64_t i = offsets[v]; i < offsets[v + 1]; ++i) {
+      LOCS_CHECK_LT(neighbors[i], n);
+      LOCS_CHECK(neighbors[i] != v);  // no self-loop
+      if (i + 1 < offsets[v + 1]) {
+        LOCS_CHECK_LT(neighbors[i], neighbors[i + 1]);  // sorted, no dup
+      }
+    }
+  }
+#endif
+  return Graph(std::move(offsets), std::move(neighbors));
+}
+
+bool Graph::HasEdge(VertexId u, VertexId v) const {
+  const auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+uint32_t Graph::MaxDegree() const {
+  uint32_t best = 0;
+  for (VertexId v = 0; v < NumVertices(); ++v) {
+    best = std::max(best, Degree(v));
+  }
+  return best;
+}
+
+uint32_t Graph::MinDegree() const {
+  if (NumVertices() == 0) return 0;
+  uint32_t best = Degree(0);
+  for (VertexId v = 1; v < NumVertices(); ++v) {
+    best = std::min(best, Degree(v));
+  }
+  return best;
+}
+
+double Graph::AverageDegree() const {
+  if (NumVertices() == 0) return 0.0;
+  return 2.0 * static_cast<double>(NumEdges()) /
+         static_cast<double>(NumVertices());
+}
+
+}  // namespace locs

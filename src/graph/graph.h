@@ -1,0 +1,82 @@
+// Immutable undirected simple graph in compressed sparse row (CSR) layout.
+//
+// This is the substrate every algorithm in the library operates on. The
+// paper's graphs are simple (no self-loops, no multi-edges), undirected, and
+// unweighted (§2); Graph enforces exactly that: adjacency lists are sorted by
+// vertex id, deduplicated, and symmetric.
+
+#ifndef LOCS_GRAPH_GRAPH_H_
+#define LOCS_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/check.h"
+
+namespace locs {
+
+/// Immutable CSR graph. Construct through GraphBuilder (any edge soup) or
+/// Graph::FromCsr (pre-validated arrays, used by loaders and subgraph
+/// extraction).
+class Graph {
+ public:
+  /// Empty graph.
+  Graph() = default;
+
+  /// Adopts pre-built CSR arrays. `offsets` has n+1 entries; `neighbors[i]`
+  /// for i in [offsets[v], offsets[v+1]) are v's neighbors sorted ascending.
+  /// Validates structural invariants in debug builds.
+  static Graph FromCsr(std::vector<uint64_t> offsets,
+                       std::vector<VertexId> neighbors);
+
+  /// Number of vertices.
+  VertexId NumVertices() const {
+    return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
+  }
+
+  /// Number of undirected edges.
+  uint64_t NumEdges() const { return neighbors_.size() / 2; }
+
+  /// Degree of `v`.
+  uint32_t Degree(VertexId v) const {
+    LOCS_DCHECK(v < NumVertices());
+    return static_cast<uint32_t>(offsets_[v + 1] - offsets_[v]);
+  }
+
+  /// Neighbors of `v`, sorted ascending by vertex id.
+  std::span<const VertexId> Neighbors(VertexId v) const {
+    LOCS_DCHECK(v < NumVertices());
+    return {neighbors_.data() + offsets_[v],
+            neighbors_.data() + offsets_[v + 1]};
+  }
+
+  /// True if the undirected edge (u, v) exists. O(log deg(u)).
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Largest vertex degree (0 for an empty graph).
+  uint32_t MaxDegree() const;
+
+  /// Minimum vertex degree over all vertices — δ(G) in the paper's notation
+  /// (Definition 1 applied to the whole graph). 0 for an empty graph.
+  uint32_t MinDegree() const;
+
+  /// Average degree 2|E|/|V| (0 for an empty graph).
+  double AverageDegree() const;
+
+  /// Raw CSR access for serialization.
+  const std::vector<uint64_t>& offsets() const { return offsets_; }
+  const std::vector<VertexId>& neighbors() const { return neighbors_; }
+
+ private:
+  Graph(std::vector<uint64_t> offsets, std::vector<VertexId> neighbors)
+      : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {}
+
+  std::vector<uint64_t> offsets_;    // size n+1
+  std::vector<VertexId> neighbors_;  // size 2|E|
+};
+
+}  // namespace locs
+
+#endif  // LOCS_GRAPH_GRAPH_H_

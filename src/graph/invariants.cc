@@ -1,0 +1,45 @@
+#include "graph/invariants.h"
+
+#include <sstream>
+
+namespace locs {
+
+std::string ValidateGraph(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  const auto& offsets = graph.offsets();
+  std::ostringstream err;
+  if (offsets.empty() || offsets.front() != 0) {
+    return "offsets must start at 0";
+  }
+  if (offsets.back() != graph.neighbors().size()) {
+    return "offsets must end at the neighbor array size";
+  }
+  for (VertexId v = 0; v < n; ++v) {
+    if (offsets[v] > offsets[v + 1]) {
+      err << "offsets not monotone at vertex " << v;
+      return err.str();
+    }
+    const auto nbrs = graph.Neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] >= n) {
+        err << "neighbor id out of range at vertex " << v;
+        return err.str();
+      }
+      if (nbrs[i] == v) {
+        err << "self-loop at vertex " << v;
+        return err.str();
+      }
+      if (i > 0 && nbrs[i - 1] >= nbrs[i]) {
+        err << "adjacency of vertex " << v << " not sorted/unique";
+        return err.str();
+      }
+      if (!graph.HasEdge(nbrs[i], v)) {
+        err << "asymmetric edge (" << v << ", " << nbrs[i] << ")";
+        return err.str();
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace locs

@@ -1,0 +1,21 @@
+// Structural validation of Graph instances — used by tests and by loaders
+// of untrusted files.
+
+#ifndef LOCS_GRAPH_INVARIANTS_H_
+#define LOCS_GRAPH_INVARIANTS_H_
+
+#include <string>
+
+#include "graph/graph.h"
+
+namespace locs {
+
+/// Verifies the full set of simple-graph invariants: offsets monotone,
+/// neighbor ids in range, adjacency sorted and duplicate-free, no
+/// self-loops, and symmetry (u∈N(v) ⇔ v∈N(u)). Returns an empty string if
+/// the graph is well-formed, else a description of the first violation.
+std::string ValidateGraph(const Graph& graph);
+
+}  // namespace locs
+
+#endif  // LOCS_GRAPH_INVARIANTS_H_

@@ -1,0 +1,186 @@
+#include "graph/io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace locs {
+
+namespace {
+
+constexpr char kMagic[8] = {'L', 'O', 'C', 'S', 'G', 'R', 'F', '1'};
+
+struct BinaryHeader {
+  char magic[8];
+  uint64_t num_vertices;
+  uint64_t num_half_edges;
+};
+
+/// RAII wrapper over std::FILE.
+class File {
+ public:
+  File(const std::string& path, const char* mode)
+      : f_(std::fopen(path.c_str(), mode)) {}
+  ~File() {
+    if (f_ != nullptr) std::fclose(f_);
+  }
+  File(const File&) = delete;
+  File& operator=(const File&) = delete;
+
+  bool ok() const { return f_ != nullptr; }
+  std::FILE* get() { return f_; }
+
+ private:
+  std::FILE* f_;
+};
+
+}  // namespace
+
+std::optional<Graph> LoadEdgeList(const std::string& path) {
+  File file(path, "r");
+  if (!file.ok()) return std::nullopt;
+
+  std::unordered_map<uint64_t, VertexId> remap;
+  EdgeList edges;
+  auto intern = [&remap](uint64_t raw) {
+    return remap.emplace(raw, static_cast<VertexId>(remap.size()))
+        .first->second;
+  };
+
+  char line[256];
+  while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
+    if (line[0] == '#' || line[0] == '%' || line[0] == '\n') continue;
+    uint64_t u = 0;
+    uint64_t v = 0;
+    if (std::sscanf(line, "%lu %lu", &u, &v) != 2) return std::nullopt;
+    edges.emplace_back(intern(u), intern(v));
+  }
+  return BuildGraph(static_cast<VertexId>(remap.size()), edges);
+}
+
+bool SaveEdgeList(const Graph& graph, const std::string& path) {
+  File file(path, "w");
+  if (!file.ok()) return false;
+  std::fprintf(file.get(), "# locs edge list: %u vertices, %lu edges\n",
+               graph.NumVertices(),
+               static_cast<unsigned long>(graph.NumEdges()));
+  for (VertexId u = 0; u < graph.NumVertices(); ++u) {
+    for (VertexId v : graph.Neighbors(u)) {
+      if (u < v) std::fprintf(file.get(), "%u %u\n", u, v);
+    }
+  }
+  return std::fflush(file.get()) == 0;
+}
+
+std::optional<Graph> LoadMetis(const std::string& path) {
+  File file(path, "r");
+  if (!file.ok()) return std::nullopt;
+  char buf[1 << 16];
+  // Read the header (skipping '%' comments).
+  uint64_t n = 0;
+  uint64_t m = 0;
+  std::string fmt;
+  while (std::fgets(buf, sizeof(buf), file.get()) != nullptr) {
+    if (buf[0] == '%') continue;
+    char fmt_buf[16] = {0};
+    const int fields = std::sscanf(buf, "%lu %lu %15s", &n, &m, fmt_buf);
+    if (fields < 2) return std::nullopt;
+    fmt = fmt_buf;
+    break;
+  }
+  if (!fmt.empty() && fmt.find_first_not_of('0') != std::string::npos) {
+    return std::nullopt;  // weighted formats unsupported
+  }
+  GraphBuilder builder(static_cast<VertexId>(n));
+  uint64_t vertex = 0;
+  while (vertex < n &&
+         std::fgets(buf, sizeof(buf), file.get()) != nullptr) {
+    if (buf[0] == '%') continue;
+    const char* cursor = buf;
+    char* end = nullptr;
+    while (true) {
+      const auto neighbor = std::strtoull(cursor, &end, 10);
+      if (end == cursor) break;  // no more numbers on this line
+      if (neighbor == 0 || neighbor > n) return std::nullopt;
+      builder.AddEdge(static_cast<VertexId>(vertex),
+                      static_cast<VertexId>(neighbor - 1));
+      cursor = end;
+    }
+    ++vertex;
+  }
+  if (vertex != n) return std::nullopt;
+  Graph graph = builder.Build();
+  if (graph.NumEdges() != m) {
+    // Tolerate double-counted headers (some writers store 2m).
+    if (graph.NumEdges() * 2 != m) return std::nullopt;
+  }
+  return graph;
+}
+
+bool SaveMetis(const Graph& graph, const std::string& path) {
+  File file(path, "w");
+  if (!file.ok()) return false;
+  std::fprintf(file.get(), "%u %lu\n", graph.NumVertices(),
+               static_cast<unsigned long>(graph.NumEdges()));
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    bool first = true;
+    for (VertexId w : graph.Neighbors(v)) {
+      std::fprintf(file.get(), first ? "%u" : " %u", w + 1);
+      first = false;
+    }
+    std::fputc('\n', file.get());
+  }
+  return std::fflush(file.get()) == 0;
+}
+
+std::optional<Graph> LoadBinary(const std::string& path) {
+  File file(path, "rb");
+  if (!file.ok()) return std::nullopt;
+  BinaryHeader header{};
+  if (std::fread(&header, sizeof(header), 1, file.get()) != 1) {
+    return std::nullopt;
+  }
+  if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
+    return std::nullopt;
+  }
+  std::vector<uint64_t> offsets(header.num_vertices + 1);
+  std::vector<VertexId> neighbors(header.num_half_edges);
+  if (std::fread(offsets.data(), sizeof(uint64_t), offsets.size(),
+                 file.get()) != offsets.size()) {
+    return std::nullopt;
+  }
+  if (!neighbors.empty() &&
+      std::fread(neighbors.data(), sizeof(VertexId), neighbors.size(),
+                 file.get()) != neighbors.size()) {
+    return std::nullopt;
+  }
+  return Graph::FromCsr(std::move(offsets), std::move(neighbors));
+}
+
+bool SaveBinary(const Graph& graph, const std::string& path) {
+  File file(path, "wb");
+  if (!file.ok()) return false;
+  BinaryHeader header{};
+  std::memcpy(header.magic, kMagic, sizeof(kMagic));
+  header.num_vertices = graph.NumVertices();
+  header.num_half_edges = graph.neighbors().size();
+  if (std::fwrite(&header, sizeof(header), 1, file.get()) != 1) return false;
+  if (std::fwrite(graph.offsets().data(), sizeof(uint64_t),
+                  graph.offsets().size(),
+                  file.get()) != graph.offsets().size()) {
+    return false;
+  }
+  if (!graph.neighbors().empty() &&
+      std::fwrite(graph.neighbors().data(), sizeof(VertexId),
+                  graph.neighbors().size(),
+                  file.get()) != graph.neighbors().size()) {
+    return false;
+  }
+  return std::fflush(file.get()) == 0;
+}
+
+}  // namespace locs

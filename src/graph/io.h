@@ -1,0 +1,43 @@
+// Graph persistence: SNAP-style edge-list text files and a fast binary
+// format used by the benchmark dataset cache.
+
+#ifndef LOCS_GRAPH_IO_H_
+#define LOCS_GRAPH_IO_H_
+
+#include <optional>
+#include <string>
+
+#include "graph/graph.h"
+
+namespace locs {
+
+/// Loads a whitespace-separated edge list ("u v" per line; lines starting
+/// with '#' or '%' are comments — the format of SNAP dataset files).
+/// Vertex ids are compacted to a dense [0, n) range in first-seen order.
+/// Returns std::nullopt if the file cannot be opened or parsed.
+std::optional<Graph> LoadEdgeList(const std::string& path);
+
+/// Writes the graph as an edge list (one canonical "u v" line per edge).
+/// Returns false on I/O failure.
+bool SaveEdgeList(const Graph& graph, const std::string& path);
+
+/// Loads a METIS graph file: a header line "n m [fmt]" followed by one
+/// line per vertex (1-based neighbor ids; '%' comment lines allowed).
+/// Only the plain unweighted format (fmt absent or "0"/"00"/"000") is
+/// supported. Returns std::nullopt on open/parse failure.
+std::optional<Graph> LoadMetis(const std::string& path);
+
+/// Writes the graph in plain METIS format. Returns false on I/O failure.
+bool SaveMetis(const Graph& graph, const std::string& path);
+
+/// Loads the binary CSR format written by SaveBinary. Returns std::nullopt
+/// on open failure, bad magic, or truncation.
+std::optional<Graph> LoadBinary(const std::string& path);
+
+/// Writes the graph in a compact binary CSR format (magic + version +
+/// counts + raw arrays). Returns false on I/O failure.
+bool SaveBinary(const Graph& graph, const std::string& path);
+
+}  // namespace locs
+
+#endif  // LOCS_GRAPH_IO_H_

@@ -1,0 +1,24 @@
+#include "graph/ordering.h"
+
+#include <algorithm>
+
+namespace locs {
+
+OrderedAdjacency::OrderedAdjacency(const Graph& graph)
+    : offsets_(graph.offsets()), neighbors_(graph.neighbors()) {
+  // Sort each adjacency list by (degree desc, id asc). Precompute degrees
+  // once; comparator reads the flat array.
+  const VertexId n = graph.NumVertices();
+  std::vector<uint32_t> degree(n);
+  for (VertexId v = 0; v < n; ++v) degree[v] = graph.Degree(v);
+  for (VertexId v = 0; v < n; ++v) {
+    std::sort(neighbors_.begin() + static_cast<ptrdiff_t>(offsets_[v]),
+              neighbors_.begin() + static_cast<ptrdiff_t>(offsets_[v + 1]),
+              [&degree](VertexId a, VertexId b) {
+                if (degree[a] != degree[b]) return degree[a] > degree[b];
+                return a < b;
+              });
+  }
+}
+
+}  // namespace locs

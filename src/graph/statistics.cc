@@ -1,0 +1,94 @@
+#include "graph/statistics.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace locs {
+
+std::vector<uint64_t> DegreeHistogram(const Graph& graph) {
+  std::vector<uint64_t> histogram(graph.MaxDegree() + 1, 0);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    ++histogram[graph.Degree(v)];
+  }
+  return histogram;
+}
+
+double LocalClusteringCoefficient(const Graph& graph, VertexId v) {
+  LOCS_CHECK_LT(v, graph.NumVertices());
+  const auto nbrs = graph.Neighbors(v);
+  if (nbrs.size() < 2) return 0.0;
+  uint64_t closed = 0;
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    for (size_t j = i + 1; j < nbrs.size(); ++j) {
+      closed += graph.HasEdge(nbrs[i], nbrs[j]);
+    }
+  }
+  const auto pairs =
+      static_cast<uint64_t>(nbrs.size()) * (nbrs.size() - 1) / 2;
+  return static_cast<double>(closed) / static_cast<double>(pairs);
+}
+
+double AverageClusteringCoefficient(const Graph& graph, size_t samples,
+                                    uint64_t seed) {
+  const VertexId n = graph.NumVertices();
+  if (n == 0) return 0.0;
+  double sum = 0.0;
+  if (samples >= n) {
+    for (VertexId v = 0; v < n; ++v) {
+      sum += LocalClusteringCoefficient(graph, v);
+    }
+    return sum / static_cast<double>(n);
+  }
+  Rng rng(seed);
+  const auto picks = rng.SampleDistinct(n, samples);
+  for (uint64_t v : picks) {
+    sum += LocalClusteringCoefficient(graph, static_cast<VertexId>(v));
+  }
+  return sum / static_cast<double>(samples);
+}
+
+namespace {
+
+/// BFS distances from `source`; returns the farthest vertex and writes
+/// its distance to *max_dist.
+VertexId FarthestFrom(const Graph& graph, VertexId source,
+                      uint32_t* max_dist) {
+  std::vector<uint32_t> dist(graph.NumVertices(), ~uint32_t{0});
+  std::vector<VertexId> queue;
+  queue.push_back(source);
+  dist[source] = 0;
+  VertexId farthest = source;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexId u = queue[head];
+    if (dist[u] > dist[farthest]) farthest = u;
+    for (VertexId w : graph.Neighbors(u)) {
+      if (dist[w] == ~uint32_t{0}) {
+        dist[w] = dist[u] + 1;
+        queue.push_back(w);
+      }
+    }
+  }
+  *max_dist = dist[farthest];
+  return farthest;
+}
+
+}  // namespace
+
+uint32_t Eccentricity(const Graph& graph, VertexId v) {
+  LOCS_CHECK_LT(v, graph.NumVertices());
+  uint32_t ecc = 0;
+  FarthestFrom(graph, v, &ecc);
+  return ecc;
+}
+
+uint32_t ApproxDiameter(const Graph& graph, VertexId v0) {
+  LOCS_CHECK_LT(v0, graph.NumVertices());
+  uint32_t first = 0;
+  const VertexId far = FarthestFrom(graph, v0, &first);
+  uint32_t second = 0;
+  FarthestFrom(graph, far, &second);
+  return std::max(first, second);
+}
+
+}  // namespace locs

@@ -1,0 +1,38 @@
+// Whole-graph statistics used to characterize datasets (and to sanity-
+// check that generated stand-ins behave like the real networks they
+// replace): degree summaries, clustering coefficients, and an approximate
+// diameter.
+
+#ifndef LOCS_GRAPH_STATISTICS_H_
+#define LOCS_GRAPH_STATISTICS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace locs {
+
+/// Degree histogram: histogram[d] = number of vertices with degree d.
+std::vector<uint64_t> DegreeHistogram(const Graph& graph);
+
+/// Local clustering coefficient of `v`: the fraction of neighbor pairs
+/// that are themselves adjacent (0 for degree < 2).
+double LocalClusteringCoefficient(const Graph& graph, VertexId v);
+
+/// Average local clustering coefficient over `samples` vertices drawn
+/// deterministically from `seed` (samples >= |V| means exact).
+double AverageClusteringCoefficient(const Graph& graph, size_t samples,
+                                    uint64_t seed);
+
+/// Lower bound on the diameter of v0's component via the double-sweep
+/// heuristic (BFS to the farthest vertex, then BFS again). Exact on trees;
+/// within a small factor on real networks.
+uint32_t ApproxDiameter(const Graph& graph, VertexId v0);
+
+/// Eccentricity of v (the largest BFS distance within its component).
+uint32_t Eccentricity(const Graph& graph, VertexId v);
+
+}  // namespace locs
+
+#endif  // LOCS_GRAPH_STATISTICS_H_

@@ -1,0 +1,97 @@
+#include "graph/subgraph.h"
+
+#include <algorithm>
+
+namespace locs {
+
+MappedSubgraph InducedSubgraph(const Graph& graph,
+                               const std::vector<VertexId>& members) {
+  const VertexId n = graph.NumVertices();
+  std::vector<VertexId> new_id(n, kInvalidVertex);
+  for (size_t i = 0; i < members.size(); ++i) {
+    LOCS_CHECK_LT(members[i], n);
+    LOCS_CHECK_MSG(new_id[members[i]] == kInvalidVertex,
+                   "duplicate member in InducedSubgraph");
+    new_id[members[i]] = static_cast<VertexId>(i);
+  }
+  const auto sub_n = static_cast<VertexId>(members.size());
+  std::vector<uint64_t> offsets(static_cast<size_t>(sub_n) + 1, 0);
+  for (VertexId i = 0; i < sub_n; ++i) {
+    uint32_t deg = 0;
+    for (VertexId w : graph.Neighbors(members[i])) {
+      if (new_id[w] != kInvalidVertex) ++deg;
+    }
+    offsets[i + 1] = offsets[i] + deg;
+  }
+  std::vector<VertexId> neighbors(offsets[sub_n]);
+  for (VertexId i = 0; i < sub_n; ++i) {
+    uint64_t cursor = offsets[i];
+    for (VertexId w : graph.Neighbors(members[i])) {
+      if (new_id[w] != kInvalidVertex) neighbors[cursor++] = new_id[w];
+    }
+    std::sort(neighbors.begin() + static_cast<ptrdiff_t>(offsets[i]),
+              neighbors.begin() + static_cast<ptrdiff_t>(cursor));
+  }
+  MappedSubgraph result;
+  result.graph = Graph::FromCsr(std::move(offsets), std::move(neighbors));
+  result.original_id = members;
+  return result;
+}
+
+std::vector<uint32_t> DegreesWithin(const Graph& graph,
+                                    const std::vector<VertexId>& members) {
+  std::vector<uint8_t> in_set(graph.NumVertices(), 0);
+  for (VertexId v : members) {
+    LOCS_CHECK_LT(v, graph.NumVertices());
+    in_set[v] = 1;
+  }
+  std::vector<uint32_t> degrees(members.size(), 0);
+  for (size_t i = 0; i < members.size(); ++i) {
+    uint32_t deg = 0;
+    for (VertexId w : graph.Neighbors(members[i])) deg += in_set[w];
+    degrees[i] = deg;
+  }
+  return degrees;
+}
+
+uint32_t MinDegreeOfInduced(const Graph& graph,
+                            const std::vector<VertexId>& members) {
+  if (members.empty()) return 0;
+  const std::vector<uint32_t> degrees = DegreesWithin(graph, members);
+  return *std::min_element(degrees.begin(), degrees.end());
+}
+
+bool IsConnectedSubset(const Graph& graph,
+                       const std::vector<VertexId>& members) {
+  if (members.size() <= 1) return true;
+  std::vector<uint8_t> in_set(graph.NumVertices(), 0);
+  for (VertexId v : members) in_set[v] = 1;
+  std::vector<VertexId> queue;
+  queue.push_back(members[0]);
+  in_set[members[0]] = 2;  // 2 = visited
+  size_t reached = 0;
+  for (size_t head = 0; head < queue.size(); ++head) {
+    const VertexId u = queue[head];
+    ++reached;
+    for (VertexId w : graph.Neighbors(u)) {
+      if (in_set[w] == 1) {
+        in_set[w] = 2;
+        queue.push_back(w);
+      }
+    }
+  }
+  return reached == members.size();
+}
+
+bool IsValidCommunity(const Graph& graph,
+                      const std::vector<VertexId>& members, VertexId v0,
+                      uint32_t k) {
+  if (members.empty()) return false;
+  if (std::find(members.begin(), members.end(), v0) == members.end()) {
+    return false;
+  }
+  if (!IsConnectedSubset(graph, members)) return false;
+  return MinDegreeOfInduced(graph, members) >= k;
+}
+
+}  // namespace locs

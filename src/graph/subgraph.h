@@ -1,0 +1,44 @@
+// Induced subgraphs and subset-local degree computations.
+//
+// δ(G[H]) — the community goodness measure of Definition 1 — lives here as
+// MinDegreeOfInduced, together with the connectivity test used throughout
+// the solvers and tests.
+
+#ifndef LOCS_GRAPH_SUBGRAPH_H_
+#define LOCS_GRAPH_SUBGRAPH_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/traversal.h"
+#include "graph/types.h"
+
+namespace locs {
+
+/// Builds G[H], the subgraph induced by `members`, re-indexed to dense ids
+/// in the order given. `members` must contain distinct valid vertex ids.
+MappedSubgraph InducedSubgraph(const Graph& graph,
+                               const std::vector<VertexId>& members);
+
+/// Degree of each member within G[H] (aligned with `members`).
+std::vector<uint32_t> DegreesWithin(const Graph& graph,
+                                    const std::vector<VertexId>& members);
+
+/// δ(G[H]): the minimum degree of the subgraph induced by `members`
+/// (Definition 1). An empty set yields 0.
+uint32_t MinDegreeOfInduced(const Graph& graph,
+                            const std::vector<VertexId>& members);
+
+/// True if G[H] is connected (empty and singleton sets count as connected).
+bool IsConnectedSubset(const Graph& graph,
+                       const std::vector<VertexId>& members);
+
+/// True if `members` is a valid CST(k) answer for query vertex v0:
+/// v0 ∈ H, G[H] connected, δ(G[H]) ≥ k (Problem Definition 2).
+bool IsValidCommunity(const Graph& graph,
+                      const std::vector<VertexId>& members, VertexId v0,
+                      uint32_t k);
+
+}  // namespace locs
+
+#endif  // LOCS_GRAPH_SUBGRAPH_H_

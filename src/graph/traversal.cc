@@ -1,0 +1,76 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+
+#include "graph/subgraph.h"
+
+namespace locs {
+
+std::vector<VertexId> BfsOrder(const Graph& graph, VertexId source) {
+  LOCS_CHECK_LT(source, graph.NumVertices());
+  std::vector<uint8_t> seen(graph.NumVertices(), 0);
+  std::vector<VertexId> order;
+  order.reserve(64);
+  order.push_back(source);
+  seen[source] = 1;
+  for (size_t head = 0; head < order.size(); ++head) {
+    const VertexId u = order[head];
+    for (VertexId w : graph.Neighbors(u)) {
+      if (seen[w] == 0) {
+        seen[w] = 1;
+        order.push_back(w);
+      }
+    }
+  }
+  return order;
+}
+
+VertexId Components::LargestId() const {
+  LOCS_CHECK_GT(count, 0u);
+  VertexId best = 0;
+  for (VertexId c = 1; c < count; ++c) {
+    if (size[c] > size[best]) best = c;
+  }
+  return best;
+}
+
+Components ConnectedComponents(const Graph& graph) {
+  const VertexId n = graph.NumVertices();
+  Components result;
+  result.label.assign(n, kInvalidVertex);
+  std::vector<VertexId> queue;
+  for (VertexId start = 0; start < n; ++start) {
+    if (result.label[start] != kInvalidVertex) continue;
+    const VertexId c = result.count++;
+    queue.clear();
+    queue.push_back(start);
+    result.label[start] = c;
+    VertexId members = 0;
+    for (size_t head = 0; head < queue.size(); ++head) {
+      const VertexId u = queue[head];
+      ++members;
+      for (VertexId w : graph.Neighbors(u)) {
+        if (result.label[w] == kInvalidVertex) {
+          result.label[w] = c;
+          queue.push_back(w);
+        }
+      }
+    }
+    result.size.push_back(members);
+  }
+  return result;
+}
+
+MappedSubgraph ExtractLargestComponent(const Graph& graph) {
+  if (graph.NumVertices() == 0) return {Graph(), {}};
+  const Components comps = ConnectedComponents(graph);
+  const VertexId keep = comps.LargestId();
+  std::vector<VertexId> members;
+  members.reserve(comps.size[keep]);
+  for (VertexId v = 0; v < graph.NumVertices(); ++v) {
+    if (comps.label[v] == keep) members.push_back(v);
+  }
+  return InducedSubgraph(graph, members);
+}
+
+}  // namespace locs

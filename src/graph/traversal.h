@@ -1,0 +1,47 @@
+// Traversal primitives: BFS, connected components, largest-component
+// extraction. The paper restricts each dataset to its largest connected
+// component (§6.1.1); ExtractLargestComponent implements that preprocessing.
+
+#ifndef LOCS_GRAPH_TRAVERSAL_H_
+#define LOCS_GRAPH_TRAVERSAL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/types.h"
+
+namespace locs {
+
+/// Vertices reachable from `source` (including it), in BFS order.
+std::vector<VertexId> BfsOrder(const Graph& graph, VertexId source);
+
+/// Result of a connected-components labeling.
+struct Components {
+  /// Component id per vertex, in [0, count).
+  std::vector<VertexId> label;
+  /// Number of components.
+  VertexId count = 0;
+  /// Size of each component.
+  std::vector<VertexId> size;
+
+  /// Id of a largest component (ties broken by lower id).
+  VertexId LargestId() const;
+};
+
+/// Labels all connected components.
+Components ConnectedComponents(const Graph& graph);
+
+/// A subgraph re-indexed to dense ids, with the mapping back to the ids of
+/// the graph it came from.
+struct MappedSubgraph {
+  Graph graph;
+  /// original_id[new_id] — maps subgraph vertices to parent-graph vertices.
+  std::vector<VertexId> original_id;
+};
+
+/// Extracts the largest connected component as a stand-alone graph.
+MappedSubgraph ExtractLargestComponent(const Graph& graph);
+
+}  // namespace locs
+
+#endif  // LOCS_GRAPH_TRAVERSAL_H_

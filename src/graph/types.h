@@ -1,0 +1,27 @@
+// Fundamental graph identifier types.
+
+#ifndef LOCS_GRAPH_TYPES_H_
+#define LOCS_GRAPH_TYPES_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace locs {
+
+/// Dense vertex identifier. 32 bits cover every graph in the paper's
+/// evaluation (largest: LiveJournal with 4.0M vertices) with headroom.
+using VertexId = uint32_t;
+
+/// Sentinel for "no vertex".
+inline constexpr VertexId kInvalidVertex = ~VertexId{0};
+
+/// Undirected edge as an unordered endpoint pair.
+using Edge = std::pair<VertexId, VertexId>;
+
+/// A list of undirected edges (builder input / generator output).
+using EdgeList = std::vector<Edge>;
+
+}  // namespace locs
+
+#endif  // LOCS_GRAPH_TYPES_H_

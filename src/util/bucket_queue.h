@@ -1,0 +1,209 @@
+// Monotone bucket priority queues used by the peeling and selection
+// algorithms. Both structures give O(1) amortized operations because keys
+// change by ±1 at a time.
+//
+// MinBucketQueue  — used by k-core peeling (Batagelj–Zaversnik): pop the
+//                   vertex with the minimum key; keys only decrease.
+// MaxBucketList   — the paper's Figure-5 structure for the `li` heuristic:
+//                   an array of doubly-linked lists keyed by incidence count
+//                   with a pointer to the maximum non-empty bucket. Keys only
+//                   increase (by one per update).
+
+#ifndef LOCS_UTIL_BUCKET_QUEUE_H_
+#define LOCS_UTIL_BUCKET_QUEUE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace locs {
+
+/// Min-oriented bucket queue over dense uint32 element ids with uint32 keys.
+/// Built once from an initial key assignment; supports DecreaseKey and
+/// PopMin. Standard structure behind O(n+m) core decomposition.
+class MinBucketQueue {
+ public:
+  /// Builds the queue over elements 0..keys.size()-1 with the given keys.
+  explicit MinBucketQueue(const std::vector<uint32_t>& keys) { Reset(keys); }
+
+  void Reset(const std::vector<uint32_t>& keys) {
+    const auto n = static_cast<uint32_t>(keys.size());
+    uint32_t max_key = 0;
+    for (uint32_t k : keys) max_key = k > max_key ? k : max_key;
+    key_ = keys;
+    // Counting sort into position arrays.
+    bucket_start_.assign(max_key + 2, 0);
+    for (uint32_t k : keys) ++bucket_start_[k + 1];
+    for (size_t i = 1; i < bucket_start_.size(); ++i) {
+      bucket_start_[i] += bucket_start_[i - 1];
+    }
+    order_.resize(n);
+    position_.resize(n);
+    std::vector<uint32_t> cursor(bucket_start_.begin(),
+                                 bucket_start_.end() - 1);
+    for (uint32_t v = 0; v < n; ++v) {
+      const uint32_t pos = cursor[key_[v]]++;
+      order_[pos] = v;
+      position_[v] = pos;
+    }
+    head_ = 0;
+    n_ = n;
+  }
+
+  bool Empty() const { return head_ >= n_; }
+
+  /// Current key of `v` (valid while v is still queued).
+  uint32_t Key(uint32_t v) const { return key_[v]; }
+
+  /// True if `v` has already been popped.
+  bool Popped(uint32_t v) const { return position_[v] < head_; }
+
+  /// Pops an element with the globally minimal key.
+  uint32_t PopMin() {
+    LOCS_DCHECK(!Empty());
+    const uint32_t v = order_[head_];
+    ++head_;
+    return v;
+  }
+
+  /// Key of the next element PopMin would return.
+  uint32_t MinKey() const {
+    LOCS_DCHECK(!Empty());
+    return key_[order_[head_]];
+  }
+
+  /// Decrements the key of a still-queued element by one (no-op guard: key
+  /// must be positive). Swaps `v` to the front of its bucket, then shifts the
+  /// bucket boundary — the classic O(1) trick.
+  void DecrementKey(uint32_t v) {
+    LOCS_DCHECK(!Popped(v));
+    const uint32_t k = key_[v];
+    LOCS_DCHECK(k > 0);
+    const uint32_t bucket_first =
+        bucket_start_[k] > head_ ? bucket_start_[k] : head_;
+    const uint32_t pos = position_[v];
+    const uint32_t other = order_[bucket_first];
+    // Swap v with the first element of its bucket.
+    order_[bucket_first] = v;
+    order_[pos] = other;
+    position_[v] = bucket_first;
+    position_[other] = pos;
+    // Grow bucket k-1 by one slot.
+    bucket_start_[k] = bucket_first + 1;
+    key_[v] = k - 1;
+  }
+
+ private:
+  std::vector<uint32_t> key_;
+  std::vector<uint32_t> order_;        // elements sorted by current key
+  std::vector<uint32_t> position_;     // inverse of order_
+  std::vector<uint32_t> bucket_start_; // first position of each key's bucket
+  uint32_t head_ = 0;
+  uint32_t n_ = 0;
+};
+
+/// Max-oriented bucket structure with intrusive doubly-linked lists — the
+/// data structure of Figure 5 in the paper. Elements are dense uint32 ids;
+/// keys only grow, one unit at a time, so PopMax plus all updates over a
+/// whole query cost O(inserted + updates).
+class MaxBucketList {
+ public:
+  /// `capacity` bounds element ids; `max_key` bounds keys.
+  MaxBucketList(uint32_t capacity, uint32_t max_key)
+      : head_(max_key + 1, kNil),
+        next_(capacity, kNil),
+        prev_(capacity, kNil),
+        key_(capacity, 0),
+        present_(capacity, 0) {}
+
+  bool Contains(uint32_t v) const { return present_[v] != 0; }
+  bool Empty() const { return size_ == 0; }
+  uint32_t Size() const { return size_; }
+  uint32_t Key(uint32_t v) const { return key_[v]; }
+
+  /// Inserts `v` with the given key. `v` must not be present.
+  void Insert(uint32_t v, uint32_t key) {
+    LOCS_DCHECK(!Contains(v));
+    LOCS_DCHECK(key < head_.size());
+    present_[v] = 1;
+    key_[v] = key;
+    Link(v, key);
+    if (key > max_bucket_) max_bucket_ = key;
+    ++size_;
+  }
+
+  /// Increments the key of a present element by one.
+  void Increment(uint32_t v) {
+    LOCS_DCHECK(Contains(v));
+    const uint32_t k = key_[v];
+    LOCS_DCHECK(k + 1 < head_.size());
+    Unlink(v, k);
+    key_[v] = k + 1;
+    Link(v, k + 1);
+    if (k + 1 > max_bucket_) max_bucket_ = k + 1;
+  }
+
+  /// Removes and returns an element with the maximal key.
+  uint32_t PopMax() {
+    LOCS_DCHECK(!Empty());
+    while (head_[max_bucket_] == kNil) {
+      LOCS_DCHECK(max_bucket_ > 0);
+      --max_bucket_;
+    }
+    const uint32_t v = head_[max_bucket_];
+    Unlink(v, max_bucket_);
+    present_[v] = 0;
+    --size_;
+    return v;
+  }
+
+  /// Key that PopMax would remove next.
+  uint32_t MaxKey() {
+    LOCS_DCHECK(!Empty());
+    while (head_[max_bucket_] == kNil) {
+      LOCS_DCHECK(max_bucket_ > 0);
+      --max_bucket_;
+    }
+    return max_bucket_;
+  }
+
+  /// Removes an arbitrary present element.
+  void Erase(uint32_t v) {
+    LOCS_DCHECK(Contains(v));
+    Unlink(v, key_[v]);
+    present_[v] = 0;
+    --size_;
+  }
+
+ private:
+  static constexpr uint32_t kNil = ~uint32_t{0};
+
+  void Link(uint32_t v, uint32_t key) {
+    next_[v] = head_[key];
+    prev_[v] = kNil;
+    if (head_[key] != kNil) prev_[head_[key]] = v;
+    head_[key] = v;
+  }
+
+  void Unlink(uint32_t v, uint32_t key) {
+    if (prev_[v] != kNil) {
+      next_[prev_[v]] = next_[v];
+    } else {
+      head_[key] = next_[v];
+    }
+    if (next_[v] != kNil) prev_[next_[v]] = prev_[v];
+  }
+
+  std::vector<uint32_t> head_;
+  std::vector<uint32_t> next_;
+  std::vector<uint32_t> prev_;
+  std::vector<uint32_t> key_;
+  std::vector<uint8_t> present_;
+  uint32_t max_bucket_ = 0;
+  uint32_t size_ = 0;
+};
+
+}  // namespace locs
+
+#endif  // LOCS_UTIL_BUCKET_QUEUE_H_

@@ -1,0 +1,61 @@
+// Lightweight runtime invariant checks.
+//
+// The library is exception-free (Google style); API misuse and broken internal
+// invariants abort with a readable message instead. LOCS_CHECK is always on,
+// LOCS_DCHECK compiles away in release builds so it may guard O(n) validation.
+
+#ifndef LOCS_UTIL_CHECK_H_
+#define LOCS_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace locs::internal {
+
+[[noreturn]] inline void CheckFailed(const char* file, int line,
+                                     const char* expr) {
+  std::fprintf(stderr, "LOCS_CHECK failed at %s:%d: %s\n", file, line, expr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+[[noreturn]] inline void CheckFailedMsg(const char* file, int line,
+                                        const char* expr, const char* msg) {
+  std::fprintf(stderr, "LOCS_CHECK failed at %s:%d: %s (%s)\n", file, line,
+               expr, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace locs::internal
+
+#define LOCS_CHECK(expr)                                        \
+  do {                                                          \
+    if (!(expr)) {                                              \
+      ::locs::internal::CheckFailed(__FILE__, __LINE__, #expr); \
+    }                                                           \
+  } while (0)
+
+#define LOCS_CHECK_MSG(expr, msg)                                        \
+  do {                                                                   \
+    if (!(expr)) {                                                       \
+      ::locs::internal::CheckFailedMsg(__FILE__, __LINE__, #expr, msg);  \
+    }                                                                    \
+  } while (0)
+
+#define LOCS_CHECK_LT(a, b) LOCS_CHECK((a) < (b))
+#define LOCS_CHECK_LE(a, b) LOCS_CHECK((a) <= (b))
+#define LOCS_CHECK_GT(a, b) LOCS_CHECK((a) > (b))
+#define LOCS_CHECK_GE(a, b) LOCS_CHECK((a) >= (b))
+#define LOCS_CHECK_EQ(a, b) LOCS_CHECK((a) == (b))
+#define LOCS_CHECK_NE(a, b) LOCS_CHECK((a) != (b))
+
+#ifdef NDEBUG
+#define LOCS_DCHECK(expr) \
+  do {                    \
+  } while (0)
+#else
+#define LOCS_DCHECK(expr) LOCS_CHECK(expr)
+#endif
+
+#endif  // LOCS_UTIL_CHECK_H_

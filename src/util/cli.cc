@@ -1,0 +1,60 @@
+#include "util/cli.h"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "util/check.h"
+
+namespace locs {
+
+CommandLine::CommandLine(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    LOCS_CHECK_MSG(std::strncmp(arg, "--", 2) == 0,
+                   "flags must start with --");
+    std::string body(arg + 2);
+    const size_t eq = body.find('=');
+    if (eq == std::string::npos) {
+      values_[body] = "true";
+    } else {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+}
+
+bool CommandLine::Has(const std::string& name) const {
+  return values_.count(name) > 0;
+}
+
+std::string CommandLine::GetString(const std::string& name,
+                                   const std::string& fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+int64_t CommandLine::GetInt(const std::string& name, int64_t fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : std::strtoll(it->second.c_str(),
+                                                       nullptr, 10);
+}
+
+double CommandLine::GetDouble(const std::string& name, double fallback) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback
+                             : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool CommandLine::GetBool(const std::string& name, bool fallback) const {
+  auto it = values_.find(name);
+  if (it == values_.end()) return fallback;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+double BenchScaleFromEnv() {
+  const char* env = std::getenv("LOCS_BENCH_SCALE");
+  if (env == nullptr) return 1.0;
+  const double v = std::strtod(env, nullptr);
+  return v > 0.0 ? v : 1.0;
+}
+
+}  // namespace locs

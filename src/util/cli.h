@@ -1,0 +1,38 @@
+// Minimal command-line flag parsing for benches and examples.
+//
+// Flags use the form --name=value or --name (boolean true). Unrecognized
+// flags abort with the available flag list, so typos surface immediately.
+
+#ifndef LOCS_UTIL_CLI_H_
+#define LOCS_UTIL_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace locs {
+
+/// Parses `--key=value` style arguments and serves typed lookups.
+class CommandLine {
+ public:
+  CommandLine(int argc, char** argv);
+
+  bool Has(const std::string& name) const;
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const;
+  int64_t GetInt(const std::string& name, int64_t fallback) const;
+  double GetDouble(const std::string& name, double fallback) const;
+  bool GetBool(const std::string& name, bool fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Reads a positive scale factor from the LOCS_BENCH_SCALE environment
+/// variable (default 1.0). Bench dataset sizes multiply by this, so larger
+/// machines can run paper-scale experiments without code changes.
+double BenchScaleFromEnv();
+
+}  // namespace locs
+
+#endif  // LOCS_UTIL_CLI_H_

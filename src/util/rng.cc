@@ -1,0 +1,53 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <unordered_set>
+
+namespace locs {
+
+std::vector<uint64_t> Rng::SampleDistinct(uint64_t population, size_t count) {
+  LOCS_CHECK_LE(count, population);
+  std::vector<uint64_t> out;
+  out.reserve(count);
+  if (count * 3 >= population) {
+    // Dense case: shuffle a full index vector and take a prefix.
+    std::vector<uint64_t> all(population);
+    for (uint64_t i = 0; i < population; ++i) all[i] = i;
+    Shuffle(all);
+    out.assign(all.begin(), all.begin() + static_cast<ptrdiff_t>(count));
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(count * 2);
+  while (out.size() < count) {
+    uint64_t v = Below(population);
+    if (seen.insert(v).second) out.push_back(v);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+int64_t Rng::PowerLaw(int64_t lo, int64_t hi, double exponent) {
+  LOCS_CHECK(lo >= 1);
+  LOCS_CHECK(lo <= hi);
+  if (lo == hi) return lo;
+  const double u = NextDouble();
+  double x;
+  if (std::abs(exponent - 1.0) < 1e-12) {
+    // CDF ∝ ln(x); invert directly.
+    x = static_cast<double>(lo) *
+        std::pow(static_cast<double>(hi) / static_cast<double>(lo), u);
+  } else {
+    const double e1 = 1.0 - exponent;
+    const double a = std::pow(static_cast<double>(lo), e1);
+    const double b = std::pow(static_cast<double>(hi) + 1.0, e1);
+    x = std::pow(a + u * (b - a), 1.0 / e1);
+  }
+  auto v = static_cast<int64_t>(x);
+  return std::clamp(v, lo, hi);
+}
+
+}  // namespace locs

@@ -1,0 +1,121 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component of the library (generators, workload samplers,
+// tie-breaking) is seeded explicitly so that datasets, tests, and benchmarks
+// are reproducible bit-for-bit across runs. The engine is xoshiro256**,
+// seeded through splitmix64 per its authors' recommendation.
+
+#ifndef LOCS_UTIL_RNG_H_
+#define LOCS_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace locs {
+
+/// splitmix64 step; useful on its own for hashing/seeding.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Mixes two 64-bit values into one (for deriving sub-seeds).
+inline uint64_t MixSeeds(uint64_t a, uint64_t b) {
+  uint64_t s = a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2));
+  return SplitMix64(s);
+}
+
+/// xoshiro256** pseudo-random generator. Satisfies the essentials of
+/// UniformRandomBitGenerator so it can also feed <random> adapters.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) { Seed(seed); }
+
+  void Seed(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : state_) word = SplitMix64(sm);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~uint64_t{0}; }
+
+  uint64_t operator()() { return Next(); }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
+  /// nearly-divisionless rejection method.
+  uint64_t Below(uint64_t bound) {
+    LOCS_DCHECK(bound > 0);
+    __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+    auto lo = static_cast<uint64_t>(m);
+    if (lo < bound) {
+      const uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>(Next()) * bound;
+        lo = static_cast<uint64_t>(m);
+      }
+    }
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in the inclusive range [lo, hi].
+  int64_t Range(int64_t lo, int64_t hi) {
+    LOCS_DCHECK(lo <= hi);
+    return lo + static_cast<int64_t>(
+                    Below(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& items) {
+    for (size_t i = items.size(); i > 1; --i) {
+      size_t j = Below(i);
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  /// Samples `count` distinct values from [0, population) (count <<
+  /// population expected; uses rejection against a local set).
+  std::vector<uint64_t> SampleDistinct(uint64_t population, size_t count);
+
+  /// Samples an integer from the discrete bounded power-law distribution
+  /// P(x) ∝ x^(-exponent) over x in [lo, hi] via inverse-CDF on the continuous
+  /// relaxation (the standard approach used by LFR-style generators).
+  int64_t PowerLaw(int64_t lo, int64_t hi, double exponent);
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4];
+};
+
+}  // namespace locs
+
+#endif  // LOCS_UTIL_RNG_H_

@@ -1,0 +1,97 @@
+#include "util/table.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "util/check.h"
+
+namespace locs {
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return buf;
+}
+
+std::string FormatCount(uint64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  out.reserve(digits.size() + digits.size() / 3);
+  size_t lead = digits.size() % 3;
+  if (lead == 0) lead = 3;
+  for (size_t i = 0; i < digits.size(); ++i) {
+    if (i >= lead && (i - lead) % 3 == 0) out.push_back(',');
+    out.push_back(digits[i]);
+  }
+  return out;
+}
+
+TableWriter::TableWriter(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+TableWriter& TableWriter::Row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+TableWriter& TableWriter::Cell(const std::string& value) {
+  LOCS_CHECK(!rows_.empty());
+  rows_.back().push_back(value);
+  return *this;
+}
+
+TableWriter& TableWriter::Num(int64_t value) {
+  return Cell(std::to_string(value));
+}
+
+TableWriter& TableWriter::Num(uint64_t value) {
+  return Cell(std::to_string(value));
+}
+
+TableWriter& TableWriter::Num(double value, int digits) {
+  return Cell(FormatDouble(value, digits));
+}
+
+std::string TableWriter::Render() const {
+  std::vector<size_t> width(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < width.size(); ++c) {
+      width[c] = std::max(width[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  auto emit_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      os << "  " << cell << std::string(width[c] - cell.size(), ' ');
+    }
+    os << '\n';
+  };
+  emit_row(header_);
+  size_t total = 0;
+  for (size_t w : width) total += w + 2;
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string TableWriter::RenderCsv(const std::string& tag) const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    os << "CSV," << tag;
+    for (const auto& cell : row) os << ',' << cell;
+    os << '\n';
+  };
+  emit(header_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void TableWriter::Print(const std::string& csv_tag) const {
+  std::fputs(Render().c_str(), stdout);
+  if (!csv_tag.empty()) std::fputs(RenderCsv(csv_tag).c_str(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace locs

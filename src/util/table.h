@@ -1,0 +1,56 @@
+// Aligned ASCII table and CSV emission for benchmark reports.
+//
+// Every bench driver prints the rows/series of the paper table or figure it
+// regenerates. TableWriter renders an aligned, human-readable table and can
+// also emit the same rows as CSV lines (prefixed so they are easy to grep
+// out of combined logs for plotting).
+
+#ifndef LOCS_UTIL_TABLE_H_
+#define LOCS_UTIL_TABLE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace locs {
+
+/// Collects rows of string cells and renders them aligned.
+class TableWriter {
+ public:
+  explicit TableWriter(std::vector<std::string> header);
+
+  /// Starts a new row; follow with Cell()/Num() calls.
+  TableWriter& Row();
+
+  TableWriter& Cell(const std::string& value);
+  TableWriter& Num(int64_t value);
+  TableWriter& Num(uint64_t value);
+  TableWriter& Num(int value) { return Num(static_cast<int64_t>(value)); }
+  TableWriter& Num(uint32_t value) { return Num(static_cast<uint64_t>(value)); }
+  /// Fixed-point double with `digits` decimals.
+  TableWriter& Num(double value, int digits = 3);
+
+  /// Renders the aligned table to a string (with a rule under the header).
+  std::string Render() const;
+
+  /// Renders all rows as CSV, each line prefixed with "CSV,<tag>,".
+  std::string RenderCsv(const std::string& tag) const;
+
+  /// Convenience: prints Render() (and the CSV block when `csv_tag` is
+  /// non-empty) to stdout.
+  void Print(const std::string& csv_tag = "") const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with the given number of decimals.
+std::string FormatDouble(double value, int digits);
+
+/// Formats a count with thousands separators: 1234567 -> "1,234,567".
+std::string FormatCount(uint64_t value);
+
+}  // namespace locs
+
+#endif  // LOCS_UTIL_TABLE_H_

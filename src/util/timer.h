@@ -1,0 +1,36 @@
+// Wall-clock timing helpers for benchmarks and query statistics.
+
+#ifndef LOCS_UTIL_TIMER_H_
+#define LOCS_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace locs {
+
+/// Monotonic wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time in seconds since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  /// Elapsed time in milliseconds.
+  double Millis() const { return Seconds() * 1e3; }
+
+  /// Elapsed time in microseconds.
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace locs
+
+#endif  // LOCS_UTIL_TIMER_H_

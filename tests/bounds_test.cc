@@ -1,0 +1,131 @@
+// Tests for the analytic bounds of Theorems 3 and 5 and Corollary 1,
+// including property checks against actual optima on random graphs.
+
+#include "core/bounds.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "core/global.h"
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "gen/lfr.h"
+#include "graph/traversal.h"
+
+namespace locs {
+namespace {
+
+TEST(MStarUpperBoundTest, TreeHasBoundOne) {
+  // A tree: |E| = |V| - 1, excess clamps to 0, bound = floor((1+3)/2) = 2;
+  // but the actual optimum on a path is 1. The bound only upper-bounds.
+  Graph g = gen::Path(10);
+  EXPECT_GE(MStarUpperBound(g), 1u);
+  EXPECT_LE(MStarUpperBound(g), 2u);
+}
+
+TEST(MStarUpperBoundTest, CliqueIsTight) {
+  // K_n: |E|-|V| = n(n-3)/2, bound evaluates to exactly n-1 — tight.
+  for (VertexId n : {3u, 4u, 5u, 8u, 12u, 20u}) {
+    Graph g = gen::Clique(n);
+    EXPECT_EQ(MStarUpperBound(g), n - 1) << "n=" << n;
+  }
+}
+
+TEST(MStarUpperBoundTest, PaperFigure1) {
+  Graph g = gen::PaperFigure1();
+  // 26 edges, 14 vertices: floor((1+sqrt(9+96))/2) = 5; m* max is 4.
+  EXPECT_EQ(g.NumEdges(), 26u);
+  EXPECT_EQ(MStarUpperBound(g), 5u);
+}
+
+TEST(MStarUpperBoundTest, DominatesActualOptimumOnConnectedGraphs) {
+  for (uint64_t seed : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u}) {
+    Graph g = ExtractLargestComponent(
+                  gen::ErdosRenyiGnp(50, 0.1, seed)).graph;
+    const uint32_t bound = MStarUpperBound(g);
+    for (VertexId v0 = 0; v0 < g.NumVertices(); v0 += 5) {
+      EXPECT_LE(GlobalCsm(g, v0).min_degree, bound) << "seed=" << seed;
+    }
+  }
+}
+
+TEST(CstSizeUpperBoundTest, DegeneratesForSmallK) {
+  EXPECT_EQ(CstSizeUpperBound(100, 50, 0),
+            std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(CstSizeUpperBound(100, 50, 1),
+            std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(CstSizeUpperBound(100, 50, 2),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(CstSizeUpperBoundTest, CliqueIsTight) {
+  // K_n with k = n-1: bound = (n(n-1)/2 - n) / ((n-1)/2 - 1) = n.
+  for (uint64_t n : {4u, 6u, 10u}) {
+    const uint64_t edges = n * (n - 1) / 2;
+    EXPECT_EQ(CstSizeUpperBound(edges, n, static_cast<uint32_t>(n - 1)), n);
+  }
+}
+
+TEST(CstSizeUpperBoundTest, DominatesActualAnswersOnConnectedGraphs) {
+  for (uint64_t seed : {11u, 21u, 31u}) {
+    Graph g = ExtractLargestComponent(
+                  gen::ErdosRenyiGnp(60, 0.12, seed)).graph;
+    for (VertexId v0 = 0; v0 < g.NumVertices(); v0 += 7) {
+      const Community best = GlobalCsm(g, v0);
+      for (uint32_t k = 3; k <= best.min_degree; ++k) {
+        const auto cst = GlobalCst(g, v0, k);
+        ASSERT_TRUE(cst.has_value());
+        // Theorem 5 bounds the size of *minimal* answers... in fact of any
+        // answer H: k|H|/2 + (|V|-|H|) <= |E|. The maximal component also
+        // satisfies it.
+        EXPECT_LE(cst->members.size(),
+                  CstSizeUpperBound(g.NumEdges(), g.NumVertices(), k))
+            << "seed=" << seed << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(CsmExpansionBudgetTest, ZeroWhenBoundExceeded) {
+  // If |H| already exceeds the k+1 size bound, no extra vertices remain.
+  EXPECT_EQ(CsmExpansionBudget(100, 90, 6, 1000), 0u);
+}
+
+TEST(CsmExpansionBudgetTest, UnboundedForTinyDelta) {
+  // delta_h + 1 <= 2 ⇒ denominator non-positive ⇒ unbounded.
+  EXPECT_EQ(CsmExpansionBudget(100, 50, 0, 3),
+            std::numeric_limits<uint64_t>::max());
+  EXPECT_EQ(CsmExpansionBudget(100, 50, 1, 3),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(GammaScaledBudgetTest, GammaZeroMatchesCorollary1) {
+  EXPECT_EQ(GammaScaledBudget(200, 100, 5, 10, 0.0),
+            CsmExpansionBudget(200, 100, 5, 10));
+}
+
+TEST(GammaScaledBudgetTest, NegativeInfinityIsUnbounded) {
+  EXPECT_EQ(GammaScaledBudget(200, 100, 5, 10,
+                              -std::numeric_limits<double>::infinity()),
+            std::numeric_limits<uint64_t>::max());
+}
+
+TEST(GammaScaledBudgetTest, MonotoneDecreasingInGamma) {
+  uint64_t prev = std::numeric_limits<uint64_t>::max();
+  for (double gamma : {-3.0, -1.0, 0.0, 1.0, 3.0, 8.0}) {
+    const uint64_t budget = GammaScaledBudget(5000, 1000, 7, 20, gamma);
+    EXPECT_LE(budget, prev);
+    prev = budget;
+  }
+  // Large γ collapses the budget to zero.
+  EXPECT_EQ(GammaScaledBudget(5000, 1000, 7, 20, 40.0), 0u);
+}
+
+TEST(GammaScaledBudgetTest, LargeNegativeGammaSaturates) {
+  EXPECT_EQ(GammaScaledBudget(5000, 1000, 7, 20, -100.0),
+            std::numeric_limits<uint64_t>::max());
+}
+
+}  // namespace
+}  // namespace locs

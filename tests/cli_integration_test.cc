@@ -1,0 +1,133 @@
+// End-to-end integration test of the locs_cli binary: generate, stats,
+// convert, decompose, and query via actual subprocess invocations.
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace locs {
+namespace {
+
+#ifndef LOCS_CLI_PATH
+#define LOCS_CLI_PATH "locs_cli"
+#endif
+
+/// Runs the CLI with `args`, captures stdout, returns {exit_code, output}.
+std::pair<int, std::string> RunCli(const std::string& args) {
+  const std::string command =
+      std::string(LOCS_CLI_PATH) + " " + args + " 2>/dev/null";
+  std::FILE* pipe = ::popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string output;
+  std::array<char, 4096> buffer{};
+  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    output += buffer.data();
+  }
+  const int status = ::pclose(pipe);
+  return {WEXITSTATUS(status), output};
+}
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(CliIntegrationTest, UsageOnNoArgs) {
+  const auto [code, out] = RunCli("");
+  EXPECT_NE(code, 0);
+}
+
+TEST(CliIntegrationTest, GenerateStatsQueryPipeline) {
+  const std::string graph_path = TempPath("cli_pipeline.lcsg");
+  {
+    const auto [code, out] = RunCli(
+        "generate --model=lfr --n=2000 --seed=5 --output=" + graph_path);
+    ASSERT_EQ(code, 0) << out;
+    EXPECT_NE(out.find("generated lfr graph"), std::string::npos);
+  }
+  {
+    const auto [code, out] = RunCli("stats --input=" + graph_path);
+    ASSERT_EQ(code, 0);
+    EXPECT_NE(out.find("vertices"), std::string::npos);
+    EXPECT_NE(out.find("2,000"), std::string::npos);
+    EXPECT_NE(out.find("degeneracy"), std::string::npos);
+  }
+  {
+    const auto [code, out] =
+        RunCli("csm --input=" + graph_path + " --vertex=7");
+    ASSERT_EQ(code, 0);
+    EXPECT_NE(out.find("best community"), std::string::npos);
+  }
+  {
+    const auto [code, out] =
+        RunCli("cst --input=" + graph_path + " --vertex=7 --k=2");
+    ASSERT_EQ(code, 0);
+    EXPECT_TRUE(out.find("community:") != std::string::npos ||
+                out.find("no community") != std::string::npos);
+  }
+  {
+    const auto [code, out] =
+        RunCli("decompose --input=" + graph_path + " --top=3");
+    ASSERT_EQ(code, 0);
+    EXPECT_NE(out.find("degeneracy"), std::string::npos);
+    EXPECT_NE(out.find("k-shell"), std::string::npos);
+  }
+}
+
+TEST(CliIntegrationTest, LocalAndGlobalAgreeOnGoodness) {
+  const std::string graph_path = TempPath("cli_agree.lcsg");
+  ASSERT_EQ(RunCli("generate --model=ba --n=1000 --m=4 --seed=3 --output=" +
+                   graph_path)
+                .first,
+            0);
+  const auto [code_l, local] =
+      RunCli("csm --input=" + graph_path + " --vertex=11");
+  const auto [code_g, global] =
+      RunCli("csm --input=" + graph_path + " --vertex=11 --global");
+  ASSERT_EQ(code_l, 0);
+  ASSERT_EQ(code_g, 0);
+  // Both report "δ=<value>"; the values must match.
+  const auto delta_of = [](const std::string& text) {
+    const size_t pos = text.find("δ=");
+    EXPECT_NE(pos, std::string::npos);
+    return text.substr(pos, text.find(' ', pos) - pos);
+  };
+  EXPECT_EQ(delta_of(local), delta_of(global));
+}
+
+TEST(CliIntegrationTest, ConvertRoundTripAcrossFormats) {
+  const std::string binary_path = TempPath("cli_conv.lcsg");
+  const std::string metis_path = TempPath("cli_conv.metis");
+  const std::string edge_path = TempPath("cli_conv.txt");
+  ASSERT_EQ(RunCli("generate --model=gnp --n=300 --p=0.05 --seed=2 "
+                   "--output=" +
+                   binary_path)
+                .first,
+            0);
+  ASSERT_EQ(RunCli("convert --input=" + binary_path +
+                   " --output=" + metis_path)
+                .first,
+            0);
+  ASSERT_EQ(RunCli("convert --input=" + metis_path +
+                   " --output=" + edge_path)
+                .first,
+            0);
+  // All three report identical edge counts in stats.
+  const auto edges_of = [](const std::string& path) {
+    const auto [code, out] = RunCli("stats --input=" + path);
+    EXPECT_EQ(code, 0);
+    const size_t pos = out.find("edges");
+    return out.substr(pos, out.find('\n', pos) - pos);
+  };
+  EXPECT_EQ(edges_of(binary_path), edges_of(metis_path));
+}
+
+TEST(CliIntegrationTest, ErrorsAreClean) {
+  EXPECT_NE(RunCli("stats --input=/nonexistent/graph").first, 0);
+  EXPECT_NE(RunCli("frobnicate").first, 0);
+  EXPECT_NE(RunCli("generate --model=unknown --output=/tmp/x").first, 0);
+}
+
+}  // namespace
+}  // namespace locs

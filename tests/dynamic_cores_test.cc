@@ -1,0 +1,164 @@
+// Tests for incremental core maintenance: every insertion/deletion must
+// leave core numbers identical to a from-scratch decomposition of the
+// current graph — verified exhaustively by differential fuzzing.
+
+#include "core/dynamic_cores.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/kcore.h"
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "util/rng.h"
+
+namespace locs {
+namespace {
+
+void ExpectCoresMatchRecompute(const DynamicCores& dynamic,
+                               const char* context) {
+  const Graph snapshot = dynamic.Freeze();
+  const CoreDecomposition expect = ComputeCores(snapshot);
+  for (VertexId v = 0; v < snapshot.NumVertices(); ++v) {
+    ASSERT_EQ(dynamic.CoreNumber(v), expect.core[v])
+        << context << " vertex " << v;
+  }
+  ASSERT_EQ(dynamic.Degeneracy(), expect.degeneracy) << context;
+}
+
+TEST(DynamicCoresTest, BuildTriangleIncrementally) {
+  DynamicCores g(3);
+  EXPECT_EQ(g.CoreNumber(0), 0u);
+  g.AddEdge(0, 1);
+  EXPECT_EQ(g.CoreNumber(0), 1u);
+  EXPECT_EQ(g.CoreNumber(1), 1u);
+  EXPECT_EQ(g.CoreNumber(2), 0u);
+  g.AddEdge(1, 2);
+  EXPECT_EQ(g.CoreNumber(2), 1u);
+  g.AddEdge(0, 2);  // closes the triangle: everyone rises to 2
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(g.CoreNumber(v), 2u);
+  g.RemoveEdge(0, 1);  // back to a path: everyone sinks to 1
+  for (VertexId v = 0; v < 3; ++v) EXPECT_EQ(g.CoreNumber(v), 1u);
+}
+
+TEST(DynamicCoresTest, DuplicateAndSelfLoopRejected) {
+  DynamicCores g(3);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_FALSE(g.AddEdge(1, 0));
+  EXPECT_FALSE(g.AddEdge(2, 2));
+  EXPECT_FALSE(g.RemoveEdge(0, 2));
+  EXPECT_EQ(g.NumEdges(), 1u);
+}
+
+TEST(DynamicCoresTest, FromGraphMatchesStatic) {
+  Graph base = gen::PaperFigure1();
+  DynamicCores dynamic(base);
+  const CoreDecomposition expect = ComputeCores(base);
+  for (VertexId v = 0; v < base.NumVertices(); ++v) {
+    EXPECT_EQ(dynamic.CoreNumber(v), expect.core[v]);
+  }
+}
+
+TEST(DynamicCoresTest, PaperFigure1EdgePlay) {
+  // Removing the weak link e-f splits V1 from V2; re-adding restores the
+  // exact original cores.
+  DynamicCores g(gen::PaperFigure1());
+  auto v = [](char c) { return gen::Figure1Vertex(c); };
+  const uint32_t f_before = g.CoreNumber(v('f'));
+  ASSERT_TRUE(g.RemoveEdge(v('e'), v('f')));
+  ExpectCoresMatchRecompute(g, "after e-f removal");
+  ASSERT_TRUE(g.AddEdge(v('e'), v('f')));
+  ExpectCoresMatchRecompute(g, "after e-f restore");
+  EXPECT_EQ(g.CoreNumber(v('f')), f_before);
+}
+
+TEST(DynamicCoresTest, CliqueGrowAndShrink) {
+  constexpr VertexId kN = 8;
+  DynamicCores g(kN);
+  for (VertexId u = 0; u < kN; ++u) {
+    for (VertexId v = u + 1; v < kN; ++v) {
+      g.AddEdge(u, v);
+      ExpectCoresMatchRecompute(g, "growing clique");
+    }
+  }
+  EXPECT_EQ(g.Degeneracy(), kN - 1);
+  for (VertexId u = 0; u < kN; ++u) {
+    for (VertexId v = u + 1; v < kN; ++v) {
+      g.RemoveEdge(u, v);
+      ExpectCoresMatchRecompute(g, "shrinking clique");
+    }
+  }
+  EXPECT_EQ(g.Degeneracy(), 0u);
+}
+
+class DynamicCoresFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DynamicCoresFuzzTest, DifferentialAgainstRecompute) {
+  constexpr VertexId kN = 24;
+  Rng rng(GetParam());
+  DynamicCores dynamic(kN);
+  std::set<std::pair<VertexId, VertexId>> edges;
+  for (int op = 0; op < 400; ++op) {
+    auto u = static_cast<VertexId>(rng.Below(kN));
+    auto v = static_cast<VertexId>(rng.Below(kN));
+    if (u > v) std::swap(u, v);
+    if (u == v) continue;
+    if (rng.Chance(0.65)) {
+      if (dynamic.AddEdge(u, v)) edges.emplace(u, v);
+    } else {
+      if (dynamic.RemoveEdge(u, v)) edges.erase({u, v});
+    }
+    ASSERT_EQ(dynamic.NumEdges(), edges.size());
+    ASSERT_NO_FATAL_FAILURE(
+        ExpectCoresMatchRecompute(dynamic, "fuzz step"));
+  }
+}
+
+TEST_P(DynamicCoresFuzzTest, DenseChurn) {
+  // Start from a random graph, then churn edges; check every 10 ops.
+  Graph base = gen::ErdosRenyiGnp(40, 0.15, GetParam() + 500);
+  DynamicCores dynamic(base);
+  Rng rng(GetParam() + 900);
+  for (int op = 0; op < 300; ++op) {
+    const auto u = static_cast<VertexId>(rng.Below(40));
+    const auto v = static_cast<VertexId>(rng.Below(40));
+    if (u == v) continue;
+    if (rng.Chance(0.5)) {
+      dynamic.AddEdge(u, v);
+    } else {
+      dynamic.RemoveEdge(u, v);
+    }
+    if (op % 10 == 9) {
+      ASSERT_NO_FATAL_FAILURE(
+          ExpectCoresMatchRecompute(dynamic, "churn step"));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicCoresFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 9, 10));
+
+TEST(DynamicCoresTest, CsmGoodnessTracksEvolvingGraph) {
+  // The promise of the module: CoreNumber(v) IS m*(G, v) at all times.
+  DynamicCores g(10);
+  // Build two triangles sharing vertex 4.
+  g.AddEdge(0, 1);
+  g.AddEdge(1, 4);
+  g.AddEdge(4, 0);
+  g.AddEdge(4, 5);
+  g.AddEdge(5, 6);
+  g.AddEdge(6, 4);
+  EXPECT_EQ(g.CoreNumber(4), 2u);
+  EXPECT_EQ(g.CoreNumber(0), 2u);
+  // Densify the right triangle into K4: its members rise to 3.
+  g.AddEdge(5, 7);
+  g.AddEdge(6, 7);
+  g.AddEdge(4, 7);
+  EXPECT_EQ(g.CoreNumber(4), 3u);
+  EXPECT_EQ(g.CoreNumber(7), 3u);
+  EXPECT_EQ(g.CoreNumber(0), 2u);  // left triangle unchanged
+}
+
+}  // namespace
+}  // namespace locs

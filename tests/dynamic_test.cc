@@ -1,0 +1,146 @@
+// Tests for DynamicGraph: the degree-ordered adjacency must survive
+// arbitrary edge insertions and deletions (the §4.3.2 dynamic-maintenance
+// claim), verified by differential fuzzing against a reference edge set.
+
+#include "graph/dynamic.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "graph/builder.h"
+#include "graph/invariants.h"
+#include "util/rng.h"
+
+namespace locs {
+namespace {
+
+TEST(DynamicGraphTest, EmptyAndBasicOps) {
+  DynamicGraph g(4);
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_TRUE(g.AddEdge(0, 1));
+  EXPECT_FALSE(g.AddEdge(0, 1));  // duplicate
+  EXPECT_FALSE(g.AddEdge(1, 0));  // duplicate, reversed
+  EXPECT_FALSE(g.AddEdge(2, 2));  // self-loop
+  EXPECT_TRUE(g.HasEdge(0, 1));
+  EXPECT_TRUE(g.HasEdge(1, 0));
+  EXPECT_FALSE(g.HasEdge(0, 2));
+  EXPECT_EQ(g.NumEdges(), 1u);
+  EXPECT_TRUE(g.RemoveEdge(1, 0));
+  EXPECT_FALSE(g.RemoveEdge(0, 1));  // already gone
+  EXPECT_EQ(g.NumEdges(), 0u);
+  EXPECT_TRUE(g.CheckOrderInvariant());
+}
+
+TEST(DynamicGraphTest, FromGraphKeepsOrderInvariant) {
+  Graph base = gen::ErdosRenyiGnp(80, 0.08, 3);
+  DynamicGraph dynamic(base);
+  EXPECT_EQ(dynamic.NumEdges(), base.NumEdges());
+  EXPECT_TRUE(dynamic.CheckOrderInvariant());
+  // Adjacency matches OrderedAdjacency of the same graph exactly.
+  OrderedAdjacency ordered(base);
+  for (VertexId v = 0; v < base.NumVertices(); ++v) {
+    const auto expect = ordered.Neighbors(v);
+    const auto& got = dynamic.Neighbors(v);
+    ASSERT_EQ(got.size(), expect.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i], expect[i]) << "v=" << v << " i=" << i;
+    }
+  }
+}
+
+TEST(DynamicGraphTest, DegreeChangeRepositionsInNeighborLists) {
+  // Star center: every leaf list is just {center}. Adding leaf-leaf edges
+  // changes leaf degrees, which must reorder the center's list.
+  DynamicGraph g(5);
+  for (VertexId v = 1; v < 5; ++v) g.AddEdge(0, v);
+  // All leaves degree 1, sorted by id: 1,2,3,4.
+  EXPECT_EQ(g.Neighbors(0), (std::vector<VertexId>{1, 2, 3, 4}));
+  g.AddEdge(3, 4);  // 3 and 4 now degree 2: must move to the front.
+  EXPECT_EQ(g.Neighbors(0), (std::vector<VertexId>{3, 4, 1, 2}));
+  EXPECT_TRUE(g.CheckOrderInvariant());
+  g.RemoveEdge(3, 4);
+  EXPECT_EQ(g.Neighbors(0), (std::vector<VertexId>{1, 2, 3, 4}));
+}
+
+TEST(DynamicGraphTest, FreezeRoundTrip) {
+  Graph base = gen::PaperFigure1();
+  DynamicGraph dynamic(base);
+  Graph frozen = dynamic.Freeze();
+  EXPECT_EQ(frozen.offsets(), base.offsets());
+  EXPECT_EQ(frozen.neighbors(), base.neighbors());
+  EXPECT_EQ(ValidateGraph(frozen), "");
+}
+
+class DynamicFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DynamicFuzzTest, DifferentialAgainstReferenceEdgeSet) {
+  constexpr VertexId kN = 30;
+  Rng rng(GetParam());
+  DynamicGraph dynamic(kN);
+  std::set<std::pair<VertexId, VertexId>> reference;
+  for (int op = 0; op < 600; ++op) {
+    auto u = static_cast<VertexId>(rng.Below(kN));
+    auto v = static_cast<VertexId>(rng.Below(kN));
+    if (u > v) std::swap(u, v);
+    const bool present = reference.count({u, v}) > 0;
+    if (rng.Chance(0.6)) {
+      const bool added = dynamic.AddEdge(u, v);
+      EXPECT_EQ(added, !present && u != v) << "op=" << op;
+      if (added) reference.emplace(u, v);
+    } else {
+      const bool removed = dynamic.RemoveEdge(u, v);
+      EXPECT_EQ(removed, present) << "op=" << op;
+      if (removed) reference.erase({u, v});
+    }
+    ASSERT_EQ(dynamic.NumEdges(), reference.size());
+    if (op % 50 == 49) {
+      ASSERT_TRUE(dynamic.CheckOrderInvariant()) << "op=" << op;
+    }
+  }
+  ASSERT_TRUE(dynamic.CheckOrderInvariant());
+  // Final state equals the reference graph.
+  EdgeList edges(reference.begin(), reference.end());
+  Graph expect = BuildGraph(kN, edges);
+  Graph got = dynamic.Freeze();
+  EXPECT_EQ(got.offsets(), expect.offsets());
+  EXPECT_EQ(got.neighbors(), expect.neighbors());
+  // And its ordering equals a from-scratch OrderedAdjacency.
+  OrderedAdjacency ordered(expect);
+  for (VertexId v = 0; v < kN; ++v) {
+    const auto want = ordered.Neighbors(v);
+    const auto& have = dynamic.Neighbors(v);
+    ASSERT_EQ(have.size(), want.size());
+    for (size_t i = 0; i < want.size(); ++i) {
+      EXPECT_EQ(have[i], want[i]) << "v=" << v;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DynamicFuzzTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(DynamicGraphTest, EvolvingGraphQueriesStayCorrect) {
+  // Simulate an evolving network: add edges in waves, freeze, and check a
+  // community query against the frozen graph each wave.
+  Rng rng(77);
+  DynamicGraph dynamic(60);
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int e = 0; e < 80; ++e) {
+      dynamic.AddEdge(static_cast<VertexId>(rng.Below(60)),
+                      static_cast<VertexId>(rng.Below(60)));
+    }
+    for (int e = 0; e < 20; ++e) {
+      dynamic.RemoveEdge(static_cast<VertexId>(rng.Below(60)),
+                         static_cast<VertexId>(rng.Below(60)));
+    }
+    ASSERT_TRUE(dynamic.CheckOrderInvariant());
+    Graph snapshot = dynamic.Freeze();
+    EXPECT_EQ(ValidateGraph(snapshot), "");
+  }
+}
+
+}  // namespace
+}  // namespace locs

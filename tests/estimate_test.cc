@@ -1,0 +1,157 @@
+// Tests for the degree-distribution estimation module (Theorem 4, Lemma 5,
+// Equation 3).
+
+#include "estimate/theorem4.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "estimate/degree_dist.h"
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "gen/powerlaw.h"
+
+namespace locs {
+namespace {
+
+using estimate::EmpiricalDegreeDistribution;
+using estimate::EstimateEdgesAbove;
+using estimate::EstimateVerticesAbove;
+using estimate::QtDistribution;
+using estimate::TailMass;
+using estimate::Zeta;
+
+TEST(DegreeDistTest, RegularGraphIsPointMass) {
+  Graph g = gen::Cycle(50);
+  const auto p = EmpiricalDegreeDistribution(g);
+  ASSERT_EQ(p.size(), 3u);
+  EXPECT_DOUBLE_EQ(p[2], 1.0);
+  EXPECT_DOUBLE_EQ(p[0] + p[1], 0.0);
+}
+
+TEST(DegreeDistTest, SumsToOne) {
+  Graph g = gen::PowerLawGraph(2000, 2.2, 2, 60, 5);
+  const auto p = EmpiricalDegreeDistribution(g);
+  const double total = std::accumulate(p.begin(), p.end(), 0.0);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(DegreeDistTest, ZetaZeroIsMeanDegree) {
+  Graph g = gen::PowerLawGraph(3000, 2.0, 3, 80, 6);
+  const auto p = EmpiricalDegreeDistribution(g);
+  EXPECT_NEAR(Zeta(p, 0), g.AverageDegree(), 1e-9);
+}
+
+TEST(DegreeDistTest, ZetaMonotoneDecreasingInX) {
+  Graph g = gen::PowerLawGraph(1000, 2.0, 2, 50, 7);
+  const auto p = EmpiricalDegreeDistribution(g);
+  double prev = Zeta(p, 0);
+  for (uint32_t x = 1; x < p.size(); ++x) {
+    const double cur = Zeta(p, x);
+    EXPECT_LE(cur, prev + 1e-12);
+    prev = cur;
+  }
+}
+
+TEST(DegreeDistTest, TailMassMatchesDirectCount) {
+  Graph g = gen::PowerLawGraph(1500, 2.1, 2, 40, 8);
+  const auto p = EmpiricalDegreeDistribution(g);
+  for (uint32_t k : {0u, 3u, 8u, 20u}) {
+    uint64_t count = 0;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      count += g.Degree(v) >= k;
+    }
+    EXPECT_NEAR(EstimateVerticesAbove(p, g.NumVertices(), k),
+                static_cast<double>(count), 1e-6);
+    EXPECT_NEAR(TailMass(p, k) * static_cast<double>(g.NumVertices()),
+                static_cast<double>(count), 1e-6);
+  }
+}
+
+TEST(Theorem4Test, QtIsADistribution) {
+  Graph g = gen::PowerLawGraph(4000, 2.0, 3, 100, 9);
+  const auto p = EmpiricalDegreeDistribution(g);
+  for (uint32_t k : {2u, 5u, 10u}) {
+    const auto qt = QtDistribution(p, k);
+    const double total = std::accumulate(qt.begin(), qt.end(), 0.0);
+    EXPECT_NEAR(total, 1.0, 1e-6) << "k=" << k;
+    for (double q : qt) EXPECT_GE(q, 0.0);
+  }
+}
+
+TEST(Theorem4Test, KZeroKeepsOriginalDistribution) {
+  // With k = 0, p = 1 and q_t should reduce to p_t exactly.
+  Graph g = gen::PowerLawGraph(800, 2.3, 2, 30, 10);
+  const auto p = EmpiricalDegreeDistribution(g);
+  const auto qt = QtDistribution(p, 0);
+  ASSERT_EQ(qt.size(), p.size());
+  for (size_t t = 0; t < p.size(); ++t) {
+    EXPECT_NEAR(qt[t], p[t], 1e-9) << "t=" << t;
+  }
+}
+
+TEST(Theorem4Test, EdgeEstimateExactAtKZero) {
+  Graph g = gen::PowerLawGraph(1200, 2.0, 2, 50, 11);
+  EXPECT_NEAR(EstimateEdgesAbove(g, 0), static_cast<double>(g.NumEdges()),
+              static_cast<double>(g.NumEdges()) * 1e-6);
+}
+
+TEST(Theorem4Test, EdgeEstimateTracksRealityOnPowerLawGraphs) {
+  // The §4.2.3 estimate should land within a factor ~2 of the true edge
+  // count of G[V>=k] for moderate k on configuration-model graphs (it is
+  // asymptotic and ignores degree-degree correlations).
+  Graph g = gen::PowerLawGraph(20000, 2.0, 3, 200, 12);
+  for (uint32_t k : {4u, 6u, 8u}) {
+    std::vector<uint8_t> in(g.NumVertices(), 0);
+    for (VertexId v = 0; v < g.NumVertices(); ++v) in[v] = g.Degree(v) >= k;
+    uint64_t real_edges = 0;
+    for (VertexId v = 0; v < g.NumVertices(); ++v) {
+      if (!in[v]) continue;
+      for (VertexId w : g.Neighbors(v)) real_edges += (w > v && in[w]);
+    }
+    if (real_edges < 100) continue;
+    const double est = EstimateEdgesAbove(g, k);
+    // Theorem 4 is asymptotic and assumes independent stub retention; the
+    // erased configuration model introduces correlations that push the
+    // estimate low at larger k, so the acceptance band is generous.
+    EXPECT_GT(est, static_cast<double>(real_edges) * 0.3) << "k=" << k;
+    EXPECT_LT(est, static_cast<double>(real_edges) * 3.0) << "k=" << k;
+  }
+}
+
+TEST(Theorem4Test, ThresholdBeyondMaxDegree) {
+  // k above the maximum degree: nothing survives; q collapses to a point
+  // mass at degree 0 and both estimates vanish.
+  Graph g = gen::Cycle(30);
+  EXPECT_DOUBLE_EQ(EstimateVerticesAbove(g, 3), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateEdgesAbove(g, 3), 0.0);
+  const auto p = EmpiricalDegreeDistribution(g);
+  const auto qt = QtDistribution(p, 3);
+  EXPECT_DOUBLE_EQ(qt[0], 1.0);
+}
+
+TEST(Theorem4Test, EmptyGraphIsSafe) {
+  Graph empty;
+  EXPECT_TRUE(EmpiricalDegreeDistribution(empty).empty());
+  EXPECT_DOUBLE_EQ(EstimateVerticesAbove(empty, 1), 0.0);
+  EXPECT_DOUBLE_EQ(EstimateEdgesAbove(empty, 1), 0.0);
+}
+
+TEST(Theorem4Test, EstimatesMonotoneInK) {
+  Graph g = gen::PowerLawGraph(5000, 2.1, 2, 80, 13);
+  double prev_v = EstimateVerticesAbove(g, 0);
+  double prev_e = EstimateEdgesAbove(g, 0);
+  for (uint32_t k = 1; k < 20; ++k) {
+    const double ev = EstimateVerticesAbove(g, k);
+    const double ee = EstimateEdgesAbove(g, k);
+    EXPECT_LE(ev, prev_v + 1e-9);
+    EXPECT_LE(ee, prev_e + prev_e * 1e-6 + 1e-9);
+    prev_v = ev;
+    prev_e = ee;
+  }
+}
+
+}  // namespace
+}  // namespace locs

@@ -1,0 +1,120 @@
+// Tests for constrained community search (FilteredCommunitySearcher).
+
+#include "core/filtered.h"
+
+#include <gtest/gtest.h>
+
+#include "core/global.h"
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "gen/planted.h"
+#include "graph/subgraph.h"
+#include "test_util.h"
+
+namespace locs {
+namespace {
+
+using testing::ToSet;
+
+TEST(FilteredSearchTest, AllAdmittedEqualsUnconstrained) {
+  Graph g = gen::PaperFigure1();
+  const std::vector<uint8_t> all(g.NumVertices(), 1);
+  FilteredCommunitySearcher filtered(g, all);
+  for (VertexId v0 = 0; v0 < g.NumVertices(); ++v0) {
+    const auto constrained = filtered.Csm(v0);
+    ASSERT_TRUE(constrained.has_value());
+    EXPECT_EQ(constrained->min_degree, GlobalCsm(g, v0).min_degree);
+  }
+}
+
+TEST(FilteredSearchTest, UnadmittedQueryRejected) {
+  Graph g = gen::Clique(6);
+  std::vector<uint8_t> admitted(6, 1);
+  admitted[3] = 0;
+  FilteredCommunitySearcher filtered(g, admitted);
+  EXPECT_FALSE(filtered.Cst(3, 1).has_value());
+  EXPECT_FALSE(filtered.Csm(3).has_value());
+  EXPECT_FALSE(filtered.IsAdmitted(3));
+  EXPECT_TRUE(filtered.IsAdmitted(0));
+  EXPECT_EQ(filtered.NumAdmitted(), 5u);
+}
+
+TEST(FilteredSearchTest, MaskExcludesVerticesFromCommunities) {
+  // K6 with vertex 5 masked out: the best constrained community is K5.
+  Graph g = gen::Clique(6);
+  std::vector<uint8_t> admitted(6, 1);
+  admitted[5] = 0;
+  FilteredCommunitySearcher filtered(g, admitted);
+  const auto best = filtered.Csm(0);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->min_degree, 4u);
+  EXPECT_EQ(ToSet(best->members), ToSet({0, 1, 2, 3, 4}));
+}
+
+TEST(FilteredSearchTest, MaskCanDisconnectCommunities) {
+  // Figure 1 with the bridge f masked: queries in V1 can never reach V2
+  // even at k = 1..2, and V1's own community is unchanged.
+  Graph g = gen::PaperFigure1();
+  auto v = [](char c) { return gen::Figure1Vertex(c); };
+  std::vector<uint8_t> admitted(g.NumVertices(), 1);
+  admitted[v('f')] = 0;
+  FilteredCommunitySearcher filtered(g, admitted);
+  const auto cst2 = filtered.Cst(v('e'), 2);
+  ASSERT_TRUE(cst2.has_value());
+  // Without f, any min-degree-2 answer around e must stay inside V1 (V2
+  // is unreachable): local search returns some valid subset of it.
+  const auto v1 = ToSet({v('a'), v('b'), v('c'), v('d'), v('e')});
+  for (VertexId member : cst2->members) {
+    EXPECT_TRUE(v1.count(member) > 0);
+  }
+  EXPECT_GE(MinDegreeOfInduced(g, cst2->members), 2u);
+  const auto best = filtered.Csm(v('e'));
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->min_degree, 3u);
+}
+
+TEST(FilteredSearchTest, ResultsAreValidInOriginalGraphSemantics) {
+  Graph g = gen::ErdosRenyiGnp(80, 0.12, 5);
+  Rng rng(9);
+  std::vector<uint8_t> admitted(g.NumVertices(), 0);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    admitted[v] = rng.Chance(0.7) ? 1 : 0;
+  }
+  FilteredCommunitySearcher filtered(g, admitted);
+  for (VertexId v0 = 0; v0 < g.NumVertices(); v0 += 7) {
+    if (admitted[v0] == 0) {
+      EXPECT_FALSE(filtered.Csm(v0).has_value());
+      continue;
+    }
+    const auto best = filtered.Csm(v0);
+    ASSERT_TRUE(best.has_value());
+    // Every member admitted, community connected in G, and the reported
+    // δ matches the induced min degree in G (admitted-only edges equal
+    // induced edges because all members are admitted).
+    for (VertexId member : best->members) {
+      EXPECT_NE(admitted[member], 0);
+    }
+    EXPECT_TRUE(IsValidCommunity(g, best->members, v0, best->min_degree));
+  }
+}
+
+TEST(FilteredSearchTest, LabelConstrainedCaseStudy) {
+  // Planted graph, communities 0..3; admit only "opted-in" communities
+  // {0, 1}: queries in community 0 get their cave; queries in community 2
+  // are rejected.
+  const gen::PlantedGraph net = gen::PlantedPartition(4, 18, 0.5, 0.02, 8);
+  std::vector<uint8_t> admitted(net.graph.NumVertices(), 0);
+  for (VertexId v = 0; v < net.graph.NumVertices(); ++v) {
+    admitted[v] = net.community[v] <= 1 ? 1 : 0;
+  }
+  FilteredCommunitySearcher filtered(net.graph, admitted);
+  const auto best = filtered.Csm(0);  // community 0
+  ASSERT_TRUE(best.has_value());
+  for (VertexId member : best->members) {
+    EXPECT_LE(net.community[member], 1u);
+  }
+  EXPECT_FALSE(filtered.Csm(net.graph.NumVertices() - 1).has_value());
+}
+
+}  // namespace
+}  // namespace locs

@@ -1,0 +1,222 @@
+// Tests for the random-graph generators: determinism, structural
+// invariants, and distributional properties.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/barabasi.h"
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "gen/lfr.h"
+#include "gen/planted.h"
+#include "gen/powerlaw.h"
+#include "graph/invariants.h"
+#include "graph/traversal.h"
+#include "util/rng.h"
+
+namespace locs {
+namespace {
+
+TEST(ErdosRenyiTest, GnpDeterministicPerSeed) {
+  Graph a = gen::ErdosRenyiGnp(100, 0.05, 3);
+  Graph b = gen::ErdosRenyiGnp(100, 0.05, 3);
+  Graph c = gen::ErdosRenyiGnp(100, 0.05, 4);
+  EXPECT_EQ(a.neighbors(), b.neighbors());
+  EXPECT_NE(a.neighbors(), c.neighbors());
+}
+
+TEST(ErdosRenyiTest, GnpEdgeCountNearExpectation) {
+  const VertexId n = 400;
+  const double p = 0.03;
+  double total = 0;
+  for (uint64_t seed = 0; seed < 8; ++seed) {
+    total += static_cast<double>(gen::ErdosRenyiGnp(n, p, seed).NumEdges());
+  }
+  const double expected = p * n * (n - 1) / 2.0;
+  EXPECT_NEAR(total / 8.0, expected, expected * 0.08);
+}
+
+TEST(ErdosRenyiTest, GnpExtremes) {
+  EXPECT_EQ(gen::ErdosRenyiGnp(20, 0.0, 1).NumEdges(), 0u);
+  EXPECT_EQ(gen::ErdosRenyiGnp(20, 1.0, 1).NumEdges(), 190u);
+  EXPECT_EQ(gen::ErdosRenyiGnp(1, 0.5, 1).NumEdges(), 0u);
+}
+
+TEST(ErdosRenyiTest, GnpValid) {
+  for (uint64_t seed : {1u, 2u, 3u}) {
+    EXPECT_EQ(ValidateGraph(gen::ErdosRenyiGnp(150, 0.04, seed)), "");
+  }
+}
+
+TEST(ErdosRenyiTest, GnmExactEdgeCount) {
+  for (uint64_t m : {0u, 1u, 50u, 300u}) {
+    Graph g = gen::ErdosRenyiGnm(60, m, 9);
+    EXPECT_EQ(g.NumEdges(), m);
+    EXPECT_EQ(ValidateGraph(g), "");
+  }
+}
+
+TEST(ErdosRenyiTest, GnmCompleteGraph) {
+  Graph g = gen::ErdosRenyiGnm(10, 45, 2);
+  EXPECT_EQ(g.NumEdges(), 45u);
+  EXPECT_EQ(g.MinDegree(), 9u);
+}
+
+TEST(BarabasiTest, DegreesAndValidity) {
+  Graph g = gen::BarabasiAlbert(2000, 3, 5);
+  EXPECT_EQ(ValidateGraph(g), "");
+  EXPECT_EQ(g.NumVertices(), 2000u);
+  // Each new vertex adds at most m edges.
+  EXPECT_LE(g.NumEdges(), 6u + (2000u - 4u) * 3u);
+  // Scale-free: the max degree should far exceed the mean.
+  EXPECT_GT(g.MaxDegree(), 4 * static_cast<uint32_t>(g.AverageDegree()));
+  // Connected by construction.
+  EXPECT_EQ(BfsOrder(g, 0).size(), g.NumVertices());
+}
+
+TEST(PowerLawTest, DegreeSequenceBoundsAndParity) {
+  Rng rng(7);
+  const auto degrees = gen::PowerLawDegreeSequence(501, 2.0, 3, 40, rng);
+  ASSERT_EQ(degrees.size(), 501u);
+  uint64_t total = 0;
+  for (uint32_t d : degrees) {
+    EXPECT_GE(d, 3u);
+    EXPECT_LE(d, 40u);
+    total += d;
+  }
+  EXPECT_EQ(total % 2, 0u);
+}
+
+TEST(PowerLawTest, ConfigurationModelApproximatesSequence) {
+  Rng rng(11);
+  const auto degrees = gen::PowerLawDegreeSequence(1000, 2.2, 4, 50, rng);
+  Graph g = gen::ConfigurationModel(degrees, rng);
+  EXPECT_EQ(ValidateGraph(g), "");
+  const uint64_t want =
+      std::accumulate(degrees.begin(), degrees.end(), uint64_t{0}) / 2;
+  // Erased model: some loss to self-loops/duplicates, but modest.
+  EXPECT_GT(g.NumEdges(), want * 85 / 100);
+  EXPECT_LE(g.NumEdges(), want);
+}
+
+TEST(LfrTest, BasicShape) {
+  gen::LfrParams params;
+  params.n = 1000;
+  params.seed = 21;
+  const gen::LfrGraph lfr = gen::Lfr(params);
+  EXPECT_EQ(lfr.graph.NumVertices(), params.n);
+  EXPECT_EQ(ValidateGraph(lfr.graph), "");
+  EXPECT_EQ(lfr.community.size(), params.n);
+  EXPECT_GT(lfr.num_communities, 1u);
+  for (uint32_t c : lfr.community) EXPECT_LT(c, lfr.num_communities);
+}
+
+TEST(LfrTest, DeterministicPerSeed) {
+  gen::LfrParams params;
+  params.n = 500;
+  params.seed = 33;
+  const gen::LfrGraph a = gen::Lfr(params);
+  const gen::LfrGraph b = gen::Lfr(params);
+  EXPECT_EQ(a.graph.neighbors(), b.graph.neighbors());
+  EXPECT_EQ(a.community, b.community);
+}
+
+TEST(LfrTest, MixingParameterControlsLocality) {
+  // Small μ ⇒ most edges intra-community; large μ ⇒ many cross edges.
+  auto cross_fraction = [](double mu) {
+    gen::LfrParams params;
+    params.n = 2000;
+    params.mu = mu;
+    params.seed = 55;
+    const gen::LfrGraph lfr = gen::Lfr(params);
+    uint64_t cross = 0;
+    uint64_t total = 0;
+    for (VertexId v = 0; v < lfr.graph.NumVertices(); ++v) {
+      for (VertexId w : lfr.graph.Neighbors(v)) {
+        if (w < v) continue;
+        ++total;
+        cross += lfr.community[v] != lfr.community[w];
+      }
+    }
+    return static_cast<double>(cross) / static_cast<double>(total);
+  };
+  const double low = cross_fraction(0.1);
+  const double high = cross_fraction(0.5);
+  EXPECT_LT(low, 0.2);
+  EXPECT_GT(high, 0.35);
+  EXPECT_LT(low, high);
+}
+
+TEST(LfrTest, CommunitySizesWithinBounds) {
+  gen::LfrParams params;
+  params.n = 3000;
+  params.min_community = 25;
+  params.max_community = 120;
+  params.seed = 77;
+  const gen::LfrGraph lfr = gen::Lfr(params);
+  std::vector<uint32_t> sizes(lfr.num_communities, 0);
+  for (uint32_t c : lfr.community) ++sizes[c];
+  for (uint32_t s : sizes) {
+    EXPECT_GE(s, 1u);
+    // The remainder-absorbing community may exceed max_community slightly.
+    EXPECT_LE(s, params.max_community + params.min_community);
+  }
+}
+
+TEST(LfrTest, DegreesRoughlyMatchRequestedRange) {
+  gen::LfrParams params;
+  params.n = 2000;
+  params.min_degree = 6;
+  params.max_degree = 60;
+  params.seed = 88;
+  const gen::LfrGraph lfr = gen::Lfr(params);
+  // The erased wiring can undershoot, but the body of the distribution
+  // should be in range: mean degree within [min_degree*0.8, max_degree].
+  const double avg = lfr.graph.AverageDegree();
+  EXPECT_GT(avg, params.min_degree * 0.8);
+  EXPECT_LT(avg, params.max_degree);
+  EXPECT_LE(lfr.graph.MaxDegree(), params.max_degree);
+}
+
+TEST(PlantedPartitionTest, StructureAndLabels) {
+  const gen::PlantedGraph planted =
+      gen::PlantedPartition(4, 25, 0.5, 0.01, 99);
+  EXPECT_EQ(planted.graph.NumVertices(), 100u);
+  EXPECT_EQ(planted.num_communities, 4u);
+  EXPECT_EQ(ValidateGraph(planted.graph), "");
+  // Count intra vs inter edges: intra should dominate heavily.
+  uint64_t intra = 0;
+  uint64_t inter = 0;
+  for (VertexId v = 0; v < planted.graph.NumVertices(); ++v) {
+    for (VertexId w : planted.graph.Neighbors(v)) {
+      if (w < v) continue;
+      if (planted.community[v] == planted.community[w]) {
+        ++intra;
+      } else {
+        ++inter;
+      }
+    }
+  }
+  EXPECT_GT(intra, inter * 2);
+}
+
+TEST(RelaxedCavemanTest, ZeroRewireIsDisjointCliques) {
+  const gen::PlantedGraph caves = gen::RelaxedCaveman({5, 6, 7}, 0.0, 1);
+  EXPECT_EQ(caves.graph.NumVertices(), 18u);
+  EXPECT_EQ(caves.graph.NumEdges(), 10u + 15u + 21u);
+  const Components comps = ConnectedComponents(caves.graph);
+  EXPECT_EQ(comps.count, 3u);
+}
+
+TEST(RelaxedCavemanTest, RewiringKeepsGraphSimple) {
+  const gen::PlantedGraph caves =
+      gen::RelaxedCaveman({10, 10, 10, 10}, 0.2, 5);
+  EXPECT_EQ(ValidateGraph(caves.graph), "");
+  // Rewiring drops some edges to self-loops/duplicates, never adds.
+  EXPECT_LE(caves.graph.NumEdges(), 4u * 45u);
+  EXPECT_GT(caves.graph.NumEdges(), 4u * 45u * 8 / 10);
+}
+
+}  // namespace
+}  // namespace locs

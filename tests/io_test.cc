@@ -1,0 +1,199 @@
+// Tests for edge-list and binary graph persistence.
+
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "graph/builder.h"
+#include "graph/invariants.h"
+
+namespace locs {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(EdgeListIoTest, RoundTrip) {
+  Graph original = gen::ErdosRenyiGnp(50, 0.1, 7);
+  const std::string path = TempPath("roundtrip.txt");
+  ASSERT_TRUE(SaveEdgeList(original, path));
+  const auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  // Vertex ids may be remapped (isolated vertices are dropped by the
+  // edge-list format), but edge count and degree multiset survive.
+  EXPECT_EQ(loaded->NumEdges(), original.NumEdges());
+  EXPECT_EQ(ValidateGraph(*loaded), "");
+}
+
+TEST(EdgeListIoTest, ParsesSnapStyleComments) {
+  const std::string path = TempPath("snap.txt");
+  {
+    std::ofstream out(path);
+    out << "# SNAP-style header\n";
+    out << "% another comment style\n";
+    out << "10 20\n20 30\n30 10\n";
+  }
+  const auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->NumVertices(), 3u);
+  EXPECT_EQ(loaded->NumEdges(), 3u);
+  EXPECT_EQ(loaded->MinDegree(), 2u);
+}
+
+TEST(EdgeListIoTest, CompactsSparseIds) {
+  const std::string path = TempPath("sparse_ids.txt");
+  {
+    std::ofstream out(path);
+    out << "1000000 2000000\n2000000 3000000\n";
+  }
+  const auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->NumVertices(), 3u);
+}
+
+TEST(EdgeListIoTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(LoadEdgeList("/nonexistent/path/graph.txt").has_value());
+}
+
+TEST(EdgeListIoTest, MalformedLineFails) {
+  const std::string path = TempPath("bad.txt");
+  {
+    std::ofstream out(path);
+    out << "1 2\nnot numbers\n";
+  }
+  EXPECT_FALSE(LoadEdgeList(path).has_value());
+}
+
+TEST(BinaryIoTest, ExactRoundTrip) {
+  Graph original = gen::ErdosRenyiGnp(200, 0.05, 11);
+  const std::string path = TempPath("graph.lcsg");
+  ASSERT_TRUE(SaveBinary(original, path));
+  const auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->offsets(), original.offsets());
+  EXPECT_EQ(loaded->neighbors(), original.neighbors());
+}
+
+TEST(BinaryIoTest, PreservesIsolatedVertices) {
+  Graph original = BuildGraph(10, {{0, 1}});
+  const std::string path = TempPath("isolated.lcsg");
+  ASSERT_TRUE(SaveBinary(original, path));
+  const auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->NumVertices(), 10u);
+  EXPECT_EQ(loaded->NumEdges(), 1u);
+}
+
+TEST(BinaryIoTest, RejectsBadMagic) {
+  const std::string path = TempPath("junk.lcsg");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "this is not a locs graph file at all, padding padding";
+  }
+  EXPECT_FALSE(LoadBinary(path).has_value());
+}
+
+TEST(BinaryIoTest, RejectsTruncatedFile) {
+  Graph original = gen::Clique(20);
+  const std::string path = TempPath("trunc.lcsg");
+  ASSERT_TRUE(SaveBinary(original, path));
+  // Truncate the file to half its size.
+  std::FILE* f = std::fopen(path.c_str(), "r+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  EXPECT_FALSE(LoadBinary(path).has_value());
+}
+
+TEST(BinaryIoTest, MissingFileReturnsNullopt) {
+  EXPECT_FALSE(LoadBinary("/nonexistent/path/graph.lcsg").has_value());
+}
+
+TEST(MetisIoTest, RoundTrip) {
+  Graph original = gen::ErdosRenyiGnp(60, 0.1, 13);
+  const std::string path = TempPath("graph.metis");
+  ASSERT_TRUE(SaveMetis(original, path));
+  const auto loaded = LoadMetis(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->offsets(), original.offsets());
+  EXPECT_EQ(loaded->neighbors(), original.neighbors());
+}
+
+TEST(MetisIoTest, ParsesCommentsAndHeader) {
+  const std::string path = TempPath("hand.metis");
+  {
+    std::ofstream out(path);
+    out << "% a triangle plus a pendant\n";
+    out << "4 4\n";
+    out << "2 3\n";
+    out << "1 3\n";
+    out << "1 2 4\n";
+    out << "3\n";
+  }
+  const auto loaded = LoadMetis(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->NumVertices(), 4u);
+  EXPECT_EQ(loaded->NumEdges(), 4u);
+  EXPECT_TRUE(loaded->HasEdge(0, 1));
+  EXPECT_TRUE(loaded->HasEdge(2, 3));
+  EXPECT_FALSE(loaded->HasEdge(0, 3));
+}
+
+TEST(MetisIoTest, RejectsWeightedFormat) {
+  const std::string path = TempPath("weighted.metis");
+  {
+    std::ofstream out(path);
+    out << "2 1 011\n1 2\n2 1\n";
+  }
+  EXPECT_FALSE(LoadMetis(path).has_value());
+}
+
+TEST(MetisIoTest, RejectsOutOfRangeNeighbor) {
+  const std::string path = TempPath("badid.metis");
+  {
+    std::ofstream out(path);
+    out << "2 1\n2\n3\n";
+  }
+  EXPECT_FALSE(LoadMetis(path).has_value());
+}
+
+TEST(MetisIoTest, RejectsTruncatedVertexLines) {
+  const std::string path = TempPath("short.metis");
+  {
+    std::ofstream out(path);
+    out << "3 2\n2\n1 3\n";  // third vertex line missing
+  }
+  EXPECT_FALSE(LoadMetis(path).has_value());
+}
+
+TEST(MetisIoTest, IsolatedVerticesViaEmptyLines) {
+  Graph original = BuildGraph(5, {{0, 4}});
+  const std::string path = TempPath("isolated.metis");
+  ASSERT_TRUE(SaveMetis(original, path));
+  const auto loaded = LoadMetis(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->NumVertices(), 5u);
+  EXPECT_EQ(loaded->NumEdges(), 1u);
+}
+
+TEST(EdgeListIoTest, EmptyGraphRoundTrip) {
+  Graph empty = BuildGraph(0, {});
+  const std::string path = TempPath("empty.lcsg");
+  ASSERT_TRUE(SaveBinary(empty, path));
+  const auto loaded = LoadBinary(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->NumVertices(), 0u);
+}
+
+}  // namespace
+}  // namespace locs

@@ -1,0 +1,75 @@
+// Tests for the degree-descending ordered adjacency (§4.3.2).
+
+#include "graph/ordering.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "gen/powerlaw.h"
+#include "test_util.h"
+
+namespace locs {
+namespace {
+
+using testing::Sorted;
+
+TEST(OrderedAdjacencyTest, SortedByDescendingDegree) {
+  Graph g = gen::PowerLawGraph(300, 2.0, 2, 40, 3);
+  OrderedAdjacency ordered(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    const auto nbrs = ordered.Neighbors(v);
+    for (size_t i = 1; i < nbrs.size(); ++i) {
+      const uint32_t prev = g.Degree(nbrs[i - 1]);
+      const uint32_t cur = g.Degree(nbrs[i]);
+      EXPECT_GE(prev, cur);
+      if (prev == cur) EXPECT_LT(nbrs[i - 1], nbrs[i]);  // stable ties
+    }
+  }
+}
+
+TEST(OrderedAdjacencyTest, SameNeighborMultiset) {
+  Graph g = gen::ErdosRenyiGnp(120, 0.06, 9);
+  OrderedAdjacency ordered(g);
+  for (VertexId v = 0; v < g.NumVertices(); ++v) {
+    std::vector<VertexId> a(g.Neighbors(v).begin(), g.Neighbors(v).end());
+    std::vector<VertexId> b(ordered.Neighbors(v).begin(),
+                            ordered.Neighbors(v).end());
+    EXPECT_EQ(Sorted(a), Sorted(b));
+  }
+}
+
+TEST(OrderedAdjacencyTest, PrefixPruningIsLossless) {
+  // Stopping the scan at the first neighbor below k must see exactly the
+  // neighbors with degree >= k.
+  Graph g = gen::PowerLawGraph(500, 2.1, 2, 50, 13);
+  OrderedAdjacency ordered(g);
+  for (uint32_t k : {3u, 6u, 12u}) {
+    for (VertexId v = 0; v < g.NumVertices(); v += 17) {
+      std::vector<VertexId> via_prefix;
+      for (VertexId w : ordered.Neighbors(v)) {
+        if (g.Degree(w) < k) break;
+        via_prefix.push_back(w);
+      }
+      std::vector<VertexId> via_filter;
+      for (VertexId w : g.Neighbors(v)) {
+        if (g.Degree(w) >= k) via_filter.push_back(w);
+      }
+      EXPECT_EQ(Sorted(via_prefix), Sorted(via_filter));
+    }
+  }
+}
+
+TEST(OrderedAdjacencyTest, EmptyAndTrivialGraphs) {
+  OrderedAdjacency empty(Graph{});
+  EXPECT_EQ(empty.NumVertices(), 0u);
+  Graph star = gen::Star(5);
+  OrderedAdjacency ordered(star);
+  EXPECT_EQ(ordered.Neighbors(0).size(), 4u);
+  // All leaves have equal degree 1 — ties by ascending id.
+  EXPECT_EQ(ordered.Neighbors(0)[0], 1u);
+  EXPECT_EQ(ordered.Neighbors(0)[3], 4u);
+}
+
+}  // namespace
+}  // namespace locs

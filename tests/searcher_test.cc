@@ -1,0 +1,118 @@
+// Tests for the CommunitySearcher facade.
+
+#include "core/searcher.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "graph/subgraph.h"
+#include "test_util.h"
+
+namespace locs {
+namespace {
+
+using testing::ToSet;
+
+TEST(CommunitySearcherTest, FacadeBasics) {
+  CommunitySearcher searcher(gen::PaperFigure1());
+  auto v = [](char c) { return gen::Figure1Vertex(c); };
+  EXPECT_TRUE(searcher.has_ordered_adjacency());
+  EXPECT_TRUE(searcher.facts().connected);
+  EXPECT_EQ(searcher.facts().num_vertices, 14u);
+  EXPECT_EQ(searcher.facts().num_edges, 26u);
+
+  const auto cst = searcher.Cst(v('a'), 3);
+  ASSERT_TRUE(cst.has_value());
+  EXPECT_EQ(ToSet(cst->members),
+            ToSet({v('a'), v('b'), v('c'), v('d'), v('e')}));
+
+  const Community csm = searcher.Csm(v('j'));
+  EXPECT_EQ(csm.min_degree, 4u);
+}
+
+TEST(CommunitySearcherTest, LocalAgreesWithGlobalEndToEnd) {
+  CommunitySearcher searcher(gen::ErdosRenyiGnp(100, 0.08, 8));
+  for (VertexId v0 = 0; v0 < 100; v0 += 9) {
+    const Community local = searcher.Csm(v0);
+    const Community global = searcher.CsmGlobal(v0);
+    EXPECT_EQ(local.min_degree, global.min_degree);
+    for (uint32_t k = 1; k <= global.min_degree + 1; ++k) {
+      EXPECT_EQ(searcher.Cst(v0, k).has_value(),
+                searcher.CstGlobal(v0, k).has_value());
+    }
+  }
+}
+
+TEST(CommunitySearcherTest, OrderingCanBeDisabled) {
+  CommunitySearcher::Options options;
+  options.build_ordered_adjacency = false;
+  CommunitySearcher searcher(gen::Clique(10), options);
+  EXPECT_FALSE(searcher.has_ordered_adjacency());
+  EXPECT_DOUBLE_EQ(searcher.ordering_build_ms(), 0.0);
+  EXPECT_TRUE(searcher.Cst(0, 5).has_value());
+}
+
+TEST(CommunitySearcherTest, OrderingBuildTimeReported) {
+  CommunitySearcher searcher(gen::ErdosRenyiGnp(2000, 0.01, 77));
+  EXPECT_GT(searcher.ordering_build_ms(), 0.0);
+}
+
+TEST(CommunitySearcherTest, DegreeTailFraction) {
+  CommunitySearcher searcher(gen::Star(10));  // center deg 9, leaves deg 1
+  EXPECT_DOUBLE_EQ(searcher.DegreeTailFraction(0), 1.0);
+  EXPECT_DOUBLE_EQ(searcher.DegreeTailFraction(1), 1.0);
+  EXPECT_DOUBLE_EQ(searcher.DegreeTailFraction(2), 0.1);
+  EXPECT_DOUBLE_EQ(searcher.DegreeTailFraction(9), 0.1);
+  EXPECT_DOUBLE_EQ(searcher.DegreeTailFraction(10), 0.0);
+  EXPECT_DOUBLE_EQ(searcher.DegreeTailFraction(1000), 0.0);
+}
+
+TEST(CommunitySearcherTest, AdaptiveAlwaysExact) {
+  CommunitySearcher searcher(gen::ErdosRenyiGnp(120, 0.07, 21));
+  for (VertexId v0 = 0; v0 < 120; v0 += 7) {
+    for (uint32_t k = 0; k <= 10; ++k) {
+      const auto adaptive = searcher.CstAdaptive(v0, k);
+      const auto global = searcher.CstGlobal(v0, k);
+      ASSERT_EQ(adaptive.has_value(), global.has_value())
+          << "v0=" << v0 << " k=" << k;
+      if (adaptive.has_value()) {
+        EXPECT_TRUE(IsValidCommunity(searcher.graph(), adaptive->members,
+                                     v0, k));
+      }
+    }
+  }
+}
+
+TEST(CommunitySearcherTest, AdaptiveDispatchBoundary) {
+  // Fraction forced to 0: every query goes local; forced to 1: global.
+  CommunitySearcher::Options local_only;
+  local_only.adaptive_global_fraction = 1.1;  // never exceeded
+  CommunitySearcher a(gen::Clique(8), local_only);
+  QueryStats stats;
+  a.CstAdaptive(0, 3, {}, &stats);
+  EXPECT_LT(stats.visited_vertices, 8u);  // local path (stops early)
+
+  CommunitySearcher::Options global_only;
+  global_only.adaptive_global_fraction = 0.0;
+  CommunitySearcher b(gen::Clique(8), global_only);
+  b.CstAdaptive(0, 3, {}, &stats);
+  EXPECT_EQ(stats.visited_vertices, 8u);  // global path (whole graph)
+}
+
+TEST(CommunitySearcherTest, StatsPlumbing) {
+  CommunitySearcher searcher(gen::Clique(12));
+  QueryStats stats;
+  searcher.Cst(0, 6, {}, &stats);
+  EXPECT_GT(stats.visited_vertices, 0u);
+  EXPECT_EQ(stats.answer_size, 7u);
+  searcher.CstGlobal(0, 6, &stats);
+  EXPECT_EQ(stats.visited_vertices, 12u);
+  searcher.Csm(0, {}, &stats);
+  EXPECT_EQ(stats.answer_size, 12u);
+  searcher.CsmGlobal(0, &stats);
+  EXPECT_EQ(stats.answer_size, 12u);
+}
+
+}  // namespace
+}  // namespace locs

@@ -1,0 +1,87 @@
+// Tests for whole-graph statistics.
+
+#include "graph/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "graph/builder.h"
+
+namespace locs {
+namespace {
+
+TEST(DegreeHistogramTest, StarAndClique) {
+  const auto star = DegreeHistogram(gen::Star(6));
+  ASSERT_EQ(star.size(), 6u);
+  EXPECT_EQ(star[1], 5u);
+  EXPECT_EQ(star[5], 1u);
+  const auto clique = DegreeHistogram(gen::Clique(5));
+  EXPECT_EQ(clique[4], 5u);
+}
+
+TEST(DegreeHistogramTest, SumsToVertexCount) {
+  Graph g = gen::ErdosRenyiGnp(100, 0.05, 9);
+  const auto histogram = DegreeHistogram(g);
+  EXPECT_EQ(std::accumulate(histogram.begin(), histogram.end(),
+                            uint64_t{0}),
+            g.NumVertices());
+}
+
+TEST(ClusteringTest, CliqueIsOne) {
+  Graph g = gen::Clique(6);
+  for (VertexId v = 0; v < 6; ++v) {
+    EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, v), 1.0);
+  }
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g, 100, 1), 1.0);
+}
+
+TEST(ClusteringTest, TreeIsZero) {
+  Graph g = gen::Star(10);
+  EXPECT_DOUBLE_EQ(AverageClusteringCoefficient(g, 100, 1), 0.0);
+}
+
+TEST(ClusteringTest, TriangleWithPendant) {
+  // Triangle {0,1,2} plus pendant 3 on vertex 0.
+  Graph g = BuildGraph(4, {{0, 1}, {1, 2}, {2, 0}, {0, 3}});
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 1), 1.0);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 0), 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(LocalClusteringCoefficient(g, 3), 0.0);
+}
+
+TEST(ClusteringTest, SampledApproximatesExact) {
+  Graph g = gen::ErdosRenyiGnp(400, 0.04, 17);
+  const double exact =
+      AverageClusteringCoefficient(g, g.NumVertices(), 1);
+  const double sampled = AverageClusteringCoefficient(g, 200, 2);
+  EXPECT_NEAR(sampled, exact, 0.05);
+}
+
+TEST(DiameterTest, PathExact) {
+  Graph g = gen::Path(10);
+  EXPECT_EQ(ApproxDiameter(g, 4), 9u);
+  EXPECT_EQ(Eccentricity(g, 0), 9u);
+  EXPECT_EQ(Eccentricity(g, 4), 5u);
+}
+
+TEST(DiameterTest, CycleAtLeastHalf) {
+  Graph g = gen::Cycle(12);
+  EXPECT_EQ(ApproxDiameter(g, 0), 6u);
+}
+
+TEST(DiameterTest, CliqueIsOne) {
+  Graph g = gen::Clique(7);
+  EXPECT_EQ(ApproxDiameter(g, 3), 1u);
+}
+
+TEST(DiameterTest, StaysWithinComponent) {
+  Graph g = BuildGraph(6, {{0, 1}, {1, 2}, {3, 4}});
+  EXPECT_EQ(ApproxDiameter(g, 0), 2u);
+  EXPECT_EQ(ApproxDiameter(g, 3), 1u);
+  EXPECT_EQ(Eccentricity(g, 5), 0u);
+}
+
+}  // namespace
+}  // namespace locs

@@ -1,0 +1,158 @@
+// Tests for BFS, connected components, largest-component extraction, and
+// induced subgraphs.
+
+#include "graph/traversal.h"
+
+#include <gtest/gtest.h>
+
+#include "gen/classic.h"
+#include "gen/erdos_renyi.h"
+#include "graph/builder.h"
+#include "graph/invariants.h"
+#include "graph/subgraph.h"
+#include "test_util.h"
+
+namespace locs {
+namespace {
+
+using testing::ToSet;
+
+TEST(BfsOrderTest, ReachesWholeConnectedGraph) {
+  Graph g = gen::Grid(4, 4);
+  const auto order = BfsOrder(g, 0);
+  EXPECT_EQ(order.size(), 16u);
+  EXPECT_EQ(order[0], 0u);
+}
+
+TEST(BfsOrderTest, LevelsAreNonDecreasing) {
+  Graph g = gen::Grid(5, 5);
+  const auto order = BfsOrder(g, 12);  // center
+  std::vector<int> dist(g.NumVertices(), -1);
+  dist[12] = 0;
+  for (VertexId u : order) {
+    for (VertexId w : g.Neighbors(u)) {
+      if (dist[w] == -1) dist[w] = dist[u] + 1;
+    }
+  }
+  for (size_t i = 1; i < order.size(); ++i) {
+    EXPECT_GE(dist[order[i]], dist[order[i - 1]]);
+  }
+}
+
+TEST(BfsOrderTest, StaysInComponent) {
+  Graph g = BuildGraph(6, {{0, 1}, {1, 2}, {3, 4}});
+  EXPECT_EQ(ToSet(BfsOrder(g, 0)), ToSet({0, 1, 2}));
+  EXPECT_EQ(ToSet(BfsOrder(g, 4)), ToSet({3, 4}));
+  EXPECT_EQ(ToSet(BfsOrder(g, 5)), ToSet({5}));
+}
+
+TEST(ConnectedComponentsTest, CountsAndSizes) {
+  Graph g = BuildGraph(7, {{0, 1}, {1, 2}, {3, 4}});
+  const Components comps = ConnectedComponents(g);
+  EXPECT_EQ(comps.count, 4u);  // {0,1,2}, {3,4}, {5}, {6}
+  EXPECT_EQ(comps.size[comps.LargestId()], 3u);
+  EXPECT_EQ(comps.label[0], comps.label[2]);
+  EXPECT_NE(comps.label[0], comps.label[3]);
+}
+
+TEST(ConnectedComponentsTest, SingleComponent) {
+  Graph g = gen::Cycle(9);
+  const Components comps = ConnectedComponents(g);
+  EXPECT_EQ(comps.count, 1u);
+  EXPECT_EQ(comps.size[0], 9u);
+}
+
+TEST(ExtractLargestComponentTest, KeepsLargestOnly) {
+  GraphBuilder builder(10);
+  // Component A: triangle {0,1,2}. Component B: K4 {3,4,5,6}. Isolated:
+  // 7, 8, 9.
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(2, 0);
+  for (VertexId u = 3; u < 7; ++u) {
+    for (VertexId v = u + 1; v < 7; ++v) builder.AddEdge(u, v);
+  }
+  const MappedSubgraph sub = ExtractLargestComponent(builder.Build());
+  EXPECT_EQ(sub.graph.NumVertices(), 4u);
+  EXPECT_EQ(sub.graph.NumEdges(), 6u);
+  EXPECT_EQ(ToSet(sub.original_id), ToSet({3, 4, 5, 6}));
+  EXPECT_EQ(ValidateGraph(sub.graph), "");
+}
+
+TEST(ExtractLargestComponentTest, EmptyGraph) {
+  const MappedSubgraph sub = ExtractLargestComponent(Graph());
+  EXPECT_EQ(sub.graph.NumVertices(), 0u);
+  EXPECT_TRUE(sub.original_id.empty());
+}
+
+TEST(InducedSubgraphTest, MappingRoundTrip) {
+  Graph g = gen::PaperFigure1();
+  auto v = [](char c) { return gen::Figure1Vertex(c); };
+  const std::vector<VertexId> members = {v('a'), v('b'), v('c'), v('d'),
+                                         v('e')};
+  const MappedSubgraph sub = InducedSubgraph(g, members);
+  EXPECT_EQ(sub.graph.NumVertices(), 5u);
+  EXPECT_EQ(sub.graph.NumEdges(), 8u);
+  EXPECT_EQ(sub.graph.MinDegree(), 3u);
+  EXPECT_EQ(ValidateGraph(sub.graph), "");
+  // Edges map back to original edges.
+  for (VertexId u = 0; u < sub.graph.NumVertices(); ++u) {
+    for (VertexId w : sub.graph.Neighbors(u)) {
+      EXPECT_TRUE(g.HasEdge(sub.original_id[u], sub.original_id[w]));
+    }
+  }
+}
+
+TEST(InducedSubgraphTest, PreservesInternalEdgesExactly) {
+  Graph g = gen::ErdosRenyiGnp(30, 0.2, 3);
+  const std::vector<VertexId> members = {1, 4, 9, 16, 25, 2, 7};
+  const MappedSubgraph sub = InducedSubgraph(g, members);
+  uint64_t expected_edges = 0;
+  for (size_t i = 0; i < members.size(); ++i) {
+    for (size_t j = i + 1; j < members.size(); ++j) {
+      expected_edges += g.HasEdge(members[i], members[j]);
+    }
+  }
+  EXPECT_EQ(sub.graph.NumEdges(), expected_edges);
+}
+
+TEST(SubgraphDegreeTest, DegreesWithinMatchInduced) {
+  Graph g = gen::ErdosRenyiGnp(25, 0.25, 5);
+  const std::vector<VertexId> members = {0, 3, 6, 9, 12, 15, 18};
+  const auto degrees = DegreesWithin(g, members);
+  const MappedSubgraph sub = InducedSubgraph(g, members);
+  for (size_t i = 0; i < members.size(); ++i) {
+    EXPECT_EQ(degrees[i], sub.graph.Degree(static_cast<VertexId>(i)));
+  }
+}
+
+TEST(SubgraphDeltaTest, MinDegreeOfInducedEdgeCases) {
+  Graph g = gen::Clique(5);
+  EXPECT_EQ(MinDegreeOfInduced(g, {}), 0u);
+  EXPECT_EQ(MinDegreeOfInduced(g, {2}), 0u);
+  EXPECT_EQ(MinDegreeOfInduced(g, {0, 1}), 1u);
+  EXPECT_EQ(MinDegreeOfInduced(g, {0, 1, 2, 3, 4}), 4u);
+}
+
+TEST(IsConnectedSubsetTest, Cases) {
+  Graph g = BuildGraph(6, {{0, 1}, {1, 2}, {3, 4}});
+  EXPECT_TRUE(IsConnectedSubset(g, {}));
+  EXPECT_TRUE(IsConnectedSubset(g, {5}));
+  EXPECT_TRUE(IsConnectedSubset(g, {0, 1, 2}));
+  EXPECT_FALSE(IsConnectedSubset(g, {0, 2}));
+  EXPECT_FALSE(IsConnectedSubset(g, {0, 1, 3}));
+  EXPECT_TRUE(IsConnectedSubset(g, {3, 4}));
+}
+
+TEST(IsValidCommunityTest, AllClauses) {
+  Graph g = gen::Clique(4);
+  EXPECT_FALSE(IsValidCommunity(g, {}, 0, 0));           // empty
+  EXPECT_FALSE(IsValidCommunity(g, {1, 2}, 0, 1));       // missing v0
+  EXPECT_TRUE(IsValidCommunity(g, {0, 1, 2}, 0, 2));     // triangle
+  EXPECT_FALSE(IsValidCommunity(g, {0, 1, 2}, 0, 3));    // δ too low
+  Graph h = BuildGraph(4, {{0, 1}, {2, 3}});
+  EXPECT_FALSE(IsValidCommunity(h, {0, 1, 2, 3}, 0, 1));  // disconnected
+}
+
+}  // namespace
+}  // namespace locs

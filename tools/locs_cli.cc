@@ -1,0 +1,289 @@
+// locs_cli — command-line front end for the locs library.
+//
+// Subcommands:
+//   stats    --input=G                        graph statistics
+//   cst      --input=G --vertex=V --k=K       community with δ >= K
+//   csm      --input=G --vertex=V             best community
+//   decompose --input=G [--top=N]             core decomposition summary
+//   convert  --input=G --output=F             between edgelist/metis/binary
+//   generate --model=lfr|ba|gnp --output=F    synthetic graphs
+//
+// Graph files are auto-detected by extension: .lcsg (binary), .metis /
+// .graph (METIS), anything else is treated as a whitespace edge list.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/kcore.h"
+#include "core/searcher.h"
+#include "gen/barabasi.h"
+#include "gen/erdos_renyi.h"
+#include "gen/lfr.h"
+#include "graph/io.h"
+#include "graph/statistics.h"
+#include "graph/traversal.h"
+#include "util/cli.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace locs {
+namespace {
+
+bool EndsWith(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(),
+                      suffix) == 0;
+}
+
+std::optional<Graph> LoadAuto(const std::string& path) {
+  if (EndsWith(path, ".lcsg")) return LoadBinary(path);
+  if (EndsWith(path, ".metis") || EndsWith(path, ".graph")) {
+    return LoadMetis(path);
+  }
+  return LoadEdgeList(path);
+}
+
+bool SaveAuto(const Graph& graph, const std::string& path) {
+  if (EndsWith(path, ".lcsg")) return SaveBinary(graph, path);
+  if (EndsWith(path, ".metis") || EndsWith(path, ".graph")) {
+    return SaveMetis(graph, path);
+  }
+  return SaveEdgeList(graph, path);
+}
+
+/// Prints up to --limit member ids (default 50; 0 = all).
+void PrintMembers(const std::vector<VertexId>& members,
+                  const CommandLine& cli) {
+  const auto limit = static_cast<size_t>(cli.GetInt("limit", 50));
+  const size_t shown =
+      limit == 0 ? members.size() : std::min(limit, members.size());
+  for (size_t i = 0; i < shown; ++i) std::printf("%u ", members[i]);
+  if (shown < members.size()) {
+    std::printf("... (%zu more; pass --limit=0 for all)",
+                members.size() - shown);
+  }
+  std::printf("\n");
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: locs_cli <command> [--flags]\n"
+      "  stats     --input=G\n"
+      "  cst       --input=G --vertex=V --k=K [--global]\n"
+      "  csm       --input=G --vertex=V [--global]\n"
+      "  decompose --input=G [--top=10]\n"
+      "  convert   --input=G --output=F\n"
+      "  generate  --model=lfr|ba|gnp --n=N --output=F [--seed=S]\n"
+      "            [--mu=0.1 --min-degree --max-degree --min-community\n"
+      "             --max-community] [--m=3] [--p=0.01]\n");
+  return 2;
+}
+
+std::optional<Graph> RequireGraph(const CommandLine& cli) {
+  const std::string input = cli.GetString("input", "");
+  if (input.empty()) {
+    std::fprintf(stderr, "error: --input is required\n");
+    return std::nullopt;
+  }
+  WallTimer timer;
+  auto graph = LoadAuto(input);
+  if (!graph.has_value()) {
+    std::fprintf(stderr, "error: could not load '%s'\n", input.c_str());
+    return std::nullopt;
+  }
+  std::fprintf(stderr, "loaded %s: %u vertices, %lu edges (%.0fms)\n",
+               input.c_str(), graph->NumVertices(),
+               static_cast<unsigned long>(graph->NumEdges()),
+               timer.Millis());
+  return graph;
+}
+
+int CmdStats(const CommandLine& cli) {
+  const auto graph = RequireGraph(cli);
+  if (!graph.has_value()) return 1;
+  const Components comps = ConnectedComponents(*graph);
+  const CoreDecomposition cores = ComputeCores(*graph);
+  TableWriter table({"metric", "value"});
+  table.Row().Cell("vertices").Cell(FormatCount(graph->NumVertices()));
+  table.Row().Cell("edges").Cell(FormatCount(graph->NumEdges()));
+  table.Row().Cell("min degree").Num(uint64_t{graph->MinDegree()});
+  table.Row().Cell("avg degree").Num(graph->AverageDegree(), 2);
+  table.Row().Cell("max degree").Num(uint64_t{graph->MaxDegree()});
+  table.Row().Cell("components").Num(uint64_t{comps.count});
+  table.Row()
+      .Cell("largest component")
+      .Cell(FormatCount(comps.size[comps.LargestId()]));
+  table.Row().Cell("degeneracy δ*(G)").Num(uint64_t{cores.degeneracy});
+  table.Row()
+      .Cell("avg clustering (sampled)")
+      .Num(AverageClusteringCoefficient(*graph, 2000, 1), 4);
+  if (graph->NumVertices() > 0) {
+    table.Row()
+        .Cell("approx diameter (largest comp)")
+        .Num(uint64_t{ApproxDiameter(
+            *graph, [&] {
+              for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+                if (comps.label[v] == comps.LargestId()) return v;
+              }
+              return VertexId{0};
+            }())});
+  }
+  table.Print();
+  return 0;
+}
+
+int CmdCst(const CommandLine& cli) {
+  auto graph = RequireGraph(cli);
+  if (!graph.has_value()) return 1;
+  const auto v0 = static_cast<VertexId>(cli.GetInt("vertex", 0));
+  const auto k = static_cast<uint32_t>(cli.GetInt("k", 1));
+  if (v0 >= graph->NumVertices()) {
+    std::fprintf(stderr, "error: vertex out of range\n");
+    return 1;
+  }
+  CommunitySearcher searcher(std::move(*graph));
+  WallTimer timer;
+  QueryStats stats;
+  const auto community = cli.GetBool("global", false)
+                             ? searcher.CstGlobal(v0, k, &stats)
+                             : searcher.Cst(v0, k, {}, &stats);
+  const double ms = timer.Millis();
+  if (!community.has_value()) {
+    std::printf("no community with min degree >= %u contains vertex %u "
+                "(%.2fms, %lu vertices visited)\n",
+                k, v0, ms,
+                static_cast<unsigned long>(stats.visited_vertices));
+    return 0;
+  }
+  std::printf("community: %zu members, δ=%u (%.2fms, %lu visited%s)\n",
+              community->members.size(), community->min_degree, ms,
+              static_cast<unsigned long>(stats.visited_vertices),
+              stats.used_global_fallback ? ", fallback" : "");
+  PrintMembers(community->members, cli);
+  return 0;
+}
+
+int CmdCsm(const CommandLine& cli) {
+  auto graph = RequireGraph(cli);
+  if (!graph.has_value()) return 1;
+  const auto v0 = static_cast<VertexId>(cli.GetInt("vertex", 0));
+  if (v0 >= graph->NumVertices()) {
+    std::fprintf(stderr, "error: vertex out of range\n");
+    return 1;
+  }
+  CommunitySearcher searcher(std::move(*graph));
+  WallTimer timer;
+  QueryStats stats;
+  const Community community = cli.GetBool("global", false)
+                                  ? searcher.CsmGlobal(v0, &stats)
+                                  : searcher.Csm(v0, {}, &stats);
+  std::printf("best community: %zu members, δ=%u (%.2fms, %lu visited)\n",
+              community.members.size(), community.min_degree,
+              timer.Millis(),
+              static_cast<unsigned long>(stats.visited_vertices));
+  PrintMembers(community.members, cli);
+  return 0;
+}
+
+int CmdDecompose(const CommandLine& cli) {
+  const auto graph = RequireGraph(cli);
+  if (!graph.has_value()) return 1;
+  const auto top = static_cast<size_t>(cli.GetInt("top", 10));
+  WallTimer timer;
+  const CoreDecomposition cores = ComputeCores(*graph);
+  std::printf("core decomposition in %.0fms; degeneracy %u\n",
+              timer.Millis(), cores.degeneracy);
+  std::vector<uint64_t> shell(cores.degeneracy + 1, 0);
+  for (VertexId v = 0; v < graph->NumVertices(); ++v) {
+    ++shell[cores.core[v]];
+  }
+  TableWriter table({"k-shell", "vertices"});
+  const size_t first =
+      shell.size() > top ? shell.size() - top : size_t{0};
+  for (size_t k = first; k < shell.size(); ++k) {
+    table.Row().Num(static_cast<uint64_t>(k)).Num(shell[k]);
+  }
+  table.Print();
+  return 0;
+}
+
+int CmdConvert(const CommandLine& cli) {
+  const auto graph = RequireGraph(cli);
+  if (!graph.has_value()) return 1;
+  const std::string output = cli.GetString("output", "");
+  if (output.empty()) {
+    std::fprintf(stderr, "error: --output is required\n");
+    return 1;
+  }
+  if (!SaveAuto(*graph, output)) {
+    std::fprintf(stderr, "error: could not write '%s'\n", output.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", output.c_str());
+  return 0;
+}
+
+int CmdGenerate(const CommandLine& cli) {
+  const std::string model = cli.GetString("model", "lfr");
+  const std::string output = cli.GetString("output", "");
+  if (output.empty()) {
+    std::fprintf(stderr, "error: --output is required\n");
+    return 1;
+  }
+  const auto n = static_cast<VertexId>(cli.GetInt("n", 10000));
+  const auto seed = static_cast<uint64_t>(cli.GetInt("seed", 1));
+  Graph graph;
+  if (model == "lfr") {
+    gen::LfrParams params;
+    params.n = n;
+    params.seed = seed;
+    params.mu = cli.GetDouble("mu", 0.1);
+    params.min_degree =
+        static_cast<uint32_t>(cli.GetInt("min-degree", 5));
+    params.max_degree =
+        static_cast<uint32_t>(cli.GetInt("max-degree", 100));
+    params.min_community =
+        static_cast<uint32_t>(cli.GetInt("min-community", 20));
+    params.max_community =
+        static_cast<uint32_t>(cli.GetInt("max-community", 200));
+    graph = gen::Lfr(params).graph;
+  } else if (model == "ba") {
+    graph = gen::BarabasiAlbert(
+        n, static_cast<uint32_t>(cli.GetInt("m", 3)), seed);
+  } else if (model == "gnp") {
+    graph = gen::ErdosRenyiGnp(n, cli.GetDouble("p", 0.001), seed);
+  } else {
+    std::fprintf(stderr, "error: unknown model '%s'\n", model.c_str());
+    return 1;
+  }
+  if (!SaveAuto(graph, output)) {
+    std::fprintf(stderr, "error: could not write '%s'\n", output.c_str());
+    return 1;
+  }
+  std::printf("generated %s graph: %u vertices, %lu edges -> %s\n",
+              model.c_str(), graph.NumVertices(),
+              static_cast<unsigned long>(graph.NumEdges()),
+              output.c_str());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  const CommandLine cli(argc - 1, argv + 1);
+  if (command == "stats") return CmdStats(cli);
+  if (command == "cst") return CmdCst(cli);
+  if (command == "csm") return CmdCsm(cli);
+  if (command == "decompose") return CmdDecompose(cli);
+  if (command == "convert") return CmdConvert(cli);
+  if (command == "generate") return CmdGenerate(cli);
+  return Usage();
+}
+
+}  // namespace
+}  // namespace locs
+
+int main(int argc, char** argv) { return locs::Run(argc, argv); }
