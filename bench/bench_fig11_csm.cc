@@ -15,6 +15,7 @@
 #include "common/workload.h"
 #include "core/global.h"
 #include "core/local_csm.h"
+#include "exec/batch_runner.h"
 #include "graph/ordering.h"
 #include "util/cli.h"
 #include "util/stats.h"
@@ -38,14 +39,15 @@ int Run(int argc, char** argv) {
       "per query (see EXPERIMENTS.md)");
 
   TableWriter table({"network", "global(peel) ms", "global(greedy) ms",
-                     "CSM1 ms", "CSM2 ms", "quality CSM1",
-                     "quality CSM2"});
+                     "CSM1 ms", "CSM2 ms", "CSM2 batch ms/q",
+                     "quality CSM1", "quality CSM2"});
   for (const std::string& name : StandInNames()) {
     Dataset dataset = LoadStandIn(name);
     const Graph& g = dataset.graph;
     const GraphFacts facts = GraphFacts::Compute(g);
     const OrderedAdjacency ordered(g);
     LocalCsmSolver solver(g, &ordered, &facts);
+    BatchRunner runner(g, &ordered, &facts);
 
     // Query vertices with a degree floor: degree-2 queries make Theorem 5
     // vacuous (δ(H) <= 1 ⇒ unbounded budget) and degenerate every local
@@ -76,6 +78,10 @@ int Run(int argc, char** argv) {
       t_csm2.push_back(TimeMs([&] { local = solver.Solve(v0, options); }));
       sum_csm2 += local.min_degree;
     }
+    CsmOptions batch_options;
+    batch_options.candidate_rule = CsmCandidateRule::kFromNaive;
+    batch_options.gamma = 8.0;
+    const BatchTiming batch = TimeCsmBatch(runner, sample, batch_options);
     const double denom = sum_opt > 0 ? sum_opt : 1.0;
     table.Row()
         .Cell(name)
@@ -83,6 +89,7 @@ int Run(int argc, char** argv) {
         .Cell(MeanStd(Summarize(t_greedy)))
         .Cell(MeanStd(Summarize(t_csm1)))
         .Cell(MeanStd(Summarize(t_csm2)))
+        .Num(batch.per_query_ms, 3)
         .Num(sum_csm1 / denom, 3)
         .Num(sum_csm2 / denom, 3);
   }

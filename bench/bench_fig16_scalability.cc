@@ -21,6 +21,7 @@
 #include "core/kcore.h"
 #include "core/local_csm.h"
 #include "core/local_cst.h"
+#include "exec/batch_runner.h"
 #include "graph/ordering.h"
 #include "util/cli.h"
 #include "util/stats.h"
@@ -41,9 +42,10 @@ int Run(int argc, char** argv) {
       "graphs grow; CSM1 ~3 orders faster than global at 100% accuracy",
       "local columns growing more slowly than the global column");
 
-  TableWriter cst_table({"|V|", "global CST ms", "ls-li CST ms"});
-  TableWriter csm_table(
-      {"|V|", "global CSM ms", "CSM1 ms", "CSM2 ms", "CSM1 quality"});
+  TableWriter cst_table(
+      {"|V|", "global CST ms", "ls-li CST ms", "batch CST ms/q"});
+  TableWriter csm_table({"|V|", "global CSM ms", "CSM1 ms", "CSM2 ms",
+                         "batch CSM1 ms/q", "CSM1 quality"});
   const VertexId base_sizes[] = {100000, 200000, 300000, 400000, 500000};
   for (VertexId base : base_sizes) {
     gen::LfrParams params;
@@ -64,6 +66,7 @@ int Run(int argc, char** argv) {
     const OrderedAdjacency ordered(g);
     LocalCstSolver cst_solver(g, &ordered, &facts);
     LocalCsmSolver csm_solver(g, &ordered, &facts);
+    BatchRunner runner(g, &ordered, &facts);
 
     // CST sweep.
     const auto cst_sample = SampleFromKCore(cores, k, queries, 1717);
@@ -75,10 +78,12 @@ int Run(int argc, char** argv) {
     }
     const auto n_cst = static_cast<double>(
         cst_sample.empty() ? 1 : cst_sample.size());
+    const BatchTiming cst_batch = TimeCstBatch(runner, cst_sample, k);
     cst_table.Row()
         .Cell(FormatCount(g.NumVertices()))
         .Num(g_cst / n_cst, 2)
-        .Num(l_cst / n_cst, 2);
+        .Num(l_cst / n_cst, 2)
+        .Num(cst_batch.per_query_ms, 2);
 
     // CSM sweep.
     const auto csm_sample = SampleWithDegreeAtLeast(g, 10, queries, 1818);
@@ -102,11 +107,17 @@ int Run(int argc, char** argv) {
       c2 += TimeMs([&] { csm_solver.Solve(v0, options); });
     }
     const auto n_csm = static_cast<double>(csm_sample.size());
+    CsmOptions batch_options;
+    batch_options.candidate_rule = CsmCandidateRule::kFromVisited;
+    batch_options.gamma = 4.0;
+    const BatchTiming csm_batch =
+        TimeCsmBatch(runner, csm_sample, batch_options);
     csm_table.Row()
         .Cell(FormatCount(g.NumVertices()))
         .Num(g_csm / n_csm, 2)
         .Num(c1 / n_csm, 2)
         .Num(c2 / n_csm, 2)
+        .Num(csm_batch.per_query_ms, 2)
         .Num(csm1_sum / (opt_sum > 0 ? opt_sum : 1.0), 4);
   }
   std::printf("(a) CST\n");

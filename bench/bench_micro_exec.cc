@@ -1,0 +1,153 @@
+// Microbenchmarks (google-benchmark) for the batch execution engine.
+// The headline comparison is per-batch thread management: the seed
+// spawned and joined a fresh std::thread set for every SolveCstBatch
+// call, so a service answering many small batches paid the spawn cost
+// on each one. BM_SpawnJoinThreads reproduces that baseline;
+// BM_ExecutorDispatch runs the same trivial job through the persistent
+// pool. The BatchRunner benches then measure the end-to-end paths the
+// figure drivers and the CLI use.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/local_cst.h"
+#include "exec/batch_runner.h"
+#include "exec/executor.h"
+#include "gen/lfr.h"
+#include "graph/subgraph.h"
+
+namespace locs {
+namespace {
+
+constexpr unsigned kThreads = 4;
+constexpr size_t kItems = 64;
+
+const Graph& TestGraph() {
+  static const Graph graph = [] {
+    gen::LfrParams params;
+    params.n = 20000;
+    params.min_degree = 5;
+    params.max_degree = 80;
+    params.min_community = 20;
+    params.max_community = 150;
+    params.mu = 0.1;
+    params.seed = 808;
+    return ExtractLargestComponent(gen::Lfr(params).graph).graph;
+  }();
+  return graph;
+}
+
+// Seed behavior: one std::thread spawn + join set per batch.
+void BM_SpawnJoinThreads(benchmark::State& state) {
+  std::atomic<uint64_t> sink{0};
+  for (auto _ : state) {
+    std::atomic<size_t> cursor{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&] {
+        size_t i = 0;
+        while ((i = cursor.fetch_add(1, std::memory_order_relaxed)) <
+               kItems) {
+          sink.fetch_add(i, std::memory_order_relaxed);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kItems));
+}
+BENCHMARK(BM_SpawnJoinThreads)->Unit(benchmark::kMicrosecond);
+
+// Same job on the persistent pool: dispatch is a mutex hand-off, not a
+// clone() per worker per batch.
+void BM_ExecutorDispatch(benchmark::State& state) {
+  Executor executor(kThreads);
+  std::atomic<uint64_t> sink{0};
+  // Warm-up spawns the pool outside the timed region, mirroring a
+  // long-lived service.
+  executor.ParallelFor(1, [](unsigned, size_t, size_t) {});
+  for (auto _ : state) {
+    executor.ParallelFor(
+        kItems,
+        [&](unsigned, size_t begin, size_t end) {
+          for (size_t i = begin; i < end; ++i) {
+            sink.fetch_add(i, std::memory_order_relaxed);
+          }
+        },
+        {.chunk_size = 1});
+  }
+  benchmark::DoNotOptimize(sink.load());
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kItems));
+}
+BENCHMARK(BM_ExecutorDispatch)->Unit(benchmark::kMicrosecond);
+
+// Many small CST batches on one persistent BatchRunner — the serving
+// pattern where per-batch spawn overhead dominated in the seed. Solver
+// scratch (epoch arrays, bucket lists) is reused across batches too.
+void BM_SmallCstBatchesPersistent(benchmark::State& state) {
+  const Graph& g = TestGraph();
+  static const GraphFacts facts = GraphFacts::Compute(g);
+  static const OrderedAdjacency ordered(g);
+  Executor executor(kThreads);
+  BatchRunner runner(g, &ordered, &facts, &executor);
+  std::vector<VertexId> queries;
+  for (VertexId v = 0; v < 8; ++v) queries.push_back(v * 97 % g.NumVertices());
+  runner.RunCst(queries, 6);  // warm up pool + per-worker solvers
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.RunCst(queries, 6));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_SmallCstBatchesPersistent)->Unit(benchmark::kMicrosecond);
+
+// The same small batches through the compatibility entry point, which
+// builds a fresh BatchRunner (fresh solvers) per call on the shared
+// pool — isolates the cost of solver reuse.
+void BM_SmallCstBatchesFreshRunner(benchmark::State& state) {
+  const Graph& g = TestGraph();
+  static const GraphFacts facts = GraphFacts::Compute(g);
+  static const OrderedAdjacency ordered(g);
+  std::vector<VertexId> queries;
+  for (VertexId v = 0; v < 8; ++v) queries.push_back(v * 97 % g.NumVertices());
+  BatchOptions options;
+  options.num_threads = kThreads;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        SolveCstBatch(g, &ordered, &facts, queries, 6, options));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_SmallCstBatchesFreshRunner)->Unit(benchmark::kMicrosecond);
+
+// One large batch (the Fig. 8/16 shape): spawn overhead is amortized
+// here, so the persistent pool must simply not regress.
+void BM_LargeCstBatch(benchmark::State& state) {
+  const Graph& g = TestGraph();
+  static const GraphFacts facts = GraphFacts::Compute(g);
+  static const OrderedAdjacency ordered(g);
+  Executor executor(kThreads);
+  BatchRunner runner(g, &ordered, &facts, &executor);
+  std::vector<VertexId> queries;
+  for (VertexId v = 0; v < g.NumVertices(); v += 2) queries.push_back(v);
+  runner.RunCst({0}, 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(runner.RunCst(queries, 6));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_LargeCstBatch)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace locs
+
+BENCHMARK_MAIN();

@@ -1,7 +1,9 @@
 // Query-workload sampling, mirroring the paper's methodology (§6.1.3):
 // query vertices drawn from the k-core (guaranteeing a solution exists),
 // from the set of vertices with degree >= k ("arbitrary vertices",
-// Figure 10), or uniformly.
+// Figure 10), or uniformly — plus helpers that push a sampled workload
+// through the persistent batch engine (src/exec/), so the figure drivers
+// report the same serving path the production deployment would use.
 
 #ifndef LOCS_BENCH_COMMON_WORKLOAD_H_
 #define LOCS_BENCH_COMMON_WORKLOAD_H_
@@ -10,6 +12,7 @@
 #include <vector>
 
 #include "core/kcore.h"
+#include "exec/batch_runner.h"
 #include "graph/graph.h"
 
 namespace locs::bench {
@@ -27,6 +30,26 @@ std::vector<VertexId> SampleWithDegreeAtLeast(const Graph& graph, uint32_t k,
 /// `count` distinct vertices, uniformly.
 std::vector<VertexId> SampleUniform(const Graph& graph, size_t count,
                                     uint64_t seed);
+
+/// Batch-engine timing of a workload.
+struct BatchTiming {
+  double total_ms = 0.0;
+  double per_query_ms = 0.0;
+  BatchStats stats;
+};
+
+/// Runs `queries` as one CST(k) batch on `runner` with `num_threads`
+/// workers (0 = full pool) and reports wall time.
+BatchTiming TimeCstBatch(BatchRunner& runner,
+                         const std::vector<VertexId>& queries, uint32_t k,
+                         const CstOptions& options = {},
+                         unsigned num_threads = 0);
+
+/// Runs `queries` as one CSM batch on `runner`.
+BatchTiming TimeCsmBatch(BatchRunner& runner,
+                         const std::vector<VertexId>& queries,
+                         const CsmOptions& options = {},
+                         unsigned num_threads = 0);
 
 }  // namespace locs::bench
 

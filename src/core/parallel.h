@@ -1,48 +1,11 @@
-// Parallel batch execution of community-search queries.
-//
-// Per-query state in the local solvers is epoch-stamped scratch, so one
-// solver instance cannot be shared across threads; the batch runner owns
-// one solver per worker and distributes queries over an atomic cursor.
-// Results are deterministic (each query's answer is independent of
-// scheduling).
+// Compatibility shim — the batch query layer moved to src/exec/ (persistent
+// thread-pool executor + BatchRunner with per-worker solver reuse).
+// SolveCstBatch / SolveCsmBatch keep their signatures; include
+// "exec/batch_runner.h" directly in new code.
 
 #ifndef LOCS_CORE_PARALLEL_H_
 #define LOCS_CORE_PARALLEL_H_
 
-#include <cstdint>
-#include <optional>
-#include <vector>
-
-#include "core/common.h"
-#include "core/local_cst.h"
-#include "graph/graph.h"
-#include "graph/ordering.h"
-
-namespace locs {
-
-/// Options for batch execution.
-struct BatchOptions {
-  /// Worker threads; 0 means std::thread::hardware_concurrency().
-  unsigned num_threads = 0;
-  CstOptions cst;
-};
-
-/// Solves CST(k) for every query vertex in parallel. Result i corresponds
-/// to queries[i]. `ordered`/`facts` may be null (same contract as
-/// LocalCstSolver).
-std::vector<std::optional<Community>> SolveCstBatch(
-    const Graph& graph, const OrderedAdjacency* ordered,
-    const GraphFacts* facts, const std::vector<VertexId>& queries,
-    uint32_t k, const BatchOptions& options = {});
-
-/// Solves CSM for every query vertex in parallel.
-std::vector<Community> SolveCsmBatch(const Graph& graph,
-                                     const OrderedAdjacency* ordered,
-                                     const GraphFacts* facts,
-                                     const std::vector<VertexId>& queries,
-                                     const CsmOptions& csm_options = {},
-                                     unsigned num_threads = 0);
-
-}  // namespace locs
+#include "exec/batch_runner.h"
 
 #endif  // LOCS_CORE_PARALLEL_H_

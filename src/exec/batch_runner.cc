@@ -1,0 +1,148 @@
+#include "exec/batch_runner.h"
+
+#include <utility>
+
+#include "util/timer.h"
+
+namespace locs {
+
+namespace {
+
+Executor::RunOptions ToRunOptions(const BatchLimits& limits) {
+  Executor::RunOptions options;
+  options.max_workers = limits.num_threads;
+  // Queries are coarse units (µs to ms each): chunking by single queries
+  // keeps the dynamic distribution balanced under power-law query costs
+  // and makes deadline checks per-query precise, at one relaxed
+  // fetch_add per query.
+  options.chunk_size = 1;
+  options.deadline_ms = limits.deadline_ms;
+  options.cancel = limits.cancel;
+  return options;
+}
+
+}  // namespace
+
+void BatchRunner::WorkerTotals::Add(const QueryStats& stats) {
+  if (stats.answer_size > 0) ++answered;
+  visited_vertices += stats.visited_vertices;
+  scanned_edges += stats.scanned_edges;
+  global_fallbacks += stats.used_global_fallback ? 1 : 0;
+  total_answer_size += stats.answer_size;
+}
+
+BatchRunner::BatchRunner(const Graph& graph, const OrderedAdjacency* ordered,
+                         const GraphFacts* facts, Executor* executor)
+    : graph_(graph),
+      ordered_(ordered),
+      facts_(facts),
+      executor_(executor != nullptr ? executor : &Executor::Shared()),
+      cst_solvers_(executor_->num_workers()),
+      csm_solvers_(executor_->num_workers()) {}
+
+LocalCstSolver& BatchRunner::CstSolver(unsigned worker) {
+  auto& slot = cst_solvers_[worker];
+  if (slot == nullptr) {
+    slot = std::make_unique<LocalCstSolver>(graph_, ordered_, facts_);
+  }
+  return *slot;
+}
+
+LocalCsmSolver& BatchRunner::CsmSolver(unsigned worker) {
+  auto& slot = csm_solvers_[worker];
+  if (slot == nullptr) {
+    slot = std::make_unique<LocalCsmSolver>(graph_, ordered_, facts_);
+  }
+  return *slot;
+}
+
+BatchStats BatchRunner::Merge(const std::vector<WorkerTotals>& totals,
+                              const Executor::RunResult& run,
+                              double wall_ms) {
+  BatchStats stats;
+  stats.completed = run.items_run;
+  stats.deadline_hit = run.cause == Executor::StopCause::kDeadline;
+  stats.cancelled = run.cause == Executor::StopCause::kCancelled;
+  stats.wall_ms = wall_ms;
+  for (const WorkerTotals& t : totals) {
+    stats.answered += t.answered;
+    stats.visited_vertices += t.visited_vertices;
+    stats.scanned_edges += t.scanned_edges;
+    stats.global_fallbacks += t.global_fallbacks;
+    stats.total_answer_size += t.total_answer_size;
+  }
+  return stats;
+}
+
+CstBatchResult BatchRunner::RunCst(const std::vector<VertexId>& queries,
+                                   uint32_t k, const CstOptions& options,
+                                   const BatchLimits& limits) {
+  CstBatchResult out;
+  out.communities.resize(queries.size());
+  if (queries.empty()) return out;
+  WallTimer timer;
+  std::vector<WorkerTotals> totals(executor_->num_workers());
+  const Executor::RunResult run = executor_->ParallelFor(
+      queries.size(),
+      [&](unsigned worker, size_t begin, size_t end) {
+        LocalCstSolver& solver = CstSolver(worker);
+        WorkerTotals& mine = totals[worker];
+        for (size_t i = begin; i < end; ++i) {
+          QueryStats stats;
+          out.communities[i] = solver.Solve(queries[i], k, options, &stats);
+          mine.Add(stats);
+        }
+      },
+      ToRunOptions(limits));
+  out.stats = Merge(totals, run, timer.Millis());
+  return out;
+}
+
+CsmBatchResult BatchRunner::RunCsm(const std::vector<VertexId>& queries,
+                                   const CsmOptions& options,
+                                   const BatchLimits& limits) {
+  CsmBatchResult out;
+  out.communities.resize(queries.size());
+  if (queries.empty()) return out;
+  WallTimer timer;
+  std::vector<WorkerTotals> totals(executor_->num_workers());
+  const Executor::RunResult run = executor_->ParallelFor(
+      queries.size(),
+      [&](unsigned worker, size_t begin, size_t end) {
+        LocalCsmSolver& solver = CsmSolver(worker);
+        WorkerTotals& mine = totals[worker];
+        for (size_t i = begin; i < end; ++i) {
+          QueryStats stats;
+          out.communities[i] = solver.Solve(queries[i], options, &stats);
+          mine.Add(stats);
+        }
+      },
+      ToRunOptions(limits));
+  out.stats = Merge(totals, run, timer.Millis());
+  return out;
+}
+
+std::vector<std::optional<Community>> SolveCstBatch(
+    const Graph& graph, const OrderedAdjacency* ordered,
+    const GraphFacts* facts, const std::vector<VertexId>& queries,
+    uint32_t k, const BatchOptions& options) {
+  BatchRunner runner(graph, ordered, facts);
+  BatchLimits limits;
+  limits.num_threads = options.num_threads;
+  return std::move(runner.RunCst(queries, k, options.cst, limits)
+                       .communities);
+}
+
+std::vector<Community> SolveCsmBatch(const Graph& graph,
+                                     const OrderedAdjacency* ordered,
+                                     const GraphFacts* facts,
+                                     const std::vector<VertexId>& queries,
+                                     const CsmOptions& csm_options,
+                                     unsigned num_threads) {
+  BatchRunner runner(graph, ordered, facts);
+  BatchLimits limits;
+  limits.num_threads = num_threads;
+  return std::move(runner.RunCsm(queries, csm_options, limits).communities);
+}
+
+}  // namespace locs

@@ -1,0 +1,146 @@
+// Batch query engine on top of the persistent Executor.
+//
+// BatchRunner binds one graph (plus optional ordering/facts, same contract
+// as the local solvers) to an Executor and keeps one LocalCstSolver /
+// LocalCsmSolver per worker slot alive across batches. The solvers'
+// epoch-stamped scratch therefore resets in O(1) between queries *and*
+// between batches — a batch pays neither the per-call thread spawn nor the
+// per-call O(|V|) solver construction of the old core/parallel.cc layer.
+//
+// Results are deterministic and thread-count invariant: result i depends
+// only on (graph, queries[i], options), never on scheduling.
+//
+// A BatchRunner is not thread-safe; run one batch at a time per instance.
+
+#ifndef LOCS_EXEC_BATCH_RUNNER_H_
+#define LOCS_EXEC_BATCH_RUNNER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/common.h"
+#include "core/local_csm.h"
+#include "core/local_cst.h"
+#include "exec/executor.h"
+#include "graph/graph.h"
+#include "graph/ordering.h"
+
+namespace locs {
+
+/// Per-batch execution limits.
+struct BatchLimits {
+  /// Cap on worker threads for this batch; 0 = the whole executor pool.
+  unsigned num_threads = 0;
+  /// Wall-clock budget in milliseconds; 0 = none. A query that started
+  /// always finishes; on expiry the executed queries form the prefix
+  /// [0, stats.completed) of the batch.
+  double deadline_ms = 0.0;
+  /// External cancellation flag, polled between queries.
+  const std::atomic<bool>* cancel = nullptr;
+};
+
+/// Per-query QueryStats aggregated over one batch.
+struct BatchStats {
+  uint64_t completed = 0;  ///< queries executed (always a batch prefix)
+  uint64_t answered = 0;   ///< queries that produced a non-empty community
+  uint64_t visited_vertices = 0;
+  uint64_t scanned_edges = 0;
+  uint64_t global_fallbacks = 0;
+  uint64_t total_answer_size = 0;
+  double wall_ms = 0.0;
+  bool deadline_hit = false;
+  bool cancelled = false;
+};
+
+struct CstBatchResult {
+  /// communities[i] answers queries[i]; entries past stats.completed were
+  /// never executed (deadline/cancellation) and are std::nullopt.
+  std::vector<std::optional<Community>> communities;
+  BatchStats stats;
+};
+
+struct CsmBatchResult {
+  /// communities[i] answers queries[i]; entries past stats.completed are
+  /// default-constructed.
+  std::vector<Community> communities;
+  BatchStats stats;
+};
+
+/// Persistent batch runner; see the file comment.
+class BatchRunner {
+ public:
+  /// `ordered`/`facts` may be null (same contract as the solvers);
+  /// `executor` null means Executor::Shared().
+  explicit BatchRunner(const Graph& graph,
+                       const OrderedAdjacency* ordered = nullptr,
+                       const GraphFacts* facts = nullptr,
+                       Executor* executor = nullptr);
+
+  /// Solves CST(k) for every query vertex.
+  CstBatchResult RunCst(const std::vector<VertexId>& queries, uint32_t k,
+                        const CstOptions& options = {},
+                        const BatchLimits& limits = {});
+
+  /// Solves CSM for every query vertex.
+  CsmBatchResult RunCsm(const std::vector<VertexId>& queries,
+                        const CsmOptions& options = {},
+                        const BatchLimits& limits = {});
+
+  Executor& executor() const { return *executor_; }
+
+ private:
+  /// Per-worker stat accumulator, cache-line padded against false sharing.
+  struct alignas(64) WorkerTotals {
+    uint64_t answered = 0;
+    uint64_t visited_vertices = 0;
+    uint64_t scanned_edges = 0;
+    uint64_t global_fallbacks = 0;
+    uint64_t total_answer_size = 0;
+
+    void Add(const QueryStats& stats);
+  };
+
+  LocalCstSolver& CstSolver(unsigned worker);
+  LocalCsmSolver& CsmSolver(unsigned worker);
+  static BatchStats Merge(const std::vector<WorkerTotals>& totals,
+                          const Executor::RunResult& run, double wall_ms);
+
+  const Graph& graph_;
+  const OrderedAdjacency* ordered_;
+  const GraphFacts* facts_;
+  Executor* executor_;
+  // One solver per worker slot, created on first use; a slot that never
+  // participates never pays the O(|V|) construction.
+  std::vector<std::unique_ptr<LocalCstSolver>> cst_solvers_;
+  std::vector<std::unique_ptr<LocalCsmSolver>> csm_solvers_;
+};
+
+/// Options for the free-function batch entry points below.
+struct BatchOptions {
+  /// Worker threads; 0 means the shared executor's full pool.
+  unsigned num_threads = 0;
+  CstOptions cst;
+};
+
+/// Solves CST(k) for every query vertex in parallel on the shared
+/// executor. Result i corresponds to queries[i]. Prefer a long-lived
+/// BatchRunner when issuing many batches against the same graph.
+std::vector<std::optional<Community>> SolveCstBatch(
+    const Graph& graph, const OrderedAdjacency* ordered,
+    const GraphFacts* facts, const std::vector<VertexId>& queries,
+    uint32_t k, const BatchOptions& options = {});
+
+/// Solves CSM for every query vertex in parallel on the shared executor.
+std::vector<Community> SolveCsmBatch(const Graph& graph,
+                                     const OrderedAdjacency* ordered,
+                                     const GraphFacts* facts,
+                                     const std::vector<VertexId>& queries,
+                                     const CsmOptions& csm_options = {},
+                                     unsigned num_threads = 0);
+
+}  // namespace locs
+
+#endif  // LOCS_EXEC_BATCH_RUNNER_H_

@@ -1,0 +1,200 @@
+#include "exec/executor.h"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+
+namespace locs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Executor whose RunChunks is live on this thread. Lets a nested
+// ParallelFor on the same executor degrade to inline execution instead of
+// deadlocking on run_mutex_.
+thread_local const Executor* tls_running_on = nullptr;
+
+}  // namespace
+
+/// One ParallelFor invocation. Lives on the caller's stack; workers only
+/// touch it between adoption (active incremented under the pool mutex) and
+/// release (decremented under the pool mutex), and the caller does not
+/// return before active == 0.
+struct Executor::Job {
+  const Body* body = nullptr;
+  size_t num_items = 0;
+  size_t chunk = 1;
+  unsigned max_workers = 1;  // participants cap, caller included
+  bool has_deadline = false;
+  Clock::time_point deadline{};
+  const std::atomic<bool>* cancel = nullptr;
+
+  std::atomic<size_t> cursor{0};     // next unclaimed index
+  std::atomic<size_t> items_run{0};  // finished items
+  std::atomic<bool> stop{false};     // an exception was captured
+  std::atomic<bool> hit_deadline{false};
+  std::atomic<bool> hit_cancel{false};
+  std::mutex error_mutex;
+  std::exception_ptr error;  // guarded by error_mutex
+  unsigned active = 0;       // pool workers inside RunChunks; guarded by
+                             // the executor's mutex_
+};
+
+Executor::Executor(unsigned num_threads)
+    : num_workers_(num_threads != 0
+                       ? num_threads
+                       : std::max(1u, std::thread::hardware_concurrency())) {}
+
+Executor::~Executor() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  job_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+bool Executor::started() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return started_;
+}
+
+void Executor::EnsureStarted() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (started_ || num_workers_ <= 1) return;
+  started_ = true;
+  // reserve() up front: if a thread fails to spawn, the ones already
+  // running are registered in threads_ and the destructor joins them —
+  // unlike the old per-batch spawn loop, a throw here cannot leak a
+  // joinable thread.
+  threads_.reserve(num_workers_ - 1);
+  for (unsigned i = 0; i + 1 < num_workers_; ++i) {
+    threads_.emplace_back(&Executor::WorkerLoop, this, i);
+  }
+}
+
+void Executor::RunChunks(Job& job, unsigned worker) {
+  try {
+    while (!job.stop.load(std::memory_order_relaxed)) {
+      if (job.cancel != nullptr &&
+          job.cancel->load(std::memory_order_relaxed)) {
+        job.hit_cancel.store(true, std::memory_order_relaxed);
+        break;
+      }
+      if (job.has_deadline && Clock::now() >= job.deadline) {
+        job.hit_deadline.store(true, std::memory_order_relaxed);
+        break;
+      }
+      const size_t begin =
+          job.cursor.fetch_add(job.chunk, std::memory_order_relaxed);
+      if (begin >= job.num_items) break;
+      const size_t end = std::min(begin + job.chunk, job.num_items);
+      (*job.body)(worker, begin, end);
+      job.items_run.fetch_add(end - begin, std::memory_order_relaxed);
+    }
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(job.error_mutex);
+      if (job.error == nullptr) job.error = std::current_exception();
+    }
+    job.stop.store(true, std::memory_order_relaxed);
+  }
+}
+
+void Executor::WorkerLoop(unsigned pool_index) {
+  const unsigned worker = pool_index + 1;  // worker 0 is the caller
+  uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (true) {
+    job_cv_.wait(lock, [&] { return shutdown_ || generation_ != seen; });
+    if (shutdown_) return;
+    seen = generation_;
+    Job* job = job_;
+    if (job == nullptr || worker >= job->max_workers) continue;
+    ++job->active;
+    lock.unlock();
+    tls_running_on = this;
+    RunChunks(*job, worker);
+    tls_running_on = nullptr;
+    lock.lock();
+    if (--job->active == 0) done_cv_.notify_all();
+  }
+}
+
+Executor::RunResult Executor::ParallelFor(size_t num_items, const Body& body,
+                                          const RunOptions& options) {
+  RunResult result;
+  if (num_items == 0) return result;
+
+  Job job;
+  job.body = &body;
+  job.num_items = num_items;
+  job.cancel = options.cancel;
+  job.has_deadline = options.deadline_ms > 0.0;
+  if (job.has_deadline) {
+    job.deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double, std::milli>(
+                               options.deadline_ms));
+  }
+
+  unsigned workers = num_workers_;
+  if (options.max_workers != 0) {
+    workers = std::min(workers, options.max_workers);
+  }
+  job.chunk = options.chunk_size != 0
+                  ? options.chunk_size
+                  : std::max<size_t>(
+                        1, num_items / (size_t{workers} * 8));
+  // No point waking workers that could never claim a chunk.
+  const size_t claims = (num_items + job.chunk - 1) / job.chunk;
+  if (size_t{workers} > claims) workers = static_cast<unsigned>(claims);
+  job.max_workers = std::max(1u, workers);
+
+  // A nested call from inside a task runs inline: the outer call holds
+  // run_mutex_ and the pool is already saturated.
+  const bool parallel = job.max_workers > 1 && tls_running_on != this;
+
+  if (!parallel) {
+    const Executor* outer = tls_running_on;
+    tls_running_on = this;
+    RunChunks(job, 0);
+    tls_running_on = outer;
+  } else {
+    std::lock_guard<std::mutex> run_lock(run_mutex_);
+    EnsureStarted();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      job_ = &job;
+      ++generation_;
+    }
+    job_cv_.notify_all();
+    tls_running_on = this;
+    RunChunks(job, 0);
+    tls_running_on = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      job_ = nullptr;  // no further adoption; drain the workers inside
+      done_cv_.wait(lock, [&] { return job.active == 0; });
+    }
+  }
+
+  if (job.error != nullptr) std::rethrow_exception(job.error);
+  result.items_run =
+      std::min(job.items_run.load(std::memory_order_relaxed), num_items);
+  if (result.items_run < num_items) {
+    result.cause = job.hit_cancel.load(std::memory_order_relaxed)
+                       ? StopCause::kCancelled
+                       : StopCause::kDeadline;
+  }
+  return result;
+}
+
+Executor& Executor::Shared() {
+  static Executor executor(
+      std::max(std::thread::hardware_concurrency(), 8u));
+  return executor;
+}
+
+}  // namespace locs

@@ -1,0 +1,122 @@
+// Persistent thread-pool executor for batch query serving.
+//
+// The original batch layer (src/core/parallel.cc) spawned and joined fresh
+// std::threads on every batch call, and a throw from a worker (or from the
+// spawn loop itself) left joinable threads behind and ended in
+// std::terminate. This executor fixes both: a lazily-started pool of
+// workers stays alive across batches, work is distributed by dynamic
+// chunking over an atomic cursor, the first exception a task throws is
+// captured and rethrown on the calling thread after every worker has
+// drained (the pool stays usable), and each call can carry a wall-clock
+// deadline or an external cancellation flag.
+//
+// The calling thread participates as worker 0, so an Executor with
+// num_workers() == N owns N-1 pool threads; Executor(1) never spawns a
+// thread and runs everything inline. The library itself is exception-free
+// (see docs/ARCHITECTURE.md); the executor is the one boundary that must
+// tolerate throwing tasks (std::bad_alloc, test stubs) without
+// terminating.
+
+#ifndef LOCS_EXEC_EXECUTOR_H_
+#define LOCS_EXEC_EXECUTOR_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace locs {
+
+/// A reusable pool of worker threads executing index-range jobs.
+/// ParallelFor calls from different threads are serialized internally;
+/// a nested ParallelFor issued from inside a task runs inline on the
+/// worker that issued it (no deadlock, no extra parallelism).
+class Executor {
+ public:
+  /// A task: process items [begin, end) as `worker` (a stable id in
+  /// [0, num_workers()); the same worker id is never active twice
+  /// concurrently, so per-worker state needs no locking).
+  using Body =
+      std::function<void(unsigned worker, size_t begin, size_t end)>;
+
+  /// Per-call execution controls.
+  struct RunOptions {
+    /// Cap on participating workers for this call; 0 = the whole pool.
+    unsigned max_workers = 0;
+    /// Items claimed per cursor grab; 0 picks a size that balances claim
+    /// overhead against load balance.
+    size_t chunk_size = 0;
+    /// Wall-clock budget in milliseconds; 0 = none. Checked before each
+    /// chunk claim, so a claimed chunk always completes — the items that
+    /// ran always form the prefix [0, items_run).
+    double deadline_ms = 0.0;
+    /// External cancellation flag, polled before each chunk claim.
+    const std::atomic<bool>* cancel = nullptr;
+  };
+
+  /// Why ParallelFor returned.
+  enum class StopCause { kCompleted, kDeadline, kCancelled };
+
+  struct RunResult {
+    /// Items processed; exactly the prefix [0, items_run) of the index
+    /// space (claims are monotone and claimed chunks always finish).
+    size_t items_run = 0;
+    StopCause cause = StopCause::kCompleted;
+  };
+
+  /// `num_threads` counts total parallelism including the calling thread;
+  /// 0 resolves to std::thread::hardware_concurrency(). No thread is
+  /// spawned until the first parallel call (lazy start).
+  explicit Executor(unsigned num_threads = 0);
+  ~Executor();
+
+  Executor(const Executor&) = delete;
+  Executor& operator=(const Executor&) = delete;
+
+  unsigned num_workers() const { return num_workers_; }
+
+  /// True once the pool threads have been spawned.
+  bool started() const;
+
+  /// Runs `body` over [0, num_items) with dynamic chunking and blocks
+  /// until every claimed chunk has finished. The first exception thrown
+  /// by `body` is rethrown here after all workers have drained; the pool
+  /// remains usable afterwards.
+  RunResult ParallelFor(size_t num_items, const Body& body,
+                        const RunOptions& options);
+  RunResult ParallelFor(size_t num_items, const Body& body) {
+    return ParallelFor(num_items, body, RunOptions());
+  }
+
+  /// Process-wide executor shared by the batch entry points. Sized
+  /// max(hardware_concurrency, 8) so thread-count invariance is exercised
+  /// even on small machines.
+  static Executor& Shared();
+
+ private:
+  struct Job;
+
+  void WorkerLoop(unsigned pool_index);
+  void EnsureStarted();
+  static void RunChunks(Job& job, unsigned worker);
+
+  const unsigned num_workers_;
+  std::mutex run_mutex_;  // serializes concurrent ParallelFor calls
+
+  mutable std::mutex mutex_;          // guards all fields below
+  std::condition_variable job_cv_;    // workers: a new job was published
+  std::condition_variable done_cv_;   // caller: a worker left the job
+  std::vector<std::thread> threads_;  // lazily spawned, num_workers_ - 1
+  Job* job_ = nullptr;                // current job; null = none adoptable
+  uint64_t generation_ = 0;           // bumped per published job
+  bool started_ = false;
+  bool shutdown_ = false;
+};
+
+}  // namespace locs
+
+#endif  // LOCS_EXEC_EXECUTOR_H_

@@ -1,8 +1,10 @@
 #include "graph/io.h"
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -38,6 +40,25 @@ class File {
   std::FILE* f_;
 };
 
+/// Reads one line of any length into `line`, stripping the trailing
+/// newline and any carriage returns (CRLF files). Returns false only at
+/// EOF with nothing read.
+bool ReadLine(std::FILE* f, std::string& line) {
+  line.clear();
+  char buf[4096];
+  bool read_any = false;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    read_any = true;
+    line.append(buf);
+    if (!line.empty() && line.back() == '\n') break;
+  }
+  if (!read_any) return false;
+  while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+    line.pop_back();
+  }
+  return true;
+}
+
 }  // namespace
 
 std::optional<Graph> LoadEdgeList(const std::string& path) {
@@ -51,12 +72,19 @@ std::optional<Graph> LoadEdgeList(const std::string& path) {
         .first->second;
   };
 
-  char line[256];
-  while (std::fgets(line, sizeof(line), file.get()) != nullptr) {
-    if (line[0] == '#' || line[0] == '%' || line[0] == '\n') continue;
-    uint64_t u = 0;
-    uint64_t v = 0;
-    if (std::sscanf(line, "%lu %lu", &u, &v) != 2) return std::nullopt;
+  std::string line;
+  while (ReadLine(file.get(), line)) {
+    const size_t start = line.find_first_not_of(" \t");
+    if (start == std::string::npos) continue;  // blank / CR-only line
+    if (line[start] == '#' || line[start] == '%') continue;
+    const char* cursor = line.c_str() + start;
+    char* end = nullptr;
+    const uint64_t u = std::strtoull(cursor, &end, 10);
+    if (end == cursor) return std::nullopt;
+    cursor = end;
+    const uint64_t v = std::strtoull(cursor, &end, 10);
+    if (end == cursor) return std::nullopt;
+    // Extra columns (weights, timestamps) are ignored, as before.
     edges.emplace_back(intern(u), intern(v));
   }
   return BuildGraph(static_cast<VertexId>(remap.size()), edges);
@@ -65,9 +93,10 @@ std::optional<Graph> LoadEdgeList(const std::string& path) {
 bool SaveEdgeList(const Graph& graph, const std::string& path) {
   File file(path, "w");
   if (!file.ok()) return false;
-  std::fprintf(file.get(), "# locs edge list: %u vertices, %lu edges\n",
-               graph.NumVertices(),
-               static_cast<unsigned long>(graph.NumEdges()));
+  std::fprintf(file.get(),
+               "# locs edge list: %" PRIu32 " vertices, %" PRIu64
+               " edges\n",
+               graph.NumVertices(), graph.NumEdges());
   for (VertexId u = 0; u < graph.NumVertices(); ++u) {
     for (VertexId v : graph.Neighbors(u)) {
       if (u < v) std::fprintf(file.get(), "%u %u\n", u, v);
@@ -79,28 +108,38 @@ bool SaveEdgeList(const Graph& graph, const std::string& path) {
 std::optional<Graph> LoadMetis(const std::string& path) {
   File file(path, "r");
   if (!file.ok()) return std::nullopt;
-  char buf[1 << 16];
+  std::string line;
   // Read the header (skipping '%' comments).
   uint64_t n = 0;
   uint64_t m = 0;
   std::string fmt;
-  while (std::fgets(buf, sizeof(buf), file.get()) != nullptr) {
-    if (buf[0] == '%') continue;
-    char fmt_buf[16] = {0};
-    const int fields = std::sscanf(buf, "%lu %lu %15s", &n, &m, fmt_buf);
-    if (fields < 2) return std::nullopt;
-    fmt = fmt_buf;
+  bool have_header = false;
+  while (ReadLine(file.get(), line)) {
+    if (!line.empty() && line[0] == '%') continue;
+    const char* cursor = line.c_str();
+    char* end = nullptr;
+    n = std::strtoull(cursor, &end, 10);
+    if (end == cursor) return std::nullopt;
+    cursor = end;
+    m = std::strtoull(cursor, &end, 10);
+    if (end == cursor) return std::nullopt;
+    cursor = end;
+    while (*cursor == ' ' || *cursor == '\t') ++cursor;
+    while (*cursor != '\0' && *cursor != ' ' && *cursor != '\t') {
+      fmt.push_back(*cursor++);
+    }
+    have_header = true;
     break;
   }
+  if (!have_header) return std::nullopt;
   if (!fmt.empty() && fmt.find_first_not_of('0') != std::string::npos) {
     return std::nullopt;  // weighted formats unsupported
   }
   GraphBuilder builder(static_cast<VertexId>(n));
   uint64_t vertex = 0;
-  while (vertex < n &&
-         std::fgets(buf, sizeof(buf), file.get()) != nullptr) {
-    if (buf[0] == '%') continue;
-    const char* cursor = buf;
+  while (vertex < n && ReadLine(file.get(), line)) {
+    if (!line.empty() && line[0] == '%') continue;
+    const char* cursor = line.c_str();
     char* end = nullptr;
     while (true) {
       const auto neighbor = std::strtoull(cursor, &end, 10);
@@ -124,8 +163,8 @@ std::optional<Graph> LoadMetis(const std::string& path) {
 bool SaveMetis(const Graph& graph, const std::string& path) {
   File file(path, "w");
   if (!file.ok()) return false;
-  std::fprintf(file.get(), "%u %lu\n", graph.NumVertices(),
-               static_cast<unsigned long>(graph.NumEdges()));
+  std::fprintf(file.get(), "%" PRIu32 " %" PRIu64 "\n",
+               graph.NumVertices(), graph.NumEdges());
   for (VertexId v = 0; v < graph.NumVertices(); ++v) {
     bool first = true;
     for (VertexId w : graph.Neighbors(v)) {

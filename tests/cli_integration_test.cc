@@ -5,6 +5,7 @@
 
 #include <array>
 #include <cstdio>
+#include <fstream>
 #include <string>
 
 namespace locs {
@@ -121,6 +122,52 @@ TEST(CliIntegrationTest, ConvertRoundTripAcrossFormats) {
     return out.substr(pos, out.find('\n', pos) - pos);
   };
   EXPECT_EQ(edges_of(binary_path), edges_of(metis_path));
+}
+
+TEST(CliIntegrationTest, BatchCommandRunsBothModes) {
+  const std::string graph_path = TempPath("cli_batch.lcsg");
+  ASSERT_EQ(RunCli("generate --model=lfr --n=1500 --seed=9 --output=" +
+                   graph_path)
+                .first,
+            0);
+  {
+    const auto [code, out] = RunCli("batch --input=" + graph_path +
+                                    " --mode=cst --k=3 --sample=50 "
+                                    "--threads=4");
+    ASSERT_EQ(code, 0) << out;
+    EXPECT_NE(out.find("completed"), std::string::npos);
+    EXPECT_NE(out.find("50"), std::string::npos);
+    EXPECT_NE(out.find("batch wall ms"), std::string::npos);
+  }
+  {
+    // Explicit query file with comments; --show-results prints one
+    // "vertex goodness" line per completed query.
+    const std::string queries_path = TempPath("cli_batch_queries.txt");
+    {
+      std::ofstream out(queries_path);
+      out << "# query vertices\n3\n5\n8\n";
+    }
+    const auto [code, out] = RunCli(
+        "batch --input=" + graph_path + " --mode=csm --queries-file=" +
+        queries_path + " --show-results");
+    ASSERT_EQ(code, 0) << out;
+    EXPECT_NE(out.find("completed"), std::string::npos);
+    EXPECT_NE(out.find("\n3 "), std::string::npos);
+    EXPECT_NE(out.find("\n5 "), std::string::npos);
+    EXPECT_NE(out.find("\n8 "), std::string::npos);
+  }
+  // Out-of-range vertex in the query file is a clean error.
+  {
+    const std::string bad_path = TempPath("cli_batch_bad.txt");
+    {
+      std::ofstream out(bad_path);
+      out << "999999999\n";
+    }
+    EXPECT_NE(RunCli("batch --input=" + graph_path +
+                     " --queries-file=" + bad_path)
+                  .first,
+              0);
+  }
 }
 
 TEST(CliIntegrationTest, ErrorsAreClean) {

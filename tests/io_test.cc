@@ -63,6 +63,57 @@ TEST(EdgeListIoTest, MissingFileReturnsNullopt) {
   EXPECT_FALSE(LoadEdgeList("/nonexistent/path/graph.txt").has_value());
 }
 
+TEST(EdgeListIoTest, LongCommentAndEdgeLinesSurvive) {
+  // Lines longer than any fixed stack buffer (SNAP headers routinely
+  // exceed 256 chars) must neither split nor abort the load.
+  const std::string path = TempPath("long_lines.txt");
+  {
+    std::ofstream out(path);
+    out << "# " << std::string(2000, 'x') << "\n";
+    out << "% " << std::string(5000, 'y') << "\n";
+    out << "10 20" << std::string(600, ' ') << "\n";  // trailing blanks
+    out << std::string(300, ' ') << "20 30\n";        // leading blanks
+    out << "30 10\n";
+  }
+  const auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->NumVertices(), 3u);
+  EXPECT_EQ(loaded->NumEdges(), 3u);
+}
+
+TEST(EdgeListIoTest, CrlfAndBlankLinesAreTolerated) {
+  const std::string path = TempPath("crlf.txt");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "# exported on windows\r\n";
+    out << "10 20\r\n";
+    out << "\r\n";       // CR-only blank line
+    out << "   \n";      // whitespace-only line
+    out << "20 30\r\n";
+    out << "30 10";      // final line without newline
+  }
+  const auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->NumVertices(), 3u);
+  EXPECT_EQ(loaded->NumEdges(), 3u);
+  EXPECT_EQ(loaded->MinDegree(), 2u);
+}
+
+TEST(EdgeListIoTest, FullRangeIdsRoundThroughParsing) {
+  // Values beyond 32 bits exercise the strtoull path (the old %lu sscanf
+  // was UB on LLP64 targets).
+  const std::string path = TempPath("wide_ids.txt");
+  {
+    std::ofstream out(path);
+    out << "8589934592 17179869184\n";   // 2^33, 2^34
+    out << "17179869184 8589934593\n";
+  }
+  const auto loaded = LoadEdgeList(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->NumVertices(), 3u);
+  EXPECT_EQ(loaded->NumEdges(), 2u);
+}
+
 TEST(EdgeListIoTest, MalformedLineFails) {
   const std::string path = TempPath("bad.txt");
   {
@@ -147,6 +198,44 @@ TEST(MetisIoTest, ParsesCommentsAndHeader) {
   EXPECT_TRUE(loaded->HasEdge(0, 1));
   EXPECT_TRUE(loaded->HasEdge(2, 3));
   EXPECT_FALSE(loaded->HasEdge(0, 3));
+}
+
+TEST(MetisIoTest, ToleratesDoubledEdgeCountHeader) {
+  // Some writers store 2m (both edge directions) in the header.
+  const std::string path = TempPath("twom.metis");
+  {
+    std::ofstream out(path);
+    out << "3 6\n";  // a triangle has 3 edges; header says 2*3
+    out << "2 3\n";
+    out << "1 3\n";
+    out << "1 2\n";
+  }
+  const auto loaded = LoadMetis(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->NumVertices(), 3u);
+  EXPECT_EQ(loaded->NumEdges(), 3u);
+}
+
+TEST(MetisIoTest, CrlfAndLongVertexLinesSurvive) {
+  // A CRLF file with one adjacency line far beyond any fixed buffer: a
+  // star center adjacent to 20k leaves (~120KB on one line).
+  const VertexId leaves = 20000;
+  const std::string path = TempPath("crlf_star.metis");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "% windows line endings\r\n";
+    out << (leaves + 1) << " " << leaves << "\r\n";
+    for (VertexId leaf = 0; leaf < leaves; ++leaf) {
+      out << (leaf + 2) << (leaf + 1 < leaves ? " " : "");
+    }
+    out << "\r\n";
+    for (VertexId leaf = 0; leaf < leaves; ++leaf) out << "1\r\n";
+  }
+  const auto loaded = LoadMetis(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->NumVertices(), leaves + 1);
+  EXPECT_EQ(loaded->NumEdges(), uint64_t{leaves});
+  EXPECT_EQ(loaded->Degree(0), leaves);
 }
 
 TEST(MetisIoTest, RejectsWeightedFormat) {

@@ -70,6 +70,61 @@ TEST_P(ParallelBatchTest, CsmBatchMatchesSequential) {
 INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelBatchTest,
                          ::testing::Values(0u, 1u, 2u, 4u, 8u));
 
+// The batch entry points must be deterministic and thread-count
+// invariant: byte-identical member vectors (same order, same values) for
+// num_threads in {1, 2, 8}, all equal to a serial loop over one reused
+// solver.
+TEST(ParallelBatchTest, CstBatchByteIdenticalAcrossThreadCounts) {
+  Graph g = gen::ErdosRenyiGnp(250, 0.05, 23);
+  const GraphFacts facts = GraphFacts::Compute(g);
+  const OrderedAdjacency ordered(g);
+  std::vector<VertexId> queries;
+  for (VertexId v = 0; v < g.NumVertices(); ++v) queries.push_back(v);
+
+  LocalCstSolver solver(g, &ordered, &facts);
+  std::vector<std::optional<Community>> serial;
+  for (VertexId v : queries) serial.push_back(solver.Solve(v, 4));
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    BatchOptions options;
+    options.num_threads = threads;
+    const auto batch = SolveCstBatch(g, &ordered, &facts, queries, 4,
+                                     options);
+    ASSERT_EQ(batch.size(), serial.size()) << "threads=" << threads;
+    for (size_t i = 0; i < serial.size(); ++i) {
+      ASSERT_EQ(batch[i].has_value(), serial[i].has_value())
+          << "threads=" << threads << " i=" << i;
+      if (!serial[i].has_value()) continue;
+      EXPECT_EQ(batch[i]->members, serial[i]->members)
+          << "threads=" << threads << " i=" << i;
+      EXPECT_EQ(batch[i]->min_degree, serial[i]->min_degree);
+    }
+  }
+}
+
+TEST(ParallelBatchTest, CsmBatchByteIdenticalAcrossThreadCounts) {
+  Graph g = gen::ErdosRenyiGnp(200, 0.06, 29);
+  const GraphFacts facts = GraphFacts::Compute(g);
+  const OrderedAdjacency ordered(g);
+  std::vector<VertexId> queries;
+  for (VertexId v = 0; v < g.NumVertices(); v += 2) queries.push_back(v);
+
+  LocalCsmSolver solver(g, &ordered, &facts);
+  std::vector<Community> serial;
+  for (VertexId v : queries) serial.push_back(solver.Solve(v));
+
+  for (unsigned threads : {1u, 2u, 8u}) {
+    const auto batch =
+        SolveCsmBatch(g, &ordered, &facts, queries, {}, threads);
+    ASSERT_EQ(batch.size(), serial.size()) << "threads=" << threads;
+    for (size_t i = 0; i < serial.size(); ++i) {
+      EXPECT_EQ(batch[i].members, serial[i].members)
+          << "threads=" << threads << " i=" << i;
+      EXPECT_EQ(batch[i].min_degree, serial[i].min_degree);
+    }
+  }
+}
+
 TEST(ParallelBatchTest, EmptyQueriesAndSingletons) {
   Graph g = gen::ErdosRenyiGnp(30, 0.2, 1);
   const GraphFacts facts = GraphFacts::Compute(g);

@@ -4,6 +4,8 @@
 //   stats    --input=G                        graph statistics
 //   cst      --input=G --vertex=V --k=K       community with δ >= K
 //   csm      --input=G --vertex=V             best community
+//   batch    --input=G --mode=cst|csm         batch queries on the
+//            [--queries-file=F|--sample=N]    persistent executor
 //   decompose --input=G [--top=N]             core decomposition summary
 //   convert  --input=G --output=F             between edgelist/metis/binary
 //   generate --model=lfr|ba|gnp --output=F    synthetic graphs
@@ -14,10 +16,13 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "core/kcore.h"
 #include "core/searcher.h"
+#include "exec/batch_runner.h"
 #include "gen/barabasi.h"
 #include "gen/erdos_renyi.h"
 #include "gen/lfr.h"
@@ -25,6 +30,7 @@
 #include "graph/statistics.h"
 #include "graph/traversal.h"
 #include "util/cli.h"
+#include "util/rng.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -74,6 +80,9 @@ int Usage() {
       "  stats     --input=G\n"
       "  cst       --input=G --vertex=V --k=K [--global]\n"
       "  csm       --input=G --vertex=V [--global]\n"
+      "  batch     --input=G --mode=cst|csm [--k=K]\n"
+      "            [--queries-file=F | --sample=N --seed=S]\n"
+      "            [--threads=T] [--deadline-ms=D] [--show-results]\n"
       "  decompose --input=G [--top=10]\n"
       "  convert   --input=G --output=F\n"
       "  generate  --model=lfr|ba|gnp --n=N --output=F [--seed=S]\n"
@@ -188,6 +197,113 @@ int CmdCsm(const CommandLine& cli) {
   return 0;
 }
 
+/// Query vertices for `batch`: an explicit --queries-file (one vertex id
+/// per line, '#' comments) or a seeded uniform --sample.
+std::optional<std::vector<VertexId>> BatchQueries(const CommandLine& cli,
+                                                  const Graph& graph) {
+  std::vector<VertexId> queries;
+  const std::string file = cli.GetString("queries-file", "");
+  if (!file.empty()) {
+    std::ifstream in(file);
+    if (!in) {
+      std::fprintf(stderr, "error: could not read '%s'\n", file.c_str());
+      return std::nullopt;
+    }
+    std::string token;
+    while (in >> token) {
+      if (token[0] == '#') {
+        std::getline(in, token);
+        continue;
+      }
+      const auto v = static_cast<uint64_t>(std::strtoull(
+          token.c_str(), nullptr, 10));
+      if (v >= graph.NumVertices()) {
+        std::fprintf(stderr, "error: query vertex %llu out of range\n",
+                     static_cast<unsigned long long>(v));
+        return std::nullopt;
+      }
+      queries.push_back(static_cast<VertexId>(v));
+    }
+    return queries;
+  }
+  const auto count = static_cast<size_t>(cli.GetInt("sample", 1000));
+  if (graph.NumVertices() == 0 || count == 0) return queries;
+  Rng rng(static_cast<uint64_t>(cli.GetInt("seed", 1)));
+  queries.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    queries.push_back(
+        static_cast<VertexId>(rng.Below(graph.NumVertices())));
+  }
+  return queries;
+}
+
+int CmdBatch(const CommandLine& cli) {
+  auto graph = RequireGraph(cli);
+  if (!graph.has_value()) return 1;
+  const std::string mode = cli.GetString("mode", "cst");
+  if (mode != "cst" && mode != "csm") {
+    std::fprintf(stderr, "error: --mode must be cst or csm\n");
+    return 1;
+  }
+  const auto queries = BatchQueries(cli, *graph);
+  if (!queries.has_value()) return 1;
+
+  const GraphFacts facts = GraphFacts::Compute(*graph);
+  const OrderedAdjacency ordered(*graph);
+  BatchRunner runner(*graph, &ordered, &facts);
+  BatchLimits limits;
+  limits.num_threads =
+      static_cast<unsigned>(cli.GetInt("threads", 0));
+  limits.deadline_ms = cli.GetDouble("deadline-ms", 0.0);
+
+  BatchStats stats;
+  std::vector<uint32_t> goodness(queries->size(), 0);
+  if (mode == "cst") {
+    const auto k = static_cast<uint32_t>(cli.GetInt("k", 3));
+    auto result = runner.RunCst(*queries, k, {}, limits);
+    stats = result.stats;
+    for (size_t i = 0; i < result.communities.size(); ++i) {
+      if (result.communities[i].has_value()) {
+        goodness[i] = result.communities[i]->min_degree;
+      }
+    }
+  } else {
+    auto result = runner.RunCsm(*queries, {}, limits);
+    stats = result.stats;
+    for (size_t i = 0; i < result.communities.size(); ++i) {
+      goodness[i] = result.communities[i].min_degree;
+    }
+  }
+
+  TableWriter table({"metric", "value"});
+  table.Row().Cell("queries").Num(uint64_t{queries->size()});
+  table.Row().Cell("completed").Num(stats.completed);
+  table.Row().Cell("answered").Num(stats.answered);
+  table.Row().Cell("visited vertices").Num(stats.visited_vertices);
+  table.Row().Cell("scanned edges").Num(stats.scanned_edges);
+  table.Row().Cell("global fallbacks").Num(stats.global_fallbacks);
+  table.Row().Cell("batch wall ms").Num(stats.wall_ms, 2);
+  if (stats.completed > 0 && stats.wall_ms > 0.0) {
+    table.Row()
+        .Cell("mean ms/query")
+        .Num(stats.wall_ms / static_cast<double>(stats.completed), 4);
+    table.Row()
+        .Cell("throughput q/s")
+        .Num(static_cast<double>(stats.completed) /
+                 (stats.wall_ms / 1000.0),
+             1);
+  }
+  if (stats.deadline_hit) table.Row().Cell("deadline").Cell("hit");
+  table.Print();
+
+  if (cli.GetBool("show-results", false)) {
+    for (size_t i = 0; i < stats.completed; ++i) {
+      std::printf("%u %u\n", (*queries)[i], goodness[i]);
+    }
+  }
+  return 0;
+}
+
 int CmdDecompose(const CommandLine& cli) {
   const auto graph = RequireGraph(cli);
   if (!graph.has_value()) return 1;
@@ -277,6 +393,7 @@ int Run(int argc, char** argv) {
   if (command == "stats") return CmdStats(cli);
   if (command == "cst") return CmdCst(cli);
   if (command == "csm") return CmdCsm(cli);
+  if (command == "batch") return CmdBatch(cli);
   if (command == "decompose") return CmdDecompose(cli);
   if (command == "convert") return CmdConvert(cli);
   if (command == "generate") return CmdGenerate(cli);

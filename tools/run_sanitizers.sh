@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Sanitizer sweep for the test suite:
+#   - ThreadSanitizer over the concurrency-labelled tests (executor,
+#     batch runner, parallel batch entry points)
+#   - ASan+UBSan over the io-labelled tests (text parsers are the code
+#     most exposed to malformed input)
+#
+# Usage: tools/run_sanitizers.sh [build-root]
+# Build trees land under <build-root> (default: build-san/). Each
+# sanitizer combination gets its own tree so rebuilds are incremental.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+root="${1:-build-san}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+configure_flags=(
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo
+  -DLOCS_BUILD_BENCHMARKS=OFF
+  -DLOCS_BUILD_EXAMPLES=OFF
+)
+
+run_pass() {
+  local name="$1" sanitize="$2" label="$3"
+  local dir="${root}/${name}"
+  echo "=== ${name}: LOCS_SANITIZE=${sanitize}, ctest -L ${label} ==="
+  cmake -B "${dir}" -S . "${configure_flags[@]}" \
+    -DLOCS_SANITIZE="${sanitize}" >/dev/null
+  cmake --build "${dir}" -j "${jobs}"
+  ctest --test-dir "${dir}" -L "${label}" --output-on-failure -j "${jobs}"
+}
+
+# TSan halts on the first data race so errors can't scroll past unseen.
+TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
+  run_pass tsan thread concurrency
+
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}" \
+  run_pass asan-ubsan address,undefined io
+
+echo "All sanitizer passes clean."
