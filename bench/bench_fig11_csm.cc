@@ -62,7 +62,7 @@ int Run(int argc, char** argv) {
     double sum_csm2 = 0.0;
     for (VertexId v0 : sample) {
       Community best;
-      t_global.push_back(TimeMs([&] { best = GlobalCsm(g, v0); }));
+      t_global.push_back(TimeMs([&] { best = *GlobalCsm(g, v0); }));
       sum_opt += best.min_degree;
       t_greedy.push_back(TimeMs([&] { GreedyGlobalCsm(g, v0); }));
 
@@ -70,12 +70,12 @@ int Run(int argc, char** argv) {
       options.candidate_rule = CsmCandidateRule::kFromVisited;
       options.gamma = -std::numeric_limits<double>::infinity();
       Community local;
-      t_csm1.push_back(TimeMs([&] { local = solver.Solve(v0, options); }));
+      t_csm1.push_back(TimeMs([&] { local = *solver.Solve(v0, options); }));
       sum_csm1 += local.min_degree;
 
       options.candidate_rule = CsmCandidateRule::kFromNaive;
       options.gamma = 8.0;  // the Figure-15 sweet spot
-      t_csm2.push_back(TimeMs([&] { local = solver.Solve(v0, options); }));
+      t_csm2.push_back(TimeMs([&] { local = *solver.Solve(v0, options); }));
       sum_csm2 += local.min_degree;
     }
     CsmOptions batch_options;

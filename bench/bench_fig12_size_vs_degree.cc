@@ -49,7 +49,7 @@ int Run(int argc, char** argv) {
     std::vector<double> sizes;
     for (VertexId v0 : pool) {
       sizes.push_back(
-          static_cast<double>(GlobalCsm(g, v0).members.size()));
+          static_cast<double>(GlobalCsm(g, v0)->members.size()));
     }
     table.Row()
         .Num(uint64_t{d})

@@ -47,7 +47,7 @@ int Run(int argc, char** argv) {
     double opt_sum = 0.0;
     for (VertexId v0 : sample) {
       Community best;
-      global_ms += TimeMs([&] { best = GlobalCsm(g, v0); });
+      global_ms += TimeMs([&] { best = *GlobalCsm(g, v0); });
       opt_sum += best.min_degree;
     }
     if (opt_sum == 0.0) opt_sum = 1.0;
@@ -62,7 +62,7 @@ int Run(int argc, char** argv) {
       double local_sum = 0.0;
       for (VertexId v0 : sample) {
         Community community;
-        local_ms += TimeMs([&] { community = solver.Solve(v0, options); });
+        local_ms += TimeMs([&] { community = *solver.Solve(v0, options); });
         local_sum += community.min_degree;
       }
       table.Row()

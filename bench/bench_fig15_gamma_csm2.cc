@@ -47,7 +47,7 @@ int Run(int argc, char** argv) {
       double goodness = 0.0;
       for (VertexId v0 : sample) {
         Community community;
-        total_ms += TimeMs([&] { community = solver.Solve(v0, options); });
+        total_ms += TimeMs([&] { community = *solver.Solve(v0, options); });
         goodness += community.min_degree;
       }
       table.Row()

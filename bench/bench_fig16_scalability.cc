@@ -94,14 +94,14 @@ int Run(int argc, char** argv) {
     double csm1_sum = 0.0;
     for (VertexId v0 : csm_sample) {
       Community best;
-      g_csm += TimeMs([&] { best = GlobalCsm(g, v0); });
+      g_csm += TimeMs([&] { best = *GlobalCsm(g, v0); });
       opt_sum += best.min_degree;
       CsmOptions options;
       options.candidate_rule = CsmCandidateRule::kFromVisited;
       options.gamma = 4.0;  // the paper's CSM1 scalability run kept 100%
                             // accuracy; a moderate γ does so here as well
       Community local;
-      c1 += TimeMs([&] { local = csm_solver.Solve(v0, options); });
+      c1 += TimeMs([&] { local = *csm_solver.Solve(v0, options); });
       csm1_sum += local.min_degree;
       options.candidate_rule = CsmCandidateRule::kFromNaive;
       c2 += TimeMs([&] { csm_solver.Solve(v0, options); });

@@ -81,7 +81,7 @@ int Run(int argc, char** argv) {
     double csm1_sum = 0.0;
     for (VertexId v0 : csm_sample) {
       Community best;
-      g_csm += TimeMs([&] { best = GlobalCsm(g, v0); });
+      g_csm += TimeMs([&] { best = *GlobalCsm(g, v0); });
       opt_sum += best.min_degree;
       CsmOptions options;
       options.candidate_rule = CsmCandidateRule::kFromNaive;
@@ -91,7 +91,7 @@ int Run(int argc, char** argv) {
       options.gamma = 7.0;  // near the Figure-14 critical point: large
                             // speedup at a modest quality cost
       Community local;
-      t_csm1 += TimeMs([&] { local = csm_solver.Solve(v0, options); });
+      t_csm1 += TimeMs([&] { local = *csm_solver.Solve(v0, options); });
       csm1_sum += local.min_degree;
     }
     const auto n_csm = static_cast<double>(csm_sample.size());

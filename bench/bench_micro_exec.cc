@@ -9,13 +9,17 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <thread>
 #include <vector>
 
 #include "core/local_cst.h"
+#include "core/result.h"
 #include "exec/batch_runner.h"
 #include "exec/executor.h"
+#include "gen/erdos_renyi.h"
 #include "gen/lfr.h"
 #include "graph/subgraph.h"
 
@@ -146,6 +150,133 @@ void BM_LargeCstBatch(benchmark::State& state) {
                           static_cast<int64_t>(queries.size()));
 }
 BENCHMARK(BM_LargeCstBatch)->Unit(benchmark::kMillisecond);
+
+// --- QueryGuard cost and latency-bound benches ---------------------------
+
+// Fig. 8-shaped CST workload with an unlimited guard (the default every
+// query now runs under): Spend() is an add + compare + never-taken
+// branch. Baseline for the polling-overhead comparison below.
+void BM_CstGuardUnlimited(benchmark::State& state) {
+  const Graph& g = TestGraph();
+  static const GraphFacts facts = GraphFacts::Compute(g);
+  static const OrderedAdjacency ordered(g);
+  LocalCstSolver solver(g, &ordered, &facts);
+  std::vector<VertexId> queries;
+  for (VertexId v = 0; v < 64; ++v) queries.push_back(v * 131 % g.NumVertices());
+  for (auto _ : state) {
+    for (VertexId v0 : queries) {
+      benchmark::DoNotOptimize(solver.Solve(v0, 6));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_CstGuardUnlimited)->Unit(benchmark::kMillisecond);
+
+// The same workload under a limited guard whose budget is never hit: every
+// ~1024 work units the slow poll (clock read + compares) runs. The delta
+// against BM_CstGuardUnlimited is the full price of enforcement — the
+// acceptance target is < 2%.
+void BM_CstGuardPolling(benchmark::State& state) {
+  const Graph& g = TestGraph();
+  static const GraphFacts facts = GraphFacts::Compute(g);
+  static const OrderedAdjacency ordered(g);
+  LocalCstSolver solver(g, &ordered, &facts);
+  std::vector<VertexId> queries;
+  for (VertexId v = 0; v < 64; ++v) queries.push_back(v * 131 % g.NumVertices());
+  QueryLimits limits;
+  limits.deadline_ms = 1e9;  // unreachable, but forces real polling
+  limits.work_budget = uint64_t{1} << 60;
+  for (auto _ : state) {
+    for (VertexId v0 : queries) {
+      QueryGuard guard(limits);
+      benchmark::DoNotOptimize(solver.Solve(v0, 6, {}, nullptr, &guard));
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_CstGuardPolling)->Unit(benchmark::kMillisecond);
+
+// A graph where single CST queries genuinely run for tens of
+// milliseconds: a large sparse G(n, p) with k chosen right at the core
+// emergence threshold, so local expansion grows huge and then hands off
+// to a full-graph peel.
+const Graph& AdversarialGraph() {
+  static const Graph graph =
+      gen::ErdosRenyiGnp(400000, 10.0 / 400000, 7);
+  return graph;
+}
+
+// Latency-bound check: adversarial CST queries under a 10 ms per-query
+// deadline. Reports the slowest single query observed; the acceptance
+// bound is ~2x the deadline (one poll interval of work plus the
+// best-so-far harvest past expiry).
+void BM_CstDeadline10msWorstQuery(benchmark::State& state) {
+  const Graph& g = AdversarialGraph();
+  static const GraphFacts facts = GraphFacts::Compute(g);
+  static const OrderedAdjacency ordered(g);
+  LocalCstSolver solver(g, &ordered, &facts);
+  std::vector<VertexId> queries;
+  for (VertexId v = 0; v < 32; ++v) queries.push_back(v * 211 % g.NumVertices());
+  constexpr double kDeadlineMs = 10.0;
+  double max_query_ms = 0.0;
+  uint64_t interrupted = 0, total = 0;
+  for (auto _ : state) {
+    for (VertexId v0 : queries) {
+      QueryLimits limits;
+      limits.deadline_ms = kDeadlineMs;
+      QueryGuard guard(limits);
+      const auto start = std::chrono::steady_clock::now();
+      const SearchResult result = solver.Solve(v0, 7, {}, nullptr, &guard);
+      const double ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start)
+              .count();
+      max_query_ms = std::max(max_query_ms, ms);
+      ++total;
+      if (result.Interrupted()) ++interrupted;
+      benchmark::DoNotOptimize(result);
+    }
+  }
+  state.counters["max_query_ms"] = max_query_ms;
+  state.counters["deadline_ms"] = kDeadlineMs;
+  state.counters["interrupted_pct"] =
+      total == 0 ? 0.0 : 100.0 * static_cast<double>(interrupted) /
+                             static_cast<double>(total);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_CstDeadline10msWorstQuery)->Unit(benchmark::kMillisecond);
+
+// End-to-end batch variant: per-query 10 ms deadlines through BatchRunner,
+// the exact configuration `locs_cli batch-cst --query-deadline-ms=10` runs.
+void BM_DeadlinedCstBatch(benchmark::State& state) {
+  const Graph& g = AdversarialGraph();
+  static const GraphFacts facts = GraphFacts::Compute(g);
+  static const OrderedAdjacency ordered(g);
+  Executor executor(kThreads);
+  BatchRunner runner(g, &ordered, &facts, &executor);
+  std::vector<VertexId> queries;
+  for (VertexId v = 0; v < 32; ++v) queries.push_back(v * 211 % g.NumVertices());
+  BatchLimits limits;
+  limits.query_deadline_ms = 10.0;
+  runner.RunCst({0}, 6);
+  uint64_t interrupted = 0, batches = 0;
+  for (auto _ : state) {
+    const auto batch = runner.RunCst(queries, 7, {}, limits);
+    interrupted += batch.stats.CountOf(Termination::kDeadline);
+    ++batches;
+    benchmark::DoNotOptimize(batch);
+  }
+  state.counters["interrupted_per_batch"] =
+      batches == 0 ? 0.0
+                   : static_cast<double>(interrupted) /
+                         static_cast<double>(batches);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(queries.size()));
+}
+BENCHMARK(BM_DeadlinedCstBatch)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace locs

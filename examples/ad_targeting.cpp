@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
   // --- Option B: one shared community spanning all seeds ----------------
   CommunitySearcher searcher{Graph(g)};
   WallTimer multi_timer;
-  const Community shared = searcher.CsmMulti(seeds);
+  const Community shared = *searcher.CsmMulti(seeds);
   std::printf("\ncommunity spanning all %zu seeds: %zu users, δ=%u "
               "(%.1fms)\n",
               seeds.size(), shared.members.size(), shared.min_degree,

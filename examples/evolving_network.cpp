@@ -97,7 +97,7 @@ int main(int argc, char** argv) {
   // On demand: materialize the watched user's full community right now.
   CommunitySearcher searcher(adjacency.Freeze());
   WallTimer query;
-  const Community community = searcher.Csm(watched);
+  const Community community = *searcher.Csm(watched);
   std::printf("current best community of user %u: %zu members, δ=%u "
               "(snapshot+query %.1fms)\n",
               watched, community.members.size(), community.min_degree,

@@ -58,7 +58,7 @@ int main(int argc, char** argv) {
 
   WallTimer query_timer;
   QueryStats stats;
-  const Community circle = searcher.Csm(user, {}, &stats);
+  const Community circle = *searcher.Csm(user, {}, &stats);
   const double ms = query_timer.Millis();
 
   const auto friends = searcher.graph().Neighbors(user);

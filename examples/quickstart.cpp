@@ -27,7 +27,7 @@ int main() {
   // --- CSM: the best community for a vertex ------------------------------
   // Finds a connected subgraph containing `a` whose minimum internal
   // degree is maximal.
-  const Community best = searcher.Csm(a);
+  const Community best = *searcher.Csm(a);
   std::printf("\nbest community for 'a' (min degree %u):", best.min_degree);
   for (VertexId v : best.members) {
     std::printf(" %s", gen::Figure1Label(v).c_str());

@@ -109,7 +109,7 @@ int main(int argc, char** argv) {
   std::printf("\n");
 
   // The best community, regardless of threshold.
-  const Community best = searcher.Csm(query);
+  const Community best = *searcher.Csm(query);
   std::printf("tightest community around '%s' (δ=%u):", word.c_str(),
               best.min_degree);
   for (VertexId v : best.members) {

@@ -25,20 +25,33 @@ Community FilteredCommunitySearcher::Translate(Community community) const {
   return community;
 }
 
-std::optional<Community> FilteredCommunitySearcher::Cst(
-    VertexId v0, uint32_t k, const CstOptions& options, QueryStats* stats) {
-  LOCS_CHECK_LT(v0, to_filtered_.size());
-  if (!IsAdmitted(v0)) return std::nullopt;
-  auto community = searcher_->Cst(to_filtered_[v0], k, options, stats);
-  if (!community.has_value()) return std::nullopt;
-  return Translate(std::move(*community));
+SearchResult FilteredCommunitySearcher::TranslateResult(
+    SearchResult result) const {
+  if (result.community.has_value()) {
+    result.community = Translate(std::move(*result.community));
+  }
+  result.best_so_far = Translate(std::move(result.best_so_far));
+  return result;
 }
 
-std::optional<Community> FilteredCommunitySearcher::Csm(
-    VertexId v0, const CsmOptions& options, QueryStats* stats) {
+SearchResult FilteredCommunitySearcher::Cst(VertexId v0, uint32_t k,
+                                            const CstOptions& options,
+                                            QueryStats* stats,
+                                            QueryGuard* guard) {
   LOCS_CHECK_LT(v0, to_filtered_.size());
-  if (!IsAdmitted(v0)) return std::nullopt;
-  return Translate(searcher_->Csm(to_filtered_[v0], options, stats));
+  if (!IsAdmitted(v0)) return SearchResult::MakeNotExists();
+  return TranslateResult(
+      searcher_->Cst(to_filtered_[v0], k, options, stats, guard));
+}
+
+SearchResult FilteredCommunitySearcher::Csm(VertexId v0,
+                                            const CsmOptions& options,
+                                            QueryStats* stats,
+                                            QueryGuard* guard) {
+  LOCS_CHECK_LT(v0, to_filtered_.size());
+  if (!IsAdmitted(v0)) return SearchResult::MakeNotExists();
+  return TranslateResult(
+      searcher_->Csm(to_filtered_[v0], options, stats, guard));
 }
 
 }  // namespace locs

@@ -18,8 +18,10 @@
 #include <optional>
 #include <vector>
 
+#include "core/result.h"
 #include "core/searcher.h"
 #include "graph/graph.h"
+#include "util/guard.h"
 
 namespace locs {
 
@@ -39,20 +41,20 @@ class FilteredCommunitySearcher {
     return to_filtered_[v] != kInvalidVertex;
   }
 
-  /// CST(k) among admitted vertices only. Returns std::nullopt when v0 is
-  /// not admitted or no constrained community exists. Members are
-  /// reported in original-graph ids.
-  std::optional<Community> Cst(VertexId v0, uint32_t k,
-                               const CstOptions& options = {},
-                               QueryStats* stats = nullptr);
+  /// CST(k) among admitted vertices only. kNotExists when v0 is not
+  /// admitted or no constrained community exists. Members are reported in
+  /// original-graph ids (including an interrupted query's best_so_far).
+  SearchResult Cst(VertexId v0, uint32_t k, const CstOptions& options = {},
+                   QueryStats* stats = nullptr, QueryGuard* guard = nullptr);
 
   /// Best constrained community for v0 (original-graph ids); v0 itself
-  /// must be admitted or std::nullopt is returned.
-  std::optional<Community> Csm(VertexId v0, const CsmOptions& options = {},
-                               QueryStats* stats = nullptr);
+  /// must be admitted or kNotExists is returned.
+  SearchResult Csm(VertexId v0, const CsmOptions& options = {},
+                   QueryStats* stats = nullptr, QueryGuard* guard = nullptr);
 
  private:
   Community Translate(Community community) const;
+  SearchResult TranslateResult(SearchResult result) const;
 
   std::vector<VertexId> to_filtered_;  // original -> filtered id or kInvalid
   std::vector<VertexId> to_original_;  // filtered -> original id

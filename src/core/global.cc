@@ -8,14 +8,50 @@
 
 namespace locs {
 
-std::optional<Community> GlobalCst(const Graph& graph, VertexId v0,
-                                   uint32_t k, QueryStats* stats) {
+namespace {
+
+/// BFS component of v0 over vertices with mark[v] == 0, stamping reached
+/// vertices with 2; the induced minimum degree is recounted exactly
+/// against the reached set, so the result is valid even when `degree` is
+/// mid-peel stale.
+Community HarvestComponent(const Graph& graph, VertexId v0,
+                           std::vector<uint8_t>& mark) {
+  Community community;
+  community.members.push_back(v0);
+  mark[v0] = 2;
+  for (size_t head = 0; head < community.members.size(); ++head) {
+    for (VertexId w : graph.Neighbors(community.members[head])) {
+      if (mark[w] == 0) {
+        mark[w] = 2;
+        community.members.push_back(w);
+      }
+    }
+  }
+  uint32_t min_degree = ~uint32_t{0};
+  for (VertexId u : community.members) {
+    uint32_t degree = 0;
+    for (VertexId w : graph.Neighbors(u)) degree += mark[w] == 2 ? 1u : 0u;
+    min_degree = std::min(min_degree, degree);
+  }
+  community.min_degree = community.members.size() == 0 ? 0 : min_degree;
+  return community;
+}
+
+}  // namespace
+
+SearchResult GlobalCst(const Graph& graph, VertexId v0, uint32_t k,
+                       QueryStats* stats, QueryGuard* guard) {
   LOCS_CHECK_LT(v0, graph.NumVertices());
   QueryStats local_stats;
   QueryStats& st = stats != nullptr ? *stats : local_stats;
   st = QueryStats{};
   st.visited_vertices = graph.NumVertices();
   st.scanned_edges = 2 * graph.NumEdges();
+  QueryGuard unlimited;
+  QueryGuard& g = guard != nullptr ? *guard : unlimited;
+  if (g.Stopped()) {
+    return SearchResult::MakeInterrupted(g.cause(), Community{{v0}, 0});
+  }
 
   // Iteratively delete vertices of degree < k (Lemma 3), then return the
   // connected component of v0 among the survivors.
@@ -30,6 +66,11 @@ std::optional<Community> GlobalCst(const Graph& graph, VertexId v0,
       worklist.push_back(v);
     }
   }
+  if (g.Spend(n)) {
+    if (removed[v0] != 0) return SearchResult::MakeNotExists();
+    return SearchResult::MakeInterrupted(g.cause(),
+                                         HarvestComponent(graph, v0, removed));
+  }
   for (size_t head = 0; head < worklist.size(); ++head) {
     const VertexId v = worklist[head];
     for (VertexId w : graph.Neighbors(v)) {
@@ -38,8 +79,15 @@ std::optional<Community> GlobalCst(const Graph& graph, VertexId v0,
         worklist.push_back(w);
       }
     }
+    if (g.Spend(1 + graph.Degree(v))) {
+      // Removals are sound mid-peel, so a removed v0 stays an exact
+      // negative; otherwise degrade to v0's component of the survivors.
+      if (removed[v0] != 0) return SearchResult::MakeNotExists();
+      return SearchResult::MakeInterrupted(
+          g.cause(), HarvestComponent(graph, v0, removed));
+    }
   }
-  if (removed[v0] != 0) return std::nullopt;
+  if (removed[v0] != 0) return SearchResult::MakeNotExists();
 
   // BFS within the survivors.
   Community community;
@@ -55,26 +103,50 @@ std::optional<Community> GlobalCst(const Graph& graph, VertexId v0,
         community.members.push_back(w);
       }
     }
+    if (g.Spend(1 + graph.Degree(u))) {
+      // Partial BFS set: connected, contains v0; recount induced degrees
+      // against the reached marks.
+      uint32_t partial_min = ~uint32_t{0};
+      for (VertexId x : community.members) {
+        uint32_t deg = 0;
+        for (VertexId w : graph.Neighbors(x)) {
+          deg += removed[w] == 2 ? 1u : 0u;
+        }
+        partial_min = std::min(partial_min, deg);
+      }
+      community.min_degree = partial_min;
+      return SearchResult::MakeInterrupted(g.cause(), std::move(community));
+    }
   }
   community.min_degree = min_degree;
   st.answer_size = community.members.size();
-  return community;
+  return SearchResult::MakeFound(std::move(community));
 }
 
-Community GlobalCsm(const Graph& graph, VertexId v0, QueryStats* stats) {
+SearchResult GlobalCsm(const Graph& graph, VertexId v0, QueryStats* stats,
+                       QueryGuard* guard) {
   LOCS_CHECK_LT(v0, graph.NumVertices());
   QueryStats local_stats;
   QueryStats& st = stats != nullptr ? *stats : local_stats;
   st = QueryStats{};
   st.visited_vertices = graph.NumVertices();
   st.scanned_edges = 2 * graph.NumEdges();
+  if (guard != nullptr) {
+    // Poll once before committing to the indivisible decomposition, and
+    // charge its full cost so nested budgets stay honest.
+    if (guard->Spend(0)) {
+      return SearchResult::MakeInterrupted(guard->cause(),
+                                           Community{{v0}, 0});
+    }
+    guard->Spend(graph.NumVertices() + 2 * graph.NumEdges());
+  }
 
   const CoreDecomposition cores = ComputeCores(graph);
   Community community;
   community.members = MaxCoreComponentOf(graph, cores, v0);
   community.min_degree = cores.core[v0];
   st.answer_size = community.members.size();
-  return community;
+  return SearchResult::MakeFound(std::move(community));
 }
 
 Community GreedyGlobalCsm(const Graph& graph, VertexId v0) {

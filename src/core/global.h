@@ -9,24 +9,30 @@
 #ifndef LOCS_CORE_GLOBAL_H_
 #define LOCS_CORE_GLOBAL_H_
 
-#include <optional>
-
 #include "core/common.h"
 #include "core/kcore.h"
+#include "core/result.h"
 #include "graph/graph.h"
+#include "util/guard.h"
 
 namespace locs {
 
-/// Global CST(k): the connected component of v0 in the k-core of G, or
-/// std::nullopt when v0 is outside the k-core. O(|V| + |E|).
-std::optional<Community> GlobalCst(const Graph& graph, VertexId v0,
-                                   uint32_t k, QueryStats* stats = nullptr);
+/// Global CST(k): the connected component of v0 in the k-core of G
+/// (kNotExists exactly when v0 is outside the k-core). O(|V| + |E|). A
+/// `guard` trip mid-peel degrades to v0's component among the not-yet-
+/// removed vertices (or an exact kNotExists when v0 was already peeled).
+SearchResult GlobalCst(const Graph& graph, VertexId v0, uint32_t k,
+                       QueryStats* stats = nullptr,
+                       QueryGuard* guard = nullptr);
 
 /// Global CSM via core decomposition — the linear implementation of the
 /// greedy algorithm (m*(G, v0) equals the core number of v0; the answer is
-/// v0's component of its maxcore). O(|V| + |E|).
-Community GlobalCsm(const Graph& graph, VertexId v0,
-                    QueryStats* stats = nullptr);
+/// v0's component of its maxcore). O(|V| + |E|). The decomposition is one
+/// indivisible pass: the guard is consulted on entry and charged the whole
+/// |V| + 2|E| cost, but cannot interrupt the pass itself.
+SearchResult GlobalCsm(const Graph& graph, VertexId v0,
+                       QueryStats* stats = nullptr,
+                       QueryGuard* guard = nullptr);
 
 /// Global CSM by literal greedy deletion as described in §3.2: repeatedly
 /// delete a minimum-degree vertex, forming G0 ⊃ G1 ⊃ …, stop when v0 is

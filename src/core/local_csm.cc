@@ -54,12 +54,17 @@ void LocalCsmSolver::AddToA(VertexId v, QueryStats& stats) {
   while (degree_count_[delta_a_] == 0) ++delta_a_;
 }
 
-Community LocalCsmSolver::Solve(VertexId v0, const CsmOptions& options,
-                                QueryStats* stats) {
+SearchResult LocalCsmSolver::Solve(VertexId v0, const CsmOptions& options,
+                                   QueryStats* stats, QueryGuard* guard) {
   LOCS_CHECK_LT(v0, graph_.NumVertices());
   QueryStats local_stats;
   QueryStats& st = stats != nullptr ? *stats : local_stats;
   st = QueryStats{};
+  QueryGuard unlimited;
+  QueryGuard& g = guard != nullptr ? *guard : unlimited;
+  if (g.Stopped()) {
+    return SearchResult::MakeInterrupted(g.cause(), Community{{v0}, 0});
+  }
 
   // O(1) query reset (the histogram is reset over the range touched by the
   // previous query).
@@ -83,6 +88,16 @@ Community LocalCsmSolver::Solve(VertexId v0, const CsmOptions& options,
       facts_ != nullptr && facts_->connected &&
       !(std::isinf(options.gamma) && options.gamma < 0);
 
+  // Guard accounting: charge the stats delta once per expansion step (the
+  // guard amortizes the expensive checks internally).
+  uint64_t charged = 0;
+  auto spend = [&]() {
+    const uint64_t total = st.visited_vertices + st.scanned_edges;
+    const bool stop = g.Spend(total - charged);
+    charged = total;
+    return stop;
+  };
+
   // Step 1: iterative searching and filtering (lines 1-15 of Algorithm 4).
   AddToA(v0, st);
   discovered_.Ref(v0) = 1;
@@ -96,6 +111,10 @@ Community LocalCsmSolver::Solve(VertexId v0, const CsmOptions& options,
       discovered_.Ref(w) = 1;
       frontier_.Insert(w, 1);
     }
+  }
+  if (spend()) {
+    return SearchResult::MakeInterrupted(g.cause(),
+                                         HarvestPrefix(h_len, delta_h));
   }
 
   while (delta_h < upper && !frontier_.Empty()) {
@@ -128,16 +147,17 @@ Community LocalCsmSolver::Solve(VertexId v0, const CsmOptions& options,
         frontier_.Insert(w, 1);
       }
     }
+    if (spend()) {
+      return SearchResult::MakeInterrupted(g.cause(),
+                                           HarvestPrefix(h_len, delta_h));
+    }
   }
 
   // Sufficient condition met: the prefix H is provably optimal (Eq. 7).
   if (delta_h == upper) {
-    Community community;
-    community.members.assign(order_.begin(),
-                             order_.begin() + static_cast<ptrdiff_t>(h_len));
-    community.min_degree = delta_h;
+    Community community = HarvestPrefix(h_len, delta_h);
     st.answer_size = community.members.size();
-    return community;
+    return SearchResult::MakeFound(std::move(community));
   }
 
   // Steps 2-3: candidate generation + maxcore.
@@ -145,39 +165,60 @@ Community LocalCsmSolver::Solve(VertexId v0, const CsmOptions& options,
   std::vector<VertexId> candidates;
   if (options.candidate_rule == CsmCandidateRule::kFromVisited) {
     candidates = order_;  // CSM1: C <- A (Theorem 6).
-  } else {
-    candidates = NaiveCandidates(v0, delta_h, st);  // CSM2 (Theorem 7).
+  } else if (!NaiveCandidates(v0, delta_h, st, g, charged,
+                              &candidates)) {  // CSM2 (Theorem 7).
+    return SearchResult::MakeInterrupted(g.cause(),
+                                         HarvestPrefix(h_len, delta_h));
   }
-  Community best = MaxCoreOfCandidates(v0, candidates);
+  Community best;
+  if (!MaxCoreOfCandidates(v0, candidates, g, &best)) {
+    // The maxcore phase never yields partial answers; the proven prefix H
+    // (δ(G[H]) <= the true optimum) is the best community so far.
+    return SearchResult::MakeInterrupted(g.cause(),
+                                         HarvestPrefix(h_len, delta_h));
+  }
   st.answer_size = best.members.size();
-  return best;
+  return SearchResult::MakeFound(std::move(best));
 }
 
-std::vector<VertexId> LocalCsmSolver::NaiveCandidates(VertexId v0,
-                                                      uint32_t k,
-                                                      QueryStats& stats) {
+Community LocalCsmSolver::HarvestPrefix(size_t h_len, uint32_t delta_h) const {
+  // Every prefix of the insertion order is connected (each vertex enters
+  // from the frontier, i.e. adjacent to A), and delta_h recorded the exact
+  // δ(G[H]) at the moment the prefix was the whole of A.
+  Community community;
+  community.members.assign(order_.begin(),
+                           order_.begin() + static_cast<ptrdiff_t>(h_len));
+  community.min_degree = delta_h;
+  return community;
+}
+
+bool LocalCsmSolver::NaiveCandidates(VertexId v0, uint32_t k,
+                                     QueryStats& stats, QueryGuard& guard,
+                                     uint64_t& charged,
+                                     std::vector<VertexId>* out) {
   // Cnaive(k): BFS from v0 over vertices of global degree >= k
   // (Algorithm 3 run to exhaustion). Uses the ordered adjacency when
   // available to cut each neighbor scan at the first sub-threshold entry.
+  // Returns false when the guard trips mid-BFS.
   bfs_seen_.NewEpoch();
-  std::vector<VertexId> out;
+  out->clear();
   if (graph_.Degree(v0) < k) {
     // H itself proves δ = k is reachable, so this only happens for k = 0
     // answers on isolated vertices; keep v0 so maxcore stays well-defined.
-    out.push_back(v0);
-    return out;
+    out->push_back(v0);
+    return true;
   }
-  out.push_back(v0);
+  out->push_back(v0);
   bfs_seen_.Ref(v0) = 1;
   const bool use_ordered = ordered_ != nullptr;
-  for (size_t head = 0; head < out.size(); ++head) {
-    const VertexId u = out[head];
+  for (size_t head = 0; head < out->size(); ++head) {
+    const VertexId u = (*out)[head];
     ++stats.visited_vertices;
     auto consider = [&](VertexId w) {
       ++stats.scanned_edges;
       if (bfs_seen_.Get(w) == 0) {
         bfs_seen_.Ref(w) = 1;
-        out.push_back(w);
+        out->push_back(w);
       }
     };
     if (use_ordered) {
@@ -194,12 +235,17 @@ std::vector<VertexId> LocalCsmSolver::NaiveCandidates(VertexId v0,
         consider(w);
       }
     }
+    const uint64_t total = stats.visited_vertices + stats.scanned_edges;
+    const bool stop = guard.Spend(total - charged);
+    charged = total;
+    if (stop) return false;
   }
-  return out;
+  return true;
 }
 
-Community LocalCsmSolver::MaxCoreOfCandidates(
-    VertexId v0, const std::vector<VertexId>& candidates) {
+bool LocalCsmSolver::MaxCoreOfCandidates(
+    VertexId v0, const std::vector<VertexId>& candidates, QueryGuard& guard,
+    Community* out) {
   LOCS_CHECK(!candidates.empty());
   LOCS_CHECK_EQ(candidates.front(), v0);
   // Build a compact (unsorted) CSR over the candidate set. Core
@@ -217,6 +263,7 @@ Community LocalCsmSolver::MaxCoreOfCandidates(
       deg += local_id_.Get(w) != 0;
     }
     sub_degree_[i] = deg;
+    if (guard.Spend(graph_.Degree(candidates[i]))) return false;
   }
   sub_offsets_.assign(sub_n + 1, 0);
   for (uint32_t i = 0; i < sub_n; ++i) {
@@ -246,6 +293,7 @@ Community LocalCsmSolver::MaxCoreOfCandidates(
         queue.DecrementKey(w);
       }
     }
+    if (guard.Spend(1 + sub_offsets_[v + 1] - sub_offsets_[v])) return false;
   }
 
   // Component of v0 (local id 0) within its maxcore.
@@ -264,13 +312,14 @@ Community LocalCsmSolver::MaxCoreOfCandidates(
       }
     }
   }
-  Community community;
+  Community& community = *out;
+  community = Community{};
   community.min_degree = k_star;
   community.members.reserve(component.size());
   for (uint32_t local : component) {
     community.members.push_back(candidates[local]);
   }
-  return community;
+  return true;
 }
 
 }  // namespace locs

@@ -20,8 +20,10 @@
 #include "core/common.h"
 #include "core/epoch.h"
 #include "core/local_cst.h"
+#include "core/result.h"
 #include "graph/graph.h"
 #include "graph/ordering.h"
+#include "util/guard.h"
 
 namespace locs {
 
@@ -33,16 +35,22 @@ class LocalCsmSolver {
 
   /// Solves CSM for `v0`: a connected community containing v0 whose
   /// minimum degree is maximal (exact for CSM2 or γ → −∞; a lower bound
-  /// otherwise).
-  Community Solve(VertexId v0, const CsmOptions& options = {},
-                  QueryStats* stats = nullptr);
+  /// otherwise). CSM always has an answer (the singleton at worst), so an
+  /// uninterrupted query reports kFound. On a `guard` trip the best prefix
+  /// H found so far — connected, containing v0, with exact δ(G[H]) — comes
+  /// back in `best_so_far`.
+  SearchResult Solve(VertexId v0, const CsmOptions& options = {},
+                     QueryStats* stats = nullptr, QueryGuard* guard = nullptr);
 
  private:
   void AddToA(VertexId v, QueryStats& stats);
-  std::vector<VertexId> NaiveCandidates(VertexId v0, uint32_t k,
-                                        QueryStats& stats);
-  Community MaxCoreOfCandidates(VertexId v0,
-                                const std::vector<VertexId>& candidates);
+  bool NaiveCandidates(VertexId v0, uint32_t k, QueryStats& stats,
+                       QueryGuard& guard, uint64_t& charged,
+                       std::vector<VertexId>* out);
+  bool MaxCoreOfCandidates(VertexId v0,
+                           const std::vector<VertexId>& candidates,
+                           QueryGuard& guard, Community* out);
+  Community HarvestPrefix(size_t h_len, uint32_t delta_h) const;
 
   const Graph& graph_;
   const OrderedAdjacency* ordered_;

@@ -37,26 +37,33 @@ LocalCstSolver::LocalCstSolver(const Graph& graph,
       li_queue_(graph.NumVertices(), graph.MaxDegree() + 1),
       lg_sources_(graph.NumVertices(), graph.MaxDegree() + 1) {}
 
-std::optional<Community> LocalCstSolver::Solve(VertexId v0, uint32_t k,
-                                               const CstOptions& options,
-                                               QueryStats* stats) {
+SearchResult LocalCstSolver::Solve(VertexId v0, uint32_t k,
+                                   const CstOptions& options,
+                                   QueryStats* stats, QueryGuard* guard) {
   LOCS_CHECK_LT(v0, graph_.NumVertices());
   QueryStats local_stats;
   QueryStats& st = stats != nullptr ? *stats : local_stats;
   st = QueryStats{};
+  QueryGuard unlimited;
+  QueryGuard& g = guard != nullptr ? *guard : unlimited;
 
   // Trivial threshold: the singleton community qualifies.
   if (k == 0) {
     st.visited_vertices = 1;
     st.answer_size = 1;
-    return Community{{v0}, 0};
+    return SearchResult::MakeFound(Community{{v0}, 0});
   }
   // Proposition 3: v0 itself must have degree >= k.
-  if (graph_.Degree(v0) < k) return std::nullopt;
+  if (graph_.Degree(v0) < k) return SearchResult::MakeNotExists();
   // Theorem 3 admission test (valid on connected graphs only).
   if (facts_ != nullptr && facts_->connected &&
       k > MStarUpperBound(facts_->num_edges, facts_->num_vertices)) {
-    return std::nullopt;
+    return SearchResult::MakeNotExists();
+  }
+  // A guard that tripped before this query even started (e.g. shared batch
+  // deadline already expired) degrades to the singleton partial answer.
+  if (g.Stopped()) {
+    return SearchResult::MakeInterrupted(g.cause(), Community{{v0}, 0});
   }
 
   const bool use_ordered =
@@ -74,8 +81,22 @@ std::optional<Community> LocalCstSolver::Solve(VertexId v0, uint32_t k,
   c_members_.clear();
   deficient_ = 0;
 
+  // Guard accounting: charge the stats delta after every expansion step.
+  // The guard amortizes the expensive checks internally, so the per-step
+  // cost here is one add and one compare.
+  uint64_t charged = 0;
+  auto spend = [&]() {
+    const uint64_t total = st.visited_vertices + st.scanned_edges;
+    const bool stop = g.Spend(total - charged);
+    charged = total;
+    return stop;
+  };
+
   enqueued_.Ref(v0) = 1;
   AddToC(v0, k, options.strategy, use_ordered, st);
+  if (spend()) {
+    return SearchResult::MakeInterrupted(g.cause(), HarvestExpansion());
+  }
   while (deficient_ > 0) {
     const VertexId next = SelectNext(options.strategy, k, use_ordered);
     if (next == kInvalidVertex) {
@@ -83,9 +104,12 @@ std::optional<Community> LocalCstSolver::Solve(VertexId v0, uint32_t k,
       // the candidate generation never skips a vertex of degree >= k that
       // is reachable through such vertices, C contains the whole k-core
       // component of v0 and the fallback answer is exact.
-      return GlobalFallback(v0, k, st);
+      return GlobalFallback(v0, k, st, g, charged);
     }
     AddToC(next, k, options.strategy, use_ordered, st);
+    if (spend()) {
+      return SearchResult::MakeInterrupted(g.cause(), HarvestExpansion());
+    }
   }
 
   // Early success: δ(G[C]) >= k. Report the exact minimum degree.
@@ -97,7 +121,22 @@ std::optional<Community> LocalCstSolver::Solve(VertexId v0, uint32_t k,
   }
   community.min_degree = min_degree;
   st.answer_size = community.members.size();
-  return community;
+  return SearchResult::MakeFound(std::move(community));
+}
+
+Community LocalCstSolver::HarvestExpansion() const {
+  // During expansion the candidate set C is always connected (vertices are
+  // only ever discovered as neighbors of C) and contains v0, and deg_in_c_
+  // holds the exact induced degrees — so C itself is the best connected
+  // community so far.
+  Community partial;
+  partial.members = c_members_;
+  uint32_t min_degree = ~uint32_t{0};
+  for (VertexId v : c_members_) {
+    min_degree = std::min(min_degree, deg_in_c_.Get(v));
+  }
+  partial.min_degree = c_members_.empty() ? 0 : min_degree;
+  return partial;
 }
 
 void LocalCstSolver::AddToC(VertexId v, uint32_t k, Strategy strategy,
@@ -220,14 +259,21 @@ VertexId LocalCstSolver::SelectLg(uint32_t k, bool use_ordered) {
   return kInvalidVertex;
 }
 
-std::optional<Community> LocalCstSolver::GlobalFallback(VertexId v0,
-                                                        uint32_t k,
-                                                        QueryStats& stats) {
+SearchResult LocalCstSolver::GlobalFallback(VertexId v0, uint32_t k,
+                                            QueryStats& stats,
+                                            QueryGuard& guard,
+                                            uint64_t& charged) {
   // Global peel restricted to G[C] (line 6 of Algorithm 2), done in place:
   // deg_in_c_ already holds the induced degrees, so the k-core of G[C] is
   // a plain worklist peel over C — no subgraph is materialized and the
   // cost stays O(|C| + edges(C)).
   stats.used_global_fallback = true;
+  auto spend = [&]() {
+    const uint64_t total = stats.visited_vertices + stats.scanned_edges;
+    const bool stop = guard.Spend(total - charged);
+    charged = total;
+    return stop;
+  };
   peeled_.NewEpoch();
   peel_worklist_.clear();
   for (VertexId v : c_members_) {
@@ -247,8 +293,18 @@ std::optional<Community> LocalCstSolver::GlobalFallback(VertexId v0,
         peel_worklist_.push_back(w);
       }
     }
+    if (spend()) {
+      // Peel removals are sound even mid-peel: a peeled vertex provably
+      // belongs to no k-core of G[C], and C contains the whole k-core
+      // component of v0 — so a peeled v0 is an exact negative despite the
+      // interruption. Otherwise degrade to the component of v0 among the
+      // still-unpeeled candidates.
+      if (peeled_.Get(v0) == 1) return SearchResult::MakeNotExists();
+      return SearchResult::MakeInterrupted(guard.cause(),
+                                           HarvestUnpeeled(v0));
+    }
   }
-  if (peeled_.Get(v0) != 0) return std::nullopt;
+  if (peeled_.Get(v0) != 0) return SearchResult::MakeNotExists();
 
   // BFS from v0 over the surviving candidates. Reuse peeled_ as the
   // visited mark (2 = reached).
@@ -266,10 +322,50 @@ std::optional<Community> LocalCstSolver::GlobalFallback(VertexId v0,
         community.members.push_back(w);
       }
     }
+    if (spend()) {
+      // The partially-collected BFS set is connected and contains v0; its
+      // induced degrees must be recounted against the reached marks.
+      community.min_degree = InducedMinDegree(community.members, 2);
+      return SearchResult::MakeInterrupted(guard.cause(),
+                                           std::move(community));
+    }
   }
   community.min_degree = min_degree;
   stats.answer_size = community.members.size();
-  return community;
+  return SearchResult::MakeFound(std::move(community));
+}
+
+Community LocalCstSolver::HarvestUnpeeled(VertexId v0) {
+  // Connected component of v0 over candidates the (interrupted) peel has
+  // not yet removed; marks reached vertices with 2 so the induced degrees
+  // can be recounted exactly. deg_in_c_ is NOT usable here — mid-peel it
+  // still counts edges to peeled-but-unprocessed vertices.
+  Community partial;
+  partial.members.push_back(v0);
+  peeled_.Ref(v0) = 2;
+  for (size_t head = 0; head < partial.members.size(); ++head) {
+    for (VertexId w : graph_.Neighbors(partial.members[head])) {
+      if (in_c_.Get(w) != 0 && peeled_.Get(w) == 0) {
+        peeled_.Ref(w) = 2;
+        partial.members.push_back(w);
+      }
+    }
+  }
+  partial.min_degree = InducedMinDegree(partial.members, 2);
+  return partial;
+}
+
+uint32_t LocalCstSolver::InducedMinDegree(const std::vector<VertexId>& members,
+                                          uint8_t mark) const {
+  uint32_t min_degree = ~uint32_t{0};
+  for (VertexId u : members) {
+    uint32_t degree = 0;
+    for (VertexId w : graph_.Neighbors(u)) {
+      degree += peeled_.Get(w) == mark ? 1u : 0u;
+    }
+    min_degree = std::min(min_degree, degree);
+  }
+  return members.empty() ? 0 : min_degree;
 }
 
 }  // namespace locs

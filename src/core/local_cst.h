@@ -17,13 +17,13 @@
 #ifndef LOCS_CORE_LOCAL_CST_H_
 #define LOCS_CORE_LOCAL_CST_H_
 
-#include <optional>
-
 #include "core/bucket_list.h"
 #include "core/common.h"
 #include "core/epoch.h"
+#include "core/result.h"
 #include "graph/graph.h"
 #include "graph/ordering.h"
+#include "util/guard.h"
 
 namespace locs {
 
@@ -48,20 +48,26 @@ class LocalCstSolver {
   LocalCstSolver(const Graph& graph, const OrderedAdjacency* ordered,
                  const GraphFacts* facts);
 
-  /// Solves CST(k) for `v0`. Returns std::nullopt exactly when no solution
-  /// exists. The returned community is connected, contains v0, and has
-  /// minimum induced degree >= k.
-  std::optional<Community> Solve(VertexId v0, uint32_t k,
-                                 const CstOptions& options = {},
-                                 QueryStats* stats = nullptr);
+  /// Solves CST(k) for `v0`. `status == kFound` iff a solution exists and
+  /// the query ran to completion: the returned community is connected,
+  /// contains v0, and has minimum induced degree >= k. `kNotExists` is an
+  /// exact negative. A `guard` trip (deadline / budget / cancel) yields an
+  /// interrupted status with the best connected community so far in
+  /// `best_so_far`.
+  SearchResult Solve(VertexId v0, uint32_t k, const CstOptions& options = {},
+                     QueryStats* stats = nullptr, QueryGuard* guard = nullptr);
 
  private:
   VertexId SelectNext(Strategy strategy, uint32_t k, bool use_ordered);
   VertexId SelectLg(uint32_t k, bool use_ordered);
   void AddToC(VertexId v, uint32_t k, Strategy strategy, bool use_ordered,
               QueryStats& stats);
-  std::optional<Community> GlobalFallback(VertexId v0, uint32_t k,
-                                          QueryStats& stats);
+  SearchResult GlobalFallback(VertexId v0, uint32_t k, QueryStats& stats,
+                              QueryGuard& guard, uint64_t& charged);
+  Community HarvestExpansion() const;
+  Community HarvestUnpeeled(VertexId v0);
+  uint32_t InducedMinDegree(const std::vector<VertexId>& members,
+                            uint8_t mark) const;
 
   const Graph& graph_;
   const OrderedAdjacency* ordered_;

@@ -60,11 +60,12 @@ class CliqueSearch {
 class ExactSearch {
  public:
   ExactSearch(const Graph& graph, uint32_t k, size_t target,
-              uint64_t max_steps, McstResult& result)
+              uint64_t max_steps, QueryGuard& guard, McstResult& result)
       : graph_(graph),
         k_(k),
         target_(target),
         max_steps_(max_steps),
+        guard_(guard),
         result_(result),
         state_(graph.NumVertices(), State::kOpen),
         deg_in_h_(graph.NumVertices(), 0) {}
@@ -92,6 +93,12 @@ class ExactSearch {
     ++result_.steps;
     if (result_.steps >= max_steps_) {
       result_.budget_exhausted = true;
+      result_.termination = Termination::kBudgetExhausted;
+      return false;
+    }
+    if (guard_.Spend(1)) {
+      result_.budget_exhausted = true;
+      result_.termination = guard_.cause();
       return false;
     }
     // Bound: a member short of degree k can gain at most one unit per
@@ -154,6 +161,7 @@ class ExactSearch {
   const uint32_t k_;
   const size_t target_;
   const uint64_t max_steps_;
+  QueryGuard& guard_;
   McstResult& result_;
   std::vector<State> state_;
   std::vector<uint32_t> deg_in_h_;
@@ -174,51 +182,69 @@ std::optional<std::vector<VertexId>> FindCliqueThrough(const Graph& graph,
 }
 
 McstResult ExactMcst(const Graph& graph, VertexId v0, uint32_t k,
-                     uint64_t max_steps) {
+                     uint64_t max_steps, QueryGuard* guard) {
   LOCS_CHECK_LT(v0, graph.NumVertices());
+  QueryGuard unlimited;
+  QueryGuard& g = guard != nullptr ? *guard : unlimited;
   McstResult result;
   if (k == 0) {
     result.community = Community{{v0}, 0};
+    result.termination = Termination::kFound;
     return result;
   }
   // Any solution must exist inside the k-core component of v0.
-  const std::optional<Community> upper = GreedyMcst(graph, v0, k);
-  if (!upper.has_value()) return result;  // CST(k) infeasible.
+  const SearchResult upper = GreedyMcst(graph, v0, k, &g);
+  if (upper.status == Termination::kNotExists) return result;
+  if (upper.Interrupted()) {
+    // The greedy stage already blew the budget; surface its (still valid,
+    // just non-minimal) partial answer if it reached one.
+    result.budget_exhausted = true;
+    result.termination = upper.status;
+    if (upper.best_so_far.min_degree >= k) {
+      result.community = upper.best_so_far;
+    }
+    return result;
+  }
 
   // Lemma 1 shortcut: a (k+1)-clique through v0 is optimal.
   const std::optional<std::vector<VertexId>> clique =
       FindCliqueThrough(graph, v0, k + 1, max_steps / 4);
   if (clique.has_value()) {
     result.community = Community{*clique, k};
+    result.termination = Termination::kFound;
     return result;
   }
 
   // Iterative deepening on the answer size, capped by the greedy answer.
   for (size_t target = static_cast<size_t>(k) + 1;
        target <= upper->members.size(); ++target) {
-    ExactSearch search(graph, k, target, max_steps, result);
+    ExactSearch search(graph, k, target, max_steps, g, result);
     if (search.Run(v0)) {
       Community community;
       community.members = search.members();
       community.min_degree = MinDegreeOfInduced(graph, community.members);
       result.community = std::move(community);
+      result.termination = Termination::kFound;
       return result;
     }
     if (result.budget_exhausted) break;
   }
   // Fall back to the greedy answer (optimal only if the loop completed).
-  result.community = upper;
+  result.community = *upper;
+  if (!result.budget_exhausted) result.termination = Termination::kFound;
   return result;
 }
 
-std::optional<Community> GreedyMcst(const Graph& graph, VertexId v0,
-                                    uint32_t k) {
+SearchResult GreedyMcst(const Graph& graph, VertexId v0, uint32_t k,
+                        QueryGuard* guard) {
   LOCS_CHECK_LT(v0, graph.NumVertices());
+  QueryGuard unlimited;
+  QueryGuard& g = guard != nullptr ? *guard : unlimited;
   LocalCstSolver solver(graph, nullptr, nullptr);
-  std::optional<Community> start = solver.Solve(v0, k);
-  if (!start.has_value()) return std::nullopt;
+  SearchResult start = solver.Solve(v0, k, {}, nullptr, &g);
+  if (!start.Found()) return start;  // kNotExists or interrupted as-is
 
-  std::vector<VertexId> members = start->members;
+  std::vector<VertexId> members = std::move(start->members);
   bool changed = true;
   while (changed && members.size() > static_cast<size_t>(k) + 1) {
     changed = false;
@@ -228,6 +254,15 @@ std::optional<Community> GreedyMcst(const Graph& graph, VertexId v0,
       trial.reserve(members.size() - 1);
       for (size_t j = 0; j < members.size(); ++j) {
         if (j != i) trial.push_back(members[j]);
+      }
+      // One validity probe inspects the whole candidate set.
+      if (g.Spend(trial.size())) {
+        // `members` is still a valid CST(k) community — the shrink loop
+        // merely stopped before reaching a minimal one.
+        Community partial;
+        partial.min_degree = MinDegreeOfInduced(graph, members);
+        partial.members = std::move(members);
+        return SearchResult::MakeInterrupted(g.cause(), std::move(partial));
       }
       if (IsValidCommunity(graph, trial, v0, k)) {
         members = std::move(trial);
@@ -239,7 +274,7 @@ std::optional<Community> GreedyMcst(const Graph& graph, VertexId v0,
   Community community;
   community.min_degree = MinDegreeOfInduced(graph, members);
   community.members = std::move(members);
-  return community;
+  return SearchResult::MakeFound(std::move(community));
 }
 
 }  // namespace locs

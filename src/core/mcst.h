@@ -11,7 +11,9 @@
 #include <optional>
 
 #include "core/common.h"
+#include "core/result.h"
 #include "graph/graph.h"
+#include "util/guard.h"
 
 namespace locs {
 
@@ -27,24 +29,30 @@ std::optional<std::vector<VertexId>> FindCliqueThrough(const Graph& graph,
 /// Result of an exact mCST run.
 struct McstResult {
   std::optional<Community> community;
-  /// True when the step budget expired; the answer (if any) is then the
-  /// smallest found so far but not necessarily optimal.
+  /// True when the step budget (or a guard limit) expired; the answer (if
+  /// any) is then the smallest found so far but not necessarily optimal.
   bool budget_exhausted = false;
   uint64_t steps = 0;
+  /// kFound / kNotExists for a completed run; the guard cause (or
+  /// kBudgetExhausted for the native step budget) otherwise.
+  Termination termination = Termination::kNotExists;
 };
 
 /// Exact mCST(k) by branch-and-bound over connected supersets of {v0}.
 /// Exponential; intended for small graphs / small answers. The search is
-/// bounded by `max_steps` expansion steps.
+/// bounded by `max_steps` expansion steps; an optional `guard` is charged
+/// one unit per search step and can interrupt the run the same way.
 McstResult ExactMcst(const Graph& graph, VertexId v0, uint32_t k,
-                     uint64_t max_steps);
+                     uint64_t max_steps, QueryGuard* guard = nullptr);
 
 /// Heuristic mCST(k): start from any CST(k) solution (the k-core component
 /// of v0) and greedily delete vertices while the community stays valid.
-/// Returns std::nullopt when CST(k) itself has no solution. The result is
-/// inclusion-minimal but not necessarily minimum.
-std::optional<Community> GreedyMcst(const Graph& graph, VertexId v0,
-                                    uint32_t k);
+/// kNotExists exactly when CST(k) itself has no solution. The kFound
+/// result is inclusion-minimal but not necessarily minimum; a guard trip
+/// yields the smallest still-valid community reached so far (which is a
+/// genuine CST(k) answer — shrinking only stopped early).
+SearchResult GreedyMcst(const Graph& graph, VertexId v0, uint32_t k,
+                        QueryGuard* guard = nullptr);
 
 }  // namespace locs
 

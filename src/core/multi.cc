@@ -21,15 +21,22 @@ void CheckQuery(const Graph& graph, const std::vector<VertexId>& query) {
 
 }  // namespace
 
-std::optional<Community> GlobalCstMulti(const Graph& graph,
-                                        const std::vector<VertexId>& query,
-                                        uint32_t k, QueryStats* stats) {
+SearchResult GlobalCstMulti(const Graph& graph,
+                            const std::vector<VertexId>& query, uint32_t k,
+                            QueryStats* stats, QueryGuard* guard) {
   CheckQuery(graph, query);
   QueryStats local_stats;
   QueryStats& st = stats != nullptr ? *stats : local_stats;
   st = QueryStats{};
   st.visited_vertices = graph.NumVertices();
   st.scanned_edges = 2 * graph.NumEdges();
+  if (guard != nullptr) {
+    if (guard->Spend(0)) {
+      return SearchResult::MakeInterrupted(guard->cause(),
+                                           Community{{query[0]}, 0});
+    }
+    guard->Spend(graph.NumVertices() + 2 * graph.NumEdges());
+  }
 
   const VertexId n = graph.NumVertices();
   std::vector<uint32_t> degree(n);
@@ -51,7 +58,7 @@ std::optional<Community> GlobalCstMulti(const Graph& graph,
     }
   }
   for (VertexId q : query) {
-    if (removed[q] != 0) return std::nullopt;
+    if (removed[q] != 0) return SearchResult::MakeNotExists();
   }
   // BFS from the first query vertex over survivors; all other query
   // vertices must be reached.
@@ -70,16 +77,17 @@ std::optional<Community> GlobalCstMulti(const Graph& graph,
     }
   }
   for (VertexId q : query) {
-    if (removed[q] != 2) return std::nullopt;  // different component
+    // different component
+    if (removed[q] != 2) return SearchResult::MakeNotExists();
   }
   community.min_degree = min_degree;
   st.answer_size = community.members.size();
-  return community;
+  return SearchResult::MakeFound(std::move(community));
 }
 
-Community GlobalCsmMulti(const Graph& graph,
-                         const std::vector<VertexId>& query,
-                         QueryStats* stats) {
+SearchResult GlobalCsmMulti(const Graph& graph,
+                            const std::vector<VertexId>& query,
+                            QueryStats* stats, QueryGuard* guard) {
   CheckQuery(graph, query);
   // Feasibility is monotone decreasing in k (Proposition 1 lifts to query
   // sets verbatim), so binary search over [0, min degree of queries].
@@ -87,26 +95,29 @@ Community GlobalCsmMulti(const Graph& graph,
                     // component; handle the disconnected case first.
   uint32_t hi = graph.Degree(query[0]);
   for (VertexId q : query) hi = std::min(hi, graph.Degree(q));
-  std::optional<Community> best = GlobalCstMulti(graph, query, 0, stats);
-  if (!best.has_value()) {
+  SearchResult best = GlobalCstMulti(graph, query, 0, stats, guard);
+  if (best.Interrupted()) return best;
+  if (!best.Found()) {
     // Queries in different components: fall back to the first query's
     // singleton (no community spans them).
-    Community community;
-    community.members = {query[0]};
-    community.min_degree = 0;
-    return community;
+    return SearchResult::MakeFound(Community{{query[0]}, 0});
   }
   while (lo < hi) {
     const uint32_t mid = lo + (hi - lo + 1) / 2;
-    auto attempt = GlobalCstMulti(graph, query, mid, stats);
-    if (attempt.has_value()) {
+    SearchResult attempt = GlobalCstMulti(graph, query, mid, stats, guard);
+    if (attempt.Interrupted()) {
+      // The best answer proven before the interruption is still valid.
+      return SearchResult::MakeInterrupted(attempt.status,
+                                           std::move(*best));
+    }
+    if (attempt.Found()) {
       best = std::move(attempt);
       lo = mid;
     } else {
       hi = mid - 1;
     }
   }
-  return std::move(*best);
+  return best;
 }
 
 LocalMultiSolver::LocalMultiSolver(const Graph& graph,
@@ -189,23 +200,29 @@ bool LocalMultiSolver::QueriesConnected(
   return true;
 }
 
-std::optional<Community> LocalMultiSolver::CstMulti(
-    const std::vector<VertexId>& query, uint32_t k, QueryStats* stats) {
+SearchResult LocalMultiSolver::CstMulti(const std::vector<VertexId>& query,
+                                        uint32_t k, QueryStats* stats,
+                                        QueryGuard* guard) {
   CheckQuery(graph_, query);
   QueryStats local_stats;
   QueryStats& st = stats != nullptr ? *stats : local_stats;
   st = QueryStats{};
+  QueryGuard unlimited;
+  QueryGuard& g = guard != nullptr ? *guard : unlimited;
 
   if (k == 0 && query.size() == 1) {
     st.answer_size = 1;
-    return Community{{query[0]}, 0};
+    return SearchResult::MakeFound(Community{{query[0]}, 0});
   }
   for (VertexId q : query) {
-    if (k > 0 && graph_.Degree(q) < k) return std::nullopt;
+    if (k > 0 && graph_.Degree(q) < k) return SearchResult::MakeNotExists();
   }
   if (facts_ != nullptr && facts_->connected &&
       k > MStarUpperBound(facts_->num_edges, facts_->num_vertices)) {
-    return std::nullopt;
+    return SearchResult::MakeNotExists();
+  }
+  if (g.Stopped()) {
+    return SearchResult::MakeInterrupted(g.cause(), Community{{query[0]}, 0});
   }
 
   in_c_.NewEpoch();
@@ -216,15 +233,31 @@ std::optional<Community> LocalMultiSolver::CstMulti(
   c_members_.clear();
   deficient_ = 0;
 
+  uint64_t charged = 0;
+  auto spend = [&]() {
+    const uint64_t total = st.visited_vertices + st.scanned_edges;
+    const bool stop = g.Spend(total - charged);
+    charged = total;
+    return stop;
+  };
+
   for (VertexId q : query) {
     enqueued_.Ref(q) = 1;
   }
   for (VertexId q : query) {
     AddToC(q, k, st);
   }
+  if (spend()) {
+    return SearchResult::MakeInterrupted(g.cause(),
+                                         HarvestFragment(query[0]));
+  }
   while (deficient_ > 0 || !QueriesConnected(query)) {
-    if (li_queue_.Empty()) return Fallback(query, k, st);
+    if (li_queue_.Empty()) return Fallback(query, k, st, g, charged);
     AddToC(li_queue_.PopMax(), k, st);
+    if (spend()) {
+      return SearchResult::MakeInterrupted(g.cause(),
+                                           HarvestFragment(query[0]));
+    }
   }
 
   // Early success: return the connected component of the query vertices
@@ -247,12 +280,64 @@ std::optional<Community> LocalMultiSolver::CstMulti(
   }
   community.min_degree = min_degree;
   st.answer_size = community.members.size();
-  return community;
+  return SearchResult::MakeFound(std::move(community));
 }
 
-std::optional<Community> LocalMultiSolver::Fallback(
-    const std::vector<VertexId>& query, uint32_t k, QueryStats& stats) {
+Community LocalMultiSolver::HarvestFragment(VertexId anchor) {
+  // Connected DSU fragment of `anchor` within C. Within a fragment,
+  // deg_in_c_ is exact: every in-C neighbor of a member was unioned into
+  // the same fragment, so no cross-fragment edges are counted.
+  const VertexId root = Find(anchor);
+  Community partial;
+  uint32_t min_degree = ~uint32_t{0};
+  for (VertexId v : c_members_) {
+    if (Find(v) == root) {
+      partial.members.push_back(v);
+      min_degree = std::min(min_degree, deg_in_c_.Get(v));
+    }
+  }
+  partial.min_degree = partial.members.empty() ? 0 : min_degree;
+  return partial;
+}
+
+Community LocalMultiSolver::HarvestUnpeeled(VertexId anchor) {
+  // Component of `anchor` over candidates the (interrupted) peel has not
+  // yet removed, with induced degrees recounted against the reached marks
+  // (deg_in_c_ is stale mid-peel).
+  Community partial;
+  partial.members.push_back(anchor);
+  peeled_.Ref(anchor) = 2;
+  for (size_t head = 0; head < partial.members.size(); ++head) {
+    for (VertexId w : graph_.Neighbors(partial.members[head])) {
+      if (in_c_.Get(w) != 0 && peeled_.Get(w) == 0) {
+        peeled_.Ref(w) = 2;
+        partial.members.push_back(w);
+      }
+    }
+  }
+  uint32_t min_degree = ~uint32_t{0};
+  for (VertexId u : partial.members) {
+    uint32_t degree = 0;
+    for (VertexId w : graph_.Neighbors(u)) {
+      degree += peeled_.Get(w) == 2 ? 1u : 0u;
+    }
+    min_degree = std::min(min_degree, degree);
+  }
+  partial.min_degree = min_degree;
+  return partial;
+}
+
+SearchResult LocalMultiSolver::Fallback(const std::vector<VertexId>& query,
+                                        uint32_t k, QueryStats& stats,
+                                        QueryGuard& guard,
+                                        uint64_t& charged) {
   stats.used_global_fallback = true;
+  auto spend = [&]() {
+    const uint64_t total = stats.visited_vertices + stats.scanned_edges;
+    const bool stop = guard.Spend(total - charged);
+    charged = total;
+    return stop;
+  };
   peeled_.NewEpoch();
   peel_worklist_.clear();
   for (VertexId v : c_members_) {
@@ -270,9 +355,19 @@ std::optional<Community> LocalMultiSolver::Fallback(
         peel_worklist_.push_back(w);
       }
     }
+    if (spend()) {
+      // A peeled query vertex is an exact negative even mid-peel (peel
+      // removals are sound); otherwise degrade to the first query
+      // vertex's component of the survivors.
+      for (VertexId q : query) {
+        if (peeled_.Get(q) == 1) return SearchResult::MakeNotExists();
+      }
+      return SearchResult::MakeInterrupted(guard.cause(),
+                                           HarvestUnpeeled(query[0]));
+    }
   }
   for (VertexId q : query) {
-    if (peeled_.Get(q) != 0) return std::nullopt;
+    if (peeled_.Get(q) != 0) return SearchResult::MakeNotExists();
   }
   Community community;
   community.members.push_back(query[0]);
@@ -288,17 +383,33 @@ std::optional<Community> LocalMultiSolver::Fallback(
         community.members.push_back(w);
       }
     }
+    if (spend()) {
+      // Partial BFS set: connected, contains query[0]; recount degrees
+      // against the reached marks.
+      uint32_t partial_min = ~uint32_t{0};
+      for (VertexId x : community.members) {
+        uint32_t deg = 0;
+        for (VertexId w : graph_.Neighbors(x)) {
+          deg += peeled_.Get(w) == 2 ? 1u : 0u;
+        }
+        partial_min = std::min(partial_min, deg);
+      }
+      community.min_degree = partial_min;
+      return SearchResult::MakeInterrupted(guard.cause(),
+                                           std::move(community));
+    }
   }
   for (VertexId q : query) {
-    if (peeled_.Get(q) != 2) return std::nullopt;
+    if (peeled_.Get(q) != 2) return SearchResult::MakeNotExists();
   }
   community.min_degree = min_degree;
   stats.answer_size = community.members.size();
-  return community;
+  return SearchResult::MakeFound(std::move(community));
 }
 
-Community LocalMultiSolver::CsmMulti(const std::vector<VertexId>& query,
-                                     QueryStats* stats) {
+SearchResult LocalMultiSolver::CsmMulti(const std::vector<VertexId>& query,
+                                        QueryStats* stats,
+                                        QueryGuard* guard) {
   CheckQuery(graph_, query);
   uint32_t hi = graph_.Degree(query[0]);
   for (VertexId q : query) hi = std::min(hi, graph_.Degree(q));
@@ -306,25 +417,29 @@ Community LocalMultiSolver::CsmMulti(const std::vector<VertexId>& query,
     hi = std::min(hi,
                   MStarUpperBound(facts_->num_edges, facts_->num_vertices));
   }
-  std::optional<Community> best = CstMulti(query, 0, stats);
-  if (!best.has_value()) {
-    Community community;
-    community.members = {query[0]};
-    community.min_degree = 0;
-    return community;
+  // One shared guard spans every CST probe of the binary search, exactly
+  // like wall-clock time would.
+  SearchResult best = CstMulti(query, 0, stats, guard);
+  if (best.Interrupted()) return best;
+  if (!best.Found()) {
+    return SearchResult::MakeFound(Community{{query[0]}, 0});
   }
   uint32_t lo = 0;
   while (lo < hi) {
     const uint32_t mid = lo + (hi - lo + 1) / 2;
-    auto attempt = CstMulti(query, mid, stats);
-    if (attempt.has_value()) {
+    SearchResult attempt = CstMulti(query, mid, stats, guard);
+    if (attempt.Interrupted()) {
+      // The best answer proven before the interruption is still valid.
+      return SearchResult::MakeInterrupted(attempt.status, std::move(*best));
+    }
+    if (attempt.Found()) {
       best = std::move(attempt);
       lo = mid;
     } else {
       hi = mid - 1;
     }
   }
-  return std::move(*best);
+  return best;
 }
 
 }  // namespace locs

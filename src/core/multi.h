@@ -16,29 +16,34 @@
 #ifndef LOCS_CORE_MULTI_H_
 #define LOCS_CORE_MULTI_H_
 
-#include <optional>
-
 #include "core/bucket_list.h"
 #include "core/common.h"
 #include "core/epoch.h"
 #include "core/local_cst.h"
+#include "core/result.h"
 #include "graph/graph.h"
 #include "graph/ordering.h"
+#include "util/guard.h"
 
 namespace locs {
 
 /// Global multi-vertex CST(k): peel vertices of degree < k, then require
 /// every query vertex to survive in one common component. O(|V| + |E|).
-std::optional<Community> GlobalCstMulti(const Graph& graph,
-                                        const std::vector<VertexId>& query,
-                                        uint32_t k,
-                                        QueryStats* stats = nullptr);
+/// The peel is one indivisible pass: the guard is consulted on entry and
+/// charged the whole cost but cannot interrupt the pass itself.
+SearchResult GlobalCstMulti(const Graph& graph,
+                            const std::vector<VertexId>& query, uint32_t k,
+                            QueryStats* stats = nullptr,
+                            QueryGuard* guard = nullptr);
 
 /// Global multi-vertex CSM: the largest k for which GlobalCstMulti
-/// succeeds, found by binary search (O((|V| + |E|) log δ*)).
-Community GlobalCsmMulti(const Graph& graph,
-                         const std::vector<VertexId>& query,
-                         QueryStats* stats = nullptr);
+/// succeeds, found by binary search (O((|V| + |E|) log δ*)). A shared
+/// guard spans all probes; an interrupted search reports the best
+/// community proven so far.
+SearchResult GlobalCsmMulti(const Graph& graph,
+                            const std::vector<VertexId>& query,
+                            QueryStats* stats = nullptr,
+                            QueryGuard* guard = nullptr);
 
 /// Reusable local multi-vertex solver. Not thread-safe.
 class LocalMultiSolver {
@@ -46,23 +51,31 @@ class LocalMultiSolver {
   LocalMultiSolver(const Graph& graph, const OrderedAdjacency* ordered,
                    const GraphFacts* facts);
 
-  /// Local CST(k) for a query set (li selection). Exact: returns
-  /// std::nullopt iff no solution exists. Query vertices must be distinct.
-  std::optional<Community> CstMulti(const std::vector<VertexId>& query,
-                                    uint32_t k,
-                                    QueryStats* stats = nullptr);
+  /// Local CST(k) for a query set (li selection). Exact: kNotExists iff no
+  /// solution exists. Query vertices must be distinct. On a guard trip the
+  /// best-so-far is the connected fragment containing the *first* query
+  /// vertex (a multi-seed candidate set may still be disconnected).
+  SearchResult CstMulti(const std::vector<VertexId>& query, uint32_t k,
+                        QueryStats* stats = nullptr,
+                        QueryGuard* guard = nullptr);
 
-  /// Local CSM for a query set via binary search over CstMulti.
-  Community CsmMulti(const std::vector<VertexId>& query,
-                     QueryStats* stats = nullptr);
+  /// Local CSM for a query set via binary search over CstMulti. All probes
+  /// charge one shared guard (work and wall-clock accumulate across the
+  /// whole search); interruption reports the best community proven so far.
+  SearchResult CsmMulti(const std::vector<VertexId>& query,
+                        QueryStats* stats = nullptr,
+                        QueryGuard* guard = nullptr);
 
  private:
   VertexId Find(VertexId v);
   void Union(VertexId a, VertexId b);
   void AddToC(VertexId v, uint32_t k, QueryStats& stats);
-  std::optional<Community> Fallback(const std::vector<VertexId>& query,
-                                    uint32_t k, QueryStats& stats);
+  SearchResult Fallback(const std::vector<VertexId>& query, uint32_t k,
+                        QueryStats& stats, QueryGuard& guard,
+                        uint64_t& charged);
   bool QueriesConnected(const std::vector<VertexId>& query);
+  Community HarvestFragment(VertexId anchor);
+  Community HarvestUnpeeled(VertexId anchor);
 
   const Graph& graph_;
   const OrderedAdjacency* ordered_;

@@ -49,16 +49,16 @@ CommunitySearcher::CommunitySearcher(Graph graph, const Options& options)
       csm_solver_(graph_, ordered_.get(), &facts_),
       multi_solver_(graph_, ordered_.get(), &facts_) {}
 
-std::optional<Community> CommunitySearcher::Cst(VertexId v0, uint32_t k,
-                                                const CstOptions& options,
-                                                QueryStats* stats) {
-  return cst_solver_.Solve(v0, k, options, stats);
+SearchResult CommunitySearcher::Cst(VertexId v0, uint32_t k,
+                                    const CstOptions& options,
+                                    QueryStats* stats, QueryGuard* guard) {
+  return cst_solver_.Solve(v0, k, options, stats, guard);
 }
 
-std::optional<Community> CommunitySearcher::CstGlobal(VertexId v0,
-                                                      uint32_t k,
-                                                      QueryStats* stats) {
-  return GlobalCst(graph_, v0, k, stats);
+SearchResult CommunitySearcher::CstGlobal(VertexId v0, uint32_t k,
+                                          QueryStats* stats,
+                                          QueryGuard* guard) {
+  return GlobalCst(graph_, v0, k, stats, guard);
 }
 
 double CommunitySearcher::DegreeTailFraction(uint32_t k) const {
@@ -69,8 +69,10 @@ double CommunitySearcher::DegreeTailFraction(uint32_t k) const {
          static_cast<double>(graph_.NumVertices());
 }
 
-std::optional<Community> CommunitySearcher::CstAdaptive(
-    VertexId v0, uint32_t k, const CstOptions& options, QueryStats* stats) {
+SearchResult CommunitySearcher::CstAdaptive(VertexId v0, uint32_t k,
+                                            const CstOptions& options,
+                                            QueryStats* stats,
+                                            QueryGuard* guard) {
   // k <= 2 answers are tiny (an incident edge / a short cycle), so local
   // search terminates almost immediately regardless of |V>=k| — always go
   // local there (the k=1..2 rows of Figure 9). Beyond that, when most of
@@ -78,28 +80,31 @@ std::optional<Community> CommunitySearcher::CstAdaptive(
   // degenerates to a slower global pass (the small-k regime of Figures
   // 8/9); dispatch straight to the global peel in that regime.
   if (k > 2 && DegreeTailFraction(k) > adaptive_global_fraction_) {
-    return GlobalCst(graph_, v0, k, stats);
+    return GlobalCst(graph_, v0, k, stats, guard);
   }
-  return cst_solver_.Solve(v0, k, options, stats);
+  return cst_solver_.Solve(v0, k, options, stats, guard);
 }
 
-Community CommunitySearcher::Csm(VertexId v0, const CsmOptions& options,
-                                 QueryStats* stats) {
-  return csm_solver_.Solve(v0, options, stats);
+SearchResult CommunitySearcher::Csm(VertexId v0, const CsmOptions& options,
+                                    QueryStats* stats, QueryGuard* guard) {
+  return csm_solver_.Solve(v0, options, stats, guard);
 }
 
-Community CommunitySearcher::CsmGlobal(VertexId v0, QueryStats* stats) {
-  return GlobalCsm(graph_, v0, stats);
+SearchResult CommunitySearcher::CsmGlobal(VertexId v0, QueryStats* stats,
+                                          QueryGuard* guard) {
+  return GlobalCsm(graph_, v0, stats, guard);
 }
 
-std::optional<Community> CommunitySearcher::CstMulti(
-    const std::vector<VertexId>& query, uint32_t k, QueryStats* stats) {
-  return multi_solver_.CstMulti(query, k, stats);
+SearchResult CommunitySearcher::CstMulti(const std::vector<VertexId>& query,
+                                         uint32_t k, QueryStats* stats,
+                                         QueryGuard* guard) {
+  return multi_solver_.CstMulti(query, k, stats, guard);
 }
 
-Community CommunitySearcher::CsmMulti(const std::vector<VertexId>& query,
-                                      QueryStats* stats) {
-  return multi_solver_.CsmMulti(query, stats);
+SearchResult CommunitySearcher::CsmMulti(const std::vector<VertexId>& query,
+                                         QueryStats* stats,
+                                         QueryGuard* guard) {
+  return multi_solver_.CsmMulti(query, stats, guard);
 }
 
 }  // namespace locs

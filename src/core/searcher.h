@@ -17,14 +17,15 @@
 #define LOCS_CORE_SEARCHER_H_
 
 #include <memory>
-#include <optional>
 
 #include "core/common.h"
 #include "core/local_csm.h"
 #include "core/local_cst.h"
 #include "core/multi.h"
+#include "core/result.h"
 #include "graph/graph.h"
 #include "graph/ordering.h"
+#include "util/guard.h"
 
 namespace locs {
 
@@ -61,22 +62,25 @@ class CommunitySearcher {
   /// precomputation cost column of Table 2); 0 when disabled.
   double ordering_build_ms() const { return ordering_build_ms_; }
 
-  /// Local CST(k) (§4). Returns std::nullopt iff no solution exists.
-  std::optional<Community> Cst(VertexId v0, uint32_t k,
-                               const CstOptions& options = {},
-                               QueryStats* stats = nullptr);
+  /// Local CST(k) (§4). kNotExists iff no solution exists; an optional
+  /// `guard` can interrupt the query with a graceful partial answer (see
+  /// core/result.h).
+  SearchResult Cst(VertexId v0, uint32_t k, const CstOptions& options = {},
+                   QueryStats* stats = nullptr, QueryGuard* guard = nullptr);
 
   /// Global CST(k) (§3) — the baseline every figure compares against.
-  std::optional<Community> CstGlobal(VertexId v0, uint32_t k,
-                                     QueryStats* stats = nullptr);
+  SearchResult CstGlobal(VertexId v0, uint32_t k,
+                         QueryStats* stats = nullptr,
+                         QueryGuard* guard = nullptr);
 
   /// Adaptive CST(k) (extension): local search when the degree
   /// distribution predicts a small candidate universe |V≥k|, global
   /// search otherwise. Always exact; typically within a few percent of
   /// the better of the two fixed strategies at every k.
-  std::optional<Community> CstAdaptive(VertexId v0, uint32_t k,
-                                       const CstOptions& options = {},
-                                       QueryStats* stats = nullptr);
+  SearchResult CstAdaptive(VertexId v0, uint32_t k,
+                           const CstOptions& options = {},
+                           QueryStats* stats = nullptr,
+                           QueryGuard* guard = nullptr);
 
   /// Fraction of vertices with degree >= k (exact, from the degree
   /// histogram computed at construction) — the dispatch signal of
@@ -84,23 +88,25 @@ class CommunitySearcher {
   double DegreeTailFraction(uint32_t k) const;
 
   /// Local CSM (Algorithm 4). Exact when options select CSM2 or γ → −∞.
-  Community Csm(VertexId v0, const CsmOptions& options = {},
-                QueryStats* stats = nullptr);
+  SearchResult Csm(VertexId v0, const CsmOptions& options = {},
+                   QueryStats* stats = nullptr, QueryGuard* guard = nullptr);
 
   /// Global CSM (§3.2): greedy minimum-degree deletion via core
   /// decomposition.
-  Community CsmGlobal(VertexId v0, QueryStats* stats = nullptr);
+  SearchResult CsmGlobal(VertexId v0, QueryStats* stats = nullptr,
+                         QueryGuard* guard = nullptr);
 
   /// Multi-vertex CST(k) (extension; see core/multi.h): a connected
   /// community containing every query vertex with δ >= k.
-  std::optional<Community> CstMulti(const std::vector<VertexId>& query,
-                                    uint32_t k,
-                                    QueryStats* stats = nullptr);
+  SearchResult CstMulti(const std::vector<VertexId>& query, uint32_t k,
+                        QueryStats* stats = nullptr,
+                        QueryGuard* guard = nullptr);
 
   /// Multi-vertex CSM (extension): maximizes δ over communities spanning
   /// the whole query set.
-  Community CsmMulti(const std::vector<VertexId>& query,
-                     QueryStats* stats = nullptr);
+  SearchResult CsmMulti(const std::vector<VertexId>& query,
+                        QueryStats* stats = nullptr,
+                        QueryGuard* guard = nullptr);
 
  private:
   Graph graph_;

@@ -21,14 +21,48 @@ Executor::RunOptions ToRunOptions(const BatchLimits& limits) {
   return options;
 }
 
+/// Builds the guard for one query: per-query deadline/budget/cancel from
+/// the limits, tightened to the batch-wide absolute deadline so a batch
+/// expiry interrupts the query mid-search instead of waiting it out.
+QueryGuard MakeQueryGuard(const BatchLimits& limits,
+                          bool has_batch_deadline,
+                          QueryGuard::Clock::time_point batch_deadline) {
+  QueryLimits query_limits;
+  query_limits.deadline_ms = limits.query_deadline_ms;
+  query_limits.work_budget = limits.query_work_budget;
+  query_limits.cancel = limits.cancel;
+  QueryGuard guard(query_limits);
+  if (has_batch_deadline) guard.LimitDeadline(batch_deadline);
+  return guard;
+}
+
+/// Slots past the executed prefix were never started; report them under
+/// the batch stop cause with the singleton community as the (trivially
+/// valid) partial answer.
+void FillNeverStarted(const std::vector<VertexId>& queries, size_t completed,
+                      const Executor::RunResult& run,
+                      std::vector<SearchResult>* results,
+                      BatchStats* stats) {
+  const Termination cause = run.cause == Executor::StopCause::kCancelled
+                                ? Termination::kCancelled
+                                : Termination::kDeadline;
+  for (size_t i = completed; i < queries.size(); ++i) {
+    (*results)[i] =
+        SearchResult::MakeInterrupted(cause, Community{{queries[i]}, 0});
+    ++stats->status_counts[static_cast<size_t>(cause)];
+  }
+}
+
 }  // namespace
 
-void BatchRunner::WorkerTotals::Add(const QueryStats& stats) {
+void BatchRunner::WorkerTotals::Add(const QueryStats& stats,
+                                    Termination status) {
   if (stats.answer_size > 0) ++answered;
   visited_vertices += stats.visited_vertices;
   scanned_edges += stats.scanned_edges;
   global_fallbacks += stats.used_global_fallback ? 1 : 0;
   total_answer_size += stats.answer_size;
+  ++status_counts[static_cast<size_t>(status)];
 }
 
 BatchRunner::BatchRunner(const Graph& graph, const OrderedAdjacency* ordered,
@@ -70,6 +104,9 @@ BatchStats BatchRunner::Merge(const std::vector<WorkerTotals>& totals,
     stats.scanned_edges += t.scanned_edges;
     stats.global_fallbacks += t.global_fallbacks;
     stats.total_answer_size += t.total_answer_size;
+    for (int s = 0; s < kNumTerminations; ++s) {
+      stats.status_counts[s] += t.status_counts[s];
+    }
   }
   return stats;
 }
@@ -78,9 +115,14 @@ CstBatchResult BatchRunner::RunCst(const std::vector<VertexId>& queries,
                                    uint32_t k, const CstOptions& options,
                                    const BatchLimits& limits) {
   CstBatchResult out;
-  out.communities.resize(queries.size());
+  out.results.resize(queries.size());
   if (queries.empty()) return out;
   WallTimer timer;
+  const bool has_batch_deadline = limits.deadline_ms > 0.0;
+  const QueryGuard::Clock::time_point batch_deadline =
+      QueryGuard::Clock::now() +
+      std::chrono::duration_cast<QueryGuard::Clock::duration>(
+          std::chrono::duration<double, std::milli>(limits.deadline_ms));
   std::vector<WorkerTotals> totals(executor_->num_workers());
   const Executor::RunResult run = executor_->ParallelFor(
       queries.size(),
@@ -88,13 +130,17 @@ CstBatchResult BatchRunner::RunCst(const std::vector<VertexId>& queries,
         LocalCstSolver& solver = CstSolver(worker);
         WorkerTotals& mine = totals[worker];
         for (size_t i = begin; i < end; ++i) {
+          QueryGuard guard =
+              MakeQueryGuard(limits, has_batch_deadline, batch_deadline);
           QueryStats stats;
-          out.communities[i] = solver.Solve(queries[i], k, options, &stats);
-          mine.Add(stats);
+          out.results[i] =
+              solver.Solve(queries[i], k, options, &stats, &guard);
+          mine.Add(stats, out.results[i].status);
         }
       },
       ToRunOptions(limits));
   out.stats = Merge(totals, run, timer.Millis());
+  FillNeverStarted(queries, run.items_run, run, &out.results, &out.stats);
   return out;
 }
 
@@ -102,9 +148,14 @@ CsmBatchResult BatchRunner::RunCsm(const std::vector<VertexId>& queries,
                                    const CsmOptions& options,
                                    const BatchLimits& limits) {
   CsmBatchResult out;
-  out.communities.resize(queries.size());
+  out.results.resize(queries.size());
   if (queries.empty()) return out;
   WallTimer timer;
+  const bool has_batch_deadline = limits.deadline_ms > 0.0;
+  const QueryGuard::Clock::time_point batch_deadline =
+      QueryGuard::Clock::now() +
+      std::chrono::duration_cast<QueryGuard::Clock::duration>(
+          std::chrono::duration<double, std::milli>(limits.deadline_ms));
   std::vector<WorkerTotals> totals(executor_->num_workers());
   const Executor::RunResult run = executor_->ParallelFor(
       queries.size(),
@@ -112,13 +163,16 @@ CsmBatchResult BatchRunner::RunCsm(const std::vector<VertexId>& queries,
         LocalCsmSolver& solver = CsmSolver(worker);
         WorkerTotals& mine = totals[worker];
         for (size_t i = begin; i < end; ++i) {
+          QueryGuard guard =
+              MakeQueryGuard(limits, has_batch_deadline, batch_deadline);
           QueryStats stats;
-          out.communities[i] = solver.Solve(queries[i], options, &stats);
-          mine.Add(stats);
+          out.results[i] = solver.Solve(queries[i], options, &stats, &guard);
+          mine.Add(stats, out.results[i].status);
         }
       },
       ToRunOptions(limits));
   out.stats = Merge(totals, run, timer.Millis());
+  FillNeverStarted(queries, run.items_run, run, &out.results, &out.stats);
   return out;
 }
 
@@ -129,8 +183,12 @@ std::vector<std::optional<Community>> SolveCstBatch(
   BatchRunner runner(graph, ordered, facts);
   BatchLimits limits;
   limits.num_threads = options.num_threads;
-  return std::move(runner.RunCst(queries, k, options.cst, limits)
-                       .communities);
+  CstBatchResult batch = runner.RunCst(queries, k, options.cst, limits);
+  std::vector<std::optional<Community>> out(batch.results.size());
+  for (size_t i = 0; i < batch.results.size(); ++i) {
+    out[i] = std::move(batch.results[i].community);
+  }
+  return out;
 }
 
 std::vector<Community> SolveCsmBatch(const Graph& graph,
@@ -142,7 +200,14 @@ std::vector<Community> SolveCsmBatch(const Graph& graph,
   BatchRunner runner(graph, ordered, facts);
   BatchLimits limits;
   limits.num_threads = num_threads;
-  return std::move(runner.RunCsm(queries, csm_options, limits).communities);
+  CsmBatchResult batch = runner.RunCsm(queries, csm_options, limits);
+  std::vector<Community> out(batch.results.size());
+  for (size_t i = 0; i < batch.results.size(); ++i) {
+    SearchResult& result = batch.results[i];
+    out[i] = result.community.has_value() ? std::move(*result.community)
+                                          : std::move(result.best_so_far);
+  }
+  return out;
 }
 
 }  // namespace locs

@@ -24,9 +24,11 @@
 #include "core/common.h"
 #include "core/local_csm.h"
 #include "core/local_cst.h"
+#include "core/result.h"
 #include "exec/executor.h"
 #include "graph/graph.h"
 #include "graph/ordering.h"
+#include "util/guard.h"
 
 namespace locs {
 
@@ -34,11 +36,19 @@ namespace locs {
 struct BatchLimits {
   /// Cap on worker threads for this batch; 0 = the whole executor pool.
   unsigned num_threads = 0;
-  /// Wall-clock budget in milliseconds; 0 = none. A query that started
-  /// always finishes; on expiry the executed queries form the prefix
-  /// [0, stats.completed) of the batch.
+  /// Batch-wide wall-clock budget in milliseconds; 0 = none. The deadline
+  /// is converted into every query's guard, so on expiry in-flight queries
+  /// are interrupted mid-search (status kDeadline with a partial answer)
+  /// and queries not yet started are reported interrupted untouched; the
+  /// queries actually executed still form the prefix [0, stats.completed).
   double deadline_ms = 0.0;
-  /// External cancellation flag, polled between queries.
+  /// Per-query wall-clock budget in milliseconds; 0 = none. Each query's
+  /// guard gets its own deadline counted from the moment it starts.
+  double query_deadline_ms = 0.0;
+  /// Per-query work budget (visited vertices + scanned edges); 0 = none.
+  /// Budget trips are deterministic and thread-count invariant.
+  uint64_t query_work_budget = 0;
+  /// External cancellation flag, polled by every in-flight query's guard.
   const std::atomic<bool>* cancel = nullptr;
 };
 
@@ -50,22 +60,29 @@ struct BatchStats {
   uint64_t scanned_edges = 0;
   uint64_t global_fallbacks = 0;
   uint64_t total_answer_size = 0;
+  /// Per-termination-status query counts, indexed by Termination. Counts
+  /// every result slot, including never-started queries (reported under
+  /// the batch stop cause).
+  uint64_t status_counts[kNumTerminations] = {};
   double wall_ms = 0.0;
   bool deadline_hit = false;
   bool cancelled = false;
+
+  uint64_t CountOf(Termination status) const {
+    return status_counts[static_cast<size_t>(status)];
+  }
 };
 
 struct CstBatchResult {
-  /// communities[i] answers queries[i]; entries past stats.completed were
-  /// never executed (deadline/cancellation) and are std::nullopt.
-  std::vector<std::optional<Community>> communities;
+  /// results[i] answers queries[i]; slots past stats.completed were never
+  /// started and carry the batch stop cause with a singleton best_so_far.
+  std::vector<SearchResult> results;
   BatchStats stats;
 };
 
 struct CsmBatchResult {
-  /// communities[i] answers queries[i]; entries past stats.completed are
-  /// default-constructed.
-  std::vector<Community> communities;
+  /// results[i] answers queries[i]; same never-started contract as CST.
+  std::vector<SearchResult> results;
   BatchStats stats;
 };
 
@@ -99,8 +116,9 @@ class BatchRunner {
     uint64_t scanned_edges = 0;
     uint64_t global_fallbacks = 0;
     uint64_t total_answer_size = 0;
+    uint64_t status_counts[kNumTerminations] = {};
 
-    void Add(const QueryStats& stats);
+    void Add(const QueryStats& stats, Termination status);
   };
 
   LocalCstSolver& CstSolver(unsigned worker);

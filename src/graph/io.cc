@@ -1,18 +1,43 @@
 #include "graph/io.h"
 
 #include <cinttypes>
+#include <cstdarg>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <new>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "graph/builder.h"
+#include "util/failpoint.h"
 
 namespace locs {
 
 namespace {
+
+/// Records failure detail into `error` (when provided) and returns the
+/// nullopt the loaders propagate: `return Fail(error, kind, ...);`.
+std::nullopt_t Fail(IoError* error, IoErrorKind kind, std::string message,
+                    uint64_t line = 0) {
+  if (error != nullptr) {
+    error->kind = kind;
+    error->message = std::move(message);
+    error->line = line;
+  }
+  return std::nullopt;
+}
+
+std::string Format(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
 
 constexpr char kMagic[8] = {'L', 'O', 'C', 'S', 'G', 'R', 'F', '1'};
 
@@ -61,9 +86,13 @@ bool ReadLine(std::FILE* f, std::string& line) {
 
 }  // namespace
 
-std::optional<Graph> LoadEdgeList(const std::string& path) {
+std::optional<Graph> LoadEdgeList(const std::string& path, IoError* error) {
+  if (error != nullptr) *error = IoError{};
   File file(path, "r");
-  if (!file.ok()) return std::nullopt;
+  if (!file.ok()) {
+    return Fail(error, IoErrorKind::kOpen,
+                Format("cannot open '%s' for reading", path.c_str()));
+  }
 
   std::unordered_map<uint64_t, VertexId> remap;
   EdgeList edges;
@@ -73,17 +102,29 @@ std::optional<Graph> LoadEdgeList(const std::string& path) {
   };
 
   std::string line;
+  uint64_t line_no = 0;
   while (ReadLine(file.get(), line)) {
+    ++line_no;
     const size_t start = line.find_first_not_of(" \t");
     if (start == std::string::npos) continue;  // blank / CR-only line
     if (line[start] == '#' || line[start] == '%') continue;
     const char* cursor = line.c_str() + start;
     char* end = nullptr;
     const uint64_t u = std::strtoull(cursor, &end, 10);
-    if (end == cursor) return std::nullopt;
+    if (end == cursor) {
+      return Fail(error, IoErrorKind::kParse,
+                  Format("expected \"u v\" edge, got \"%.60s\"", cursor),
+                  line_no);
+    }
     cursor = end;
     const uint64_t v = std::strtoull(cursor, &end, 10);
-    if (end == cursor) return std::nullopt;
+    if (end == cursor) {
+      return Fail(error, IoErrorKind::kParse,
+                  Format("edge for vertex %" PRIu64
+                         " is missing its endpoint",
+                         u),
+                  line_no);
+    }
     // Extra columns (weights, timestamps) are ignored, as before.
     edges.emplace_back(intern(u), intern(v));
   }
@@ -105,24 +146,36 @@ bool SaveEdgeList(const Graph& graph, const std::string& path) {
   return std::fflush(file.get()) == 0;
 }
 
-std::optional<Graph> LoadMetis(const std::string& path) {
+std::optional<Graph> LoadMetis(const std::string& path, IoError* error) {
+  if (error != nullptr) *error = IoError{};
   File file(path, "r");
-  if (!file.ok()) return std::nullopt;
+  if (!file.ok()) {
+    return Fail(error, IoErrorKind::kOpen,
+                Format("cannot open '%s' for reading", path.c_str()));
+  }
   std::string line;
+  uint64_t line_no = 0;
   // Read the header (skipping '%' comments).
   uint64_t n = 0;
   uint64_t m = 0;
   std::string fmt;
   bool have_header = false;
   while (ReadLine(file.get(), line)) {
+    ++line_no;
     if (!line.empty() && line[0] == '%') continue;
     const char* cursor = line.c_str();
     char* end = nullptr;
     n = std::strtoull(cursor, &end, 10);
-    if (end == cursor) return std::nullopt;
+    if (end == cursor) {
+      return Fail(error, IoErrorKind::kParse,
+                  "header must start with the vertex count", line_no);
+    }
     cursor = end;
     m = std::strtoull(cursor, &end, 10);
-    if (end == cursor) return std::nullopt;
+    if (end == cursor) {
+      return Fail(error, IoErrorKind::kParse,
+                  "header is missing the edge count", line_no);
+    }
     cursor = end;
     while (*cursor == ' ' || *cursor == '\t') ++cursor;
     while (*cursor != '\0' && *cursor != ' ' && *cursor != '\t') {
@@ -131,31 +184,55 @@ std::optional<Graph> LoadMetis(const std::string& path) {
     have_header = true;
     break;
   }
-  if (!have_header) return std::nullopt;
+  if (!have_header) {
+    return Fail(error, IoErrorKind::kTruncated,
+                "file ends before the METIS header");
+  }
   if (!fmt.empty() && fmt.find_first_not_of('0') != std::string::npos) {
-    return std::nullopt;  // weighted formats unsupported
+    return Fail(error, IoErrorKind::kParse,
+                Format("weighted format \"%s\" is unsupported", fmt.c_str()),
+                line_no);
   }
   GraphBuilder builder(static_cast<VertexId>(n));
   uint64_t vertex = 0;
   while (vertex < n && ReadLine(file.get(), line)) {
+    ++line_no;
     if (!line.empty() && line[0] == '%') continue;
     const char* cursor = line.c_str();
     char* end = nullptr;
     while (true) {
       const auto neighbor = std::strtoull(cursor, &end, 10);
       if (end == cursor) break;  // no more numbers on this line
-      if (neighbor == 0 || neighbor > n) return std::nullopt;
+      if (neighbor == 0 || neighbor > n) {
+        return Fail(error, IoErrorKind::kParse,
+                    Format("neighbor id %" PRIu64
+                           " outside the 1..%" PRIu64 " range",
+                           neighbor, n),
+                    line_no);
+      }
       builder.AddEdge(static_cast<VertexId>(vertex),
                       static_cast<VertexId>(neighbor - 1));
       cursor = end;
     }
     ++vertex;
   }
-  if (vertex != n) return std::nullopt;
+  if (vertex != n) {
+    return Fail(error, IoErrorKind::kTruncated,
+                Format("header declares %" PRIu64
+                       " vertices but only %" PRIu64 " adjacency lines"
+                       " are present",
+                       n, vertex),
+                line_no);
+  }
   Graph graph = builder.Build();
   if (graph.NumEdges() != m) {
     // Tolerate double-counted headers (some writers store 2m).
-    if (graph.NumEdges() * 2 != m) return std::nullopt;
+    if (graph.NumEdges() * 2 != m) {
+      return Fail(error, IoErrorKind::kParse,
+                  Format("header declares %" PRIu64 " edges but the"
+                         " adjacency lists hold %" PRIu64,
+                         m, graph.NumEdges()));
+    }
   }
   return graph;
 }
@@ -176,26 +253,59 @@ bool SaveMetis(const Graph& graph, const std::string& path) {
   return std::fflush(file.get()) == 0;
 }
 
-std::optional<Graph> LoadBinary(const std::string& path) {
+std::optional<Graph> LoadBinary(const std::string& path, IoError* error) {
+  if (error != nullptr) *error = IoError{};
   File file(path, "rb");
-  if (!file.ok()) return std::nullopt;
+  if (!file.ok()) {
+    return Fail(error, IoErrorKind::kOpen,
+                Format("cannot open '%s' for reading", path.c_str()));
+  }
   BinaryHeader header{};
   if (std::fread(&header, sizeof(header), 1, file.get()) != 1) {
-    return std::nullopt;
+    return Fail(error, IoErrorKind::kTruncated,
+                "file ends before the 24-byte header");
   }
   if (std::memcmp(header.magic, kMagic, sizeof(kMagic)) != 0) {
-    return std::nullopt;
+    return Fail(error, IoErrorKind::kParse,
+                "bad magic (not a LOCSGRF1 binary graph)");
   }
-  std::vector<uint64_t> offsets(header.num_vertices + 1);
-  std::vector<VertexId> neighbors(header.num_half_edges);
-  if (std::fread(offsets.data(), sizeof(uint64_t), offsets.size(),
+  std::vector<uint64_t> offsets;
+  std::vector<VertexId> neighbors;
+  // Fault-injection site: "io.binary.alloc" simulates the CSR arrays
+  // failing to allocate (they can reach multiple GB on large graphs, the
+  // one place the loader's memory use is data-dependent).
+  if (LOCS_FAILPOINT("io.binary.alloc")) {
+    return Fail(error, IoErrorKind::kAlloc,
+                Format("cannot allocate CSR arrays for %" PRIu64
+                       " vertices / %" PRIu64 " half-edges",
+                       header.num_vertices, header.num_half_edges));
+  }
+  try {
+    offsets.resize(header.num_vertices + 1);
+    neighbors.resize(header.num_half_edges);
+  } catch (const std::bad_alloc&) {
+    return Fail(error, IoErrorKind::kAlloc,
+                Format("cannot allocate CSR arrays for %" PRIu64
+                       " vertices / %" PRIu64 " half-edges",
+                       header.num_vertices, header.num_half_edges));
+  }
+  // Fault-injection site: "io.binary.short_read" forces the truncation
+  // path a short read of the offsets array would take.
+  if (LOCS_FAILPOINT("io.binary.short_read") ||
+      std::fread(offsets.data(), sizeof(uint64_t), offsets.size(),
                  file.get()) != offsets.size()) {
-    return std::nullopt;
+    return Fail(error, IoErrorKind::kTruncated,
+                Format("short read: file ends inside the %" PRIu64
+                       "-entry offset array",
+                       header.num_vertices + 1));
   }
   if (!neighbors.empty() &&
       std::fread(neighbors.data(), sizeof(VertexId), neighbors.size(),
                  file.get()) != neighbors.size()) {
-    return std::nullopt;
+    return Fail(error, IoErrorKind::kTruncated,
+                Format("short read: file ends inside the %" PRIu64
+                       "-entry neighbor array",
+                       header.num_half_edges));
   }
   return Graph::FromCsr(std::move(offsets), std::move(neighbors));
 }

@@ -3,12 +3,18 @@
 // The library is exception-free (Google style); API misuse and broken internal
 // invariants abort with a readable message instead. LOCS_CHECK is always on,
 // LOCS_DCHECK compiles away in release builds so it may guard O(n) validation.
+//
+// The comparison forms (LOCS_CHECK_LT and friends) print both operand
+// values in the failure message ("a < b (5 vs 3)"), formatted into stack
+// buffers — no allocation happens on the failure path, so the checks stay
+// usable under allocation failure and inside signal-unsafe contexts.
 
 #ifndef LOCS_UTIL_CHECK_H_
 #define LOCS_UTIL_CHECK_H_
 
 #include <cstdio>
 #include <cstdlib>
+#include <type_traits>
 
 namespace locs::internal {
 
@@ -23,6 +29,47 @@ namespace locs::internal {
                                         const char* expr, const char* msg) {
   std::fprintf(stderr, "LOCS_CHECK failed at %s:%d: %s (%s)\n", file, line,
                expr, msg);
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Formats a comparison operand into a fixed stack buffer. Handles the
+/// types the checks actually compare (integers, enums, floats, pointers,
+/// bool); anything else prints as "?".
+template <typename T>
+void FormatCheckOperand(char (&buf)[32], const T& value) {
+  using Decayed = std::remove_cv_t<std::remove_reference_t<T>>;
+  if constexpr (std::is_same_v<Decayed, bool>) {
+    std::snprintf(buf, sizeof(buf), "%s", value ? "true" : "false");
+  } else if constexpr (std::is_floating_point_v<Decayed>) {
+    std::snprintf(buf, sizeof(buf), "%g", static_cast<double>(value));
+  } else if constexpr (std::is_enum_v<Decayed>) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(
+                      static_cast<std::underlying_type_t<Decayed>>(value)));
+  } else if constexpr (std::is_integral_v<Decayed> &&
+                       std::is_signed_v<Decayed>) {
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+  } else if constexpr (std::is_integral_v<Decayed>) {
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(value));
+  } else if constexpr (std::is_pointer_v<Decayed>) {
+    std::snprintf(buf, sizeof(buf), "%p",
+                  static_cast<const void*>(value));
+  } else {
+    std::snprintf(buf, sizeof(buf), "?");
+  }
+}
+
+template <typename A, typename B>
+[[noreturn]] void CheckOpFailed(const char* file, int line, const char* expr,
+                                const A& lhs, const B& rhs) {
+  char lhs_buf[32];
+  char rhs_buf[32];
+  FormatCheckOperand(lhs_buf, lhs);
+  FormatCheckOperand(rhs_buf, rhs);
+  std::fprintf(stderr, "LOCS_CHECK failed at %s:%d: %s (%s vs %s)\n", file,
+               line, expr, lhs_buf, rhs_buf);
   std::fflush(stderr);
   std::abort();
 }
@@ -43,12 +90,24 @@ namespace locs::internal {
     }                                                                    \
   } while (0)
 
-#define LOCS_CHECK_LT(a, b) LOCS_CHECK((a) < (b))
-#define LOCS_CHECK_LE(a, b) LOCS_CHECK((a) <= (b))
-#define LOCS_CHECK_GT(a, b) LOCS_CHECK((a) > (b))
-#define LOCS_CHECK_GE(a, b) LOCS_CHECK((a) >= (b))
-#define LOCS_CHECK_EQ(a, b) LOCS_CHECK((a) == (b))
-#define LOCS_CHECK_NE(a, b) LOCS_CHECK((a) != (b))
+// Comparison checks: on failure, the message carries both operand values
+// in addition to the stringified expression. Operands are evaluated once.
+#define LOCS_CHECK_OP_IMPL(a, b, op)                                       \
+  do {                                                                     \
+    const auto& locs_check_lhs = (a);                                      \
+    const auto& locs_check_rhs = (b);                                      \
+    if (!(locs_check_lhs op locs_check_rhs)) {                             \
+      ::locs::internal::CheckOpFailed(__FILE__, __LINE__, #a " " #op " " #b, \
+                                      locs_check_lhs, locs_check_rhs);     \
+    }                                                                      \
+  } while (0)
+
+#define LOCS_CHECK_LT(a, b) LOCS_CHECK_OP_IMPL(a, b, <)
+#define LOCS_CHECK_LE(a, b) LOCS_CHECK_OP_IMPL(a, b, <=)
+#define LOCS_CHECK_GT(a, b) LOCS_CHECK_OP_IMPL(a, b, >)
+#define LOCS_CHECK_GE(a, b) LOCS_CHECK_OP_IMPL(a, b, >=)
+#define LOCS_CHECK_EQ(a, b) LOCS_CHECK_OP_IMPL(a, b, ==)
+#define LOCS_CHECK_NE(a, b) LOCS_CHECK_OP_IMPL(a, b, !=)
 
 #ifdef NDEBUG
 #define LOCS_DCHECK(expr) \

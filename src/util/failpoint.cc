@@ -1,0 +1,126 @@
+#include "util/failpoint.h"
+
+#if LOCS_FAILPOINTS
+
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace locs::failpoint {
+
+namespace {
+
+struct State {
+  uint64_t skip = 0;   // hits to let pass before firing
+  uint64_t hits = 0;   // total evaluations since armed
+  bool armed = false;  // disarmed entries are kept for HitCount
+};
+
+std::mutex registry_mutex;
+std::map<std::string, State>& Registry() {
+  static auto* registry = new std::map<std::string, State>();
+  return *registry;
+}
+
+/// Writes an armed entry into the registry (no armed_count update —
+/// callers account for that themselves).
+void ArmLocked(const std::string& name, uint64_t skip) {
+  State& state = Registry()[name];
+  state.armed = true;
+  state.skip = skip;
+  state.hits = 0;
+}
+
+/// Parses LOCS_FAILPOINT="name[=skip][,name...]" into the registry and
+/// returns the number of entries armed.
+uint64_t ArmFromEnvironmentLocked() {
+  const char* spec = std::getenv("LOCS_FAILPOINT");
+  if (spec == nullptr) return 0;
+  uint64_t armed = 0;
+  std::string entry;
+  for (const char* p = spec;; ++p) {
+    if (*p != '\0' && *p != ',') {
+      entry.push_back(*p);
+      continue;
+    }
+    if (!entry.empty()) {
+      const size_t eq = entry.find('=');
+      if (eq == std::string::npos) {
+        ArmLocked(entry, 0);
+      } else {
+        ArmLocked(entry.substr(0, eq),
+                  std::strtoull(entry.c_str() + eq + 1, nullptr, 10));
+      }
+      ++armed;
+      entry.clear();
+    }
+    if (*p == '\0') break;
+  }
+  return armed;
+}
+
+}  // namespace
+
+namespace internal {
+
+// Environment arming runs inside the count's dynamic initializer, before
+// main() and therefore before any test or CLI code can evaluate a site.
+// (A site evaluated even earlier — from another TU's global constructor —
+// sees the zero-initialized count and reports "not armed", which is the
+// safe answer.)
+std::atomic<uint64_t> armed_count{[] {
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  return ArmFromEnvironmentLocked();
+}()};
+
+bool FireSlow(const char* name) {
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  const auto it = Registry().find(name);
+  if (it == Registry().end() || !it->second.armed) return false;
+  ++it->second.hits;
+  if (it->second.skip > 0) {
+    --it->second.skip;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace internal
+
+void Arm(const char* name, uint64_t skip) {
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  const auto it = Registry().find(name);
+  if (it == Registry().end() || !it->second.armed) {
+    internal::armed_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  ArmLocked(name, skip);
+}
+
+void Disarm(const char* name) {
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  const auto it = Registry().find(name);
+  if (it == Registry().end() || !it->second.armed) return;
+  it->second.armed = false;
+  internal::armed_count.fetch_sub(1, std::memory_order_relaxed);
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  for (auto& [name, state] : Registry()) {
+    if (state.armed) {
+      state.armed = false;
+      internal::armed_count.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+uint64_t HitCount(const char* name) {
+  std::lock_guard<std::mutex> lock(registry_mutex);
+  const auto it = Registry().find(name);
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+}  // namespace locs::failpoint
+
+#endif  // LOCS_FAILPOINTS

@@ -66,8 +66,7 @@ Graph OverlappingCliques(VertexId k, VertexId overlap) {
 
 class AdversarialTest : public ::testing::TestWithParam<Strategy> {
  protected:
-  std::optional<Community> SolveCst(const Graph& g, VertexId v0,
-                                    uint32_t k) {
+  SearchResult SolveCst(const Graph& g, VertexId v0, uint32_t k) {
     const GraphFacts facts = GraphFacts::Compute(g);
     const OrderedAdjacency ordered(g);
     LocalCstSolver solver(g, &ordered, &facts);
@@ -120,7 +119,7 @@ TEST_P(AdversarialTest, LollipopJunctionVertex) {
   // mislead the search.
   Graph g = Lollipop(8, 20);
   const VertexId junction = 7;
-  EXPECT_EQ(GlobalCsm(g, junction).min_degree, 7u);
+  EXPECT_EQ(GlobalCsm(g, junction)->min_degree, 7u);
   const auto result = SolveCst(g, junction, 7);
   ASSERT_TRUE(result.has_value());
   EXPECT_EQ(ToSet(result->members), ToSet({0, 1, 2, 3, 4, 5, 6, 7}));
@@ -180,13 +179,13 @@ TEST(AdversarialCsmTest, RingOfCliquesAllRules) {
   const OrderedAdjacency ordered(g);
   LocalCsmSolver solver(g, &ordered, &facts);
   for (VertexId v0 = 0; v0 < g.NumVertices(); v0 += 3) {
-    const uint32_t expect = GlobalCsm(g, v0).min_degree;
+    const uint32_t expect = GlobalCsm(g, v0)->min_degree;
     for (CsmCandidateRule rule :
          {CsmCandidateRule::kFromNaive, CsmCandidateRule::kFromVisited}) {
       CsmOptions options;
       options.candidate_rule = rule;
       options.gamma = -std::numeric_limits<double>::infinity();
-      EXPECT_EQ(solver.Solve(v0, options).min_degree, expect)
+      EXPECT_EQ(solver.Solve(v0, options)->min_degree, expect)
           << "v0=" << v0;
     }
   }
@@ -202,7 +201,7 @@ TEST(AdversarialCsmTest, LongPathBudgetTermination) {
   options.gamma = 0.0;
   options.candidate_rule = CsmCandidateRule::kFromNaive;
   QueryStats stats;
-  const Community best = solver.Solve(2500, options, &stats);
+  const Community best = *solver.Solve(2500, options, &stats);
   EXPECT_EQ(best.min_degree, 1u);
   EXPECT_TRUE(IsValidCommunity(g, best.members, 2500, 1));
 }
@@ -218,7 +217,7 @@ TEST(AdversarialCsmTest, HubVertexInSparseGalaxy) {
   Graph g = builder.Build();
   const GraphFacts facts = GraphFacts::Compute(g);
   LocalCsmSolver solver(g, nullptr, &facts);
-  const Community best = solver.Solve(0);
+  const Community best = *solver.Solve(0);
   EXPECT_EQ(best.min_degree, 2u);
   EXPECT_EQ(ToSet(best.members), ToSet({0, 1, 2}));
 }

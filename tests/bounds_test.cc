@@ -45,7 +45,7 @@ TEST(MStarUpperBoundTest, DominatesActualOptimumOnConnectedGraphs) {
                   gen::ErdosRenyiGnp(50, 0.1, seed)).graph;
     const uint32_t bound = MStarUpperBound(g);
     for (VertexId v0 = 0; v0 < g.NumVertices(); v0 += 5) {
-      EXPECT_LE(GlobalCsm(g, v0).min_degree, bound) << "seed=" << seed;
+      EXPECT_LE(GlobalCsm(g, v0)->min_degree, bound) << "seed=" << seed;
     }
   }
 }
@@ -72,7 +72,7 @@ TEST(CstSizeUpperBoundTest, DominatesActualAnswersOnConnectedGraphs) {
     Graph g = ExtractLargestComponent(
                   gen::ErdosRenyiGnp(60, 0.12, seed)).graph;
     for (VertexId v0 = 0; v0 < g.NumVertices(); v0 += 7) {
-      const Community best = GlobalCsm(g, v0);
+      const Community best = *GlobalCsm(g, v0);
       for (uint32_t k = 3; k <= best.min_degree; ++k) {
         const auto cst = GlobalCst(g, v0, k);
         ASSERT_TRUE(cst.has_value());

@@ -22,7 +22,7 @@ using testing::ToSet;
 void ExpectMatchesGlobal(const Graph& g) {
   const CoreIndex index(g);
   for (VertexId v0 = 0; v0 < g.NumVertices(); ++v0) {
-    const Community expect_csm = GlobalCsm(g, v0);
+    const Community expect_csm = *GlobalCsm(g, v0);
     const Community got_csm = index.Csm(v0);
     ASSERT_EQ(got_csm.min_degree, expect_csm.min_degree) << "v0=" << v0;
     ASSERT_EQ(ToSet(got_csm.members), ToSet(expect_csm.members))
@@ -104,7 +104,7 @@ TEST(CoreIndexTest, LfrSpotChecks) {
   const gen::LfrGraph lfr = gen::Lfr(params);
   const CoreIndex index(lfr.graph);
   for (VertexId v0 = 0; v0 < lfr.graph.NumVertices(); v0 += 41) {
-    const Community expect = GlobalCsm(lfr.graph, v0);
+    const Community expect = *GlobalCsm(lfr.graph, v0);
     EXPECT_EQ(index.Csm(v0).min_degree, expect.min_degree);
     EXPECT_EQ(ToSet(index.Csm(v0).members), ToSet(expect.members));
     for (uint32_t k : {1u, 3u, 6u}) {

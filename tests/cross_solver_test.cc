@@ -125,18 +125,18 @@ TEST_P(CrossSolverTest, CsmOptimaAgreeEverywhere) {
   constexpr double kMinusInf = -std::numeric_limits<double>::infinity();
   for (VertexId v0 = 0; v0 < graph_.NumVertices(); v0 += 13) {
     const uint32_t expect = index_->CoreNumber(v0);
-    EXPECT_EQ(GlobalCsm(graph_, v0).min_degree, expect) << "v0=" << v0;
+    EXPECT_EQ(GlobalCsm(graph_, v0)->min_degree, expect) << "v0=" << v0;
     EXPECT_EQ(GreedyGlobalCsm(graph_, v0).min_degree, expect);
     EXPECT_EQ(index_->Csm(v0).min_degree, expect);
     CsmOptions csm2;
     csm2.candidate_rule = CsmCandidateRule::kFromNaive;
     csm2.gamma = 5.0;
-    EXPECT_EQ(solver.Solve(v0, csm2).min_degree, expect) << "v0=" << v0;
+    EXPECT_EQ(solver.Solve(v0, csm2)->min_degree, expect) << "v0=" << v0;
     CsmOptions csm1;
     csm1.candidate_rule = CsmCandidateRule::kFromVisited;
     csm1.gamma = kMinusInf;
-    EXPECT_EQ(solver.Solve(v0, csm1).min_degree, expect) << "v0=" << v0;
-    EXPECT_EQ(multi.CsmMulti({v0}).min_degree, expect) << "v0=" << v0;
+    EXPECT_EQ(solver.Solve(v0, csm1)->min_degree, expect) << "v0=" << v0;
+    EXPECT_EQ(multi.CsmMulti({v0})->min_degree, expect) << "v0=" << v0;
   }
 }
 

@@ -222,24 +222,29 @@ TEST_F(BatchRunnerTest, CstResultsAreByteIdenticalAcrossThreadCounts) {
   // Serial reference: one reused solver, plain loop.
   LocalCstSolver solver(graph_, &ordered_, &facts_);
   std::vector<std::optional<Community>> expected;
-  for (VertexId v : queries_) expected.push_back(solver.Solve(v, 3));
+  for (VertexId v : queries_) {
+    expected.push_back(solver.Solve(v, 3).community);
+  }
 
   BatchRunner runner(graph_, &ordered_, &facts_);
   for (unsigned threads : {1u, 2u, 8u}) {
     BatchLimits limits;
     limits.num_threads = threads;
     const auto batch = runner.RunCst(queries_, 3, {}, limits);
-    ASSERT_EQ(batch.communities.size(), expected.size());
+    ASSERT_EQ(batch.results.size(), expected.size());
     EXPECT_EQ(batch.stats.completed, queries_.size());
     EXPECT_FALSE(batch.stats.deadline_hit);
+    EXPECT_EQ(batch.stats.CountOf(Termination::kFound) +
+                  batch.stats.CountOf(Termination::kNotExists),
+              queries_.size());
     for (size_t i = 0; i < expected.size(); ++i) {
-      ASSERT_EQ(batch.communities[i].has_value(), expected[i].has_value())
+      ASSERT_EQ(batch.results[i].has_value(), expected[i].has_value())
           << "threads=" << threads << " i=" << i;
       if (!expected[i].has_value()) continue;
       // Byte-identical: same members in the same order, same goodness.
-      EXPECT_EQ(batch.communities[i]->members, expected[i]->members)
+      EXPECT_EQ(batch.results[i]->members, expected[i]->members)
           << "threads=" << threads << " i=" << i;
-      EXPECT_EQ(batch.communities[i]->min_degree, expected[i]->min_degree);
+      EXPECT_EQ(batch.results[i]->min_degree, expected[i]->min_degree);
     }
   }
 }
@@ -247,18 +252,18 @@ TEST_F(BatchRunnerTest, CstResultsAreByteIdenticalAcrossThreadCounts) {
 TEST_F(BatchRunnerTest, CsmResultsAreByteIdenticalAcrossThreadCounts) {
   LocalCsmSolver solver(graph_, &ordered_, &facts_);
   std::vector<Community> expected;
-  for (VertexId v : queries_) expected.push_back(solver.Solve(v));
+  for (VertexId v : queries_) expected.push_back(*solver.Solve(v));
 
   BatchRunner runner(graph_, &ordered_, &facts_);
   for (unsigned threads : {1u, 2u, 8u}) {
     BatchLimits limits;
     limits.num_threads = threads;
     const auto batch = runner.RunCsm(queries_, {}, limits);
-    ASSERT_EQ(batch.communities.size(), expected.size());
+    ASSERT_EQ(batch.results.size(), expected.size());
     for (size_t i = 0; i < expected.size(); ++i) {
-      EXPECT_EQ(batch.communities[i].members, expected[i].members)
+      EXPECT_EQ(batch.results[i]->members, expected[i].members)
           << "threads=" << threads << " i=" << i;
-      EXPECT_EQ(batch.communities[i].min_degree, expected[i].min_degree);
+      EXPECT_EQ(batch.results[i]->min_degree, expected[i].min_degree);
     }
   }
 }
@@ -270,13 +275,11 @@ TEST_F(BatchRunnerTest, RepeatedBatchesOnOneRunnerStayIdentical) {
   const auto first = runner.RunCst(queries_, 3);
   for (int round = 0; round < 3; ++round) {
     const auto again = runner.RunCst(queries_, 3);
-    ASSERT_EQ(again.communities.size(), first.communities.size());
-    for (size_t i = 0; i < first.communities.size(); ++i) {
-      ASSERT_EQ(again.communities[i].has_value(),
-                first.communities[i].has_value());
-      if (first.communities[i].has_value()) {
-        EXPECT_EQ(again.communities[i]->members,
-                  first.communities[i]->members);
+    ASSERT_EQ(again.results.size(), first.results.size());
+    for (size_t i = 0; i < first.results.size(); ++i) {
+      ASSERT_EQ(again.results[i].has_value(), first.results[i].has_value());
+      if (first.results[i].has_value()) {
+        EXPECT_EQ(again.results[i]->members, first.results[i]->members);
       }
     }
     EXPECT_EQ(again.stats.visited_vertices, first.stats.visited_vertices);
@@ -322,18 +325,20 @@ TEST_F(BatchRunnerTest, CancelledBatchReportsCompletedPrefix) {
   const auto batch = runner.RunCst(queries_, 3, {}, limits);
   EXPECT_TRUE(batch.stats.cancelled);
   EXPECT_EQ(batch.stats.completed, 0u);
-  for (const auto& community : batch.communities) {
-    EXPECT_FALSE(community.has_value());
+  EXPECT_EQ(batch.stats.CountOf(Termination::kCancelled), queries_.size());
+  for (const auto& result : batch.results) {
+    EXPECT_FALSE(result.has_value());
+    EXPECT_EQ(result.status, Termination::kCancelled);
   }
 }
 
 TEST_F(BatchRunnerTest, EmptyBatchIsANoOp) {
   BatchRunner runner(graph_, &ordered_, &facts_);
   const auto cst = runner.RunCst({}, 3);
-  EXPECT_TRUE(cst.communities.empty());
+  EXPECT_TRUE(cst.results.empty());
   EXPECT_EQ(cst.stats.completed, 0u);
   const auto csm = runner.RunCsm({});
-  EXPECT_TRUE(csm.communities.empty());
+  EXPECT_TRUE(csm.results.empty());
 }
 
 TEST(BatchRunnerDeadlineTest, DeadlineYieldsCompletedPrefix) {
@@ -362,16 +367,27 @@ TEST(BatchRunnerDeadlineTest, DeadlineYieldsCompletedPrefix) {
   ASSERT_LT(batch.stats.completed, queries.size());
   EXPECT_TRUE(batch.stats.deadline_hit);
 
-  // The executed prefix matches the serial reference; the tail is
-  // untouched (default-constructed).
+  // Queries in the executed prefix either finished (and then match the
+  // serial reference) or were interrupted mid-search by the batch
+  // deadline, which now reaches into in-flight queries via their guards.
   LocalCsmSolver solver(g, &ordered, &facts);
   for (size_t i = 0; i < batch.stats.completed; ++i) {
-    EXPECT_EQ(batch.communities[i].min_degree,
-              solver.Solve(queries[i]).min_degree)
-        << "i=" << i;
+    const SearchResult& result = batch.results[i];
+    if (result.Found()) {
+      EXPECT_EQ(result->min_degree, solver.Solve(queries[i])->min_degree)
+          << "i=" << i;
+    } else {
+      EXPECT_EQ(result.status, Termination::kDeadline) << "i=" << i;
+    }
   }
+  // Never-started tail slots report the batch stop cause with the
+  // singleton query vertex as the trivial partial answer.
   for (size_t i = batch.stats.completed; i < queries.size(); ++i) {
-    EXPECT_TRUE(batch.communities[i].members.empty());
+    const SearchResult& result = batch.results[i];
+    EXPECT_FALSE(result.has_value());
+    EXPECT_EQ(result.status, Termination::kDeadline);
+    ASSERT_EQ(result.best_so_far.members.size(), 1u);
+    EXPECT_EQ(result.best_so_far.members[0], queries[i]);
   }
 }
 

@@ -23,7 +23,7 @@ TEST(FilteredSearchTest, AllAdmittedEqualsUnconstrained) {
   for (VertexId v0 = 0; v0 < g.NumVertices(); ++v0) {
     const auto constrained = filtered.Csm(v0);
     ASSERT_TRUE(constrained.has_value());
-    EXPECT_EQ(constrained->min_degree, GlobalCsm(g, v0).min_degree);
+    EXPECT_EQ(constrained->min_degree, GlobalCsm(g, v0)->min_degree);
   }
 }
 

@@ -76,7 +76,7 @@ TEST(GlobalCsmTest, PaperExample2BestCommunityForJ) {
   // PaperFigure1 doc comment about Example 2's typo).
   Graph g = gen::PaperFigure1();
   auto v = [](char c) { return gen::Figure1Vertex(c); };
-  const Community best = GlobalCsm(g, v('j'));
+  const Community best = *GlobalCsm(g, v('j'));
   EXPECT_EQ(best.min_degree, 4u);
   EXPECT_EQ(ToSet(best.members),
             ToSet({v('g'), v('h'), v('i'), v('j'), v('k'), v('l')}));
@@ -85,7 +85,7 @@ TEST(GlobalCsmTest, PaperExample2BestCommunityForJ) {
 TEST(GlobalCsmTest, PaperExample6BestCommunityForE) {
   Graph g = gen::PaperFigure1();
   auto v = [](char c) { return gen::Figure1Vertex(c); };
-  const Community best = GlobalCsm(g, v('e'));
+  const Community best = *GlobalCsm(g, v('e'));
   EXPECT_EQ(best.min_degree, 3u);
   EXPECT_EQ(ToSet(best.members),
             ToSet({v('a'), v('b'), v('c'), v('d'), v('e')}));
@@ -93,7 +93,7 @@ TEST(GlobalCsmTest, PaperExample6BestCommunityForE) {
 
 TEST(GlobalCsmTest, IsolatedVertex) {
   Graph g = BuildGraph(3, {{0, 1}});
-  const Community best = GlobalCsm(g, 2);
+  const Community best = *GlobalCsm(g, 2);
   EXPECT_EQ(best.min_degree, 0u);
   EXPECT_EQ(best.members, std::vector<VertexId>{2});
 }
@@ -103,7 +103,7 @@ TEST(GlobalCsmTest, GreedyAgreesOnClassicFamilies) {
        {gen::Clique(8), gen::Cycle(11), gen::Star(9), gen::Barbell(5, 2),
         gen::Grid(4, 5), gen::PaperFigure1()}) {
     for (VertexId v0 = 0; v0 < g.NumVertices(); ++v0) {
-      const Community a = GlobalCsm(g, v0);
+      const Community a = *GlobalCsm(g, v0);
       const Community b = GreedyGlobalCsm(g, v0);
       EXPECT_EQ(a.min_degree, b.min_degree) << "v0=" << v0;
       EXPECT_EQ(ToSet(a.members), ToSet(b.members)) << "v0=" << v0;
@@ -117,7 +117,7 @@ class GlobalRandomTest : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(GlobalRandomTest, CsmMatchesBruteForce) {
   Graph g = gen::ErdosRenyiGnp(12, 0.3, GetParam());
   for (VertexId v0 = 0; v0 < g.NumVertices(); ++v0) {
-    const Community best = GlobalCsm(g, v0);
+    const Community best = *GlobalCsm(g, v0);
     EXPECT_EQ(best.min_degree, BruteForceCsmGoodness(g, v0)) << "v0=" << v0;
     EXPECT_TRUE(IsValidCommunity(g, best.members, v0, best.min_degree));
   }
@@ -126,7 +126,7 @@ TEST_P(GlobalRandomTest, CsmMatchesBruteForce) {
 TEST_P(GlobalRandomTest, CstConsistentWithCsm) {
   Graph g = gen::ErdosRenyiGnp(30, 0.2, GetParam() + 7);
   for (VertexId v0 = 0; v0 < g.NumVertices(); v0 += 3) {
-    const Community best = GlobalCsm(g, v0);
+    const Community best = *GlobalCsm(g, v0);
     // CST(k) solvable exactly for k <= m*(G, v0) (Propositions 1 and 2).
     for (uint32_t k = 0; k <= best.min_degree + 2; ++k) {
       const auto cst = GlobalCst(g, v0, k);
@@ -150,7 +150,7 @@ TEST_P(GlobalRandomTest, GreedyAgreesWithDecompositionOnLfr) {
   params.max_degree = 20;
   const gen::LfrGraph lfr = gen::Lfr(params);
   for (VertexId v0 = 0; v0 < lfr.graph.NumVertices(); v0 += 37) {
-    const Community a = GlobalCsm(lfr.graph, v0);
+    const Community a = *GlobalCsm(lfr.graph, v0);
     const Community b = GreedyGlobalCsm(lfr.graph, v0);
     EXPECT_EQ(a.min_degree, b.min_degree);
     EXPECT_EQ(ToSet(a.members), ToSet(b.members));

@@ -13,6 +13,7 @@
 #include "gen/erdos_renyi.h"
 #include "graph/builder.h"
 #include "graph/invariants.h"
+#include "util/failpoint.h"
 
 namespace locs {
 namespace {
@@ -283,6 +284,162 @@ TEST(EdgeListIoTest, EmptyGraphRoundTrip) {
   ASSERT_TRUE(loaded.has_value());
   EXPECT_EQ(loaded->NumVertices(), 0u);
 }
+
+// ---------------------------------------------------------------------------
+// IoError detail: every loader distinguishes file-missing from malformed
+// content and from truncation, with a line number for text parse errors.
+
+TEST(IoErrorTest, MissingFileReportsOpenKindInEveryFormat) {
+  IoError error;
+  EXPECT_FALSE(LoadEdgeList(TempPath("nope.txt"), &error).has_value());
+  EXPECT_EQ(error.kind, IoErrorKind::kOpen);
+  EXPECT_FALSE(error.message.empty());
+
+  EXPECT_FALSE(LoadMetis(TempPath("nope.metis"), &error).has_value());
+  EXPECT_EQ(error.kind, IoErrorKind::kOpen);
+
+  EXPECT_FALSE(LoadBinary(TempPath("nope.lcsg"), &error).has_value());
+  EXPECT_EQ(error.kind, IoErrorKind::kOpen);
+}
+
+TEST(IoErrorTest, SuccessfulLoadResetsStaleError) {
+  const std::string path = TempPath("reset.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\n";
+  }
+  IoError error;
+  error.kind = IoErrorKind::kParse;
+  error.message = "stale";
+  error.line = 99;
+  ASSERT_TRUE(LoadEdgeList(path, &error).has_value());
+  EXPECT_TRUE(error.ok());
+  EXPECT_TRUE(error.message.empty());
+  EXPECT_EQ(error.line, 0u);
+}
+
+TEST(IoErrorTest, EdgeListParseErrorReportsOffendingLine) {
+  const std::string path = TempPath("badline.txt");
+  {
+    std::ofstream out(path);
+    out << "# comment\n0 1\nnot numbers\n";
+  }
+  IoError error;
+  EXPECT_FALSE(LoadEdgeList(path, &error).has_value());
+  EXPECT_EQ(error.kind, IoErrorKind::kParse);
+  EXPECT_EQ(error.line, 3u);
+}
+
+TEST(IoErrorTest, EdgeListMissingEndpointReportsParse) {
+  const std::string path = TempPath("halfedge.txt");
+  {
+    std::ofstream out(path);
+    out << "0 1\n7\n";
+  }
+  IoError error;
+  EXPECT_FALSE(LoadEdgeList(path, &error).has_value());
+  EXPECT_EQ(error.kind, IoErrorKind::kParse);
+  EXPECT_EQ(error.line, 2u);
+}
+
+TEST(IoErrorTest, MetisWeightedFormatIsParseError) {
+  const std::string path = TempPath("weighted.metis");
+  {
+    std::ofstream out(path);
+    out << "2 1 011\n2\n1\n";
+  }
+  IoError error;
+  EXPECT_FALSE(LoadMetis(path, &error).has_value());
+  EXPECT_EQ(error.kind, IoErrorKind::kParse);
+}
+
+TEST(IoErrorTest, MetisMissingVertexLinesIsTruncated) {
+  const std::string path = TempPath("short.metis");
+  {
+    std::ofstream out(path);
+    out << "3 2\n2\n1 3\n";  // header says 3 vertices, only 2 lines
+  }
+  IoError error;
+  EXPECT_FALSE(LoadMetis(path, &error).has_value());
+  EXPECT_EQ(error.kind, IoErrorKind::kTruncated);
+}
+
+TEST(IoErrorTest, BinaryBadMagicIsParseError) {
+  const std::string path = TempPath("badmagic.lcsg");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOTAGRAPHFILE_________________";
+  }
+  IoError error;
+  EXPECT_FALSE(LoadBinary(path, &error).has_value());
+  EXPECT_EQ(error.kind, IoErrorKind::kParse);
+}
+
+TEST(IoErrorTest, BinaryTruncationIsReported) {
+  Graph g = gen::Clique(6);
+  const std::string path = TempPath("trunc_err.lcsg");
+  ASSERT_TRUE(SaveBinary(g, path));
+  // Chop the file in the middle of the neighbor array.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  bytes.resize(bytes.size() - 8);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  IoError error;
+  EXPECT_FALSE(LoadBinary(path, &error).has_value());
+  EXPECT_EQ(error.kind, IoErrorKind::kTruncated);
+}
+
+#if LOCS_FAILPOINTS
+
+TEST(IoFailpointTest, ShortReadFailpointForcesTruncationPath) {
+  Graph g = gen::Clique(5);
+  const std::string path = TempPath("fp_short.lcsg");
+  ASSERT_TRUE(SaveBinary(g, path));
+  // Sanity: the file itself is fine.
+  ASSERT_TRUE(LoadBinary(path).has_value());
+
+  failpoint::ScopedFailpoint fp("io.binary.short_read");
+  IoError error;
+  EXPECT_FALSE(LoadBinary(path, &error).has_value());
+  EXPECT_EQ(error.kind, IoErrorKind::kTruncated);
+  EXPECT_GE(failpoint::HitCount("io.binary.short_read"), 1u);
+}
+
+TEST(IoFailpointTest, AllocFailpointForcesAllocError) {
+  Graph g = gen::Clique(5);
+  const std::string path = TempPath("fp_alloc.lcsg");
+  ASSERT_TRUE(SaveBinary(g, path));
+
+  failpoint::ScopedFailpoint fp("io.binary.alloc");
+  IoError error;
+  EXPECT_FALSE(LoadBinary(path, &error).has_value());
+  EXPECT_EQ(error.kind, IoErrorKind::kAlloc);
+  EXPECT_GE(failpoint::HitCount("io.binary.alloc"), 1u);
+
+  // Disarmed again, the same file loads.
+  failpoint::Disarm("io.binary.alloc");
+  EXPECT_TRUE(LoadBinary(path, &error).has_value());
+  EXPECT_TRUE(error.ok());
+}
+
+TEST(IoFailpointTest, SkipCountDelaysTheFailure) {
+  Graph g = gen::Clique(4);
+  const std::string path = TempPath("fp_skip.lcsg");
+  ASSERT_TRUE(SaveBinary(g, path));
+
+  failpoint::ScopedFailpoint fp("io.binary.short_read", /*skip=*/2);
+  EXPECT_TRUE(LoadBinary(path).has_value());   // hit 1: skipped
+  EXPECT_TRUE(LoadBinary(path).has_value());   // hit 2: skipped
+  EXPECT_FALSE(LoadBinary(path).has_value());  // hit 3: fires
+  EXPECT_EQ(failpoint::HitCount("io.binary.short_read"), 3u);
+}
+
+#endif  // LOCS_FAILPOINTS
 
 }  // namespace
 }  // namespace locs

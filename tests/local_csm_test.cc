@@ -54,7 +54,7 @@ class LocalCsmExactTest : public ::testing::TestWithParam<Config> {
     CsmOptions options;
     options.candidate_rule = GetParam().rule;
     options.gamma = GetParam().gamma;
-    return solver.Solve(v0, options, stats);
+    return *solver.Solve(v0, options, stats);
   }
 };
 
@@ -118,7 +118,7 @@ TEST_P(LocalCsmExactTest, MatchesGlobalOnRandomGraphs) {
     Graph g = gen::ErdosRenyiGnp(150, 0.06, seed);
     for (VertexId v0 = 0; v0 < g.NumVertices(); v0 += 7) {
       const Community local = Solve(g, v0);
-      const Community global = GlobalCsm(g, v0);
+      const Community global = *GlobalCsm(g, v0);
       EXPECT_EQ(local.min_degree, global.min_degree)
           << "seed=" << seed << " v0=" << v0;
     }
@@ -136,7 +136,7 @@ TEST_P(LocalCsmExactTest, MatchesGlobalOnLfr) {
   const gen::LfrGraph lfr = gen::Lfr(params);
   for (VertexId v0 = 0; v0 < lfr.graph.NumVertices(); v0 += 23) {
     const Community local = Solve(lfr.graph, v0);
-    const Community global = GlobalCsm(lfr.graph, v0);
+    const Community global = *GlobalCsm(lfr.graph, v0);
     EXPECT_EQ(local.min_degree, global.min_degree) << "v0=" << v0;
   }
 }
@@ -159,11 +159,11 @@ TEST_P(LocalCsmExactTest, RepeatedQueriesAreIndependent) {
   options.gamma = GetParam().gamma;
   std::vector<uint32_t> first;
   for (VertexId v0 = 0; v0 < 30; ++v0) {
-    first.push_back(solver.Solve(v0, options).min_degree);
+    first.push_back(solver.Solve(v0, options)->min_degree);
   }
   for (int round = 0; round < 3; ++round) {
     for (VertexId v0 = 0; v0 < 30; ++v0) {
-      EXPECT_EQ(solver.Solve(v0, options).min_degree, first[v0]);
+      EXPECT_EQ(solver.Solve(v0, options)->min_degree, first[v0]);
     }
   }
 }
@@ -182,12 +182,12 @@ TEST(LocalCsmGammaTest, FiniteGammaNeverBeatsOptimum) {
   const GraphFacts facts = GraphFacts::Compute(g);
   LocalCsmSolver solver(g, nullptr, &facts);
   for (VertexId v0 = 0; v0 < g.NumVertices(); v0 += 9) {
-    const Community global = GlobalCsm(g, v0);
+    const Community global = *GlobalCsm(g, v0);
     for (double gamma : {0.0, 2.0, 6.0, 15.0}) {
       CsmOptions options;
       options.candidate_rule = CsmCandidateRule::kFromVisited;
       options.gamma = gamma;
-      const Community local = solver.Solve(v0, options);
+      const Community local = *solver.Solve(v0, options);
       EXPECT_LE(local.min_degree, global.min_degree);
       EXPECT_TRUE(IsValidCommunity(g, local.members, v0, local.min_degree));
     }
@@ -207,10 +207,10 @@ TEST(LocalCsmGammaTest, QualityIsMonotoneInBudgetOnAverage) {
     CsmOptions options;
     options.candidate_rule = CsmCandidateRule::kFromVisited;
     options.gamma = kMinusInf;
-    sum_exact += solver.Solve(v0, options).min_degree;
+    sum_exact += solver.Solve(v0, options)->min_degree;
     options.gamma = 15.0;
-    sum_tight += solver.Solve(v0, options).min_degree;
-    sum_opt += GlobalCsm(g, v0).min_degree;
+    sum_tight += solver.Solve(v0, options)->min_degree;
+    sum_opt += GlobalCsm(g, v0)->min_degree;
   }
   EXPECT_DOUBLE_EQ(sum_exact, sum_opt);  // Theorem 6
   EXPECT_LE(sum_tight, sum_exact + 1e-9);
@@ -223,7 +223,7 @@ TEST(LocalCsmStatsTest, Eq7EarlyExitSkipsMaxcore) {
   const GraphFacts facts = GraphFacts::Compute(g);
   LocalCsmSolver solver(g, nullptr, &facts);
   QueryStats stats;
-  const Community best = solver.Solve(0, {}, &stats);
+  const Community best = *solver.Solve(0, {}, &stats);
   EXPECT_EQ(best.min_degree, 11u);
   EXPECT_FALSE(stats.used_global_fallback);
 }
@@ -235,7 +235,7 @@ TEST(LocalCsmStatsTest, VisitedStaysLocalOnBarbell) {
   const GraphFacts facts = GraphFacts::Compute(g);
   LocalCsmSolver solver(g, nullptr, &facts);
   QueryStats stats;
-  const Community best = solver.Solve(0, {}, &stats);
+  const Community best = *solver.Solve(0, {}, &stats);
   EXPECT_EQ(best.min_degree, 7u);
   EXPECT_EQ(best.members.size(), 8u);
   EXPECT_LT(stats.visited_vertices, 12u);

@@ -34,8 +34,8 @@ std::string ConfigName(const ::testing::TestParamInfo<Config>& info) {
 
 class LocalCstStrategyTest : public ::testing::TestWithParam<Config> {
  protected:
-  std::optional<Community> Solve(const Graph& g, VertexId v0, uint32_t k,
-                                 QueryStats* stats = nullptr) {
+  SearchResult Solve(const Graph& g, VertexId v0, uint32_t k,
+                     QueryStats* stats = nullptr) {
     const GraphFacts facts = GraphFacts::Compute(g);
     std::optional<OrderedAdjacency> ordered;
     if (GetParam().ordered) ordered.emplace(g);
@@ -218,7 +218,7 @@ TEST_P(LocalCstStrategyTest, RepeatedQueriesAreIndependent) {
   options.strategy = GetParam().strategy;
   options.use_ordered_adjacency = GetParam().ordered;
 
-  std::vector<std::optional<Community>> first;
+  std::vector<SearchResult> first;
   for (VertexId v0 = 0; v0 < 20; ++v0) {
     first.push_back(solver.Solve(v0, 3, options));
   }

@@ -54,9 +54,8 @@ bool ContainsAll(const std::vector<VertexId>& members,
 
 class MultiSolverTest : public ::testing::Test {
  protected:
-  std::optional<Community> LocalCst(const Graph& g,
-                                    const std::vector<VertexId>& query,
-                                    uint32_t k) {
+  SearchResult LocalCst(const Graph& g,
+                        const std::vector<VertexId>& query, uint32_t k) {
     const GraphFacts facts = GraphFacts::Compute(g);
     const OrderedAdjacency ordered(g);
     LocalMultiSolver solver(g, &ordered, &facts);
@@ -67,14 +66,14 @@ class MultiSolverTest : public ::testing::Test {
     const GraphFacts facts = GraphFacts::Compute(g);
     const OrderedAdjacency ordered(g);
     LocalMultiSolver solver(g, &ordered, &facts);
-    return solver.CsmMulti(query);
+    return *solver.CsmMulti(query);
   }
 };
 
 TEST_F(MultiSolverTest, SingleVertexMatchesPaperSolvers) {
   Graph g = gen::PaperFigure1();
   for (VertexId v0 = 0; v0 < g.NumVertices(); ++v0) {
-    EXPECT_EQ(LocalCsm(g, {v0}).min_degree, GlobalCsm(g, v0).min_degree)
+    EXPECT_EQ(LocalCsm(g, {v0}).min_degree, GlobalCsm(g, v0)->min_degree)
         << "v0=" << v0;
     for (uint32_t k = 1; k <= 4; ++k) {
       EXPECT_EQ(LocalCst(g, {v0}, k).has_value(),
@@ -132,7 +131,7 @@ TEST_F(MultiSolverTest, GlobalMatchesBruteForceOnTinyGraphs) {
         {0, 1}, {2, 7}, {0, 4, 9}, {1, 3, 5, 8}};
     for (const auto& query : query_sets) {
       const uint32_t expect = BruteForceMultiGoodness(g, query);
-      const Community global = GlobalCsmMulti(g, query);
+      const Community global = *GlobalCsmMulti(g, query);
       const Community local = LocalCsm(g, query);
       if (expect == 0) {
         // Queries may be disconnected; both must degrade to 0.
@@ -192,14 +191,14 @@ TEST_F(MultiSolverTest, BarbellSpanningPairNeedsBridge) {
   const Community best = LocalCsm(g, query);
   EXPECT_EQ(best.min_degree, 2u);
   EXPECT_TRUE(ContainsAll(best.members, query));
-  const Community global = GlobalCsmMulti(g, query);
+  const Community global = *GlobalCsmMulti(g, query);
   EXPECT_EQ(global.min_degree, 2u);
 }
 
 TEST_F(MultiSolverTest, FacadeEndToEnd) {
   CommunitySearcher searcher(gen::Barbell(5, 2));
   const std::vector<VertexId> query = {0, 11};
-  const Community best = searcher.CsmMulti(query);
+  const Community best = *searcher.CsmMulti(query);
   EXPECT_EQ(best.min_degree, 2u);
   EXPECT_TRUE(searcher.CstMulti(query, 2).has_value());
   EXPECT_FALSE(searcher.CstMulti(query, 3).has_value());

@@ -75,7 +75,7 @@ TEST_F(PaperExamplesTest, Example3NonMonotonicity) {
 TEST_F(PaperExamplesTest, Example4CsmAndCstForA) {
   // CSM: H = {a,b,c,d,e} with δ = 3 and no better choice exists.
   EXPECT_EQ(BruteForceCsmGoodness(g_, V('a')), 3u);
-  const Community best = GlobalCsm(g_, V('a'));
+  const Community best = *GlobalCsm(g_, V('a'));
   EXPECT_EQ(best.min_degree, 3u);
   EXPECT_EQ(ToSet(best.members), ToSet(Set("abcde")));
   // CST(3): still H. CST(2): multiple valid choices, including the
@@ -99,7 +99,7 @@ TEST_F(PaperExamplesTest, Example5CoresAndMaxcore) {
 TEST_F(PaperExamplesTest, Example6AdmissibleSets) {
   // CSM for e: m* = 3 with the unique H* = {a..e} — the admissible set.
   EXPECT_EQ(BruteForceCsmGoodness(g_, V('e')), 3u);
-  EXPECT_EQ(ToSet(GlobalCsm(g_, V('e')).members), ToSet(Set("abcde")));
+  EXPECT_EQ(ToSet(GlobalCsm(g_, V('e'))->members), ToSet(Set("abcde")));
   // CST(2) for e: the maximal answer (hence admissible set) is V-{m,n}.
   const auto cst2 = GlobalCst(g_, V('e'), 2);
   ASSERT_TRUE(cst2.has_value());
@@ -179,7 +179,7 @@ TEST_F(PaperExamplesTest, Figure2ExponentialSolutionCount) {
   // The star of Figure 2: m*(G, center) = 1 and any edge answers — the
   // reason both problems return a single solution.
   Graph star = gen::Star(12);
-  EXPECT_EQ(GlobalCsm(star, 0).min_degree, 1u);
+  EXPECT_EQ(GlobalCsm(star, 0)->min_degree, 1u);
   const GraphFacts facts = GraphFacts::Compute(star);
   LocalCstSolver solver(star, nullptr, &facts);
   const auto cst1 = solver.Solve(0, 1);
@@ -191,7 +191,7 @@ TEST_F(PaperExamplesTest, Theorem3BoundOnFigure1) {
   // |E| = 26, |V| = 14 -> bound 5; all m* values are <= 4.
   EXPECT_EQ(MStarUpperBound(g_), 5u);
   for (VertexId v0 = 0; v0 < g_.NumVertices(); ++v0) {
-    EXPECT_LE(GlobalCsm(g_, v0).min_degree, 5u);
+    EXPECT_LE(GlobalCsm(g_, v0)->min_degree, 5u);
   }
 }
 

@@ -62,7 +62,7 @@ TEST_P(ParallelBatchTest, CsmBatchMatchesSequential) {
   ASSERT_EQ(batch.size(), queries.size());
   for (size_t i = 0; i < queries.size(); ++i) {
     EXPECT_EQ(batch[i].min_degree,
-              solver.Solve(queries[i]).min_degree)
+              solver.Solve(queries[i])->min_degree)
         << "i=" << i;
   }
 }
@@ -83,7 +83,9 @@ TEST(ParallelBatchTest, CstBatchByteIdenticalAcrossThreadCounts) {
 
   LocalCstSolver solver(g, &ordered, &facts);
   std::vector<std::optional<Community>> serial;
-  for (VertexId v : queries) serial.push_back(solver.Solve(v, 4));
+  for (VertexId v : queries) {
+    serial.push_back(solver.Solve(v, 4).community);
+  }
 
   for (unsigned threads : {1u, 2u, 8u}) {
     BatchOptions options;
@@ -111,7 +113,7 @@ TEST(ParallelBatchTest, CsmBatchByteIdenticalAcrossThreadCounts) {
 
   LocalCsmSolver solver(g, &ordered, &facts);
   std::vector<Community> serial;
-  for (VertexId v : queries) serial.push_back(solver.Solve(v));
+  for (VertexId v : queries) serial.push_back(*solver.Solve(v));
 
   for (unsigned threads : {1u, 2u, 8u}) {
     const auto batch =

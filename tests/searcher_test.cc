@@ -27,15 +27,15 @@ TEST(CommunitySearcherTest, FacadeBasics) {
   EXPECT_EQ(ToSet(cst->members),
             ToSet({v('a'), v('b'), v('c'), v('d'), v('e')}));
 
-  const Community csm = searcher.Csm(v('j'));
+  const Community csm = *searcher.Csm(v('j'));
   EXPECT_EQ(csm.min_degree, 4u);
 }
 
 TEST(CommunitySearcherTest, LocalAgreesWithGlobalEndToEnd) {
   CommunitySearcher searcher(gen::ErdosRenyiGnp(100, 0.08, 8));
   for (VertexId v0 = 0; v0 < 100; v0 += 9) {
-    const Community local = searcher.Csm(v0);
-    const Community global = searcher.CsmGlobal(v0);
+    const Community local = *searcher.Csm(v0);
+    const Community global = *searcher.CsmGlobal(v0);
     EXPECT_EQ(local.min_degree, global.min_degree);
     for (uint32_t k = 1; k <= global.min_degree + 1; ++k) {
       EXPECT_EQ(searcher.Cst(v0, k).has_value(),

@@ -43,12 +43,62 @@ bool EndsWith(const std::string& text, const std::string& suffix) {
                       suffix) == 0;
 }
 
-std::optional<Graph> LoadAuto(const std::string& path) {
-  if (EndsWith(path, ".lcsg")) return LoadBinary(path);
+std::optional<Graph> LoadAuto(const std::string& path, IoError* error) {
+  if (EndsWith(path, ".lcsg")) return LoadBinary(path, error);
   if (EndsWith(path, ".metis") || EndsWith(path, ".graph")) {
-    return LoadMetis(path);
+    return LoadMetis(path, error);
   }
-  return LoadEdgeList(path);
+  return LoadEdgeList(path, error);
+}
+
+// Exit codes. 0 = success, 1 = generic usage/argument error, 2 = bad
+// command line. Load failures and interrupted queries get distinct codes
+// so scripts can branch without parsing stderr.
+constexpr int kExitOpenError = 3;       // input file missing/unreadable
+constexpr int kExitParseError = 4;      // input file malformed
+constexpr int kExitTruncatedError = 5;  // input file short/truncated
+constexpr int kExitAllocError = 6;      // graph did not fit in memory
+constexpr int kExitDeadline = 10;       // query interrupted: deadline
+constexpr int kExitBudget = 11;         // query interrupted: work budget
+constexpr int kExitCancelled = 12;      // query interrupted: cancel flag
+
+int IoExitCode(IoErrorKind kind) {
+  switch (kind) {
+    case IoErrorKind::kOpen:
+      return kExitOpenError;
+    case IoErrorKind::kParse:
+      return kExitParseError;
+    case IoErrorKind::kTruncated:
+      return kExitTruncatedError;
+    case IoErrorKind::kAlloc:
+      return kExitAllocError;
+    case IoErrorKind::kNone:
+      break;
+  }
+  return 1;
+}
+
+int StatusExitCode(Termination status) {
+  switch (status) {
+    case Termination::kDeadline:
+      return kExitDeadline;
+    case Termination::kBudgetExhausted:
+      return kExitBudget;
+    case Termination::kCancelled:
+      return kExitCancelled;
+    case Termination::kFound:
+    case Termination::kNotExists:
+      break;
+  }
+  return 0;
+}
+
+/// Per-query guard limits shared by cst/csm/batch.
+QueryLimits GuardLimits(const CommandLine& cli) {
+  QueryLimits limits;
+  limits.deadline_ms = cli.GetDouble("query-deadline-ms", 0.0);
+  limits.work_budget = static_cast<uint64_t>(cli.GetInt("work-budget", 0));
+  return limits;
 }
 
 bool SaveAuto(const Graph& graph, const std::string& path) {
@@ -79,28 +129,50 @@ int Usage() {
       "usage: locs_cli <command> [--flags]\n"
       "  stats     --input=G\n"
       "  cst       --input=G --vertex=V --k=K [--global]\n"
+      "            [--query-deadline-ms=D] [--work-budget=W]\n"
       "  csm       --input=G --vertex=V [--global]\n"
+      "            [--query-deadline-ms=D] [--work-budget=W]\n"
       "  batch     --input=G --mode=cst|csm [--k=K]\n"
       "            [--queries-file=F | --sample=N --seed=S]\n"
       "            [--threads=T] [--deadline-ms=D] [--show-results]\n"
+      "            [--query-deadline-ms=D] [--work-budget=W]\n"
       "  decompose --input=G [--top=10]\n"
       "  convert   --input=G --output=F\n"
       "  generate  --model=lfr|ba|gnp --n=N --output=F [--seed=S]\n"
       "            [--mu=0.1 --min-degree --max-degree --min-community\n"
-      "             --max-community] [--m=3] [--p=0.01]\n");
+      "             --max-community] [--m=3] [--p=0.01]\n"
+      "exit codes: 0 ok, 3 open, 4 parse, 5 truncated, 6 alloc,\n"
+      "            10 deadline, 11 work-budget, 12 cancelled\n");
   return 2;
 }
 
-std::optional<Graph> RequireGraph(const CommandLine& cli) {
+/// Loads --input; on failure prints the IoError detail and stores the
+/// matching exit code into *exit_code (left untouched on success).
+std::optional<Graph> RequireGraph(const CommandLine& cli, int* exit_code) {
   const std::string input = cli.GetString("input", "");
   if (input.empty()) {
     std::fprintf(stderr, "error: --input is required\n");
+    *exit_code = 2;
     return std::nullopt;
   }
   WallTimer timer;
-  auto graph = LoadAuto(input);
+  IoError error;
+  auto graph = LoadAuto(input, &error);
   if (!graph.has_value()) {
-    std::fprintf(stderr, "error: could not load '%s'\n", input.c_str());
+    if (error.line > 0) {
+      std::fprintf(stderr, "error: could not load '%s' (%s error): %s "
+                   "(line %llu)\n",
+                   input.c_str(),
+                   std::string(IoErrorKindName(error.kind)).c_str(),
+                   error.message.c_str(),
+                   static_cast<unsigned long long>(error.line));
+    } else {
+      std::fprintf(stderr, "error: could not load '%s' (%s error): %s\n",
+                   input.c_str(),
+                   std::string(IoErrorKindName(error.kind)).c_str(),
+                   error.message.c_str());
+    }
+    *exit_code = IoExitCode(error.kind);
     return std::nullopt;
   }
   std::fprintf(stderr, "loaded %s: %u vertices, %lu edges (%.0fms)\n",
@@ -111,8 +183,9 @@ std::optional<Graph> RequireGraph(const CommandLine& cli) {
 }
 
 int CmdStats(const CommandLine& cli) {
-  const auto graph = RequireGraph(cli);
-  if (!graph.has_value()) return 1;
+  int load_rc = 1;
+  const auto graph = RequireGraph(cli, &load_rc);
+  if (!graph.has_value()) return load_rc;
   const Components comps = ConnectedComponents(*graph);
   const CoreDecomposition cores = ComputeCores(*graph);
   TableWriter table({"metric", "value"});
@@ -145,8 +218,9 @@ int CmdStats(const CommandLine& cli) {
 }
 
 int CmdCst(const CommandLine& cli) {
-  auto graph = RequireGraph(cli);
-  if (!graph.has_value()) return 1;
+  int load_rc = 1;
+  auto graph = RequireGraph(cli, &load_rc);
+  if (!graph.has_value()) return load_rc;
   const auto v0 = static_cast<VertexId>(cli.GetInt("vertex", 0));
   const auto k = static_cast<uint32_t>(cli.GetInt("k", 1));
   if (v0 >= graph->NumVertices()) {
@@ -156,11 +230,22 @@ int CmdCst(const CommandLine& cli) {
   CommunitySearcher searcher(std::move(*graph));
   WallTimer timer;
   QueryStats stats;
-  const auto community = cli.GetBool("global", false)
-                             ? searcher.CstGlobal(v0, k, &stats)
-                             : searcher.Cst(v0, k, {}, &stats);
+  QueryGuard guard(GuardLimits(cli));
+  const auto result = cli.GetBool("global", false)
+                          ? searcher.CstGlobal(v0, k, &stats, &guard)
+                          : searcher.Cst(v0, k, {}, &stats, &guard);
   const double ms = timer.Millis();
-  if (!community.has_value()) {
+  if (result.Interrupted()) {
+    std::printf("interrupted (%s): best so far %zu members, δ=%u "
+                "(%.2fms, %lu visited)\n",
+                std::string(TerminationName(result.status)).c_str(),
+                result.best_so_far.members.size(),
+                result.best_so_far.min_degree, ms,
+                static_cast<unsigned long>(stats.visited_vertices));
+    PrintMembers(result.best_so_far.members, cli);
+    return StatusExitCode(result.status);
+  }
+  if (!result.has_value()) {
     std::printf("no community with min degree >= %u contains vertex %u "
                 "(%.2fms, %lu vertices visited)\n",
                 k, v0, ms,
@@ -168,16 +253,17 @@ int CmdCst(const CommandLine& cli) {
     return 0;
   }
   std::printf("community: %zu members, δ=%u (%.2fms, %lu visited%s)\n",
-              community->members.size(), community->min_degree, ms,
+              result->members.size(), result->min_degree, ms,
               static_cast<unsigned long>(stats.visited_vertices),
               stats.used_global_fallback ? ", fallback" : "");
-  PrintMembers(community->members, cli);
+  PrintMembers(result->members, cli);
   return 0;
 }
 
 int CmdCsm(const CommandLine& cli) {
-  auto graph = RequireGraph(cli);
-  if (!graph.has_value()) return 1;
+  int load_rc = 1;
+  auto graph = RequireGraph(cli, &load_rc);
+  if (!graph.has_value()) return load_rc;
   const auto v0 = static_cast<VertexId>(cli.GetInt("vertex", 0));
   if (v0 >= graph->NumVertices()) {
     std::fprintf(stderr, "error: vertex out of range\n");
@@ -186,15 +272,18 @@ int CmdCsm(const CommandLine& cli) {
   CommunitySearcher searcher(std::move(*graph));
   WallTimer timer;
   QueryStats stats;
-  const Community community = cli.GetBool("global", false)
-                                  ? searcher.CsmGlobal(v0, &stats)
-                                  : searcher.Csm(v0, {}, &stats);
-  std::printf("best community: %zu members, δ=%u (%.2fms, %lu visited)\n",
+  QueryGuard guard(GuardLimits(cli));
+  const auto result = cli.GetBool("global", false)
+                          ? searcher.CsmGlobal(v0, &stats, &guard)
+                          : searcher.Csm(v0, {}, &stats, &guard);
+  const Community& community = result.Best();
+  std::printf("%s community: %zu members, δ=%u (%.2fms, %lu visited)\n",
+              result.Interrupted() ? "interrupted; best-so-far" : "best",
               community.members.size(), community.min_degree,
               timer.Millis(),
               static_cast<unsigned long>(stats.visited_vertices));
   PrintMembers(community.members, cli);
-  return 0;
+  return StatusExitCode(result.status);
 }
 
 /// Query vertices for `batch`: an explicit --queries-file (one vertex id
@@ -238,8 +327,9 @@ std::optional<std::vector<VertexId>> BatchQueries(const CommandLine& cli,
 }
 
 int CmdBatch(const CommandLine& cli) {
-  auto graph = RequireGraph(cli);
-  if (!graph.has_value()) return 1;
+  int load_rc = 1;
+  auto graph = RequireGraph(cli, &load_rc);
+  if (!graph.has_value()) return load_rc;
   const std::string mode = cli.GetString("mode", "cst");
   if (mode != "cst" && mode != "csm") {
     std::fprintf(stderr, "error: --mode must be cst or csm\n");
@@ -255,6 +345,9 @@ int CmdBatch(const CommandLine& cli) {
   limits.num_threads =
       static_cast<unsigned>(cli.GetInt("threads", 0));
   limits.deadline_ms = cli.GetDouble("deadline-ms", 0.0);
+  const QueryLimits per_query = GuardLimits(cli);
+  limits.query_deadline_ms = per_query.deadline_ms;
+  limits.query_work_budget = per_query.work_budget;
 
   BatchStats stats;
   std::vector<uint32_t> goodness(queries->size(), 0);
@@ -262,16 +355,14 @@ int CmdBatch(const CommandLine& cli) {
     const auto k = static_cast<uint32_t>(cli.GetInt("k", 3));
     auto result = runner.RunCst(*queries, k, {}, limits);
     stats = result.stats;
-    for (size_t i = 0; i < result.communities.size(); ++i) {
-      if (result.communities[i].has_value()) {
-        goodness[i] = result.communities[i]->min_degree;
-      }
+    for (size_t i = 0; i < result.results.size(); ++i) {
+      goodness[i] = result.results[i].Best().min_degree;
     }
   } else {
     auto result = runner.RunCsm(*queries, {}, limits);
     stats = result.stats;
-    for (size_t i = 0; i < result.communities.size(); ++i) {
-      goodness[i] = result.communities[i].min_degree;
+    for (size_t i = 0; i < result.results.size(); ++i) {
+      goodness[i] = result.results[i].Best().min_degree;
     }
   }
 
@@ -293,6 +384,14 @@ int CmdBatch(const CommandLine& cli) {
                  (stats.wall_ms / 1000.0),
              1);
   }
+  for (int s = 0; s < kNumTerminations; ++s) {
+    const auto status = static_cast<Termination>(s);
+    if (stats.CountOf(status) == 0) continue;
+    table.Row()
+        .Cell(std::string("status ") +
+              std::string(TerminationName(status)))
+        .Num(stats.CountOf(status));
+  }
   if (stats.deadline_hit) table.Row().Cell("deadline").Cell("hit");
   table.Print();
 
@@ -301,12 +400,18 @@ int CmdBatch(const CommandLine& cli) {
       std::printf("%u %u\n", (*queries)[i], goodness[i]);
     }
   }
+  // Per-status exit reporting: interrupted queries surface the dominant
+  // interruption cause as the exit code (cancelled > deadline > budget).
+  if (stats.CountOf(Termination::kCancelled) > 0) return kExitCancelled;
+  if (stats.CountOf(Termination::kDeadline) > 0) return kExitDeadline;
+  if (stats.CountOf(Termination::kBudgetExhausted) > 0) return kExitBudget;
   return 0;
 }
 
 int CmdDecompose(const CommandLine& cli) {
-  const auto graph = RequireGraph(cli);
-  if (!graph.has_value()) return 1;
+  int load_rc = 1;
+  const auto graph = RequireGraph(cli, &load_rc);
+  if (!graph.has_value()) return load_rc;
   const auto top = static_cast<size_t>(cli.GetInt("top", 10));
   WallTimer timer;
   const CoreDecomposition cores = ComputeCores(*graph);
@@ -327,8 +432,9 @@ int CmdDecompose(const CommandLine& cli) {
 }
 
 int CmdConvert(const CommandLine& cli) {
-  const auto graph = RequireGraph(cli);
-  if (!graph.has_value()) return 1;
+  int load_rc = 1;
+  const auto graph = RequireGraph(cli, &load_rc);
+  if (!graph.has_value()) return load_rc;
   const std::string output = cli.GetString("output", "");
   if (output.empty()) {
     std::fprintf(stderr, "error: --output is required\n");
