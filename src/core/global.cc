@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <queue>
 
+#include "core/validate.h"
 #include "graph/subgraph.h"
 #include "util/bucket_queue.h"
 
@@ -37,10 +38,8 @@ Community HarvestComponent(const Graph& graph, VertexId v0,
   return community;
 }
 
-}  // namespace
-
-SearchResult GlobalCst(const Graph& graph, VertexId v0, uint32_t k,
-                       QueryStats* stats, QueryGuard* guard) {
+SearchResult GlobalCstImpl(const Graph& graph, VertexId v0, uint32_t k,
+                           QueryStats* stats, QueryGuard* guard) {
   LOCS_CHECK_LT(v0, graph.NumVertices());
   QueryStats local_stats;
   QueryStats& st = stats != nullptr ? *stats : local_stats;
@@ -123,8 +122,8 @@ SearchResult GlobalCst(const Graph& graph, VertexId v0, uint32_t k,
   return SearchResult::MakeFound(std::move(community));
 }
 
-SearchResult GlobalCsm(const Graph& graph, VertexId v0, QueryStats* stats,
-                       QueryGuard* guard) {
+SearchResult GlobalCsmImpl(const Graph& graph, VertexId v0,
+                           QueryStats* stats, QueryGuard* guard) {
   LOCS_CHECK_LT(v0, graph.NumVertices());
   QueryStats local_stats;
   QueryStats& st = stats != nullptr ? *stats : local_stats;
@@ -147,6 +146,22 @@ SearchResult GlobalCsm(const Graph& graph, VertexId v0, QueryStats* stats,
   community.min_degree = cores.core[v0];
   st.answer_size = community.members.size();
   return SearchResult::MakeFound(std::move(community));
+}
+
+}  // namespace
+
+SearchResult GlobalCst(const Graph& graph, VertexId v0, uint32_t k,
+                       QueryStats* stats, QueryGuard* guard) {
+  SearchResult result = GlobalCstImpl(graph, v0, k, stats, guard);
+  LOCS_VALIDATE_RESULT("GlobalCst", graph, result, v0, k);
+  return result;
+}
+
+SearchResult GlobalCsm(const Graph& graph, VertexId v0, QueryStats* stats,
+                       QueryGuard* guard) {
+  SearchResult result = GlobalCsmImpl(graph, v0, stats, guard);
+  LOCS_VALIDATE_RESULT("GlobalCsm", graph, result, v0, 0);
+  return result;
 }
 
 Community GreedyGlobalCsm(const Graph& graph, VertexId v0) {
@@ -204,6 +219,8 @@ Community GreedyGlobalCsm(const Graph& graph, VertexId v0) {
     }
   }
   community.min_degree = MinDegreeOfInduced(graph, community.members);
+  LOCS_VALIDATE_RESULT("GreedyGlobalCsm", graph,
+                       SearchResult::MakeFound(community), v0, 0);
   return community;
 }
 

@@ -6,6 +6,7 @@
 
 #include "core/bounds.h"
 #include "core/kcore.h"
+#include "core/validate.h"
 #include "graph/subgraph.h"
 #include "util/bucket_queue.h"
 
@@ -56,6 +57,14 @@ void LocalCsmSolver::AddToA(VertexId v, QueryStats& stats) {
 
 SearchResult LocalCsmSolver::Solve(VertexId v0, const CsmOptions& options,
                                    QueryStats* stats, QueryGuard* guard) {
+  SearchResult result = SolveImpl(v0, options, stats, guard);
+  // CSM has no minimum-degree threshold: pass k = 0.
+  LOCS_VALIDATE_RESULT("LocalCsmSolver::Solve", graph_, result, v0, 0);
+  return result;
+}
+
+SearchResult LocalCsmSolver::SolveImpl(VertexId v0, const CsmOptions& options,
+                                       QueryStats* stats, QueryGuard* guard) {
   LOCS_CHECK_LT(v0, graph_.NumVertices());
   QueryStats local_stats;
   QueryStats& st = stats != nullptr ? *stats : local_stats;

@@ -43,6 +43,8 @@ class LocalCsmSolver {
                      QueryStats* stats = nullptr, QueryGuard* guard = nullptr);
 
  private:
+  SearchResult SolveImpl(VertexId v0, const CsmOptions& options,
+                         QueryStats* stats, QueryGuard* guard);
   void AddToA(VertexId v, QueryStats& stats);
   bool NaiveCandidates(VertexId v0, uint32_t k, QueryStats& stats,
                        QueryGuard& guard, uint64_t& charged,

@@ -4,6 +4,7 @@
 
 #include "core/bounds.h"
 #include "core/kcore.h"
+#include "core/validate.h"
 #include "graph/subgraph.h"
 #include "graph/traversal.h"
 
@@ -40,6 +41,14 @@ LocalCstSolver::LocalCstSolver(const Graph& graph,
 SearchResult LocalCstSolver::Solve(VertexId v0, uint32_t k,
                                    const CstOptions& options,
                                    QueryStats* stats, QueryGuard* guard) {
+  SearchResult result = SolveImpl(v0, k, options, stats, guard);
+  LOCS_VALIDATE_RESULT("LocalCstSolver::Solve", graph_, result, v0, k);
+  return result;
+}
+
+SearchResult LocalCstSolver::SolveImpl(VertexId v0, uint32_t k,
+                                       const CstOptions& options,
+                                       QueryStats* stats, QueryGuard* guard) {
   LOCS_CHECK_LT(v0, graph_.NumVertices());
   QueryStats local_stats;
   QueryStats& st = stats != nullptr ? *stats : local_stats;

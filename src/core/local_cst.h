@@ -58,6 +58,8 @@ class LocalCstSolver {
                      QueryStats* stats = nullptr, QueryGuard* guard = nullptr);
 
  private:
+  SearchResult SolveImpl(VertexId v0, uint32_t k, const CstOptions& options,
+                         QueryStats* stats, QueryGuard* guard);
   VertexId SelectNext(Strategy strategy, uint32_t k, bool use_ordered);
   VertexId SelectLg(uint32_t k, bool use_ordered);
   void AddToC(VertexId v, uint32_t k, Strategy strategy, bool use_ordered,

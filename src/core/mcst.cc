@@ -4,6 +4,7 @@
 
 #include "core/bounds.h"
 #include "core/local_cst.h"
+#include "core/validate.h"
 #include "graph/subgraph.h"
 
 namespace locs {
@@ -170,6 +171,11 @@ class ExactSearch {
 
 }  // namespace
 
+McstResult ExactMcstImpl(const Graph& graph, VertexId v0, uint32_t k,
+                         uint64_t max_steps, QueryGuard* guard);
+SearchResult GreedyMcstImpl(const Graph& graph, VertexId v0, uint32_t k,
+                            QueryGuard* guard);
+
 std::optional<std::vector<VertexId>> FindCliqueThrough(const Graph& graph,
                                                        VertexId v0,
                                                        uint32_t size,
@@ -178,11 +184,39 @@ std::optional<std::vector<VertexId>> FindCliqueThrough(const Graph& graph,
   LOCS_CHECK_GE(size, 1u);
   if (graph.Degree(v0) + 1 < size) return std::nullopt;
   CliqueSearch search(graph, size, max_steps);
-  return search.Run(v0);
+  std::optional<std::vector<VertexId>> clique = search.Run(v0);
+#if defined(LOCS_VALIDATE)
+  if (clique.has_value()) {
+    // A size-s clique through v0 is a found community with exact induced
+    // min degree s - 1 everywhere; CheckCommunity re-verifies precisely
+    // that, plus membership and distinctness.
+    LOCS_CHECK_MSG(clique->size() == size,
+                   "[LOCS_VALIDATE] FindCliqueThrough: wrong clique size");
+    const std::string err = validate::CheckCommunity(
+        graph, Community{*clique, size - 1}, {v0});
+    LOCS_CHECK_MSG(err.empty(), err.c_str());
+  }
+#endif
+  return clique;
 }
 
 McstResult ExactMcst(const Graph& graph, VertexId v0, uint32_t k,
                      uint64_t max_steps, QueryGuard* guard) {
+  McstResult result = ExactMcstImpl(graph, v0, k, max_steps, guard);
+#if defined(LOCS_VALIDATE)
+  // Whatever the termination, an engaged mCST community is always a
+  // genuine CST(k) answer: connected, v0 a member, exact min degree >= k.
+  if (result.community.has_value()) {
+    validate::DieOnViolation("ExactMcst", graph,
+                             SearchResult::MakeFound(*result.community), v0,
+                             k);
+  }
+#endif
+  return result;
+}
+
+McstResult ExactMcstImpl(const Graph& graph, VertexId v0, uint32_t k,
+                         uint64_t max_steps, QueryGuard* guard) {
   LOCS_CHECK_LT(v0, graph.NumVertices());
   QueryGuard unlimited;
   QueryGuard& g = guard != nullptr ? *guard : unlimited;
@@ -237,6 +271,13 @@ McstResult ExactMcst(const Graph& graph, VertexId v0, uint32_t k,
 
 SearchResult GreedyMcst(const Graph& graph, VertexId v0, uint32_t k,
                         QueryGuard* guard) {
+  SearchResult result = GreedyMcstImpl(graph, v0, k, guard);
+  LOCS_VALIDATE_RESULT("GreedyMcst", graph, result, v0, k);
+  return result;
+}
+
+SearchResult GreedyMcstImpl(const Graph& graph, VertexId v0, uint32_t k,
+                            QueryGuard* guard) {
   LOCS_CHECK_LT(v0, graph.NumVertices());
   QueryGuard unlimited;
   QueryGuard& g = guard != nullptr ? *guard : unlimited;

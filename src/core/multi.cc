@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/bounds.h"
+#include "core/validate.h"
 
 namespace locs {
 
@@ -19,11 +20,12 @@ void CheckQuery(const Graph& graph, const std::vector<VertexId>& query) {
   }
 }
 
-}  // namespace
-
-SearchResult GlobalCstMulti(const Graph& graph,
-                            const std::vector<VertexId>& query, uint32_t k,
-                            QueryStats* stats, QueryGuard* guard) {
+/// See GlobalCstMulti below (the public wrapper adds the LOCS_VALIDATE
+/// postcondition oracle).
+SearchResult GlobalCstMultiImpl(const Graph& graph,
+                                const std::vector<VertexId>& query,
+                                uint32_t k, QueryStats* stats,
+                                QueryGuard* guard) {
   CheckQuery(graph, query);
   QueryStats local_stats;
   QueryStats& st = stats != nullptr ? *stats : local_stats;
@@ -85,9 +87,9 @@ SearchResult GlobalCstMulti(const Graph& graph,
   return SearchResult::MakeFound(std::move(community));
 }
 
-SearchResult GlobalCsmMulti(const Graph& graph,
-                            const std::vector<VertexId>& query,
-                            QueryStats* stats, QueryGuard* guard) {
+SearchResult GlobalCsmMultiImpl(const Graph& graph,
+                                const std::vector<VertexId>& query,
+                                QueryStats* stats, QueryGuard* guard) {
   CheckQuery(graph, query);
   // Feasibility is monotone decreasing in k (Proposition 1 lifts to query
   // sets verbatim), so binary search over [0, min degree of queries].
@@ -95,7 +97,7 @@ SearchResult GlobalCsmMulti(const Graph& graph,
                     // component; handle the disconnected case first.
   uint32_t hi = graph.Degree(query[0]);
   for (VertexId q : query) hi = std::min(hi, graph.Degree(q));
-  SearchResult best = GlobalCstMulti(graph, query, 0, stats, guard);
+  SearchResult best = GlobalCstMultiImpl(graph, query, 0, stats, guard);
   if (best.Interrupted()) return best;
   if (!best.Found()) {
     // Queries in different components: fall back to the first query's
@@ -104,7 +106,8 @@ SearchResult GlobalCsmMulti(const Graph& graph,
   }
   while (lo < hi) {
     const uint32_t mid = lo + (hi - lo + 1) / 2;
-    SearchResult attempt = GlobalCstMulti(graph, query, mid, stats, guard);
+    SearchResult attempt =
+        GlobalCstMultiImpl(graph, query, mid, stats, guard);
     if (attempt.Interrupted()) {
       // The best answer proven before the interruption is still valid.
       return SearchResult::MakeInterrupted(attempt.status,
@@ -118,6 +121,44 @@ SearchResult GlobalCsmMulti(const Graph& graph,
     }
   }
   return best;
+}
+
+#if defined(LOCS_VALIDATE)
+/// A multi-vertex CSM answer needs the full query set as members except
+/// in the documented disconnected-queries fallback, where the solver
+/// degrades to the first query vertex's singleton: relax the membership
+/// requirement to query[0] exactly in that case.
+void ValidateCsmMulti(const char* solver, const Graph& graph,
+                      const SearchResult& result,
+                      const std::vector<VertexId>& query) {
+  const bool singleton_fallback = result.Found() && query.size() > 1 &&
+                                  result.community->members.size() == 1;
+  if (singleton_fallback) {
+    validate::DieOnViolation(solver, graph, result, query[0], 0);
+  } else {
+    validate::DieOnViolation(solver, graph, result, query, 0);
+  }
+}
+#endif  // LOCS_VALIDATE
+
+}  // namespace
+
+SearchResult GlobalCstMulti(const Graph& graph,
+                            const std::vector<VertexId>& query, uint32_t k,
+                            QueryStats* stats, QueryGuard* guard) {
+  SearchResult result = GlobalCstMultiImpl(graph, query, k, stats, guard);
+  LOCS_VALIDATE_RESULT("GlobalCstMulti", graph, result, query, k);
+  return result;
+}
+
+SearchResult GlobalCsmMulti(const Graph& graph,
+                            const std::vector<VertexId>& query,
+                            QueryStats* stats, QueryGuard* guard) {
+  SearchResult result = GlobalCsmMultiImpl(graph, query, stats, guard);
+#if defined(LOCS_VALIDATE)
+  ValidateCsmMulti("GlobalCsmMulti", graph, result, query);
+#endif
+  return result;
 }
 
 LocalMultiSolver::LocalMultiSolver(const Graph& graph,
@@ -201,6 +242,14 @@ bool LocalMultiSolver::QueriesConnected(
 }
 
 SearchResult LocalMultiSolver::CstMulti(const std::vector<VertexId>& query,
+                                        uint32_t k, QueryStats* stats,
+                                        QueryGuard* guard) {
+  SearchResult result = CstMultiImpl(query, k, stats, guard);
+  LOCS_VALIDATE_RESULT("LocalMultiSolver::CstMulti", graph_, result, query, k);
+  return result;
+}
+
+SearchResult LocalMultiSolver::CstMultiImpl(const std::vector<VertexId>& query,
                                         uint32_t k, QueryStats* stats,
                                         QueryGuard* guard) {
   CheckQuery(graph_, query);
@@ -410,6 +459,16 @@ SearchResult LocalMultiSolver::Fallback(const std::vector<VertexId>& query,
 SearchResult LocalMultiSolver::CsmMulti(const std::vector<VertexId>& query,
                                         QueryStats* stats,
                                         QueryGuard* guard) {
+  SearchResult result = CsmMultiImpl(query, stats, guard);
+#if defined(LOCS_VALIDATE)
+  ValidateCsmMulti("LocalMultiSolver::CsmMulti", graph_, result, query);
+#endif
+  return result;
+}
+
+SearchResult LocalMultiSolver::CsmMultiImpl(
+    const std::vector<VertexId>& query, QueryStats* stats,
+    QueryGuard* guard) {
   CheckQuery(graph_, query);
   uint32_t hi = graph_.Degree(query[0]);
   for (VertexId q : query) hi = std::min(hi, graph_.Degree(q));

@@ -67,6 +67,10 @@ class LocalMultiSolver {
                         QueryGuard* guard = nullptr);
 
  private:
+  SearchResult CstMultiImpl(const std::vector<VertexId>& query, uint32_t k,
+                            QueryStats* stats, QueryGuard* guard);
+  SearchResult CsmMultiImpl(const std::vector<VertexId>& query,
+                            QueryStats* stats, QueryGuard* guard);
   VertexId Find(VertexId v);
   void Union(VertexId a, VertexId b);
   void AddToC(VertexId v, uint32_t k, QueryStats& stats);

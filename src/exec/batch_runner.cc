@@ -4,6 +4,10 @@
 
 #include "util/timer.h"
 
+// No locks in this translation unit (see the synchronization-design note
+// in batch_runner.h): workers partition state disjointly and the Executor
+// supplies the only mutex, already annotated at its definition.
+
 namespace locs {
 
 namespace {

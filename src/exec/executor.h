@@ -21,13 +21,13 @@
 #define LOCS_EXEC_EXECUTOR_H_
 
 #include <atomic>
-#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.h"
 
 namespace locs {
 
@@ -80,14 +80,15 @@ class Executor {
   unsigned num_workers() const { return num_workers_; }
 
   /// True once the pool threads have been spawned.
-  bool started() const;
+  bool started() const LOCS_EXCLUDES(mutex_);
 
   /// Runs `body` over [0, num_items) with dynamic chunking and blocks
   /// until every claimed chunk has finished. The first exception thrown
   /// by `body` is rethrown here after all workers have drained; the pool
   /// remains usable afterwards.
   RunResult ParallelFor(size_t num_items, const Body& body,
-                        const RunOptions& options);
+                        const RunOptions& options)
+      LOCS_EXCLUDES(run_mutex_, mutex_);
   RunResult ParallelFor(size_t num_items, const Body& body) {
     return ParallelFor(num_items, body, RunOptions());
   }
@@ -100,21 +101,24 @@ class Executor {
  private:
   struct Job;
 
-  void WorkerLoop(unsigned pool_index);
-  void EnsureStarted();
+  void WorkerLoop(unsigned pool_index) LOCS_EXCLUDES(mutex_);
+  void EnsureStarted() LOCS_REQUIRES(run_mutex_) LOCS_EXCLUDES(mutex_);
   static void RunChunks(Job& job, unsigned worker);
 
   const unsigned num_workers_;
-  std::mutex run_mutex_;  // serializes concurrent ParallelFor calls
+  Mutex run_mutex_;  // serializes concurrent ParallelFor calls
 
-  mutable std::mutex mutex_;          // guards all fields below
-  std::condition_variable job_cv_;    // workers: a new job was published
-  std::condition_variable done_cv_;   // caller: a worker left the job
-  std::vector<std::thread> threads_;  // lazily spawned, num_workers_ - 1
-  Job* job_ = nullptr;                // current job; null = none adoptable
-  uint64_t generation_ = 0;           // bumped per published job
-  bool started_ = false;
-  bool shutdown_ = false;
+  mutable Mutex mutex_;  // guards the fields annotated below
+  CondVar job_cv_;       // workers: a new job was published
+  CondVar done_cv_;      // caller: a worker left the job
+  // Lazily spawned pool threads, num_workers_ - 1 of them. Writes are
+  // guarded by mutex_; the destructor's join runs after every worker has
+  // observed shutdown_ and is the usual destructor exemption.
+  std::vector<std::thread> threads_ LOCS_GUARDED_BY(mutex_);
+  Job* job_ LOCS_GUARDED_BY(mutex_) = nullptr;  // null = none adoptable
+  uint64_t generation_ LOCS_GUARDED_BY(mutex_) = 0;  // bumped per job
+  bool started_ LOCS_GUARDED_BY(mutex_) = false;
+  bool shutdown_ LOCS_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace locs

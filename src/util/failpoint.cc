@@ -4,8 +4,9 @@
 
 #include <cstdlib>
 #include <map>
-#include <mutex>
 #include <string>
+
+#include "util/thread_annotations.h"
 
 namespace locs::failpoint {
 
@@ -17,15 +18,19 @@ struct State {
   bool armed = false;  // disarmed entries are kept for HitCount
 };
 
-std::mutex registry_mutex;
-std::map<std::string, State>& Registry() {
+Mutex registry_mutex;
+
+/// The registry map; every access requires registry_mutex (the accessor
+/// annotation lets the analysis enforce that at each call site).
+std::map<std::string, State>& Registry() LOCS_REQUIRES(registry_mutex) {
   static auto* registry = new std::map<std::string, State>();
   return *registry;
 }
 
 /// Writes an armed entry into the registry (no armed_count update —
 /// callers account for that themselves).
-void ArmLocked(const std::string& name, uint64_t skip) {
+void ArmLocked(const std::string& name, uint64_t skip)
+    LOCS_REQUIRES(registry_mutex) {
   State& state = Registry()[name];
   state.armed = true;
   state.skip = skip;
@@ -34,7 +39,7 @@ void ArmLocked(const std::string& name, uint64_t skip) {
 
 /// Parses LOCS_FAILPOINT="name[=skip][,name...]" into the registry and
 /// returns the number of entries armed.
-uint64_t ArmFromEnvironmentLocked() {
+uint64_t ArmFromEnvironmentLocked() LOCS_REQUIRES(registry_mutex) {
   const char* spec = std::getenv("LOCS_FAILPOINT");
   if (spec == nullptr) return 0;
   uint64_t armed = 0;
@@ -70,12 +75,12 @@ namespace internal {
 // sees the zero-initialized count and reports "not armed", which is the
 // safe answer.)
 std::atomic<uint64_t> armed_count{[] {
-  std::lock_guard<std::mutex> lock(registry_mutex);
+  MutexLock lock(registry_mutex);
   return ArmFromEnvironmentLocked();
 }()};
 
 bool FireSlow(const char* name) {
-  std::lock_guard<std::mutex> lock(registry_mutex);
+  MutexLock lock(registry_mutex);
   const auto it = Registry().find(name);
   if (it == Registry().end() || !it->second.armed) return false;
   ++it->second.hits;
@@ -89,7 +94,7 @@ bool FireSlow(const char* name) {
 }  // namespace internal
 
 void Arm(const char* name, uint64_t skip) {
-  std::lock_guard<std::mutex> lock(registry_mutex);
+  MutexLock lock(registry_mutex);
   const auto it = Registry().find(name);
   if (it == Registry().end() || !it->second.armed) {
     internal::armed_count.fetch_add(1, std::memory_order_relaxed);
@@ -98,7 +103,7 @@ void Arm(const char* name, uint64_t skip) {
 }
 
 void Disarm(const char* name) {
-  std::lock_guard<std::mutex> lock(registry_mutex);
+  MutexLock lock(registry_mutex);
   const auto it = Registry().find(name);
   if (it == Registry().end() || !it->second.armed) return;
   it->second.armed = false;
@@ -106,7 +111,7 @@ void Disarm(const char* name) {
 }
 
 void DisarmAll() {
-  std::lock_guard<std::mutex> lock(registry_mutex);
+  MutexLock lock(registry_mutex);
   for (auto& [name, state] : Registry()) {
     if (state.armed) {
       state.armed = false;
@@ -116,7 +121,7 @@ void DisarmAll() {
 }
 
 uint64_t HitCount(const char* name) {
-  std::lock_guard<std::mutex> lock(registry_mutex);
+  MutexLock lock(registry_mutex);
   const auto it = Registry().find(name);
   return it == Registry().end() ? 0 : it->second.hits;
 }

@@ -25,6 +25,13 @@
 // Fire(name) returns true when the site should fail; it also counts
 // every evaluation of an armed name so tests can assert a site was
 // actually reached.
+//
+// Thread-safety: the hot path (Fire on an unarmed site) is a single
+// relaxed atomic load. The slow path — the name→state registry behind
+// Arm/Disarm — is serialized by an annotated locs::Mutex in
+// failpoint.cc, with LOCS_REQUIRES discipline on the *Locked helpers so
+// the Clang thread-safety analysis proves no unlocked registry access
+// can compile.
 
 #ifndef LOCS_UTIL_FAILPOINT_H_
 #define LOCS_UTIL_FAILPOINT_H_

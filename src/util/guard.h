@@ -24,6 +24,14 @@
 // (graph, query, options) — so a budget-tripped query returns the same
 // partial answer on any thread count. Deadline trips are time-dependent,
 // but only occur at poll points, which are themselves deterministic.
+//
+// Thread-safety: a QueryGuard belongs to exactly one query on one
+// thread and takes no lock, so nothing here needs the
+// LOCS_GUARDED_BY annotations of util/thread_annotations.h. The only
+// cross-thread state is the caller-owned cancel flag, which is read
+// through std::atomic with relaxed ordering (a trip needs no
+// happens-before edge beyond the poll itself); guard_test's concurrency
+// label puts that protocol under the TSan lane.
 
 #ifndef LOCS_UTIL_GUARD_H_
 #define LOCS_UTIL_GUARD_H_

@@ -23,7 +23,9 @@ TEST(OrderedAdjacencyTest, SortedByDescendingDegree) {
       const uint32_t prev = g.Degree(nbrs[i - 1]);
       const uint32_t cur = g.Degree(nbrs[i]);
       EXPECT_GE(prev, cur);
-      if (prev == cur) EXPECT_LT(nbrs[i - 1], nbrs[i]);  // stable ties
+      if (prev == cur) {  // stable ties
+        EXPECT_LT(nbrs[i - 1], nbrs[i]);
+      }
     }
   }
 }

@@ -206,7 +206,9 @@ TEST(CliTest, BenchScaleDefault) {
 TEST(TimerTest, MeasuresElapsed) {
   WallTimer timer;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(i);
+  // Plain assignment: compound assignment to a volatile is deprecated in
+  // C++20.
+  for (int i = 0; i < 100000; ++i) sink = sink + std::sqrt(i);
   EXPECT_GT(timer.Micros(), 0.0);
   EXPECT_GE(timer.Millis(), 0.0);
   timer.Restart();

@@ -1,0 +1,192 @@
+// The solver-postcondition oracle must trap every contract violation it
+// exists to catch: a corrupted result that claims the wrong min degree,
+// drops connectivity, or loses the query vertex has to abort loudly, and
+// a genuine solver answer has to pass untouched. Also covers the CSR
+// well-formedness layer (graph/invariants.h) the oracle leans on.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/common.h"
+#include "core/local_cst.h"
+#include "core/result.h"
+#include "core/validate.h"
+#include "gen/classic.h"
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "graph/invariants.h"
+
+namespace locs {
+namespace {
+
+// gmock is not available in every environment this suite builds in, so
+// substring assertions are spelled directly.
+void ExpectContains(const std::string& message, const std::string& needle) {
+  EXPECT_NE(message.find(needle), std::string::npos)
+      << "message: \"" << message << "\" lacks \"" << needle << "\"";
+}
+
+// Two disjoint triangles: {0,1,2} and {3,4,5}.
+Graph TwoTriangles() {
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(3, 4);
+  builder.AddEdge(3, 5);
+  builder.AddEdge(4, 5);
+  return builder.Build();
+}
+
+SearchResult FoundTriangle() {
+  return SearchResult::MakeFound(Community{{0, 1, 2}, 2});
+}
+
+// ---------------------------------------------------------------------------
+// Death tests: each injected corruption must abort through the oracle.
+
+using ValidateDeathTest = ::testing::Test;
+
+TEST(ValidateDeathTest, TrapsWrongMinDegree) {
+  const Graph graph = TwoTriangles();
+  SearchResult result = FoundTriangle();
+  result.community->min_degree = 5;  // actual induced min degree is 2
+  EXPECT_DEATH(
+      validate::DieOnViolation("test", graph, result, VertexId{0}, 2),
+      "LOCS_VALIDATE.*min degree");
+}
+
+TEST(ValidateDeathTest, TrapsDisconnectedCommunity) {
+  const Graph graph = TwoTriangles();
+  // Members span both triangles: every vertex still has induced degree 2,
+  // so only the connectivity check can catch this.
+  const SearchResult result =
+      SearchResult::MakeFound(Community{{0, 1, 2, 3, 4, 5}, 2});
+  EXPECT_DEATH(
+      validate::DieOnViolation("test", graph, result, VertexId{0}, 2),
+      "LOCS_VALIDATE.*disconnected");
+}
+
+TEST(ValidateDeathTest, TrapsMissingQueryVertex) {
+  const Graph graph = TwoTriangles();
+  const SearchResult result = FoundTriangle();  // members {0,1,2}
+  EXPECT_DEATH(
+      validate::DieOnViolation("test", graph, result, VertexId{4}, 2),
+      "LOCS_VALIDATE.*not a member");
+}
+
+TEST(ValidateDeathTest, TrapsViolatedMultiVertexQuery) {
+  const Graph graph = TwoTriangles();
+  const SearchResult result = FoundTriangle();
+  const std::vector<VertexId> query = {0, 4};  // 4 is in the other triangle
+  EXPECT_DEATH(validate::DieOnViolation("test", graph, result, query, 2),
+               "LOCS_VALIDATE.*not a member");
+}
+
+TEST(ValidateDeathTest, TrapsNotExistsWithLeftoverPartial) {
+  const Graph graph = TwoTriangles();
+  SearchResult result = SearchResult::MakeNotExists();
+  result.best_so_far = Community{{0, 1, 2}, 2};  // contract: must be empty
+  EXPECT_DEATH(
+      validate::DieOnViolation("test", graph, result, VertexId{0}, 9),
+      "LOCS_VALIDATE.*best_so_far");
+}
+
+TEST(ValidateDeathTest, PassesGenuineSolverAnswer) {
+  const Graph graph = TwoTriangles();
+  // A real answer sails through: no death, no output.
+  validate::DieOnViolation("test", graph, FoundTriangle(), VertexId{0}, 2);
+  validate::DieOnViolation("test", graph, SearchResult::MakeNotExists(),
+                           VertexId{0}, 9);
+}
+
+// ---------------------------------------------------------------------------
+// Non-death coverage of the checking functions (exact messages).
+
+TEST(CheckCommunityTest, AcceptsSoundCommunity) {
+  const Graph graph = TwoTriangles();
+  EXPECT_EQ(validate::CheckCommunity(graph, Community{{0, 1, 2}, 2}, {0}),
+            "");
+}
+
+TEST(CheckCommunityTest, RejectsEmptyDuplicateAndOutOfRange) {
+  const Graph graph = TwoTriangles();
+  ExpectContains(validate::CheckCommunity(graph, Community{{}, 0}, {0}), "no members");
+  ExpectContains(validate::CheckCommunity(graph, Community{{0, 1, 1, 2}, 2}, {0}), "duplicate");
+  ExpectContains(validate::CheckCommunity(graph, Community{{0, 1, 99}, 0}, {0}), "out of range");
+}
+
+TEST(CheckSearchResultTest, ChecksThresholdAndStatusShape) {
+  const Graph graph = TwoTriangles();
+  // min_degree 2 below requested threshold 3.
+  ExpectContains(validate::CheckSearchResult(graph, FoundTriangle(), {0}, 3), "below requested threshold");
+  // kFound must engage a community.
+  SearchResult hollow;
+  hollow.status = Termination::kFound;
+  ExpectContains(validate::CheckSearchResult(graph, hollow, {0}, 0), "no community engaged");
+  // Interrupted partials only need the first query vertex.
+  const SearchResult partial = SearchResult::MakeInterrupted(
+      Termination::kDeadline, Community{{0, 1, 2}, 2});
+  EXPECT_EQ(validate::CheckSearchResult(graph, partial, {0, 4}, 5), "");
+}
+
+TEST(CheckSearchResultTest, InterruptedPartialMustContainFirstQueryVertex) {
+  const Graph graph = TwoTriangles();
+  const SearchResult partial = SearchResult::MakeInterrupted(
+      Termination::kBudgetExhausted, Community{{3, 4, 5}, 2});
+  ExpectContains(validate::CheckSearchResult(graph, partial, {0}, 5), "not a member");
+}
+
+// ---------------------------------------------------------------------------
+// The oracle end-to-end over a real solver (hooks active only under
+// -DLOCS_VALIDATE=ON builds; under a normal build this just checks the
+// solver directly against the checker).
+
+TEST(ValidateIntegrationTest, LocalCstAnswerSatisfiesOracle) {
+  const Graph graph = gen::PaperFigure1();
+  LocalCstSolver solver(graph, /*ordered=*/nullptr, /*facts=*/nullptr);
+  const SearchResult result = solver.Solve(gen::Figure1Vertex('a'), 3);
+  ASSERT_TRUE(result.Found());
+  EXPECT_EQ(validate::CheckSearchResult(
+                graph, result, {gen::Figure1Vertex('a')}, 3),
+            "");
+}
+
+// ---------------------------------------------------------------------------
+// CSR well-formedness layer: graph/invariants.h must reject malformed
+// adjacency. Release builds can materialize a malformed Graph through
+// FromCsr (its deep checks are debug-only); debug builds trap at
+// construction, which is equally acceptable coverage.
+
+TEST(InvariantsTest, RejectsUnsortedAdjacency) {
+  // Triangle with vertex 0's adjacency listed {2,1} instead of {1,2}.
+#ifdef NDEBUG
+  const Graph graph = Graph::FromCsr({0, 2, 4, 6}, {2, 1, 0, 2, 0, 1});
+  ExpectContains(ValidateGraph(graph), "not sorted");
+#else
+  EXPECT_DEATH(Graph::FromCsr({0, 2, 4, 6}, {2, 1, 0, 2, 0, 1}),
+               "LOCS_CHECK");
+#endif
+}
+
+TEST(InvariantsTest, RejectsDuplicateAdjacency) {
+  // Single edge (0,1) listed twice on each side.
+#ifdef NDEBUG
+  const Graph graph = Graph::FromCsr({0, 2, 4}, {1, 1, 0, 0});
+  ExpectContains(ValidateGraph(graph), "not sorted");
+#else
+  EXPECT_DEATH(Graph::FromCsr({0, 2, 4}, {1, 1, 0, 0}),
+               "LOCS_CHECK");
+#endif
+}
+
+TEST(InvariantsTest, AcceptsWellFormedGraph) {
+  EXPECT_EQ(ValidateGraph(TwoTriangles()), "");
+  EXPECT_EQ(ValidateGraph(gen::PaperFigure1()), "");
+}
+
+}  // namespace
+}  // namespace locs

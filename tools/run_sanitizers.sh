@@ -1,9 +1,15 @@
 #!/usr/bin/env bash
 # Sanitizer sweep for the test suite:
 #   - ThreadSanitizer over the concurrency-labelled tests (executor,
-#     batch runner, parallel batch entry points)
-#   - ASan+UBSan over the io-labelled tests (text parsers are the code
-#     most exposed to malformed input)
+#     batch runner, parallel batch entry points, guard interruption) —
+#     the dynamic complement of the Clang thread-safety annotations
+#     (src/util/thread_annotations.h), which prove lock discipline
+#     statically but cannot see lock-free protocols.
+#   - ASan+UBSan over the io-labelled tests first (text parsers are the
+#     code most exposed to malformed input, and the fast fail matters),
+#     then over the FULL suite so every solver and container path runs
+#     instrumented at least once. Both rounds share one build tree, so
+#     the full round costs only test time, not a rebuild.
 #
 # Usage: tools/run_sanitizers.sh [build-root]
 # Build trees land under <build-root> (default: build-san/). Each
@@ -20,22 +26,38 @@ configure_flags=(
   -DLOCS_BUILD_EXAMPLES=OFF
 )
 
+# run_pass <name> <sanitizers> [label]: build (or reuse) the tree for
+# this sanitizer combination and run the labelled subset — the whole
+# suite when no label is given.
 run_pass() {
-  local name="$1" sanitize="$2" label="$3"
+  local name="$1" sanitize="$2" label="${3:-}"
   local dir="${root}/${name}"
-  echo "=== ${name}: LOCS_SANITIZE=${sanitize}, ctest -L ${label} ==="
+  local -a select=()
+  if [[ -n "${label}" ]]; then
+    select=(-L "${label}")
+    echo "=== ${name}: LOCS_SANITIZE=${sanitize}, ctest -L ${label} ==="
+  else
+    echo "=== ${name}: LOCS_SANITIZE=${sanitize}, full ctest suite ==="
+  fi
   cmake -B "${dir}" -S . "${configure_flags[@]}" \
     -DLOCS_SANITIZE="${sanitize}" >/dev/null
   cmake --build "${dir}" -j "${jobs}"
-  ctest --test-dir "${dir}" -L "${label}" --output-on-failure -j "${jobs}"
+  ctest --test-dir "${dir}" "${select[@]}" --output-on-failure -j "${jobs}"
 }
 
 # TSan halts on the first data race so errors can't scroll past unseen.
+# The concurrency label includes guard_test (deadline/budget/cancel
+# interruption) and the executor/batch-runner suites.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
   run_pass tsan thread concurrency
 
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}" \
   run_pass asan-ubsan address,undefined io
+
+# Third pass: same asan-ubsan tree (already built), everything.
+ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
+UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}" \
+  run_pass asan-ubsan address,undefined
 
 echo "All sanitizer passes clean."
