@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ad_targeting.dir/ad_targeting.cpp.o"
+  "CMakeFiles/ad_targeting.dir/ad_targeting.cpp.o.d"
+  "ad_targeting"
+  "ad_targeting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ad_targeting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disease_control.dir/disease_control.cpp.o"
+  "CMakeFiles/disease_control.dir/disease_control.cpp.o.d"
+  "disease_control"
+  "disease_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disease_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/friend_recommendation.dir/friend_recommendation.cpp.o"
+  "CMakeFiles/friend_recommendation.dir/friend_recommendation.cpp.o.d"
+  "friend_recommendation"
+  "friend_recommendation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/friend_recommendation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

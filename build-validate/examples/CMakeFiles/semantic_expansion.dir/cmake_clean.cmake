@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/semantic_expansion.dir/semantic_expansion.cpp.o"
+  "CMakeFiles/semantic_expansion.dir/semantic_expansion.cpp.o.d"
+  "semantic_expansion"
+  "semantic_expansion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/semantic_expansion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locs_core.dir/baseline.cc.o"
+  "CMakeFiles/locs_core.dir/baseline.cc.o.d"
+  "CMakeFiles/locs_core.dir/bounds.cc.o"
+  "CMakeFiles/locs_core.dir/bounds.cc.o.d"
+  "CMakeFiles/locs_core.dir/common.cc.o"
+  "CMakeFiles/locs_core.dir/common.cc.o.d"
+  "CMakeFiles/locs_core.dir/core_index.cc.o"
+  "CMakeFiles/locs_core.dir/core_index.cc.o.d"
+  "CMakeFiles/locs_core.dir/dynamic_cores.cc.o"
+  "CMakeFiles/locs_core.dir/dynamic_cores.cc.o.d"
+  "CMakeFiles/locs_core.dir/filtered.cc.o"
+  "CMakeFiles/locs_core.dir/filtered.cc.o.d"
+  "CMakeFiles/locs_core.dir/global.cc.o"
+  "CMakeFiles/locs_core.dir/global.cc.o.d"
+  "CMakeFiles/locs_core.dir/kcore.cc.o"
+  "CMakeFiles/locs_core.dir/kcore.cc.o.d"
+  "CMakeFiles/locs_core.dir/local_csm.cc.o"
+  "CMakeFiles/locs_core.dir/local_csm.cc.o.d"
+  "CMakeFiles/locs_core.dir/local_cst.cc.o"
+  "CMakeFiles/locs_core.dir/local_cst.cc.o.d"
+  "CMakeFiles/locs_core.dir/mcst.cc.o"
+  "CMakeFiles/locs_core.dir/mcst.cc.o.d"
+  "CMakeFiles/locs_core.dir/multi.cc.o"
+  "CMakeFiles/locs_core.dir/multi.cc.o.d"
+  "CMakeFiles/locs_core.dir/searcher.cc.o"
+  "CMakeFiles/locs_core.dir/searcher.cc.o.d"
+  "CMakeFiles/locs_core.dir/validate.cc.o"
+  "CMakeFiles/locs_core.dir/validate.cc.o.d"
+  "liblocs_core.a"
+  "liblocs_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locs_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locs_estimate.dir/degree_dist.cc.o"
+  "CMakeFiles/locs_estimate.dir/degree_dist.cc.o.d"
+  "CMakeFiles/locs_estimate.dir/theorem4.cc.o"
+  "CMakeFiles/locs_estimate.dir/theorem4.cc.o.d"
+  "liblocs_estimate.a"
+  "liblocs_estimate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locs_estimate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locs_exec.dir/batch_runner.cc.o"
+  "CMakeFiles/locs_exec.dir/batch_runner.cc.o.d"
+  "CMakeFiles/locs_exec.dir/executor.cc.o"
+  "CMakeFiles/locs_exec.dir/executor.cc.o.d"
+  "liblocs_exec.a"
+  "liblocs_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locs_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

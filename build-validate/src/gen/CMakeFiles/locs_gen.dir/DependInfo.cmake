@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gen/barabasi.cc" "src/gen/CMakeFiles/locs_gen.dir/barabasi.cc.o" "gcc" "src/gen/CMakeFiles/locs_gen.dir/barabasi.cc.o.d"
+  "/root/repo/src/gen/classic.cc" "src/gen/CMakeFiles/locs_gen.dir/classic.cc.o" "gcc" "src/gen/CMakeFiles/locs_gen.dir/classic.cc.o.d"
+  "/root/repo/src/gen/erdos_renyi.cc" "src/gen/CMakeFiles/locs_gen.dir/erdos_renyi.cc.o" "gcc" "src/gen/CMakeFiles/locs_gen.dir/erdos_renyi.cc.o.d"
+  "/root/repo/src/gen/lfr.cc" "src/gen/CMakeFiles/locs_gen.dir/lfr.cc.o" "gcc" "src/gen/CMakeFiles/locs_gen.dir/lfr.cc.o.d"
+  "/root/repo/src/gen/planted.cc" "src/gen/CMakeFiles/locs_gen.dir/planted.cc.o" "gcc" "src/gen/CMakeFiles/locs_gen.dir/planted.cc.o.d"
+  "/root/repo/src/gen/powerlaw.cc" "src/gen/CMakeFiles/locs_gen.dir/powerlaw.cc.o" "gcc" "src/gen/CMakeFiles/locs_gen.dir/powerlaw.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-validate/src/graph/CMakeFiles/locs_graph.dir/DependInfo.cmake"
+  "/root/repo/build-validate/src/util/CMakeFiles/locs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locs_gen.dir/barabasi.cc.o"
+  "CMakeFiles/locs_gen.dir/barabasi.cc.o.d"
+  "CMakeFiles/locs_gen.dir/classic.cc.o"
+  "CMakeFiles/locs_gen.dir/classic.cc.o.d"
+  "CMakeFiles/locs_gen.dir/erdos_renyi.cc.o"
+  "CMakeFiles/locs_gen.dir/erdos_renyi.cc.o.d"
+  "CMakeFiles/locs_gen.dir/lfr.cc.o"
+  "CMakeFiles/locs_gen.dir/lfr.cc.o.d"
+  "CMakeFiles/locs_gen.dir/planted.cc.o"
+  "CMakeFiles/locs_gen.dir/planted.cc.o.d"
+  "CMakeFiles/locs_gen.dir/powerlaw.cc.o"
+  "CMakeFiles/locs_gen.dir/powerlaw.cc.o.d"
+  "liblocs_gen.a"
+  "liblocs_gen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locs_gen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

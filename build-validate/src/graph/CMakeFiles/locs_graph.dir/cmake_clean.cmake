@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locs_graph.dir/builder.cc.o"
+  "CMakeFiles/locs_graph.dir/builder.cc.o.d"
+  "CMakeFiles/locs_graph.dir/dynamic.cc.o"
+  "CMakeFiles/locs_graph.dir/dynamic.cc.o.d"
+  "CMakeFiles/locs_graph.dir/graph.cc.o"
+  "CMakeFiles/locs_graph.dir/graph.cc.o.d"
+  "CMakeFiles/locs_graph.dir/invariants.cc.o"
+  "CMakeFiles/locs_graph.dir/invariants.cc.o.d"
+  "CMakeFiles/locs_graph.dir/io.cc.o"
+  "CMakeFiles/locs_graph.dir/io.cc.o.d"
+  "CMakeFiles/locs_graph.dir/ordering.cc.o"
+  "CMakeFiles/locs_graph.dir/ordering.cc.o.d"
+  "CMakeFiles/locs_graph.dir/statistics.cc.o"
+  "CMakeFiles/locs_graph.dir/statistics.cc.o.d"
+  "CMakeFiles/locs_graph.dir/subgraph.cc.o"
+  "CMakeFiles/locs_graph.dir/subgraph.cc.o.d"
+  "CMakeFiles/locs_graph.dir/traversal.cc.o"
+  "CMakeFiles/locs_graph.dir/traversal.cc.o.d"
+  "liblocs_graph.a"
+  "liblocs_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locs_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locs_util.dir/cli.cc.o"
+  "CMakeFiles/locs_util.dir/cli.cc.o.d"
+  "CMakeFiles/locs_util.dir/failpoint.cc.o"
+  "CMakeFiles/locs_util.dir/failpoint.cc.o.d"
+  "CMakeFiles/locs_util.dir/rng.cc.o"
+  "CMakeFiles/locs_util.dir/rng.cc.o.d"
+  "CMakeFiles/locs_util.dir/stats.cc.o"
+  "CMakeFiles/locs_util.dir/stats.cc.o.d"
+  "CMakeFiles/locs_util.dir/table.cc.o"
+  "CMakeFiles/locs_util.dir/table.cc.o.d"
+  "liblocs_util.a"
+  "liblocs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

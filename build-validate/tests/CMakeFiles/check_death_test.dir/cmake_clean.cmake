@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/check_death_test.dir/check_death_test.cc.o"
+  "CMakeFiles/check_death_test.dir/check_death_test.cc.o.d"
+  "check_death_test"
+  "check_death_test.pdb"
+  "check_death_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/check_death_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

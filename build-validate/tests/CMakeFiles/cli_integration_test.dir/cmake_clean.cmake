@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cli_integration_test.dir/cli_integration_test.cc.o"
+  "CMakeFiles/cli_integration_test.dir/cli_integration_test.cc.o.d"
+  "cli_integration_test"
+  "cli_integration_test.pdb"
+  "cli_integration_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cli_integration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_index_test.dir/core_index_test.cc.o"
+  "CMakeFiles/core_index_test.dir/core_index_test.cc.o.d"
+  "core_index_test"
+  "core_index_test.pdb"
+  "core_index_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cross_solver_test.dir/cross_solver_test.cc.o"
+  "CMakeFiles/cross_solver_test.dir/cross_solver_test.cc.o.d"
+  "cross_solver_test"
+  "cross_solver_test.pdb"
+  "cross_solver_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cross_solver_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_cores_test.dir/dynamic_cores_test.cc.o"
+  "CMakeFiles/dynamic_cores_test.dir/dynamic_cores_test.cc.o.d"
+  "dynamic_cores_test"
+  "dynamic_cores_test.pdb"
+  "dynamic_cores_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_cores_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/filtered_test.dir/filtered_test.cc.o"
+  "CMakeFiles/filtered_test.dir/filtered_test.cc.o.d"
+  "filtered_test"
+  "filtered_test.pdb"
+  "filtered_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/filtered_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

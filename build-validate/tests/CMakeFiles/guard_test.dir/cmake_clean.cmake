@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guard_test.dir/guard_test.cc.o"
+  "CMakeFiles/guard_test.dir/guard_test.cc.o.d"
+  "guard_test"
+  "guard_test.pdb"
+  "guard_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guard_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

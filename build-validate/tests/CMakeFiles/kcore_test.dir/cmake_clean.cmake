@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kcore_test.dir/kcore_test.cc.o"
+  "CMakeFiles/kcore_test.dir/kcore_test.cc.o.d"
+  "kcore_test"
+  "kcore_test.pdb"
+  "kcore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kcore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

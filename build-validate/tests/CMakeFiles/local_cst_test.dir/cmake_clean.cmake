@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/local_cst_test.dir/local_cst_test.cc.o"
+  "CMakeFiles/local_cst_test.dir/local_cst_test.cc.o.d"
+  "local_cst_test"
+  "local_cst_test.pdb"
+  "local_cst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/local_cst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mcst_test.dir/mcst_test.cc.o"
+  "CMakeFiles/mcst_test.dir/mcst_test.cc.o.d"
+  "mcst_test"
+  "mcst_test.pdb"
+  "mcst_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mcst_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locs_cli.dir/locs_cli.cc.o"
+  "CMakeFiles/locs_cli.dir/locs_cli.cc.o.d"
+  "locs_cli"
+  "locs_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locs_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

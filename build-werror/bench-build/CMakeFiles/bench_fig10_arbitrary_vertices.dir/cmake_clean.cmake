@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig10_arbitrary_vertices"
+  "../bench/bench_fig10_arbitrary_vertices.pdb"
+  "CMakeFiles/bench_fig10_arbitrary_vertices.dir/bench_fig10_arbitrary_vertices.cc.o"
+  "CMakeFiles/bench_fig10_arbitrary_vertices.dir/bench_fig10_arbitrary_vertices.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_arbitrary_vertices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_csm"
+  "../bench/bench_fig11_csm.pdb"
+  "CMakeFiles/bench_fig11_csm.dir/bench_fig11_csm.cc.o"
+  "CMakeFiles/bench_fig11_csm.dir/bench_fig11_csm.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_csm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig12_size_vs_degree"
+  "../bench/bench_fig12_size_vs_degree.pdb"
+  "CMakeFiles/bench_fig12_size_vs_degree.dir/bench_fig12_size_vs_degree.cc.o"
+  "CMakeFiles/bench_fig12_size_vs_degree.dir/bench_fig12_size_vs_degree.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_size_vs_degree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

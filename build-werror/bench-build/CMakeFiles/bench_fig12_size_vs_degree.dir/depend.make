@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig12_size_vs_degree.
+# This may be replaced when dependencies are built.

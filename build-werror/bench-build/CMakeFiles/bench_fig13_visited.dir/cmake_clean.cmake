@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig13_visited"
+  "../bench/bench_fig13_visited.pdb"
+  "CMakeFiles/bench_fig13_visited.dir/bench_fig13_visited.cc.o"
+  "CMakeFiles/bench_fig13_visited.dir/bench_fig13_visited.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_visited.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

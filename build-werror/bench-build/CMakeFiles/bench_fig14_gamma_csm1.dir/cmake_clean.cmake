@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig14_gamma_csm1"
+  "../bench/bench_fig14_gamma_csm1.pdb"
+  "CMakeFiles/bench_fig14_gamma_csm1.dir/bench_fig14_gamma_csm1.cc.o"
+  "CMakeFiles/bench_fig14_gamma_csm1.dir/bench_fig14_gamma_csm1.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_gamma_csm1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

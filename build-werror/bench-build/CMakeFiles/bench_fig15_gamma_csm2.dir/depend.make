@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig15_gamma_csm2.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_mu_sensitivity"
+  "../bench/bench_fig17_mu_sensitivity.pdb"
+  "CMakeFiles/bench_fig17_mu_sensitivity.dir/bench_fig17_mu_sensitivity.cc.o"
+  "CMakeFiles/bench_fig17_mu_sensitivity.dir/bench_fig17_mu_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_mu_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

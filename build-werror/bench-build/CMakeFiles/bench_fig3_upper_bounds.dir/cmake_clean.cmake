@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig3_upper_bounds"
+  "../bench/bench_fig3_upper_bounds.pdb"
+  "CMakeFiles/bench_fig3_upper_bounds.dir/bench_fig3_upper_bounds.cc.o"
+  "CMakeFiles/bench_fig3_upper_bounds.dir/bench_fig3_upper_bounds.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_upper_bounds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig7_ordering_opt"
+  "../bench/bench_fig7_ordering_opt.pdb"
+  "CMakeFiles/bench_fig7_ordering_opt.dir/bench_fig7_ordering_opt.cc.o"
+  "CMakeFiles/bench_fig7_ordering_opt.dir/bench_fig7_ordering_opt.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_ordering_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

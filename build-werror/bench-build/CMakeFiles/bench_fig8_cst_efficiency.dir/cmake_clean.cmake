@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_cst_efficiency"
+  "../bench/bench_fig8_cst_efficiency.pdb"
+  "CMakeFiles/bench_fig8_cst_efficiency.dir/bench_fig8_cst_efficiency.cc.o"
+  "CMakeFiles/bench_fig8_cst_efficiency.dir/bench_fig8_cst_efficiency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_cst_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

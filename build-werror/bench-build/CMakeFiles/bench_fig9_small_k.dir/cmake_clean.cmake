@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_small_k"
+  "../bench/bench_fig9_small_k.pdb"
+  "CMakeFiles/bench_fig9_small_k.dir/bench_fig9_small_k.cc.o"
+  "CMakeFiles/bench_fig9_small_k.dir/bench_fig9_small_k.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_small_k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

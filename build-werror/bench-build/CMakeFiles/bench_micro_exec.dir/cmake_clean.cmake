@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_micro_exec"
+  "../bench/bench_micro_exec.pdb"
+  "CMakeFiles/bench_micro_exec.dir/bench_micro_exec.cc.o"
+  "CMakeFiles/bench_micro_exec.dir/bench_micro_exec.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

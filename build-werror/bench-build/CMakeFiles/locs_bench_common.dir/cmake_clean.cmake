@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/locs_bench_common.dir/common/datasets.cc.o"
+  "CMakeFiles/locs_bench_common.dir/common/datasets.cc.o.d"
+  "CMakeFiles/locs_bench_common.dir/common/reporting.cc.o"
+  "CMakeFiles/locs_bench_common.dir/common/reporting.cc.o.d"
+  "CMakeFiles/locs_bench_common.dir/common/workload.cc.o"
+  "CMakeFiles/locs_bench_common.dir/common/workload.cc.o.d"
+  "liblocs_bench_common.a"
+  "liblocs_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/locs_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

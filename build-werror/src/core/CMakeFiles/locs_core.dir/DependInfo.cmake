@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baseline.cc" "src/core/CMakeFiles/locs_core.dir/baseline.cc.o" "gcc" "src/core/CMakeFiles/locs_core.dir/baseline.cc.o.d"
+  "/root/repo/src/core/bounds.cc" "src/core/CMakeFiles/locs_core.dir/bounds.cc.o" "gcc" "src/core/CMakeFiles/locs_core.dir/bounds.cc.o.d"
+  "/root/repo/src/core/common.cc" "src/core/CMakeFiles/locs_core.dir/common.cc.o" "gcc" "src/core/CMakeFiles/locs_core.dir/common.cc.o.d"
+  "/root/repo/src/core/core_index.cc" "src/core/CMakeFiles/locs_core.dir/core_index.cc.o" "gcc" "src/core/CMakeFiles/locs_core.dir/core_index.cc.o.d"
+  "/root/repo/src/core/dynamic_cores.cc" "src/core/CMakeFiles/locs_core.dir/dynamic_cores.cc.o" "gcc" "src/core/CMakeFiles/locs_core.dir/dynamic_cores.cc.o.d"
+  "/root/repo/src/core/filtered.cc" "src/core/CMakeFiles/locs_core.dir/filtered.cc.o" "gcc" "src/core/CMakeFiles/locs_core.dir/filtered.cc.o.d"
+  "/root/repo/src/core/global.cc" "src/core/CMakeFiles/locs_core.dir/global.cc.o" "gcc" "src/core/CMakeFiles/locs_core.dir/global.cc.o.d"
+  "/root/repo/src/core/kcore.cc" "src/core/CMakeFiles/locs_core.dir/kcore.cc.o" "gcc" "src/core/CMakeFiles/locs_core.dir/kcore.cc.o.d"
+  "/root/repo/src/core/local_csm.cc" "src/core/CMakeFiles/locs_core.dir/local_csm.cc.o" "gcc" "src/core/CMakeFiles/locs_core.dir/local_csm.cc.o.d"
+  "/root/repo/src/core/local_cst.cc" "src/core/CMakeFiles/locs_core.dir/local_cst.cc.o" "gcc" "src/core/CMakeFiles/locs_core.dir/local_cst.cc.o.d"
+  "/root/repo/src/core/mcst.cc" "src/core/CMakeFiles/locs_core.dir/mcst.cc.o" "gcc" "src/core/CMakeFiles/locs_core.dir/mcst.cc.o.d"
+  "/root/repo/src/core/multi.cc" "src/core/CMakeFiles/locs_core.dir/multi.cc.o" "gcc" "src/core/CMakeFiles/locs_core.dir/multi.cc.o.d"
+  "/root/repo/src/core/searcher.cc" "src/core/CMakeFiles/locs_core.dir/searcher.cc.o" "gcc" "src/core/CMakeFiles/locs_core.dir/searcher.cc.o.d"
+  "/root/repo/src/core/validate.cc" "src/core/CMakeFiles/locs_core.dir/validate.cc.o" "gcc" "src/core/CMakeFiles/locs_core.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/graph/CMakeFiles/locs_graph.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/util/CMakeFiles/locs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/estimate/degree_dist.cc" "src/estimate/CMakeFiles/locs_estimate.dir/degree_dist.cc.o" "gcc" "src/estimate/CMakeFiles/locs_estimate.dir/degree_dist.cc.o.d"
+  "/root/repo/src/estimate/theorem4.cc" "src/estimate/CMakeFiles/locs_estimate.dir/theorem4.cc.o" "gcc" "src/estimate/CMakeFiles/locs_estimate.dir/theorem4.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/graph/CMakeFiles/locs_graph.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/util/CMakeFiles/locs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

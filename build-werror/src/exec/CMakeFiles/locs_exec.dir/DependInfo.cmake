@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/batch_runner.cc" "src/exec/CMakeFiles/locs_exec.dir/batch_runner.cc.o" "gcc" "src/exec/CMakeFiles/locs_exec.dir/batch_runner.cc.o.d"
+  "/root/repo/src/exec/executor.cc" "src/exec/CMakeFiles/locs_exec.dir/executor.cc.o" "gcc" "src/exec/CMakeFiles/locs_exec.dir/executor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/core/CMakeFiles/locs_core.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/graph/CMakeFiles/locs_graph.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/util/CMakeFiles/locs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/builder.cc" "src/graph/CMakeFiles/locs_graph.dir/builder.cc.o" "gcc" "src/graph/CMakeFiles/locs_graph.dir/builder.cc.o.d"
+  "/root/repo/src/graph/dynamic.cc" "src/graph/CMakeFiles/locs_graph.dir/dynamic.cc.o" "gcc" "src/graph/CMakeFiles/locs_graph.dir/dynamic.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/graph/CMakeFiles/locs_graph.dir/graph.cc.o" "gcc" "src/graph/CMakeFiles/locs_graph.dir/graph.cc.o.d"
+  "/root/repo/src/graph/invariants.cc" "src/graph/CMakeFiles/locs_graph.dir/invariants.cc.o" "gcc" "src/graph/CMakeFiles/locs_graph.dir/invariants.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/graph/CMakeFiles/locs_graph.dir/io.cc.o" "gcc" "src/graph/CMakeFiles/locs_graph.dir/io.cc.o.d"
+  "/root/repo/src/graph/ordering.cc" "src/graph/CMakeFiles/locs_graph.dir/ordering.cc.o" "gcc" "src/graph/CMakeFiles/locs_graph.dir/ordering.cc.o.d"
+  "/root/repo/src/graph/statistics.cc" "src/graph/CMakeFiles/locs_graph.dir/statistics.cc.o" "gcc" "src/graph/CMakeFiles/locs_graph.dir/statistics.cc.o.d"
+  "/root/repo/src/graph/subgraph.cc" "src/graph/CMakeFiles/locs_graph.dir/subgraph.cc.o" "gcc" "src/graph/CMakeFiles/locs_graph.dir/subgraph.cc.o.d"
+  "/root/repo/src/graph/traversal.cc" "src/graph/CMakeFiles/locs_graph.dir/traversal.cc.o" "gcc" "src/graph/CMakeFiles/locs_graph.dir/traversal.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/util/CMakeFiles/locs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cli_integration_test.cc" "tests/CMakeFiles/cli_integration_test.dir/cli_integration_test.cc.o" "gcc" "tests/CMakeFiles/cli_integration_test.dir/cli_integration_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-werror/src/core/CMakeFiles/locs_core.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/exec/CMakeFiles/locs_exec.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/gen/CMakeFiles/locs_gen.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/estimate/CMakeFiles/locs_estimate.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/graph/CMakeFiles/locs_graph.dir/DependInfo.cmake"
+  "/root/repo/build-werror/src/util/CMakeFiles/locs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
