@@ -1,0 +1,247 @@
+// Closed-loop micro-benchmark of the serving layer's stdio transport:
+// in-process sessions over pipe pairs, exactly the locsd --stdio data
+// path (FdTransport -> wire parse -> registry -> bound solvers), minus
+// process startup. Each client thread issues CST queries in lockstep
+// (write one request, block for the reply) against a cached LFR dataset,
+// so the measured quantity is serving throughput and round-trip latency,
+// not load time.
+//
+// The sweep runs 1 vs N concurrent sessions (sessions are the serving
+// layer's unit of concurrency; the shared registry is read-only, so
+// throughput should scale until the machine runs out of cores). Results
+// go to stdout as a table and to BENCH_serve.json via the standard
+// reporting schema.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/datasets.h"
+#include "common/reporting.h"
+#include "exec/executor.h"
+#include "graph/io.h"
+#include "serve/admission.h"
+#include "serve/metrics.h"
+#include "serve/registry.h"
+#include "serve/session.h"
+#include "serve/transport.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace locs::bench {
+namespace {
+
+constexpr uint32_t kQueryK = 6;
+
+/// Queries per session; LOCS_BENCH_SCALE multiplies it.
+size_t QueriesPerSession() {
+  size_t queries = 2000;
+  if (const char* scale = std::getenv("LOCS_BENCH_SCALE")) {
+    const double factor = std::atof(scale);
+    if (factor > 0) {
+      queries = static_cast<size_t>(static_cast<double>(queries) * factor);
+    }
+  }
+  return queries;
+}
+
+struct SweepPoint {
+  unsigned sessions = 0;
+  size_t queries = 0;
+  double wall_ms = 0.0;
+  double qps = 0.0;
+  double mean_us = 0.0;
+  double p50_us = 0.0;
+  double p95_us = 0.0;
+};
+
+/// One closed-loop client driving one session; returns per-query
+/// round-trip latencies in microseconds.
+std::vector<double> RunClient(serve::Transport& transport, uint32_t n,
+                              size_t queries, uint64_t seed) {
+  std::vector<double> latencies;
+  latencies.reserve(queries);
+  uint64_t state = seed * 0x9e3779b97f4a7c15ULL + 1;
+  std::string reply;
+  for (size_t q = 0; q < queries; ++q) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const uint32_t vertex = static_cast<uint32_t>((state >> 33) % n);
+    const std::string request =
+        "CST g " + std::to_string(vertex) + " " + std::to_string(kQueryK) +
+        " limit=1";
+    WallTimer timer;
+    if (!transport.WriteLine(request) ||
+        transport.ReadLine(&reply) != serve::Transport::ReadStatus::kLine) {
+      std::fprintf(stderr, "client: session died mid-loop\n");
+      std::exit(1);
+    }
+    latencies.push_back(timer.Micros());
+  }
+  transport.WriteLine("QUIT");
+  transport.ReadLine(&reply);
+  return latencies;
+}
+
+SweepPoint RunSweepPoint(serve::GraphRegistry& registry, Executor& executor,
+                         unsigned sessions, uint32_t n, size_t queries) {
+  serve::AdmissionController::Options admit;
+  admit.max_inflight = sessions;  // admission off the critical path
+  serve::AdmissionController admission(admit);
+  serve::ServerMetrics metrics;
+  const serve::SessionOptions options;
+
+  struct Wiring {
+    int to_server[2];
+    int to_client[2];
+  };
+  std::vector<Wiring> wires(sessions);
+  for (Wiring& w : wires) {
+    if (::pipe(w.to_server) != 0 || ::pipe(w.to_client) != 0) {
+      std::perror("pipe");
+      std::exit(1);
+    }
+  }
+  // Server half: one detached session task per pipe pair, the locsd
+  // shape. The transports own their fds and close them on session end.
+  for (unsigned s = 0; s < sessions; ++s) {
+    const int read_fd = wires[s].to_server[0];
+    const int write_fd = wires[s].to_client[1];
+    const bool submitted = executor.Submit([&, read_fd, write_fd] {
+      serve::FdTransport transport(read_fd, write_fd, /*owns_fds=*/true);
+      serve::Session session(transport, registry, admission, metrics,
+                             options);
+      session.Run();
+    });
+    if (!submitted) {
+      std::fprintf(stderr, "executor rejected session task\n");
+      std::exit(1);
+    }
+  }
+
+  // Client half: closed loops, one thread per session.
+  std::vector<std::vector<double>> latencies(sessions);
+  WallTimer wall;
+  std::vector<std::thread> clients;
+  clients.reserve(sessions);
+  for (unsigned s = 0; s < sessions; ++s) {
+    clients.emplace_back([&, s] {
+      serve::FdTransport transport(wires[s].to_client[0],
+                                   wires[s].to_server[1],
+                                   /*owns_fds=*/true);
+      latencies[s] = RunClient(transport, n, queries, s + 1);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double wall_ms = wall.Millis();
+  while (executor.active_tasks() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  std::vector<double> all;
+  all.reserve(sessions * queries);
+  for (const auto& per_session : latencies) {
+    all.insert(all.end(), per_session.begin(), per_session.end());
+  }
+  std::sort(all.begin(), all.end());
+  double sum = 0.0;
+  for (const double us : all) sum += us;
+
+  SweepPoint point;
+  point.sessions = sessions;
+  point.queries = all.size();
+  point.wall_ms = wall_ms;
+  point.qps = static_cast<double>(all.size()) / (wall_ms / 1000.0);
+  point.mean_us = sum / static_cast<double>(all.size());
+  point.p50_us = all[all.size() / 2];
+  point.p95_us = all[(all.size() * 95) / 100];
+  return point;
+}
+
+int Main() {
+  PrintBanner(
+      "micro_serve: closed-loop stdio-transport serving throughput",
+      "not in the paper — service-layer economics of PR 4 (locsd)",
+      "qps grows with sessions until cores saturate; p95 stays bounded");
+
+  const Graph graph = [] {
+    gen::LfrParams params;
+    params.n = 20000;
+    params.min_degree = 5;
+    params.max_degree = 80;
+    params.min_community = 20;
+    params.max_community = 150;
+    params.mu = 0.1;
+    params.seed = 808;
+    return CachedLfrComponent(params, "micro_serve_20k");
+  }();
+  const uint32_t n = graph.NumVertices();
+  const std::string path = CacheDir() + "/micro_serve_20k.lcsg";
+  if (!SaveBinary(graph, path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+
+  serve::GraphRegistry registry;
+  IoError io_error;
+  bool full = false;
+  if (registry.Load("g", path, &io_error, &full) == nullptr) {
+    std::fprintf(stderr, "registry load failed: %s\n",
+                 io_error.message.c_str());
+    return 1;
+  }
+
+  const size_t queries = QueriesPerSession();
+  const std::vector<unsigned> session_counts = {1, 2, 4};
+  const unsigned max_sessions =
+      *std::max_element(session_counts.begin(), session_counts.end());
+  Executor executor(max_sessions + 1);
+
+  JsonReport report("serve_stdio_closed_loop");
+  report.Meta("graph", "lfr_micro_serve_20k");
+  report.Meta("vertices", std::to_string(n));
+  report.Meta("k", std::to_string(kQueryK));
+  report.Meta("queries_per_session", std::to_string(queries));
+
+  TableWriter table({"sessions", "queries", "wall ms", "qps", "mean us",
+                     "p50 us", "p95 us"});
+  for (const unsigned sessions : session_counts) {
+    const SweepPoint p =
+        RunSweepPoint(registry, executor, sessions, n, queries);
+    table.Row()
+        .Num(uint64_t{p.sessions})
+        .Num(uint64_t{p.queries})
+        .Num(p.wall_ms, 1)
+        .Num(p.qps, 0)
+        .Num(p.mean_us, 1)
+        .Num(p.p50_us, 1)
+        .Num(p.p95_us, 1);
+    report.AddRow()
+        .Num("sessions", p.sessions)
+        .Num("queries", static_cast<double>(p.queries))
+        .Num("wall_ms", p.wall_ms)
+        .Num("qps", p.qps)
+        .Num("mean_us", p.mean_us)
+        .Num("p50_us", p.p50_us)
+        .Num("p95_us", p.p95_us);
+  }
+  table.Print();
+
+  const std::string out = "BENCH_serve.json";
+  if (!report.Write(out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("\nwrote %s\n", out.c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace locs::bench
+
+int main() { return locs::bench::Main(); }

@@ -1,8 +1,131 @@
 #include "common/reporting.h"
 
+#include <cmath>
 #include <cstdio>
 
 namespace locs::bench {
+
+namespace {
+
+/// JSON string literal with the escapes the grammar requires.
+std::string Quote(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+/// Shortest-round-trip number rendering; JSON has no NaN/Inf, so
+/// non-finite values degrade to null.
+std::string Number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  // Integral values (counts, sizes) read better undecorated.
+  if (value == std::floor(value) && std::fabs(value) < 9.0e15) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    return buffer;
+  }
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  // Trim to the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    double parsed = 0.0;
+    if (std::sscanf(shorter, "%lf", &parsed) == 1 && parsed == value) {
+      return shorter;
+    }
+  }
+  return buffer;
+}
+
+void AppendPairs(
+    std::string* out,
+    const std::vector<std::pair<std::string, std::string>>& pairs,
+    const char* indent) {
+  for (size_t i = 0; i < pairs.size(); ++i) {
+    *out += indent;
+    *out += Quote(pairs[i].first);
+    *out += ": ";
+    *out += pairs[i].second;
+    if (i + 1 < pairs.size()) *out += ',';
+    *out += '\n';
+  }
+}
+
+}  // namespace
+
+JsonReport::Row& JsonReport::Row::Num(const std::string& key, double value) {
+  fields_.emplace_back(key, Number(value));
+  return *this;
+}
+
+JsonReport::Row& JsonReport::Row::Str(const std::string& key,
+                                      const std::string& value) {
+  fields_.emplace_back(key, Quote(value));
+  return *this;
+}
+
+JsonReport& JsonReport::Meta(const std::string& key,
+                             const std::string& value) {
+  meta_.emplace_back(key, Quote(value));
+  return *this;
+}
+
+JsonReport::Row& JsonReport::AddRow() {
+  rows_.emplace_back();
+  return rows_.back();
+}
+
+std::string JsonReport::Render() const {
+  std::string out = "{\n";
+  out += "  \"experiment\": " + Quote(experiment_) + ",\n";
+  out += "  \"meta\": {\n";
+  AppendPairs(&out, meta_, "    ");
+  out += "  },\n";
+  out += "  \"rows\": [\n";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    out += "    {\n";
+    AppendPairs(&out, rows_[r].fields_, "      ");
+    out += (r + 1 < rows_.size()) ? "    },\n" : "    }\n";
+  }
+  out += "  ]\n}\n";
+  return out;
+}
+
+bool JsonReport::Write(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const std::string text = Render();
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  return std::fclose(file) == 0 && ok;
+}
 
 void PrintBanner(const std::string& experiment, const std::string& paper,
                  const std::string& expectation) {

@@ -7,6 +7,8 @@
 
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "util/stats.h"
 #include "util/table.h"
@@ -24,6 +26,47 @@ double TimeMs(const std::function<void()>& fn);
 
 /// Formats "mean±std" with the given decimals.
 std::string MeanStd(const Summary& summary, int digits = 2);
+
+/// Machine-readable benchmark output: one experiment, flat metadata, and
+/// a list of uniform result rows, written as a JSON file (the BENCH_*.json
+/// artifacts CI and plotting scripts consume). Usage:
+///
+///   JsonReport report("serve_stdio_closed_loop");
+///   report.Meta("graph", "lfr_20k");
+///   report.AddRow().Num("sessions", 1).Num("qps", qps);
+///   report.Write("BENCH_serve.json");
+class JsonReport {
+ public:
+  /// One result row: ordered key -> number/string fields.
+  class Row {
+   public:
+    Row& Num(const std::string& key, double value);
+    Row& Str(const std::string& key, const std::string& value);
+
+   private:
+    friend class JsonReport;
+    // (key, rendered JSON value) — numbers stay unquoted, strings are
+    // escaped and quoted at insertion time.
+    std::vector<std::pair<std::string, std::string>> fields_;
+  };
+
+  explicit JsonReport(std::string experiment)
+      : experiment_(std::move(experiment)) {}
+
+  JsonReport& Meta(const std::string& key, const std::string& value);
+  Row& AddRow();
+
+  /// Serializes the report (pretty-printed, stable field order).
+  std::string Render() const;
+
+  /// Writes Render() to `path`; false on IO failure.
+  bool Write(const std::string& path) const;
+
+ private:
+  std::string experiment_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace locs::bench
 

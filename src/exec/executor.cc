@@ -113,19 +113,56 @@ void Executor::WorkerLoop(unsigned pool_index) {
   while (true) {
     // Manual wait loop: the analysis sees the guarded reads with mutex_
     // held directly (a predicate lambda would need its own annotations).
-    while (!shutdown_ && generation_ == seen) job_cv_.Wait(lock);
+    while (!shutdown_ && generation_ == seen && tasks_.empty()) {
+      job_cv_.Wait(lock);
+    }
     if (shutdown_) return;
-    seen = generation_;
-    Job* job = job_;
-    if (job == nullptr || worker >= job->max_workers) continue;
-    ++job->active;
+    if (generation_ != seen) {
+      seen = generation_;
+      Job* job = job_;
+      if (job != nullptr && worker < job->max_workers) {
+        ++job->active;
+        lock.Unlock();
+        tls_running_on = this;
+        RunChunks(*job, worker);
+        tls_running_on = nullptr;
+        lock.Lock();
+        if (--job->active == 0) done_cv_.NotifyAll();
+        continue;
+      }
+    }
+    if (tasks_.empty()) continue;
+    std::function<void()> task = std::move(tasks_.front());
+    tasks_.pop_front();
+    ++active_tasks_;
     lock.Unlock();
-    tls_running_on = this;
-    RunChunks(*job, worker);
-    tls_running_on = nullptr;
+    // Detached execution: no caller waits, so a throw has nowhere to
+    // surface — swallow it and keep the worker alive.
+    try {
+      task();
+    } catch (...) {
+    }
+    task = nullptr;  // release captures before reacquiring the lock
     lock.Lock();
-    if (--job->active == 0) done_cv_.NotifyAll();
+    --active_tasks_;
   }
+}
+
+bool Executor::Submit(std::function<void()> task) {
+  if (num_workers_ <= 1) return false;
+  EnsureStarted();
+  {
+    MutexLock lock(mutex_);
+    if (shutdown_) return false;
+    tasks_.push_back(std::move(task));
+  }
+  job_cv_.NotifyAll();
+  return true;
+}
+
+unsigned Executor::active_tasks() const {
+  MutexLock lock(mutex_);
+  return active_tasks_;
 }
 
 Executor::RunResult Executor::ParallelFor(size_t num_items, const Body& body,

@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <thread>
 #include <vector>
@@ -93,6 +94,26 @@ class Executor {
     return ParallelFor(num_items, body, RunOptions());
   }
 
+  /// Schedules `task` to run detached on a pool thread — the serving
+  /// layer runs one client session per submitted task. Interaction with
+  /// ParallelFor: a worker running a task cannot adopt batch chunks, but
+  /// ParallelFor stays correct and non-blocking regardless (the calling
+  /// thread always participates, so a batch completes even with every
+  /// pool thread parked in long-lived tasks — it just loses parallelism).
+  ///
+  /// Returns false (task not scheduled) when the executor owns no pool
+  /// threads (num_workers() == 1) or is shutting down. A throwing task is
+  /// swallowed after the fact (nowhere to rethrow a detached error); the
+  /// worker survives. The destructor discards queued-but-unstarted tasks
+  /// and joins running ones, so a task that blocks indefinitely must be
+  /// unblocked by its owner (e.g. the server shutting down its sockets)
+  /// before the Executor dies.
+  bool Submit(std::function<void()> task) LOCS_EXCLUDES(mutex_);
+
+  /// Pool threads currently parked inside submitted tasks. An admission
+  /// signal for callers that must not queue behind long-lived tasks.
+  unsigned active_tasks() const LOCS_EXCLUDES(mutex_);
+
   /// Process-wide executor shared by the batch entry points. Sized
   /// max(hardware_concurrency, 8) so thread-count invariance is exercised
   /// even on small machines.
@@ -102,7 +123,7 @@ class Executor {
   struct Job;
 
   void WorkerLoop(unsigned pool_index) LOCS_EXCLUDES(mutex_);
-  void EnsureStarted() LOCS_REQUIRES(run_mutex_) LOCS_EXCLUDES(mutex_);
+  void EnsureStarted() LOCS_EXCLUDES(mutex_);
   static void RunChunks(Job& job, unsigned worker);
 
   const unsigned num_workers_;
@@ -117,6 +138,10 @@ class Executor {
   std::vector<std::thread> threads_ LOCS_GUARDED_BY(mutex_);
   Job* job_ LOCS_GUARDED_BY(mutex_) = nullptr;  // null = none adoptable
   uint64_t generation_ LOCS_GUARDED_BY(mutex_) = 0;  // bumped per job
+  // Detached tasks (Submit); drained FIFO by idle workers. Batch jobs
+  // take priority: a woken worker adopts an adoptable job first.
+  std::deque<std::function<void()>> tasks_ LOCS_GUARDED_BY(mutex_);
+  unsigned active_tasks_ LOCS_GUARDED_BY(mutex_) = 0;
   bool started_ LOCS_GUARDED_BY(mutex_) = false;
   bool shutdown_ LOCS_GUARDED_BY(mutex_) = false;
 };

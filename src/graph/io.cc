@@ -332,4 +332,18 @@ bool SaveBinary(const Graph& graph, const std::string& path) {
   return std::fflush(file.get()) == 0;
 }
 
+std::optional<Graph> LoadGraphAuto(const std::string& path,
+                                   IoError* error) {
+  const auto ends_with = [&path](std::string_view suffix) {
+    return path.size() >= suffix.size() &&
+           path.compare(path.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+  };
+  if (ends_with(".lcsg")) return LoadBinary(path, error);
+  if (ends_with(".metis") || ends_with(".graph")) {
+    return LoadMetis(path, error);
+  }
+  return LoadEdgeList(path, error);
+}
+
 }  // namespace locs

@@ -85,6 +85,13 @@ std::optional<Graph> LoadBinary(const std::string& path,
 /// counts + raw arrays). Returns false on I/O failure.
 bool SaveBinary(const Graph& graph, const std::string& path);
 
+/// Loads a graph with the format chosen by file extension: `.lcsg` is the
+/// binary CSR format, `.metis`/`.graph` is METIS, anything else is a
+/// whitespace edge list. This is the one auto-detection rule shared by the
+/// CLI, the serving layer, and the bench dataset cache.
+std::optional<Graph> LoadGraphAuto(const std::string& path,
+                                   IoError* error = nullptr);
+
 }  // namespace locs
 
 #endif  // LOCS_GRAPH_IO_H_

@@ -1,0 +1,148 @@
+// AdmissionController — bounded concurrency with fast rejection.
+//
+// The serving layer promises every accepted query a bounded share of the
+// machine; beyond that it must say BUSY *immediately* rather than build
+// an unbounded convoy (the classic overload failure mode). The policy:
+//
+//   - up to `max_inflight` requests execute concurrently;
+//   - up to `max_queued` more wait (FIFO via the condvar) for a slot;
+//   - anything beyond is rejected without blocking;
+//   - Close() flips the controller into drain mode: waiters wake up and
+//     are rejected, new arrivals are rejected, in-flight work finishes.
+//
+// A Ticket is the RAII admission token: destroying it releases the slot
+// and wakes one waiter.
+
+#ifndef LOCS_SERVE_ADMISSION_H_
+#define LOCS_SERVE_ADMISSION_H_
+
+#include <cstdint>
+
+#include "util/thread_annotations.h"
+
+namespace locs::serve {
+
+/// See the file comment. Thread-safe.
+class AdmissionController {
+ public:
+  struct Options {
+    /// Concurrently executing requests; 0 behaves as 1.
+    unsigned max_inflight = 4;
+    /// Requests allowed to wait for a slot; 0 = reject when saturated.
+    unsigned max_queued = 16;
+  };
+
+  enum class Decision : uint8_t {
+    kAdmitted,  ///< slot held; call Leave() (or let the Ticket do it)
+    kRejected,  ///< saturated beyond the queue bound, or draining
+  };
+
+  struct Counts {
+    unsigned inflight = 0;
+    unsigned queued = 0;
+    uint64_t admitted_total = 0;
+    uint64_t rejected_total = 0;
+  };
+
+  explicit AdmissionController(const Options& options)
+      : max_inflight_(options.max_inflight == 0 ? 1 : options.max_inflight),
+        max_queued_(options.max_queued) {}
+  AdmissionController() : AdmissionController(Options()) {}
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// Requests admission; blocks only while a queue slot is held.
+  Decision Enter() LOCS_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    if (closed_ || queued_ >= max_queued_) {
+      if (!closed_ && inflight_ < max_inflight_) {
+        // Saturation is checked on the queue, so an idle controller with
+        // max_queued == 0 must still admit directly.
+        ++inflight_;
+        ++admitted_total_;
+        return Decision::kAdmitted;
+      }
+      ++rejected_total_;
+      return Decision::kRejected;
+    }
+    ++queued_;
+    while (!closed_ && inflight_ >= max_inflight_) cv_.Wait(lock);
+    --queued_;
+    if (closed_) {
+      ++rejected_total_;
+      cv_.NotifyAll();  // propagate the drain wake-up to other waiters
+      return Decision::kRejected;
+    }
+    ++inflight_;
+    ++admitted_total_;
+    return Decision::kAdmitted;
+  }
+
+  /// Releases an admitted slot.
+  void Leave() LOCS_EXCLUDES(mutex_) {
+    {
+      MutexLock lock(mutex_);
+      --inflight_;
+    }
+    cv_.NotifyOne();
+  }
+
+  /// Drain mode: reject all current waiters and future arrivals.
+  void Close() LOCS_EXCLUDES(mutex_) {
+    {
+      MutexLock lock(mutex_);
+      closed_ = true;
+    }
+    cv_.NotifyAll();
+  }
+
+  Counts Snapshot() const LOCS_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    Counts counts;
+    counts.inflight = inflight_;
+    counts.queued = queued_;
+    counts.admitted_total = admitted_total_;
+    counts.rejected_total = rejected_total_;
+    return counts;
+  }
+
+  unsigned max_inflight() const { return max_inflight_; }
+  unsigned max_queued() const { return max_queued_; }
+
+ private:
+  const unsigned max_inflight_;
+  const unsigned max_queued_;
+  mutable Mutex mutex_;
+  CondVar cv_;
+  unsigned inflight_ LOCS_GUARDED_BY(mutex_) = 0;
+  unsigned queued_ LOCS_GUARDED_BY(mutex_) = 0;
+  bool closed_ LOCS_GUARDED_BY(mutex_) = false;
+  uint64_t admitted_total_ LOCS_GUARDED_BY(mutex_) = 0;
+  uint64_t rejected_total_ LOCS_GUARDED_BY(mutex_) = 0;
+};
+
+/// RAII admission token.
+class AdmissionTicket {
+ public:
+  explicit AdmissionTicket(AdmissionController& controller)
+      : controller_(controller),
+        admitted_(controller.Enter() ==
+                  AdmissionController::Decision::kAdmitted) {}
+  ~AdmissionTicket() {
+    if (admitted_) controller_.Leave();
+  }
+
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  bool admitted() const { return admitted_; }
+
+ private:
+  AdmissionController& controller_;
+  const bool admitted_;
+};
+
+}  // namespace locs::serve
+
+#endif  // LOCS_SERVE_ADMISSION_H_

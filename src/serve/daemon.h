@@ -1,0 +1,43 @@
+// Daemon entry points shared by the locsd binary and the locs_cli
+// serve/client subcommands: flag parsing into ServerOptions, the
+// blocking serve main (stdio or TCP with signal-driven graceful drain),
+// and the line-lockstep client used for scripted TCP sessions.
+
+#ifndef LOCS_SERVE_DAEMON_H_
+#define LOCS_SERVE_DAEMON_H_
+
+#include <string>
+
+#include "serve/server.h"
+#include "util/cli.h"
+
+namespace locs::serve {
+
+/// Resolved daemon configuration.
+struct DaemonOptions {
+  ServerOptions server;
+  bool stdio = false;  ///< serve fds 0/1 instead of a TCP socket
+};
+
+/// Parses the daemon flag set (see locsd --help) from `cli`. False with
+/// `*error` set on an invalid combination or malformed value.
+bool ParseDaemonOptions(const CommandLine& cli, DaemonOptions* options,
+                        std::string* error);
+
+/// One line per flag, for usage text.
+const char* DaemonFlagHelp();
+
+/// Runs the server until EOF/QUIT (stdio) or SIGTERM/SIGINT (TCP).
+/// Blocks; returns a process exit code. Installs signal handlers for the
+/// graceful drain and flushes a final STATS line to stderr on exit.
+int DaemonMain(const DaemonOptions& options);
+
+/// Scripted TCP client: forwards stdin lines to 127.0.0.1:`port` in
+/// lockstep (one reply line read and printed per request line), appends
+/// QUIT when stdin ends without one. Returns nonzero on connect or
+/// transport failure.
+int ClientMain(uint16_t port);
+
+}  // namespace locs::serve
+
+#endif  // LOCS_SERVE_DAEMON_H_

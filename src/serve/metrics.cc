@@ -1,0 +1,130 @@
+#include "serve/metrics.h"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace locs::serve {
+
+namespace {
+
+/// Bucket index for a latency: bucket b counts latencies in
+/// [2^(b-1), 2^b) us (bucket 0: < 1 us); the last bucket is open-ended.
+int BucketOf(uint64_t us) {
+  const int bucket = us == 0 ? 0 : static_cast<int>(std::bit_width(us));
+  return bucket < MetricsSnapshot::kLatencyBuckets
+             ? bucket
+             : MetricsSnapshot::kLatencyBuckets - 1;
+}
+
+void Append(std::string* out, const char* key, uint64_t value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), " %s=%" PRIu64, key, value);
+  *out += buffer;
+}
+
+}  // namespace
+
+void ServerMetrics::RecordLatencyUs(uint64_t us) {
+  latency_hist_[static_cast<size_t>(BucketOf(us))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+MetricsSnapshot ServerMetrics::Snapshot() const {
+  MetricsSnapshot snap;
+  for (int v = 0; v < kNumVerbs; ++v) {
+    snap.requests_by_verb[v] =
+        requests_by_verb_[static_cast<size_t>(v)].load(
+            std::memory_order_relaxed);
+  }
+  for (int e = 0; e < kNumWireErrors; ++e) {
+    snap.errors_by_kind[e] = errors_by_kind_[static_cast<size_t>(e)].load(
+        std::memory_order_relaxed);
+  }
+  snap.rejected = rejected_.load(std::memory_order_relaxed);
+  snap.interrupted = interrupted_.load(std::memory_order_relaxed);
+  snap.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
+  snap.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
+  for (int b = 0; b < MetricsSnapshot::kLatencyBuckets; ++b) {
+    snap.latency_hist[b] =
+        latency_hist_[static_cast<size_t>(b)].load(
+            std::memory_order_relaxed);
+  }
+  snap.uptime_ms = uptime_.Millis();
+  return snap;
+}
+
+uint64_t MetricsSnapshot::TotalRequests() const {
+  uint64_t total = 0;
+  for (const uint64_t count : requests_by_verb) total += count;
+  return total;
+}
+
+uint64_t MetricsSnapshot::TotalErrors() const {
+  uint64_t total = 0;
+  for (const uint64_t count : errors_by_kind) total += count;
+  // kNone is never counted as an error, but guard against misuse.
+  return total - errors_by_kind[static_cast<size_t>(WireError::kNone)];
+}
+
+uint64_t MetricsSnapshot::TotalQueries() const {
+  uint64_t total = 0;
+  for (const uint64_t count : latency_hist) total += count;
+  return total;
+}
+
+uint64_t MetricsSnapshot::LatencyPercentileUs(double p) const {
+  const uint64_t total = TotalQueries();
+  if (total == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  // Rank of the percentile sample, 1-based (ceil(p * total), min 1).
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(p * static_cast<double>(total) + 0.999999));
+  uint64_t cumulative = 0;
+  for (int b = 0; b < kLatencyBuckets; ++b) {
+    cumulative += latency_hist[b];
+    if (cumulative >= rank) {
+      return b == 0 ? 1 : uint64_t{1} << b;  // bucket upper bound
+    }
+  }
+  return uint64_t{1} << (kLatencyBuckets - 1);
+}
+
+std::string MetricsSnapshot::RenderStatsLine(unsigned inflight,
+                                             unsigned queued,
+                                             size_t graphs) const {
+  std::string line = "OK";
+  Append(&line, "uptime_ms", static_cast<uint64_t>(uptime_ms));
+  Append(&line, "graphs", graphs);
+  Append(&line, "sessions_open", sessions_opened - sessions_closed);
+  Append(&line, "sessions_total", sessions_opened);
+  Append(&line, "inflight", inflight);
+  Append(&line, "queued", queued);
+  Append(&line, "requests", TotalRequests());
+  for (int v = 0; v < kNumVerbs; ++v) {
+    const auto verb = static_cast<Verb>(v);
+    if (verb == Verb::kNone || requests_by_verb[v] == 0) continue;
+    std::string key = "verb_";
+    for (const char c : VerbName(verb)) {
+      key += static_cast<char>(c - 'A' + 'a');
+    }
+    Append(&line, key.c_str(), requests_by_verb[v]);
+  }
+  Append(&line, "errors", TotalErrors());
+  for (int e = 0; e < kNumWireErrors; ++e) {
+    const auto kind = static_cast<WireError>(e);
+    if (kind == WireError::kNone || errors_by_kind[e] == 0) continue;
+    std::string key = "err_";
+    key += WireErrorName(kind);
+    Append(&line, key.c_str(), errors_by_kind[e]);
+  }
+  Append(&line, "rejected", rejected);
+  Append(&line, "interrupted", interrupted);
+  Append(&line, "queries", TotalQueries());
+  Append(&line, "p50_us", LatencyPercentileUs(0.50));
+  Append(&line, "p95_us", LatencyPercentileUs(0.95));
+  return line;
+}
+
+}  // namespace locs::serve

@@ -1,0 +1,101 @@
+// ServerMetrics — lock-free counters for the serving layer.
+//
+// Every counter is a relaxed std::atomic: sessions on different threads
+// record concurrently without contending on a lock, and the STATS verb
+// reads a Snapshot that is per-counter consistent (monotone, never
+// torn) though not a cross-counter atomic cut — the standard contract
+// of serving metrics.
+//
+// Query latency uses a fixed power-of-two histogram over microseconds
+// (bucket b counts latencies < 2^b us, last bucket open-ended), so
+// percentile estimation is a cumulative scan over 32 integers with at
+// most 2x resolution error — no allocation, no sampling, no lock.
+
+#ifndef LOCS_SERVE_METRICS_H_
+#define LOCS_SERVE_METRICS_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "serve/wire.h"
+#include "util/timer.h"
+
+namespace locs::serve {
+
+/// Point-in-time copy of every counter; see ServerMetrics::Snapshot.
+struct MetricsSnapshot {
+  static constexpr int kLatencyBuckets = 32;
+
+  uint64_t requests_by_verb[kNumVerbs] = {};
+  uint64_t errors_by_kind[kNumWireErrors] = {};
+  uint64_t rejected = 0;     ///< BUSY fast-rejects (admission)
+  uint64_t interrupted = 0;  ///< queries tripped by their guard
+  uint64_t sessions_opened = 0;
+  uint64_t sessions_closed = 0;
+  uint64_t latency_hist[kLatencyBuckets] = {};
+  double uptime_ms = 0.0;
+
+  uint64_t TotalRequests() const;
+  uint64_t TotalErrors() const;
+  uint64_t TotalQueries() const;  ///< CST + CSM + MULTI recorded latencies
+
+  /// Latency percentile estimate in microseconds: the upper bound of the
+  /// first histogram bucket whose cumulative count reaches `p` (0..1) of
+  /// the total. 0 when no query has been recorded.
+  uint64_t LatencyPercentileUs(double p) const;
+
+  /// Renders the one-line `OK ...` STATS reply. `inflight`/`queued` come
+  /// from the admission controller and `graphs` from the registry, so the
+  /// caller threads them in.
+  std::string RenderStatsLine(unsigned inflight, unsigned queued,
+                              size_t graphs) const;
+};
+
+/// See the file comment. All methods are thread-safe and wait-free.
+class ServerMetrics {
+ public:
+  ServerMetrics() = default;
+  ServerMetrics(const ServerMetrics&) = delete;
+  ServerMetrics& operator=(const ServerMetrics&) = delete;
+
+  void CountRequest(Verb verb) {
+    requests_by_verb_[static_cast<size_t>(verb)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  void CountError(WireError error) {
+    errors_by_kind_[static_cast<size_t>(error)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  void CountRejected() { rejected_.fetch_add(1, std::memory_order_relaxed); }
+  void CountInterrupted() {
+    interrupted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountSessionOpened() {
+    sessions_opened_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountSessionClosed() {
+    sessions_closed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Records one query's latency into the histogram.
+  void RecordLatencyUs(uint64_t us);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  std::array<std::atomic<uint64_t>, kNumVerbs> requests_by_verb_ = {};
+  std::array<std::atomic<uint64_t>, kNumWireErrors> errors_by_kind_ = {};
+  std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> interrupted_{0};
+  std::atomic<uint64_t> sessions_opened_{0};
+  std::atomic<uint64_t> sessions_closed_{0};
+  std::array<std::atomic<uint64_t>, MetricsSnapshot::kLatencyBuckets>
+      latency_hist_ = {};
+  WallTimer uptime_;
+};
+
+}  // namespace locs::serve
+
+#endif  // LOCS_SERVE_METRICS_H_

@@ -1,0 +1,323 @@
+#include "serve/session.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <thread>
+#include <unordered_set>
+
+#include "core/result.h"
+#include "util/failpoint.h"
+#include "util/guard.h"
+#include "util/timer.h"
+
+namespace locs::serve {
+
+namespace {
+
+void AppendKv(std::string* out, const char* key, uint64_t value) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), " %s=%" PRIu64, key, value);
+  *out += buffer;
+}
+
+/// Renders a query reply. Replies are deterministic for a given (graph,
+/// request): timing lives in the STATS histogram, not here, so scripted
+/// sessions can be compared byte-for-byte.
+std::string FormatQueryReply(const SearchResult& result,
+                             const QueryStats& stats,
+                             uint64_t member_limit) {
+  const Community& community = result.Best();
+  std::string reply = "OK status=";
+  reply += TerminationName(result.status);
+  AppendKv(&reply, "n", community.members.size());
+  AppendKv(&reply, "delta", community.min_degree);
+  AppendKv(&reply, "visited", stats.visited_vertices);
+  reply += " members=";
+  const size_t shown =
+      member_limit == 0
+          ? community.members.size()
+          : std::min<size_t>(member_limit, community.members.size());
+  for (size_t i = 0; i < shown; ++i) {
+    if (i > 0) reply += ',';
+    reply += std::to_string(community.members[i]);
+  }
+  if (shown < community.members.size()) {
+    AppendKv(&reply, "truncated", community.members.size() - shown);
+  }
+  return reply;
+}
+
+}  // namespace
+
+Session::Session(Transport& transport, GraphRegistry& registry,
+                 AdmissionController& admission, ServerMetrics& metrics,
+                 const SessionOptions& options)
+    : transport_(transport),
+      registry_(registry),
+      admission_(admission),
+      metrics_(metrics),
+      options_(options) {
+  metrics_.CountSessionOpened();
+}
+
+Session::~Session() { metrics_.CountSessionClosed(); }
+
+void Session::Run() {
+  std::string line;
+  while (true) {
+    const Transport::ReadStatus status = transport_.ReadLine(&line);
+    if (status == Transport::ReadStatus::kEof ||
+        status == Transport::ReadStatus::kError) {
+      return;
+    }
+    if (status == Transport::ReadStatus::kTooLong) {
+      ++requests_handled_;
+      metrics_.CountError(WireError::kLineTooLong);
+      if (!transport_.WriteLine(FormatError(WireError::kLineTooLong,
+                                            "request line discarded"))) {
+        return;
+      }
+      continue;
+    }
+    ParseResult parsed = ParseRequest(line);
+    if (parsed.ok() && parsed.request.verb == Verb::kNone) continue;
+    ++requests_handled_;
+    if (!parsed.ok()) {
+      metrics_.CountError(parsed.error);
+      if (!transport_.WriteLine(FormatError(parsed.error, parsed.detail))) {
+        return;
+      }
+      continue;
+    }
+    metrics_.CountRequest(parsed.request.verb);
+    bool quit = false;
+    const std::string reply = Dispatch(parsed.request, &quit);
+    if (!transport_.WriteLine(reply)) return;
+    if (quit || Stopping()) return;
+  }
+}
+
+std::string Session::Dispatch(const Request& request, bool* quit) {
+  switch (request.verb) {
+    case Verb::kPing:
+      return "OK pong";
+    case Verb::kQuit:
+      *quit = true;
+      return "OK bye";
+    case Verb::kStats:
+      return ExecStats();
+    case Verb::kList:
+      return ExecList();
+    case Verb::kEvict:
+      return ExecEvict(request);
+    case Verb::kLoad:
+    case Verb::kCst:
+    case Verb::kCsm:
+    case Verb::kMulti: {
+      if (Stopping()) {
+        metrics_.CountError(WireError::kShuttingDown);
+        return FormatError(WireError::kShuttingDown, "server draining");
+      }
+      // Admission gates the expensive verbs: graph loads and queries.
+      // Cheap control verbs above bypass it so STATS stays responsive
+      // under overload — exactly when it is most needed.
+      AdmissionTicket ticket(admission_);
+      if (!ticket.admitted()) {
+        metrics_.CountRejected();
+        const AdmissionController::Counts counts = admission_.Snapshot();
+        std::string reply = "BUSY";
+        AppendKv(&reply, "inflight", counts.inflight);
+        AppendKv(&reply, "queued", counts.queued);
+        return reply;
+      }
+      // Test hook: makes "the server is saturated" a deterministic state
+      // (see serve_session_test's BUSY coverage).
+      if (LOCS_FAILPOINT("serve.slow_query")) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+      return request.verb == Verb::kLoad ? ExecLoad(request)
+                                         : ExecQuery(request);
+    }
+    case Verb::kNone:
+      break;
+  }
+  metrics_.CountError(WireError::kUnknownVerb);
+  return FormatError(WireError::kUnknownVerb, "unhandled verb");
+}
+
+std::string Session::ExecLoad(const Request& request) {
+  IoError io_error;
+  bool full = false;
+  const auto entry =
+      registry_.Load(request.graph, request.path, &io_error, &full);
+  if (entry == nullptr) {
+    if (full) {
+      metrics_.CountError(WireError::kRegistryFull);
+      return FormatError(WireError::kRegistryFull,
+                         "registry holds " +
+                             std::to_string(registry_.max_graphs()) +
+                             " graphs; EVICT one first");
+    }
+    metrics_.CountError(WireError::kIo);
+    return FormatError(
+        WireError::kIo,
+        std::string(IoErrorKindName(io_error.kind)) + ": " +
+            io_error.message);
+  }
+  std::string reply = "OK graph=" + entry->name;
+  AppendKv(&reply, "vertices", entry->graph.NumVertices());
+  AppendKv(&reply, "edges", entry->graph.NumEdges());
+  AppendKv(&reply, "degeneracy", entry->index.Degeneracy());
+  AppendKv(&reply, "load_ms", static_cast<uint64_t>(entry->load_ms));
+  AppendKv(&reply, "build_ms", static_cast<uint64_t>(entry->build_ms));
+  return reply;
+}
+
+std::string Session::ExecEvict(const Request& request) {
+  if (!registry_.Evict(request.graph)) {
+    metrics_.CountError(WireError::kUnknownGraph);
+    return FormatError(WireError::kUnknownGraph,
+                       "no graph named '" + request.graph + "'");
+  }
+  if (bound_ != nullptr && bound_->entry->name == request.graph) {
+    bound_.reset();  // do not serve stale data under an evicted name
+  }
+  return "OK evicted=" + request.graph;
+}
+
+std::string Session::ExecList() {
+  const auto infos = registry_.List();
+  std::string reply = "OK";
+  AppendKv(&reply, "graphs", infos.size());
+  for (const auto& info : infos) {
+    reply += ' ';
+    reply += info.name;
+    reply += ':';
+    reply += std::to_string(info.vertices);
+    reply += ':';
+    reply += std::to_string(info.edges);
+  }
+  return reply;
+}
+
+std::string Session::ExecStats() {
+  const AdmissionController::Counts counts = admission_.Snapshot();
+  return metrics_.Snapshot().RenderStatsLine(counts.inflight,
+                                             counts.queued,
+                                             registry_.size());
+}
+
+Session::BoundSolvers* Session::Bind(const std::string& name,
+                                     std::string* error_reply) {
+  auto entry = registry_.Get(name);
+  if (entry == nullptr) {
+    metrics_.CountError(WireError::kUnknownGraph);
+    *error_reply = FormatError(WireError::kUnknownGraph,
+                               "no graph named '" + name + "'");
+    return nullptr;
+  }
+  if (bound_ == nullptr || bound_->entry != entry) {
+    bound_ = std::make_unique<BoundSolvers>(std::move(entry));
+  }
+  return bound_.get();
+}
+
+QueryLimits Session::EffectiveLimits(const QueryLimits& requested) const {
+  QueryLimits limits = requested;
+  if (limits.deadline_ms <= 0.0) {
+    limits.deadline_ms = options_.default_deadline_ms;
+  }
+  if (options_.max_deadline_ms > 0.0 &&
+      (limits.deadline_ms <= 0.0 ||
+       limits.deadline_ms > options_.max_deadline_ms)) {
+    limits.deadline_ms = options_.max_deadline_ms;
+  }
+  if (limits.work_budget == 0) {
+    limits.work_budget = options_.default_work_budget;
+  }
+  if (options_.max_work_budget != 0 &&
+      (limits.work_budget == 0 ||
+       limits.work_budget > options_.max_work_budget)) {
+    limits.work_budget = options_.max_work_budget;
+  }
+  return limits;
+}
+
+std::string Session::ExecQuery(const Request& request) {
+  std::string error_reply;
+  BoundSolvers* solvers = Bind(request.graph, &error_reply);
+  if (solvers == nullptr) return error_reply;
+  const Graph& graph = solvers->entry->graph;
+  for (const VertexId v : request.vertices) {
+    if (v >= graph.NumVertices()) {
+      metrics_.CountError(WireError::kVertexRange);
+      return FormatError(WireError::kVertexRange,
+                         "vertex " + std::to_string(v) +
+                             " out of range [0, " +
+                             std::to_string(graph.NumVertices()) + ")");
+    }
+  }
+  if (request.verb == Verb::kMulti && request.vertices.size() > 1) {
+    std::unordered_set<VertexId> seen(request.vertices.begin(),
+                                      request.vertices.end());
+    if (seen.size() != request.vertices.size()) {
+      metrics_.CountError(WireError::kDuplicateVertex);
+      return FormatError(WireError::kDuplicateVertex,
+                         "MULTI query vertices must be distinct");
+    }
+  }
+
+  const uint64_t member_limit = request.member_limit != 0
+                                    ? request.member_limit
+                                    : options_.default_member_limit;
+  WallTimer timer;
+  QueryStats stats;
+  QueryGuard guard(EffectiveLimits(request.limits));
+  SearchResult result;
+  const CoreIndex& index = solvers->entry->index;
+  switch (request.verb) {
+    case Verb::kCst:
+      // Exact O(1) non-existence from the precomputed core index: CST(k)
+      // has an answer iff the vertex lies in the k-core (Lemma 3/4), so
+      // a miss skips the whole local search + global fallback.
+      if (!index.HasCst(request.vertices[0], request.k)) {
+        result = SearchResult::MakeNotExists();
+      } else {
+        result = solvers->cst.Solve(request.vertices[0], request.k, {},
+                                    &stats, &guard);
+      }
+      break;
+    case Verb::kCsm:
+      result = solvers->csm.Solve(request.vertices[0], {}, &stats, &guard);
+      break;
+    case Verb::kMulti:
+      if (request.multi_max) {
+        result = solvers->multi.CsmMulti(request.vertices, &stats, &guard);
+      } else {
+        // Same index shortcut, per seed vertex: every member of a δ>=k
+        // community lies in the k-core, so one seed outside it is an
+        // exact negative.
+        bool possible = true;
+        for (const VertexId v : request.vertices) {
+          if (!index.HasCst(v, request.k)) {
+            possible = false;
+            break;
+          }
+        }
+        result = possible ? solvers->multi.CstMulti(request.vertices,
+                                                    request.k, &stats,
+                                                    &guard)
+                          : SearchResult::MakeNotExists();
+      }
+      break;
+    default:
+      return FormatError(WireError::kUnknownVerb, "not a query verb");
+  }
+  metrics_.RecordLatencyUs(static_cast<uint64_t>(timer.Micros()));
+  if (result.Interrupted()) metrics_.CountInterrupted();
+  return FormatQueryReply(result, stats, member_limit);
+}
+
+}  // namespace locs::serve

@@ -1,0 +1,118 @@
+// Session — one connected client's request loop.
+//
+// A session reads wire-protocol lines from its transport, executes them
+// against the shared GraphRegistry under the shared AdmissionController,
+// and writes one reply line per request. Solver state is per-session:
+// the epoch-stamped LocalCst/Csm/Multi solvers bound to the most
+// recently queried graph persist across requests, so a session issuing
+// many queries against one graph pays the O(|V|) solver construction
+// once, and scratch resets in O(1) per query (the BatchRunner economics,
+// applied to interactive traffic).
+//
+// The session never terminates on malformed input — every parse or
+// execution failure is a typed `ERR` reply and the loop continues. It
+// ends on EOF, QUIT, an unrecoverable transport error, or when the
+// server's stop flag is raised between requests (graceful drain).
+
+#ifndef LOCS_SERVE_SESSION_H_
+#define LOCS_SERVE_SESSION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/local_csm.h"
+#include "core/local_cst.h"
+#include "core/multi.h"
+#include "serve/admission.h"
+#include "serve/metrics.h"
+#include "serve/registry.h"
+#include "serve/transport.h"
+#include "serve/wire.h"
+
+namespace locs::serve {
+
+/// Server-imposed per-query policy, applied on top of request options.
+struct SessionOptions {
+  /// Applied when a query carries no deadline_ms= / budget= option.
+  double default_deadline_ms = 0.0;
+  uint64_t default_work_budget = 0;
+  /// Hard caps: client-supplied limits are clamped to these (0 = no cap).
+  double max_deadline_ms = 0.0;
+  uint64_t max_work_budget = 0;
+  /// Member ids echoed per reply when the query has no limit= (0 = all).
+  uint64_t default_member_limit = 0;
+  /// Raised by the server during drain: new queries get ERR
+  /// shutting-down, the session exits after the current request.
+  const std::atomic<bool>* stop = nullptr;
+};
+
+/// See the file comment. One session per transport; not thread-safe
+/// (sessions are the unit of concurrency, not shared between threads).
+class Session {
+ public:
+  Session(Transport& transport, GraphRegistry& registry,
+          AdmissionController& admission, ServerMetrics& metrics,
+          const SessionOptions& options);
+  ~Session();
+
+  Session(const Session&) = delete;
+  Session& operator=(const Session&) = delete;
+
+  /// Runs the request loop until EOF/QUIT/transport error/drain.
+  void Run();
+
+  /// Requests handled (including errored ones); for tests/diagnostics.
+  uint64_t requests_handled() const { return requests_handled_; }
+
+ private:
+  /// Solvers bound to one registry entry. Holding the shared_ptr keeps
+  /// the graph alive even if it is evicted or replaced mid-session.
+  struct BoundSolvers {
+    std::shared_ptr<const ServedGraph> entry;
+    LocalCstSolver cst;
+    LocalCsmSolver csm;
+    LocalMultiSolver multi;
+
+    explicit BoundSolvers(std::shared_ptr<const ServedGraph> bound)
+        : entry(std::move(bound)),
+          cst(entry->graph, &entry->ordered, &entry->facts),
+          csm(entry->graph, &entry->ordered, &entry->facts),
+          multi(entry->graph, &entry->ordered, &entry->facts) {}
+  };
+
+  /// Dispatches one parsed request; returns the reply line. Sets
+  /// `*quit` for QUIT.
+  std::string Dispatch(const Request& request, bool* quit);
+
+  std::string ExecLoad(const Request& request);
+  std::string ExecEvict(const Request& request);
+  std::string ExecList();
+  std::string ExecQuery(const Request& request);
+  std::string ExecStats();
+
+  /// Binds solvers to the named graph (cache-aware); null + ERR reply in
+  /// `*error_reply` when the graph is unknown.
+  BoundSolvers* Bind(const std::string& name, std::string* error_reply);
+
+  /// Merges request limits with the session's defaults and caps.
+  QueryLimits EffectiveLimits(const QueryLimits& requested) const;
+
+  bool Stopping() const {
+    return options_.stop != nullptr &&
+           options_.stop->load(std::memory_order_relaxed);
+  }
+
+  Transport& transport_;
+  GraphRegistry& registry_;
+  AdmissionController& admission_;
+  ServerMetrics& metrics_;
+  const SessionOptions options_;
+  std::unique_ptr<BoundSolvers> bound_;
+  uint64_t requests_handled_ = 0;
+};
+
+}  // namespace locs::serve
+
+#endif  // LOCS_SERVE_SESSION_H_

@@ -1,0 +1,96 @@
+#include "serve/transport.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "serve/wire.h"
+
+namespace locs::serve {
+
+namespace {
+constexpr size_t kReadChunk = 4096;
+}  // namespace
+
+FdTransport::~FdTransport() {
+  if (!owns_fds_) return;
+  ::close(read_fd_);
+  if (write_fd_ != read_fd_) ::close(write_fd_);
+}
+
+long FdTransport::Refill() {
+  // Compact instead of growing without bound: drop consumed bytes once
+  // the cursor passes the chunk size.
+  if (buffer_pos_ >= kReadChunk) {
+    buffer_.erase(0, buffer_pos_);
+    buffer_pos_ = 0;
+  }
+  char chunk[kReadChunk];
+  while (true) {
+    const ssize_t n = ::read(read_fd_, chunk, sizeof(chunk));
+    if (n >= 0) {
+      if (n > 0) buffer_.append(chunk, static_cast<size_t>(n));
+      return static_cast<long>(n);
+    }
+    if (errno != EINTR) return -1;
+  }
+}
+
+Transport::ReadStatus FdTransport::ReadLine(std::string* line) {
+  line->clear();
+  bool overflow = false;
+  while (true) {
+    const size_t newline = buffer_.find('\n', buffer_pos_);
+    if (newline != std::string::npos) {
+      if (!overflow) {
+        line->assign(buffer_, buffer_pos_, newline - buffer_pos_);
+        if (!line->empty() && line->back() == '\r') line->pop_back();
+      }
+      buffer_pos_ = newline + 1;
+      return overflow ? ReadStatus::kTooLong : ReadStatus::kLine;
+    }
+    // No newline buffered yet. Enforce the line cap before reading more
+    // so a peer streaming an endless line cannot grow the buffer.
+    if (!overflow && buffer_.size() - buffer_pos_ > kMaxLineBytes) {
+      overflow = true;
+    }
+    if (overflow) {
+      // Discard everything pending; keep scanning for the newline.
+      buffer_.clear();
+      buffer_pos_ = 0;
+    }
+    const long n = Refill();
+    if (n < 0) return ReadStatus::kError;
+    if (n == 0) {
+      // EOF. A final unterminated line still parses (common with
+      // printf-piped scripts lacking the last newline).
+      if (!overflow && buffer_pos_ < buffer_.size()) {
+        line->assign(buffer_, buffer_pos_, buffer_.size() - buffer_pos_);
+        if (!line->empty() && line->back() == '\r') line->pop_back();
+        buffer_pos_ = buffer_.size();
+        return ReadStatus::kLine;
+      }
+      return overflow ? ReadStatus::kTooLong : ReadStatus::kEof;
+    }
+  }
+}
+
+bool FdTransport::WriteLine(std::string_view reply) {
+  std::string framed;
+  framed.reserve(reply.size() + 1);
+  framed.append(reply);
+  framed.push_back('\n');
+  size_t written = 0;
+  while (written < framed.size()) {
+    const ssize_t n =
+        ::write(write_fd_, framed.data() + written, framed.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+}  // namespace locs::serve

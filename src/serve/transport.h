@@ -1,0 +1,71 @@
+// Transport — byte streams under the wire protocol.
+//
+// The session layer speaks lines; the transport turns POSIX file
+// descriptors into lines. One implementation covers both deployment
+// modes: FdTransport(0, 1) is the stdio transport (tests, pipes, inetd-
+// style supervision), FdTransport(fd, fd) wraps an accepted TCP socket.
+//
+// Overlong lines are a protocol error, not a buffering hazard: once a
+// line passes kMaxLineBytes the reader discards bytes until the next
+// newline and reports kTooLong, so a hostile peer cannot make the
+// server buffer unbounded input, and the session stays usable for the
+// next request.
+
+#ifndef LOCS_SERVE_TRANSPORT_H_
+#define LOCS_SERVE_TRANSPORT_H_
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace locs::serve {
+
+/// Line-oriented bidirectional byte stream.
+class Transport {
+ public:
+  enum class ReadStatus : uint8_t {
+    kLine,     ///< *line holds the next request (newline stripped)
+    kEof,      ///< orderly end of stream
+    kTooLong,  ///< line exceeded kMaxLineBytes; discarded to its newline
+    kError,    ///< unrecoverable read failure (errno-level)
+  };
+
+  virtual ~Transport() = default;
+
+  /// Blocks for the next line. A trailing '\r' (CRLF peers) is stripped;
+  /// embedded NULs are preserved for the parser to reject.
+  virtual ReadStatus ReadLine(std::string* line) = 0;
+
+  /// Writes `reply` plus a newline. False on a write failure (peer gone).
+  virtual bool WriteLine(std::string_view reply) = 0;
+};
+
+/// Transport over a POSIX read/write fd pair. Does not own the fds
+/// unless `owns_fds` is set (then both are closed on destruction; pass
+/// the same fd twice for a socket and it is closed once).
+class FdTransport final : public Transport {
+ public:
+  FdTransport(int read_fd, int write_fd, bool owns_fds = false)
+      : read_fd_(read_fd), write_fd_(write_fd), owns_fds_(owns_fds) {}
+  ~FdTransport() override;
+
+  FdTransport(const FdTransport&) = delete;
+  FdTransport& operator=(const FdTransport&) = delete;
+
+  ReadStatus ReadLine(std::string* line) override;
+  bool WriteLine(std::string_view reply) override;
+
+ private:
+  /// Refills buffer_; returns bytes read (0 = EOF, -1 = error).
+  long Refill();
+
+  const int read_fd_;
+  const int write_fd_;
+  const bool owns_fds_;
+  std::string buffer_;     ///< bytes read but not yet consumed
+  size_t buffer_pos_ = 0;  ///< consumption cursor into buffer_
+};
+
+}  // namespace locs::serve
+
+#endif  // LOCS_SERVE_TRANSPORT_H_

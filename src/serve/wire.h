@@ -1,0 +1,117 @@
+// Wire protocol of the locsd serving layer — a strict, line-oriented,
+// human-debuggable request grammar.
+//
+// One request per line, space-separated tokens, uppercase verbs:
+//
+//   LOAD <name> <path>                 register a graph under a name
+//   EVICT <name>                       drop a graph from the registry
+//   LIST                               enumerate registered graphs
+//   CST <graph> <v> <k> [opt...]       CST(k) community of vertex v
+//   CSM <graph> <v> [opt...]           best community of vertex v
+//   MULTI <graph> <k|max> <v...> [opt...]   multi-vertex CST(k) / CSM
+//   STATS                              one-line server counters
+//   PING                               liveness probe
+//   QUIT                               end the session
+//
+// Trailing `opt` tokens are lowercase key=value pairs mapped onto the
+// QueryGuard limits: `deadline_ms=<double>`, `budget=<uint64>`, plus
+// `limit=<n>` capping the member ids echoed in the reply (0 = all).
+//
+// Every reply is also one line: `OK ...`, `ERR <kind> <detail>` or
+// `BUSY <detail>` (admission fast-reject). The parser is total: any byte
+// sequence — overlong lines, embedded NUL, non-numeric ids, missing or
+// surplus arguments — yields a typed WireError, never undefined behavior
+// and never an abort. Blank lines are ignored (no reply), so piped
+// heredocs with cosmetic spacing stay in lockstep.
+
+#ifndef LOCS_SERVE_WIRE_H_
+#define LOCS_SERVE_WIRE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "graph/types.h"
+#include "util/guard.h"
+
+namespace locs::serve {
+
+/// Request verbs. kNone marks an ignorable blank line.
+enum class Verb : uint8_t {
+  kNone,
+  kLoad,
+  kEvict,
+  kList,
+  kCst,
+  kCsm,
+  kMulti,
+  kStats,
+  kPing,
+  kQuit,
+};
+
+inline constexpr int kNumVerbs = 10;
+
+/// Wire name of a verb ("LOAD", "CST", ...; kNone reports "-").
+std::string_view VerbName(Verb verb);
+
+/// Typed parse/execution failures carried in `ERR <kind> ...` replies.
+enum class WireError : uint8_t {
+  kNone,
+  kLineTooLong,     ///< request exceeded kMaxLineBytes
+  kUnknownVerb,     ///< first token is not a known verb
+  kMissingArg,      ///< fewer arguments than the grammar requires
+  kExtraArg,        ///< surplus positional arguments
+  kBadNumber,       ///< a numeric token failed strict parsing
+  kBadOption,       ///< malformed or unknown key=value option
+  kUnknownGraph,    ///< query names a graph the registry does not hold
+  kVertexRange,     ///< vertex id out of the graph's [0, n) range
+  kDuplicateVertex, ///< MULTI query vertices must be distinct
+  kRegistryFull,    ///< LOAD rejected: registry at capacity
+  kIo,              ///< LOAD failed; detail carries the IoErrorKind
+  kShuttingDown,    ///< server is draining; no new work admitted
+};
+
+inline constexpr int kNumWireErrors = 13;
+
+/// Wire name of an error kind ("line-too-long", "bad-number", ...).
+std::string_view WireErrorName(WireError error);
+
+/// Hard cap on request-line length. Long enough for a MULTI query with
+/// thousands of seed vertices; short enough that a malicious peer cannot
+/// buffer unbounded memory through one session.
+inline constexpr size_t kMaxLineBytes = 64 * 1024;
+
+/// A parsed request. Fields beyond `verb` are meaningful per the grammar
+/// above; `limits` holds the per-request guard budgets (zeros = none).
+struct Request {
+  Verb verb = Verb::kNone;
+  std::string graph;              ///< LOAD/EVICT name or query graph
+  std::string path;               ///< LOAD source file
+  uint32_t k = 0;                 ///< CST/MULTI threshold
+  bool multi_max = false;         ///< MULTI ... max ... selects CsmMulti
+  std::vector<VertexId> vertices; ///< query vertices (MULTI: >= 1)
+  QueryLimits limits;             ///< deadline_ms= / budget= options
+  uint64_t member_limit = 0;      ///< limit= option; 0 = all members
+};
+
+/// ParseRequest outcome: either a request or a typed error with detail.
+struct ParseResult {
+  WireError error = WireError::kNone;
+  std::string detail;
+  Request request;
+
+  bool ok() const { return error == WireError::kNone; }
+};
+
+/// Parses one request line (no trailing newline). Total: never throws,
+/// never aborts, returns a typed error for every malformed input.
+ParseResult ParseRequest(std::string_view line);
+
+/// Formats an `ERR <kind> <detail>` reply line (no newline).
+std::string FormatError(WireError error, std::string_view detail);
+
+}  // namespace locs::serve
+
+#endif  // LOCS_SERVE_WIRE_H_

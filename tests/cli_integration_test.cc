@@ -170,6 +170,26 @@ TEST(CliIntegrationTest, BatchCommandRunsBothModes) {
   }
 }
 
+TEST(CliIntegrationTest, UnknownCommandHasDistinctExitAndStderr) {
+  // Unknown subcommands are a user error distinct from the generic
+  // usage failure: named on stderr, exit code 64.
+  const std::string command = std::string(LOCS_CLI_PATH) +
+                              " frobnicate 2>&1 1>/dev/null";
+  std::FILE* pipe = ::popen(command.c_str(), "r");
+  ASSERT_NE(pipe, nullptr);
+  std::string err;
+  std::array<char, 4096> buffer{};
+  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    err += buffer.data();
+  }
+  const int code = WEXITSTATUS(::pclose(pipe));
+  EXPECT_EQ(code, 64);
+  EXPECT_NE(err.find("unknown command 'frobnicate'"), std::string::npos)
+      << err;
+  // The usage path (no arguments) keeps its own exit code.
+  EXPECT_NE(RunCli("").first, 64);
+}
+
 TEST(CliIntegrationTest, ErrorsAreClean) {
   EXPECT_NE(RunCli("stats --input=/nonexistent/graph").first, 0);
   EXPECT_NE(RunCli("frobnicate").first, 0);

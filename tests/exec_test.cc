@@ -193,6 +193,83 @@ TEST(ExecutorTest, ManySmallBatchesReuseThePool) {
   }
 }
 
+TEST(ExecutorTest, SubmitRunsDetachedTasks) {
+  Executor exec(4);
+  std::atomic<int> done{0};
+  constexpr int kTasks = 32;
+  for (int i = 0; i < kTasks; ++i) {
+    ASSERT_TRUE(exec.Submit([&] {
+      done.fetch_add(1, std::memory_order_relaxed);
+    }));
+  }
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (done.load() < kTasks &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(done.load(), kTasks);
+}
+
+TEST(ExecutorTest, SerialExecutorRejectsSubmit) {
+  // A 1-wide executor has no pool thread to detach onto; Submit must
+  // refuse rather than run inline (the caller would block on itself).
+  Executor serial(1);
+  EXPECT_FALSE(serial.Submit([] {}));
+  EXPECT_FALSE(serial.started());
+}
+
+TEST(ExecutorTest, ParallelForCompletesWithWorkersParkedInTasks) {
+  // Park every pool thread in a long-lived task, then run a batch: the
+  // calling thread alone must still complete it (the serving layer's
+  // sessions-plus-queries coexistence guarantee).
+  Executor exec(3);
+  std::atomic<bool> release{false};
+  std::atomic<int> parked{0};
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(exec.Submit([&] {
+      parked.fetch_add(1);
+      while (!release.load()) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+    }));
+  }
+  while (parked.load() < 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(exec.active_tasks(), 2u);
+  std::atomic<size_t> items{0};
+  const auto run = exec.ParallelFor(
+      100, [&](unsigned, size_t begin, size_t end) {
+        items.fetch_add(end - begin, std::memory_order_relaxed);
+      });
+  EXPECT_EQ(run.items_run, 100u);
+  EXPECT_EQ(items.load(), 100u);
+  release.store(true);
+  while (exec.active_tasks() != 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+TEST(ExecutorTest, ThrowingSubmittedTaskIsSwallowed) {
+  Executor exec(2);
+  std::atomic<bool> threw{false};
+  ASSERT_TRUE(exec.Submit([&] {
+    threw.store(true);
+    throw std::runtime_error("detached");
+  }));
+  while (!threw.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // The worker survives the escaped exception and serves new work.
+  std::atomic<int> after{0};
+  ASSERT_TRUE(exec.Submit([&] { after.store(1); }));
+  while (after.load() == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_EQ(after.load(), 1);
+}
+
 TEST(ExecutorTest, ZeroItemsIsANoOp) {
   Executor exec(4);
   const auto run =

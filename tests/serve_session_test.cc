@@ -1,0 +1,480 @@
+// In-process tests of the serving layer above the parser: sessions over
+// fd transports, the graph registry, admission control (deterministic
+// BUSY via the serve.slow_query failpoint), graceful drain, metrics
+// consistency, and concurrent sessions through the real TcpServer.
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gen/classic.h"
+#include "graph/io.h"
+#include "serve/admission.h"
+#include "serve/server.h"
+#include "serve/session.h"
+#include "util/failpoint.h"
+
+namespace locs::serve {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Shared server state plus a scripted-session driver. Scripts run over
+/// file-backed fds (no pipe-capacity deadlock however large the reply),
+/// one reply line per effective request, exactly like a piped locsd.
+struct ServeFixture {
+  GraphRegistry registry;
+  AdmissionController admission;
+  ServerMetrics metrics;
+  SessionOptions options;
+
+  explicit ServeFixture(
+      size_t max_graphs = 16,
+      AdmissionController::Options admit = AdmissionController::Options())
+      : registry(max_graphs), admission(admit) {}
+
+  /// Registers `graph` under `name` via a temp binary file.
+  void Register(const std::string& name, const Graph& graph) {
+    const std::string path = TempPath("serve_fix_" + name + ".lcsg");
+    ASSERT_TRUE(SaveBinary(graph, path));
+    IoError error;
+    bool full = false;
+    ASSERT_NE(registry.Load(name, path, &error, &full), nullptr)
+        << error.message;
+  }
+
+  /// Runs one session over the script; returns the reply lines.
+  std::vector<std::string> Run(const std::vector<std::string>& script,
+                               const std::string& tag) {
+    const std::string in_path = TempPath("serve_in_" + tag);
+    const std::string out_path = TempPath("serve_out_" + tag);
+    {
+      const int fd =
+          ::open(in_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0600);
+      EXPECT_GE(fd, 0);
+      for (const std::string& line : script) {
+        const std::string framed = line + "\n";
+        EXPECT_EQ(::write(fd, framed.data(), framed.size()),
+                  static_cast<ssize_t>(framed.size()));
+      }
+      ::close(fd);
+    }
+    const int in_fd = ::open(in_path.c_str(), O_RDONLY);
+    const int out_fd =
+        ::open(out_path.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0600);
+    EXPECT_GE(in_fd, 0);
+    EXPECT_GE(out_fd, 0);
+    {
+      FdTransport transport(in_fd, out_fd);
+      Session session(transport, registry, admission, metrics, options);
+      session.Run();
+    }
+    ::close(in_fd);
+    ::close(out_fd);
+
+    std::vector<std::string> replies;
+    const int read_fd = ::open(out_path.c_str(), O_RDONLY);
+    EXPECT_GE(read_fd, 0);
+    FdTransport reader(read_fd, -1);
+    std::string line;
+    while (reader.ReadLine(&line) == Transport::ReadStatus::kLine) {
+      replies.push_back(line);
+    }
+    ::close(read_fd);
+    return replies;
+  }
+};
+
+bool StartsWith(const std::string& text, const std::string& prefix) {
+  return text.rfind(prefix, 0) == 0;
+}
+
+TEST(ServeSessionTest, KnownStructureQueriesAreExact) {
+  // Barbell(6, 2): two K6 joined through a 2-vertex path. The CST(5)
+  // and CSM answers are structurally forced, so replies are checkable
+  // without re-running a solver.
+  ServeFixture fix;
+  fix.Register("bb", gen::Barbell(6, 2));
+  const auto replies = fix.Run(
+      {
+          "PING",
+          "CSM bb 0",
+          "CST bb 0 5",
+          "CST bb 0 7",       // k above the degeneracy: exact negative
+          "MULTI bb 5 0 1",   // both seeds in the left clique
+          "MULTI bb 5 0 11",  // seeds in different cliques: no δ>=5 answer
+          "QUIT",
+      },
+      "exact");
+  ASSERT_EQ(replies.size(), 7u);
+  EXPECT_EQ(replies[0], "OK pong");
+  EXPECT_TRUE(StartsWith(replies[1], "OK status=found n=6 delta=5"))
+      << replies[1];
+  EXPECT_TRUE(StartsWith(replies[2], "OK status=found n=6 delta=5"))
+      << replies[2];
+  EXPECT_TRUE(StartsWith(replies[3], "OK status=not-exists n=0"))
+      << replies[3];
+  EXPECT_TRUE(StartsWith(replies[4], "OK status=found n=6 delta=5"))
+      << replies[4];
+  EXPECT_TRUE(StartsWith(replies[5], "OK status=not-exists n=0"))
+      << replies[5];
+  EXPECT_EQ(replies[6], "OK bye");
+}
+
+TEST(ServeSessionTest, LoadEvictListLifecycle) {
+  ServeFixture fix;
+  const std::string path = TempPath("serve_lifecycle.lcsg");
+  ASSERT_TRUE(SaveBinary(gen::Clique(8), path));
+  const auto replies = fix.Run(
+      {
+          "LOAD k8 " + path,
+          "LIST",
+          "CST k8 0 7",
+          "EVICT k8",
+          "CST k8 0 7",  // evicted name is gone for new queries
+          "EVICT k8",    // double-evict is a typed error
+          "LIST",
+          "LOAD broken /nonexistent/file.lcsg",
+      },
+      "lifecycle");
+  ASSERT_EQ(replies.size(), 8u);
+  EXPECT_TRUE(StartsWith(replies[0], "OK graph=k8 vertices=8 edges=28"))
+      << replies[0];
+  EXPECT_EQ(replies[1], "OK graphs=1 k8:8:28");
+  EXPECT_TRUE(StartsWith(replies[2], "OK status=found n=8 delta=7"));
+  EXPECT_EQ(replies[3], "OK evicted=k8");
+  EXPECT_TRUE(StartsWith(replies[4], "ERR unknown-graph"));
+  EXPECT_TRUE(StartsWith(replies[5], "ERR unknown-graph"));
+  EXPECT_EQ(replies[6], "OK graphs=0");
+  EXPECT_TRUE(StartsWith(replies[7], "ERR io open:")) << replies[7];
+}
+
+TEST(ServeSessionTest, ExecutionErrorsAreTypedAndNonFatal) {
+  ServeFixture fix;
+  fix.Register("g", gen::Clique(5));
+  const auto replies = fix.Run(
+      {
+          "CST nope 0 2",       // unknown graph
+          "CST g 99 2",         // vertex out of range
+          "MULTI g 2 1 2 1",    // duplicate seed
+          "CST g zero 2",       // parse error mid-session
+          "CST g 0 4 limit=2",  // session still fully functional
+      },
+      "errors");
+  ASSERT_EQ(replies.size(), 5u);
+  EXPECT_TRUE(StartsWith(replies[0], "ERR unknown-graph"));
+  EXPECT_TRUE(StartsWith(replies[1], "ERR vertex-range"));
+  EXPECT_TRUE(StartsWith(replies[2], "ERR duplicate-vertex"));
+  EXPECT_TRUE(StartsWith(replies[3], "ERR bad-number"));
+  // δ >= 4 in K5 forces the whole clique; the echo is capped at 2.
+  EXPECT_TRUE(StartsWith(replies[4], "OK status=found n=5 delta=4"))
+      << replies[4];
+  EXPECT_TRUE(replies[4].find("truncated=3") != std::string::npos)
+      << replies[4];
+}
+
+TEST(ServeSessionTest, RegistryCapacityIsEnforced) {
+  ServeFixture fix(/*max_graphs=*/1);
+  const std::string path_a = TempPath("serve_cap_a.lcsg");
+  const std::string path_b = TempPath("serve_cap_b.lcsg");
+  ASSERT_TRUE(SaveBinary(gen::Clique(4), path_a));
+  ASSERT_TRUE(SaveBinary(gen::Cycle(5), path_b));
+  const auto replies = fix.Run(
+      {
+          "LOAD a " + path_a,
+          "LOAD b " + path_b,  // registry full
+          "LOAD a " + path_b,  // replacing an existing name is allowed
+          "LIST",
+      },
+      "capacity");
+  ASSERT_EQ(replies.size(), 4u);
+  EXPECT_TRUE(StartsWith(replies[0], "OK graph=a"));
+  EXPECT_TRUE(StartsWith(replies[1], "ERR registry-full"));
+  EXPECT_TRUE(StartsWith(replies[2], "OK graph=a vertices=5"));
+  EXPECT_EQ(replies[3], "OK graphs=1 a:5:5");
+}
+
+TEST(ServeSessionTest, MemberLimitDefaultsAndOverrides) {
+  ServeFixture fix;
+  fix.options.default_member_limit = 3;
+  fix.Register("g", gen::Clique(6));
+  const auto replies = fix.Run(
+      {
+          "CST g 0 5",          // server default caps the echo at 3
+          "CST g 0 5 limit=1",  // request override wins
+      },
+      "limit");
+  ASSERT_EQ(replies.size(), 2u);
+  // Clique(6) answer has n=6; the echo is capped at 3 (server default)
+  // and 1 (request override) members respectively.
+  EXPECT_TRUE(replies[0].find("truncated=3") != std::string::npos)
+      << replies[0];
+  EXPECT_TRUE(replies[1].find("truncated=5") != std::string::npos)
+      << replies[1];
+}
+
+TEST(ServeSessionTest, DrainFlagRejectsQueriesAndEndsSession) {
+  ServeFixture fix;
+  fix.Register("g", gen::Clique(4));
+  std::atomic<bool> stop{true};
+  fix.options.stop = &stop;
+  const auto replies = fix.Run({"CST g 0 2", "CST g 0 3"}, "drain");
+  // The first query gets the typed drain error and the session exits;
+  // the second request is never read.
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_TRUE(StartsWith(replies[0], "ERR shutting-down"));
+}
+
+TEST(ServeSessionTest, MetricsLedgerAddsUp) {
+  ServeFixture fix;
+  fix.Register("g", gen::Barbell(5, 0));
+  const auto replies = fix.Run(
+      {
+          "PING",
+          "CST g 0 4",
+          "CSM g 0",
+          "MULTI g 4 0 1",
+          "CST nope 0 1",
+          "GARBAGE",
+          "STATS",
+      },
+      "metrics");
+  ASSERT_EQ(replies.size(), 7u);
+  const MetricsSnapshot snap = fix.metrics.Snapshot();
+  EXPECT_EQ(snap.TotalRequests(), 6u);  // GARBAGE never parses to a verb
+  EXPECT_EQ(snap.requests_by_verb[static_cast<size_t>(Verb::kCst)], 2u);
+  EXPECT_EQ(snap.requests_by_verb[static_cast<size_t>(Verb::kPing)], 1u);
+  EXPECT_EQ(snap.TotalErrors(), 2u);
+  EXPECT_EQ(
+      snap.errors_by_kind[static_cast<size_t>(WireError::kUnknownVerb)], 1u);
+  EXPECT_EQ(
+      snap.errors_by_kind[static_cast<size_t>(WireError::kUnknownGraph)],
+      1u);
+  // Three queries completed -> three latency samples, and the percentile
+  // estimator returns a sane bound.
+  EXPECT_EQ(snap.TotalQueries(), 3u);
+  EXPECT_GT(snap.LatencyPercentileUs(0.95), 0u);
+  EXPECT_EQ(snap.sessions_opened, 1u);
+  EXPECT_EQ(snap.sessions_closed, 1u);
+  // The STATS reply carries the same ledger.
+  EXPECT_TRUE(replies[6].find(" requests=6") != std::string::npos)
+      << replies[6];
+  EXPECT_TRUE(replies[6].find(" errors=2") != std::string::npos);
+  EXPECT_TRUE(replies[6].find(" queries=3") != std::string::npos);
+}
+
+TEST(ServeSessionTest, SaturationYieldsBusyNotBlocking) {
+  // max_inflight=1, max_queued=0: with one slow query holding the slot
+  // (the serve.slow_query failpoint makes "slow" deterministic), a
+  // concurrent query must fast-reject with BUSY.
+  AdmissionController::Options admit;
+  admit.max_inflight = 1;
+  admit.max_queued = 0;
+  ServeFixture fix(/*max_graphs=*/16, admit);
+  fix.Register("g", gen::Clique(4));
+  failpoint::ScopedFailpoint slow("serve.slow_query");
+
+  std::vector<std::string> slow_replies;
+  std::thread holder([&] {
+    slow_replies = fix.Run({"CST g 0 2"}, "busy_holder");
+  });
+  // Give the holder time to pass admission and park in the failpoint
+  // sleep (200ms), then contend.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const auto busy_replies = fix.Run({"CST g 1 2"}, "busy_contender");
+  holder.join();
+
+  ASSERT_EQ(slow_replies.size(), 1u);
+  EXPECT_TRUE(StartsWith(slow_replies[0], "OK status=found"));
+  ASSERT_EQ(busy_replies.size(), 1u);
+  EXPECT_TRUE(StartsWith(busy_replies[0], "BUSY inflight=1 queued=0"))
+      << busy_replies[0];
+  EXPECT_EQ(fix.metrics.Snapshot().rejected, 1u);
+  EXPECT_EQ(fix.admission.Snapshot().rejected_total, 1u);
+}
+
+TEST(ServeSessionTest, BoundedQueueAdmitsThenRejects) {
+  // max_inflight=1, max_queued=1: the second query waits for the slot
+  // and succeeds; the third finds the queue full and fast-rejects.
+  AdmissionController::Options admit;
+  admit.max_inflight = 1;
+  admit.max_queued = 1;
+  ServeFixture fix(/*max_graphs=*/16, admit);
+  fix.Register("g", gen::Clique(4));
+  failpoint::ScopedFailpoint slow("serve.slow_query");
+
+  std::vector<std::string> first, second;
+  std::thread holder([&] { first = fix.Run({"CST g 0 2"}, "q_holder"); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  std::thread waiter([&] { second = fix.Run({"CST g 1 2"}, "q_waiter"); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(60));
+  const auto third = fix.Run({"CST g 2 2"}, "q_reject");
+  holder.join();
+  waiter.join();
+
+  ASSERT_EQ(first.size(), 1u);
+  ASSERT_EQ(second.size(), 1u);
+  ASSERT_EQ(third.size(), 1u);
+  EXPECT_TRUE(StartsWith(first[0], "OK status=found"));
+  EXPECT_TRUE(StartsWith(second[0], "OK status=found"));
+  EXPECT_TRUE(StartsWith(third[0], "BUSY")) << third[0];
+}
+
+// --- TCP front end -------------------------------------------------------
+
+/// Connects to 127.0.0.1:port, sends `script`, reads replies until the
+/// server closes the connection.
+std::vector<std::string> TcpScript(uint16_t port,
+                                   const std::vector<std::string>& script) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  FdTransport transport(fd, fd, /*owns_fds=*/true);
+  for (const std::string& line : script) {
+    EXPECT_TRUE(transport.WriteLine(line));
+  }
+  std::vector<std::string> replies;
+  std::string line;
+  while (transport.ReadLine(&line) == Transport::ReadStatus::kLine) {
+    replies.push_back(line);
+  }
+  return replies;
+}
+
+TEST(TcpServerTest, ConcurrentSessionsServeAndDrain) {
+  ServerOptions options;
+  options.max_sessions = 4;
+  CommunityServer shared(options);
+  const std::string path = TempPath("serve_tcp.lcsg");
+  ASSERT_TRUE(SaveBinary(gen::Barbell(6, 2), path));
+  IoError io_error;
+  bool full = false;
+  ASSERT_NE(shared.registry().Load("g", path, &io_error, &full), nullptr);
+
+  Executor executor(6);
+  TcpServer server(shared, executor, options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  ASSERT_NE(server.port(), 0);
+  std::thread accept_thread([&] { server.Run(); });
+
+  constexpr int kClients = 3;
+  std::vector<std::vector<std::string>> replies(kClients);
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      replies[static_cast<size_t>(c)] = TcpScript(
+          server.port(),
+          {"PING", "CST g 0 5 limit=6", "CSM g 11 limit=6", "QUIT"});
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.Stop();
+  accept_thread.join();
+
+  for (const auto& session_replies : replies) {
+    ASSERT_EQ(session_replies.size(), 4u);
+    EXPECT_EQ(session_replies[0], "OK pong");
+    EXPECT_TRUE(StartsWith(session_replies[1], "OK status=found n=6 delta=5"))
+        << session_replies[1];
+    EXPECT_TRUE(StartsWith(session_replies[2], "OK status=found n=6 delta=5"))
+        << session_replies[2];
+    EXPECT_EQ(session_replies[3], "OK bye");
+  }
+  // Every session is accounted for and fully closed after drain.
+  const MetricsSnapshot snap = shared.metrics().Snapshot();
+  EXPECT_EQ(snap.sessions_opened, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(snap.sessions_closed, static_cast<uint64_t>(kClients));
+  EXPECT_EQ(server.active_sessions(), 0u);
+}
+
+TEST(TcpServerTest, SessionCapRejectsWithBusy) {
+  ServerOptions options;
+  options.max_sessions = 1;
+  CommunityServer shared(options);
+  Executor executor(3);
+  TcpServer server(shared, executor, options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  std::thread accept_thread([&] { server.Run(); });
+
+  // First connection occupies the only session slot; PING round-trip
+  // proves the session is running before the second connect.
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  FdTransport held(fd, fd, /*owns_fds=*/true);
+  ASSERT_TRUE(held.WriteLine("PING"));
+  std::string line;
+  ASSERT_EQ(held.ReadLine(&line), Transport::ReadStatus::kLine);
+  EXPECT_EQ(line, "OK pong");
+
+  const auto rejected = TcpScript(server.port(), {"PING"});
+  ASSERT_EQ(rejected.size(), 1u);
+  EXPECT_EQ(rejected[0], "BUSY sessions=1");
+
+  EXPECT_TRUE(held.WriteLine("QUIT"));
+  ASSERT_EQ(held.ReadLine(&line), Transport::ReadStatus::kLine);
+  EXPECT_EQ(line, "OK bye");
+  server.Stop();
+  accept_thread.join();
+  EXPECT_GE(shared.metrics().Snapshot().rejected, 1u);
+}
+
+TEST(TcpServerTest, StopUnblocksIdleSessions) {
+  // A session parked in a blocking read must not hang the drain: Stop()
+  // shuts the socket down and Run() returns.
+  ServerOptions options;
+  CommunityServer shared(options);
+  Executor executor(3);
+  TcpServer server(shared, executor, options);
+  std::string error;
+  ASSERT_TRUE(server.Start(&error)) << error;
+  std::thread accept_thread([&] { server.Run(); });
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(server.port());
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  ASSERT_EQ(
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+      0);
+  FdTransport idle(fd, fd, /*owns_fds=*/true);
+  ASSERT_TRUE(idle.WriteLine("PING"));
+  std::string line;
+  ASSERT_EQ(idle.ReadLine(&line), Transport::ReadStatus::kLine);
+
+  server.Stop();        // session is idle in ReadLine at this point
+  accept_thread.join();  // must not hang
+  EXPECT_EQ(server.active_sessions(), 0u);
+}
+
+}  // namespace
+}  // namespace locs::serve

@@ -23,6 +23,7 @@
 #include "core/kcore.h"
 #include "core/searcher.h"
 #include "exec/batch_runner.h"
+#include "serve/daemon.h"
 #include "gen/barabasi.h"
 #include "gen/erdos_renyi.h"
 #include "gen/lfr.h"
@@ -43,17 +44,11 @@ bool EndsWith(const std::string& text, const std::string& suffix) {
                       suffix) == 0;
 }
 
-std::optional<Graph> LoadAuto(const std::string& path, IoError* error) {
-  if (EndsWith(path, ".lcsg")) return LoadBinary(path, error);
-  if (EndsWith(path, ".metis") || EndsWith(path, ".graph")) {
-    return LoadMetis(path, error);
-  }
-  return LoadEdgeList(path, error);
-}
-
 // Exit codes. 0 = success, 1 = generic usage/argument error, 2 = bad
-// command line. Load failures and interrupted queries get distinct codes
-// so scripts can branch without parsing stderr.
+// command line, 64 = unknown subcommand (distinct from `help`, so a
+// script typo never parses as a successful usage request). Load failures
+// and interrupted queries get distinct codes so scripts can branch
+// without parsing stderr.
 constexpr int kExitOpenError = 3;       // input file missing/unreadable
 constexpr int kExitParseError = 4;      // input file malformed
 constexpr int kExitTruncatedError = 5;  // input file short/truncated
@@ -61,6 +56,7 @@ constexpr int kExitAllocError = 6;      // graph did not fit in memory
 constexpr int kExitDeadline = 10;       // query interrupted: deadline
 constexpr int kExitBudget = 11;         // query interrupted: work budget
 constexpr int kExitCancelled = 12;      // query interrupted: cancel flag
+constexpr int kExitUnknownCommand = 64; // subcommand not recognized
 
 int IoExitCode(IoErrorKind kind) {
   switch (kind) {
@@ -141,9 +137,32 @@ int Usage() {
       "  generate  --model=lfr|ba|gnp --n=N --output=F [--seed=S]\n"
       "            [--mu=0.1 --min-degree --max-degree --min-community\n"
       "             --max-community] [--m=3] [--p=0.01]\n"
+      "  serve     (--stdio | --port=P) [flags]   resident query daemon\n"
+      "  client    --port=P                       scripted TCP session\n"
       "exit codes: 0 ok, 3 open, 4 parse, 5 truncated, 6 alloc,\n"
-      "            10 deadline, 11 work-budget, 12 cancelled\n");
+      "            10 deadline, 11 work-budget, 12 cancelled,\n"
+      "            64 unknown command\n");
   return 2;
+}
+
+int CmdServe(const CommandLine& cli) {
+  serve::DaemonOptions options;
+  std::string error;
+  if (!serve::ParseDaemonOptions(cli, &options, &error)) {
+    std::fprintf(stderr, "error: %s\nserve flags:\n%s", error.c_str(),
+                 serve::DaemonFlagHelp());
+    return 2;
+  }
+  return serve::DaemonMain(options);
+}
+
+int CmdClient(const CommandLine& cli) {
+  const int64_t port = cli.GetInt("port", -1);
+  if (port <= 0 || port > 65535) {
+    std::fprintf(stderr, "error: client requires --port=P (1..65535)\n");
+    return 2;
+  }
+  return serve::ClientMain(static_cast<uint16_t>(port));
 }
 
 /// Loads --input; on failure prints the IoError detail and stores the
@@ -157,7 +176,7 @@ std::optional<Graph> RequireGraph(const CommandLine& cli, int* exit_code) {
   }
   WallTimer timer;
   IoError error;
-  auto graph = LoadAuto(input, &error);
+  auto graph = LoadGraphAuto(input, &error);
   if (!graph.has_value()) {
     if (error.line > 0) {
       std::fprintf(stderr, "error: could not load '%s' (%s error): %s "
@@ -495,6 +514,9 @@ int CmdGenerate(const CommandLine& cli) {
 int Run(int argc, char** argv) {
   if (argc < 2) return Usage();
   const std::string command = argv[1];
+  if (command == "help" || command == "--help" || command == "-h") {
+    return Usage();
+  }
   const CommandLine cli(argc - 1, argv + 1);
   if (command == "stats") return CmdStats(cli);
   if (command == "cst") return CmdCst(cli);
@@ -503,7 +525,13 @@ int Run(int argc, char** argv) {
   if (command == "decompose") return CmdDecompose(cli);
   if (command == "convert") return CmdConvert(cli);
   if (command == "generate") return CmdGenerate(cli);
-  return Usage();
+  if (command == "serve") return CmdServe(cli);
+  if (command == "client") return CmdClient(cli);
+  // A typo must not exit like a usage request: distinct code, explicit
+  // message, and the usage text for orientation.
+  std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+  Usage();
+  return kExitUnknownCommand;
 }
 
 }  // namespace

@@ -47,13 +47,17 @@ run_pass() {
 
 # TSan halts on the first data race so errors can't scroll past unseen.
 # The concurrency label includes guard_test (deadline/budget/cancel
-# interruption) and the executor/batch-runner suites.
+# interruption) and the executor/batch-runner suites; the serve label
+# adds the serving layer's concurrent sessions (shared registry,
+# admission controller, metrics, TCP drain).
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-  run_pass tsan thread concurrency
+  run_pass tsan thread 'concurrency|serve'
 
+# The serve label rides along here too: the wire parser and transport
+# framing are the newest code facing adversarial bytes.
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}" \
-  run_pass asan-ubsan address,undefined io
+  run_pass asan-ubsan address,undefined 'io|serve'
 
 # Third pass: same asan-ubsan tree (already built), everything.
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
