@@ -4,8 +4,17 @@
 // Paper's shape: local search produces answers up to an order of
 // magnitude smaller than global search (which returns the maximal k-core
 // component) and visits up to two orders of magnitude fewer vertices.
+//
+// The visited columns are read from the per-phase obs::QueryTelemetry
+// counters carried by SearchResult (TotalVisited over the phase
+// breakdown), and every query cross-checks that total against the legacy
+// QueryStats projection — a mismatch is a telemetry-accounting bug and
+// fails the bench.
 
 #include <cstdio>
+#include <cstdlib>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/datasets.h"
@@ -15,12 +24,33 @@
 #include "core/kcore.h"
 #include "core/local_cst.h"
 #include "graph/ordering.h"
+#include "obs/telemetry.h"
+#include "obs/trace_sink.h"
 #include "util/cli.h"
 #include "util/stats.h"
 #include "util/table.h"
 
 namespace locs::bench {
 namespace {
+
+/// Dies unless the telemetry totals reproduce the legacy QueryStats
+/// counters exactly (the two are one accounting, not two).
+void CheckConsistent(const obs::QueryTelemetry& telemetry,
+                     const QueryStats& stats, const char* solver) {
+  if (telemetry.TotalVisited() == stats.visited_vertices &&
+      telemetry.TotalScanned() == stats.scanned_edges) {
+    return;
+  }
+  std::fprintf(stderr,
+               "fig13: telemetry/stats divergence in %s: "
+               "visited %llu vs %llu, scanned %llu vs %llu\n",
+               solver,
+               static_cast<unsigned long long>(telemetry.TotalVisited()),
+               static_cast<unsigned long long>(stats.visited_vertices),
+               static_cast<unsigned long long>(telemetry.TotalScanned()),
+               static_cast<unsigned long long>(stats.scanned_edges));
+  std::exit(1);
+}
 
 int Run(int argc, char** argv) {
   const CommandLine cli(argc, argv);
@@ -41,31 +71,69 @@ int Run(int argc, char** argv) {
   const OrderedAdjacency ordered(g);
   LocalCstSolver solver(g, &ordered, &facts);
 
+  // Artifacts: the BENCH_*.json report CI uploads, plus one JSONL trace
+  // line per local query (--trace= overrides the path, empty disables).
+  JsonReport report("fig13_visited");
+  report.Meta("dataset", name);
+  report.Meta("queries", std::to_string(queries));
+  const std::string trace_path =
+      cli.GetString("trace", "TRACE_fig13.jsonl");
+  std::optional<obs::TraceSink> trace;
+  if (!trace_path.empty()) {
+    trace.emplace(trace_path);
+    if (trace->ok()) solver.set_recorder(&*trace);
+  }
+
   const uint32_t s = std::max(1u, cores.degeneracy / 10);
   TableWriter size_table({"k", "global size", "ls-naive size",
                           "ls-li size", "ls-lg size"});
   TableWriter visit_table({"k", "global visited", "ls-naive visited",
                            "ls-li visited", "ls-lg visited"});
+  // Where the local solvers' visited effort goes: expansion-phase share
+  // versus the Algorithm-2-line-6 global fallback (core decomposition +
+  // connectivity phases), averaged over the ls-li queries.
+  TableWriter phase_table({"k", "ls-li expansion", "ls-li fallback",
+                           "fallback rate"});
   for (uint32_t mult = 1; mult <= 8; ++mult) {
     const uint32_t k = s * mult;
     const auto sample = SampleFromKCore(cores, k, queries, 330 + k);
     if (sample.empty()) continue;
     std::vector<double> sizes[4];
     std::vector<double> visits[4];
+    std::vector<double> expansion_visits;
+    std::vector<double> fallback_visits;
+    uint64_t fallbacks = 0;
     for (VertexId v0 : sample) {
       QueryStats stats;
-      GlobalCst(g, v0, k, &stats);
+      SearchResult result = GlobalCst(g, v0, k, &stats);
+      CheckConsistent(result.telemetry, stats, "global");
       sizes[0].push_back(static_cast<double>(stats.answer_size));
-      visits[0].push_back(static_cast<double>(stats.visited_vertices));
+      visits[0].push_back(
+          static_cast<double>(result.telemetry.TotalVisited()));
       const Strategy strategies[3] = {Strategy::kNaive, Strategy::kLI,
                                       Strategy::kLG};
       for (int i = 0; i < 3; ++i) {
         CstOptions options;
         options.strategy = strategies[i];
-        solver.Solve(v0, k, options, &stats);
+        if (trace.has_value()) {
+          trace->Annotate(std::string(StrategyName(strategies[i])) +
+                          " k=" + std::to_string(k));
+        }
+        result = solver.Solve(v0, k, options, &stats);
+        CheckConsistent(result.telemetry, stats, "local");
         sizes[i + 1].push_back(static_cast<double>(stats.answer_size));
         visits[i + 1].push_back(
-            static_cast<double>(stats.visited_vertices));
+            static_cast<double>(result.telemetry.TotalVisited()));
+        if (strategies[i] == Strategy::kLI) {
+          const obs::QueryTelemetry& t = result.telemetry;
+          expansion_visits.push_back(static_cast<double>(
+              t[obs::Phase::kExpansion].vertices_visited +
+              t[obs::Phase::kAdmission].vertices_visited));
+          fallback_visits.push_back(static_cast<double>(
+              t[obs::Phase::kCoreDecomposition].vertices_visited +
+              t[obs::Phase::kConnectivity].vertices_visited));
+          fallbacks += t.used_global_fallback ? 1 : 0;
+        }
       }
     }
     size_table.Row()
@@ -80,11 +148,44 @@ int Run(int argc, char** argv) {
         .Num(Summarize(visits[1]).mean, 1)
         .Num(Summarize(visits[2]).mean, 1)
         .Num(Summarize(visits[3]).mean, 1);
+    phase_table.Row()
+        .Num(uint64_t{k})
+        .Num(Summarize(expansion_visits).mean, 1)
+        .Num(Summarize(fallback_visits).mean, 1)
+        .Num(static_cast<double>(fallbacks) /
+                 static_cast<double>(sample.size()),
+             3);
+    report.AddRow()
+        .Num("k", k)
+        .Num("samples", static_cast<double>(sample.size()))
+        .Num("global_size", Summarize(sizes[0]).mean)
+        .Num("naive_size", Summarize(sizes[1]).mean)
+        .Num("li_size", Summarize(sizes[2]).mean)
+        .Num("lg_size", Summarize(sizes[3]).mean)
+        .Num("global_visited", Summarize(visits[0]).mean)
+        .Num("naive_visited", Summarize(visits[1]).mean)
+        .Num("li_visited", Summarize(visits[2]).mean)
+        .Num("lg_visited", Summarize(visits[3]).mean)
+        .Num("li_expansion_visited", Summarize(expansion_visits).mean)
+        .Num("li_fallback_visited", Summarize(fallback_visits).mean)
+        .Num("li_fallback_rate",
+             static_cast<double>(fallbacks) /
+                 static_cast<double>(sample.size()));
   }
   std::printf("(a) answer size, dataset %s\n", name.c_str());
   size_table.Print("fig13a_" + name);
   std::printf("\n(b) visited vertices, dataset %s\n", name.c_str());
   visit_table.Print("fig13b_" + name);
+  std::printf("\n(c) ls-li visited by phase, dataset %s\n", name.c_str());
+  phase_table.Print("fig13c_" + name);
+  const std::string out = "BENCH_fig13.json";
+  if (report.Write(out)) {
+    std::printf("\nreport: %s", out.c_str());
+    if (trace.has_value() && trace->ok()) {
+      std::printf("; trace: %s", trace_path.c_str());
+    }
+    std::printf("\n");
+  }
   return 0;
 }
 

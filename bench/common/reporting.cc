@@ -1,68 +1,15 @@
 #include "common/reporting.h"
 
-#include <cmath>
 #include <cstdio>
+
+#include "util/json.h"
 
 namespace locs::bench {
 
 namespace {
 
-/// JSON string literal with the escapes the grammar requires.
-std::string Quote(const std::string& text) {
-  std::string out = "\"";
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buffer[8];
-          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
-          out += buffer;
-        } else {
-          out += c;
-        }
-    }
-  }
-  out += '"';
-  return out;
-}
-
-/// Shortest-round-trip number rendering; JSON has no NaN/Inf, so
-/// non-finite values degrade to null.
-std::string Number(double value) {
-  if (!std::isfinite(value)) return "null";
-  char buffer[32];
-  // Integral values (counts, sizes) read better undecorated.
-  if (value == std::floor(value) && std::fabs(value) < 9.0e15) {
-    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
-    return buffer;
-  }
-  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
-  // Trim to the shortest representation that round-trips.
-  for (int precision = 1; precision < 17; ++precision) {
-    char shorter[32];
-    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
-    double parsed = 0.0;
-    if (std::sscanf(shorter, "%lf", &parsed) == 1 && parsed == value) {
-      return shorter;
-    }
-  }
-  return buffer;
-}
+using json::Number;
+using json::Quote;
 
 void AppendPairs(
     std::string* out,

@@ -14,4 +14,13 @@ std::string_view StrategyName(Strategy strategy) {
   return "unknown";
 }
 
+QueryStats ToQueryStats(const obs::QueryTelemetry& telemetry) {
+  QueryStats stats;
+  stats.visited_vertices = telemetry.TotalVisited();
+  stats.scanned_edges = telemetry.TotalScanned();
+  stats.used_global_fallback = telemetry.used_global_fallback;
+  stats.answer_size = telemetry.answer_size;
+  return stats;
+}
+
 }  // namespace locs

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "graph/types.h"
+#include "obs/telemetry.h"
 
 namespace locs {
 
@@ -25,6 +26,11 @@ std::string_view StrategyName(Strategy strategy);
 /// Per-query instrumentation, reported by every solver. These counters feed
 /// Figure 13 (answer size and visited vertices) and the efficiency
 /// discussions of §6.1.3.
+///
+/// Since the obs layer landed, this is a *derived view*: solvers account
+/// into an obs::QueryTelemetry (per-phase counters + spans, carried by
+/// SearchResult) and the totals are projected back here via ToQueryStats
+/// for callers that only want the four classic numbers.
 struct QueryStats {
   /// Vertices moved into the candidate/visited set.
   uint64_t visited_vertices = 0;
@@ -36,6 +42,11 @@ struct QueryStats {
   /// Size of the returned community (0 when there is none).
   uint64_t answer_size = 0;
 };
+
+/// Projects per-phase telemetry onto the legacy QueryStats totals. The
+/// projection is exact: every counter increment in the solvers lands in
+/// exactly one phase, so the sums equal what the pre-obs counters held.
+QueryStats ToQueryStats(const obs::QueryTelemetry& telemetry);
 
 /// A community-search answer: the member set (parent-graph vertex ids) and
 /// its goodness δ(G[H]).

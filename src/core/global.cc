@@ -39,13 +39,14 @@ Community HarvestComponent(const Graph& graph, VertexId v0,
 }
 
 SearchResult GlobalCstImpl(const Graph& graph, VertexId v0, uint32_t k,
-                           QueryStats* stats, QueryGuard* guard) {
+                           obs::QueryTelemetry& telemetry,
+                           obs::PhaseTracker& tracker, QueryGuard* guard) {
   LOCS_CHECK_LT(v0, graph.NumVertices());
-  QueryStats local_stats;
-  QueryStats& st = stats != nullptr ? *stats : local_stats;
-  st = QueryStats{};
-  st.visited_vertices = graph.NumVertices();
-  st.scanned_edges = 2 * graph.NumEdges();
+  // The global method always touches the whole graph: charge the peel
+  // phase its full |V| + 2|E| cost up front (the historical accounting).
+  obs::PhaseStats& peel_ph = tracker.Enter(obs::Phase::kCoreDecomposition);
+  peel_ph.vertices_visited = graph.NumVertices();
+  peel_ph.edges_scanned = 2 * graph.NumEdges();
   QueryGuard unlimited;
   QueryGuard& g = guard != nullptr ? *guard : unlimited;
   if (g.Stopped()) {
@@ -89,6 +90,7 @@ SearchResult GlobalCstImpl(const Graph& graph, VertexId v0, uint32_t k,
   if (removed[v0] != 0) return SearchResult::MakeNotExists();
 
   // BFS within the survivors.
+  tracker.Enter(obs::Phase::kConnectivity);
   Community community;
   community.members.push_back(v0);
   removed[v0] = 2;  // 2 = visited
@@ -118,48 +120,74 @@ SearchResult GlobalCstImpl(const Graph& graph, VertexId v0, uint32_t k,
     }
   }
   community.min_degree = min_degree;
-  st.answer_size = community.members.size();
+  telemetry.answer_size = community.members.size();
   return SearchResult::MakeFound(std::move(community));
 }
 
 SearchResult GlobalCsmImpl(const Graph& graph, VertexId v0,
-                           QueryStats* stats, QueryGuard* guard) {
+                           obs::QueryTelemetry& telemetry,
+                           obs::PhaseTracker& tracker, QueryGuard* guard) {
   LOCS_CHECK_LT(v0, graph.NumVertices());
-  QueryStats local_stats;
-  QueryStats& st = stats != nullptr ? *stats : local_stats;
-  st = QueryStats{};
-  st.visited_vertices = graph.NumVertices();
-  st.scanned_edges = 2 * graph.NumEdges();
+  obs::PhaseStats& core_ph = tracker.Enter(obs::Phase::kCoreDecomposition);
   if (guard != nullptr) {
     // Poll once before committing to the indivisible decomposition, and
-    // charge its full cost so nested budgets stay honest.
+    // charge its full cost so nested budgets stay honest. An interrupt
+    // here still books the full |V| + 2|E| (the historical accounting —
+    // the whole pass was charged, so the whole pass is reported).
     if (guard->Spend(0)) {
+      core_ph.vertices_visited = graph.NumVertices();
+      core_ph.edges_scanned = 2 * graph.NumEdges();
       return SearchResult::MakeInterrupted(guard->cause(),
                                            Community{{v0}, 0});
     }
     guard->Spend(graph.NumVertices() + 2 * graph.NumEdges());
   }
 
-  const CoreDecomposition cores = ComputeCores(graph);
+  // The peel itself counts exactly |V| pops and 2|E| neighbor scans, so
+  // the completed-path totals match the historical up-front numbers.
+  const CoreDecomposition cores = ComputeCores(graph, &core_ph);
+  tracker.Enter(obs::Phase::kConnectivity);
   Community community;
   community.members = MaxCoreComponentOf(graph, cores, v0);
   community.min_degree = cores.core[v0];
-  st.answer_size = community.members.size();
+  telemetry.answer_size = community.members.size();
   return SearchResult::MakeFound(std::move(community));
+}
+
+/// Shared solve epilogue for the global free functions: close the spans,
+/// attach telemetry to the result, project the legacy stats, record.
+void FinishQuery(SearchResult& result, obs::QueryTelemetry& telemetry,
+                 obs::PhaseTracker& tracker, QueryStats* stats,
+                 obs::Recorder& recorder) {
+  tracker.Finish();
+  result.telemetry = telemetry;
+  if (stats != nullptr) *stats = ToQueryStats(telemetry);
+  recorder.Record(telemetry);
 }
 
 }  // namespace
 
 SearchResult GlobalCst(const Graph& graph, VertexId v0, uint32_t k,
-                       QueryStats* stats, QueryGuard* guard) {
-  SearchResult result = GlobalCstImpl(graph, v0, k, stats, guard);
+                       QueryStats* stats, QueryGuard* guard,
+                       obs::Recorder* recorder) {
+  obs::Recorder& rec =
+      recorder != nullptr ? *recorder : obs::Recorder::Null();
+  obs::QueryTelemetry telemetry;
+  obs::PhaseTracker tracker(&telemetry, rec.timing_enabled());
+  SearchResult result = GlobalCstImpl(graph, v0, k, telemetry, tracker, guard);
+  FinishQuery(result, telemetry, tracker, stats, rec);
   LOCS_VALIDATE_RESULT("GlobalCst", graph, result, v0, k);
   return result;
 }
 
 SearchResult GlobalCsm(const Graph& graph, VertexId v0, QueryStats* stats,
-                       QueryGuard* guard) {
-  SearchResult result = GlobalCsmImpl(graph, v0, stats, guard);
+                       QueryGuard* guard, obs::Recorder* recorder) {
+  obs::Recorder& rec =
+      recorder != nullptr ? *recorder : obs::Recorder::Null();
+  obs::QueryTelemetry telemetry;
+  obs::PhaseTracker tracker(&telemetry, rec.timing_enabled());
+  SearchResult result = GlobalCsmImpl(graph, v0, telemetry, tracker, guard);
+  FinishQuery(result, telemetry, tracker, stats, rec);
   LOCS_VALIDATE_RESULT("GlobalCsm", graph, result, v0, 0);
   return result;
 }

@@ -13,6 +13,7 @@
 #include "core/kcore.h"
 #include "core/result.h"
 #include "graph/graph.h"
+#include "obs/recorder.h"
 #include "util/guard.h"
 
 namespace locs {
@@ -23,7 +24,8 @@ namespace locs {
 /// removed vertices (or an exact kNotExists when v0 was already peeled).
 SearchResult GlobalCst(const Graph& graph, VertexId v0, uint32_t k,
                        QueryStats* stats = nullptr,
-                       QueryGuard* guard = nullptr);
+                       QueryGuard* guard = nullptr,
+                       obs::Recorder* recorder = nullptr);
 
 /// Global CSM via core decomposition — the linear implementation of the
 /// greedy algorithm (m*(G, v0) equals the core number of v0; the answer is
@@ -32,7 +34,8 @@ SearchResult GlobalCst(const Graph& graph, VertexId v0, uint32_t k,
 /// |V| + 2|E| cost, but cannot interrupt the pass itself.
 SearchResult GlobalCsm(const Graph& graph, VertexId v0,
                        QueryStats* stats = nullptr,
-                       QueryGuard* guard = nullptr);
+                       QueryGuard* guard = nullptr,
+                       obs::Recorder* recorder = nullptr);
 
 /// Global CSM by literal greedy deletion as described in §3.2: repeatedly
 /// delete a minimum-degree vertex, forming G0 ⊃ G1 ⊃ …, stop when v0 is

@@ -4,7 +4,7 @@
 
 namespace locs {
 
-CoreDecomposition ComputeCores(const Graph& graph) {
+CoreDecomposition ComputeCores(const Graph& graph, obs::PhaseStats* phase) {
   const VertexId n = graph.NumVertices();
   CoreDecomposition result;
   result.core.resize(n);
@@ -22,6 +22,10 @@ CoreDecomposition ComputeCores(const Graph& graph) {
     const VertexId v = queue.PopMin();
     result.core[v] = current;
     result.peel_order.push_back(v);
+    if (phase != nullptr) {
+      ++phase->vertices_visited;
+      phase->edges_scanned += graph.Degree(v);
+    }
     for (VertexId w : graph.Neighbors(v)) {
       if (!queue.Popped(w) && queue.Key(w) > current) {
         queue.DecrementKey(w);

@@ -13,6 +13,7 @@
 
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "obs/telemetry.h"
 
 namespace locs {
 
@@ -28,8 +29,12 @@ struct CoreDecomposition {
 };
 
 /// Computes core numbers with the Batagelj–Zaversnik bucket algorithm in
-/// O(|V| + |E|).
-CoreDecomposition ComputeCores(const Graph& graph);
+/// O(|V| + |E|). When `phase` is non-null the peel's work is accumulated
+/// into it: one vertices_visited per popped vertex and one edges_scanned
+/// per directed neighbor inspection — exactly |V| and 2|E| on completion,
+/// matching the historical up-front accounting of the global solvers.
+CoreDecomposition ComputeCores(const Graph& graph,
+                               obs::PhaseStats* phase = nullptr);
 
 /// Members of the k-core of `graph` (possibly spanning several connected
 /// components), derived from a precomputed decomposition.

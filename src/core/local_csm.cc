@@ -26,13 +26,13 @@ LocalCsmSolver::LocalCsmSolver(const Graph& graph,
       frontier_(graph.NumVertices(), graph.MaxDegree() + 1),
       degree_count_(static_cast<size_t>(graph.MaxDegree()) + 2, 0) {}
 
-void LocalCsmSolver::AddToA(VertexId v, QueryStats& stats) {
+void LocalCsmSolver::AddToA(VertexId v, obs::PhaseStats& ph) {
   // Count v's links into A and bump the in-A degrees of its A-neighbors.
   uint32_t incidence = 0;
   // Insert v into the histogram *before* advancing δ so the histogram is
   // never transiently empty.
   for (VertexId w : graph_.Neighbors(v)) {
-    ++stats.scanned_edges;
+    ++ph.edges_scanned;
     if (in_a_.Get(w) != 0) {
       ++incidence;
       uint32_t& deg_w = deg_in_a_.Ref(w);
@@ -47,7 +47,7 @@ void LocalCsmSolver::AddToA(VertexId v, QueryStats& stats) {
   ++degree_count_[incidence];
   max_count_touched_ = std::max(max_count_touched_, incidence);
   order_.push_back(v);
-  ++stats.visited_vertices;
+  ++ph.vertices_visited;
   // Re-establish δ(G[A]): drop to the new vertex's degree if lower, then
   // advance past empty buckets (amortized O(1): δ only advances as many
   // times as degrees are incremented).
@@ -57,20 +57,25 @@ void LocalCsmSolver::AddToA(VertexId v, QueryStats& stats) {
 
 SearchResult LocalCsmSolver::Solve(VertexId v0, const CsmOptions& options,
                                    QueryStats* stats, QueryGuard* guard) {
-  SearchResult result = SolveImpl(v0, options, stats, guard);
+  telemetry_.Reset();
+  obs::PhaseTracker tracker(&telemetry_, recorder_->timing_enabled());
+  SearchResult result = SolveImpl(v0, options, guard, tracker);
+  tracker.Finish();
+  result.telemetry = telemetry_;
+  if (stats != nullptr) *stats = ToQueryStats(telemetry_);
+  recorder_->Record(telemetry_);
   // CSM has no minimum-degree threshold: pass k = 0.
   LOCS_VALIDATE_RESULT("LocalCsmSolver::Solve", graph_, result, v0, 0);
   return result;
 }
 
 SearchResult LocalCsmSolver::SolveImpl(VertexId v0, const CsmOptions& options,
-                                       QueryStats* stats, QueryGuard* guard) {
+                                       QueryGuard* guard,
+                                       obs::PhaseTracker& tracker) {
   LOCS_CHECK_LT(v0, graph_.NumVertices());
-  QueryStats local_stats;
-  QueryStats& st = stats != nullptr ? *stats : local_stats;
-  st = QueryStats{};
   QueryGuard unlimited;
   QueryGuard& g = guard != nullptr ? *guard : unlimited;
+  tracker.Enter(obs::Phase::kAdmission);
   if (g.Stopped()) {
     return SearchResult::MakeInterrupted(g.cause(), Community{{v0}, 0});
   }
@@ -97,27 +102,29 @@ SearchResult LocalCsmSolver::SolveImpl(VertexId v0, const CsmOptions& options,
       facts_ != nullptr && facts_->connected &&
       !(std::isinf(options.gamma) && options.gamma < 0);
 
-  // Guard accounting: charge the stats delta once per expansion step (the
+  // Guard accounting: charge the work delta once per expansion step (the
   // guard amortizes the expensive checks internally).
   uint64_t charged = 0;
   auto spend = [&]() {
-    const uint64_t total = st.visited_vertices + st.scanned_edges;
+    const uint64_t total = telemetry_.TotalWork();
     const bool stop = g.Spend(total - charged);
     charged = total;
     return stop;
   };
 
   // Step 1: iterative searching and filtering (lines 1-15 of Algorithm 4).
-  AddToA(v0, st);
+  obs::PhaseStats& expansion = tracker.Enter(obs::Phase::kExpansion);
+  AddToA(v0, expansion);
   discovered_.Ref(v0) = 1;
   size_t h_len = 1;        // |H|: best prefix of order_
   uint32_t delta_h = 0;    // δ(G[H])
   uint64_t s = 0;          // vertices added since the last improvement
 
   for (VertexId w : graph_.Neighbors(v0)) {
-    ++st.scanned_edges;
+    ++expansion.edges_scanned;
     if (graph_.Degree(w) > delta_h) {
       discovered_.Ref(w) = 1;
+      ++expansion.candidates_generated;
       frontier_.Insert(w, 1);
     }
   }
@@ -137,9 +144,13 @@ SearchResult LocalCsmSolver::SolveImpl(VertexId v0, const CsmOptions& options,
     // Stale entry: a vertex whose global degree can no longer improve on
     // δ(G[H]) cannot be part of any strictly better solution
     // (Proposition 3 applied at threshold δ(G[H]) + 1).
-    if (graph_.Degree(v) <= delta_h) continue;
-    AddToA(v, st);
+    if (graph_.Degree(v) <= delta_h) {
+      ++expansion.candidates_rejected;
+      continue;
+    }
+    AddToA(v, expansion);
     ++s;
+    ++expansion.budget_spent;
     if (delta_a_ > delta_h) {
       delta_h = delta_a_;
       h_len = order_.size();
@@ -147,12 +158,13 @@ SearchResult LocalCsmSolver::SolveImpl(VertexId v0, const CsmOptions& options,
     }
     // Line 14: extend the frontier with v's neighbors of sufficient degree.
     for (VertexId w : graph_.Neighbors(v)) {
-      ++st.scanned_edges;
+      ++expansion.edges_scanned;
       if (in_a_.Get(w) != 0) continue;
       if (frontier_.Contains(w)) {
         frontier_.Increment(w);
       } else if (discovered_.Get(w) == 0 && graph_.Degree(w) > delta_h) {
         discovered_.Ref(w) = 1;
+        ++expansion.candidates_generated;
         frontier_.Insert(w, 1);
       }
     }
@@ -165,28 +177,31 @@ SearchResult LocalCsmSolver::SolveImpl(VertexId v0, const CsmOptions& options,
   // Sufficient condition met: the prefix H is provably optimal (Eq. 7).
   if (delta_h == upper) {
     Community community = HarvestPrefix(h_len, delta_h);
-    st.answer_size = community.members.size();
+    telemetry_.answer_size = community.members.size();
     return SearchResult::MakeFound(std::move(community));
   }
 
   // Steps 2-3: candidate generation + maxcore.
-  st.used_global_fallback = true;
+  telemetry_.used_global_fallback = true;
   std::vector<VertexId> candidates;
   if (options.candidate_rule == CsmCandidateRule::kFromVisited) {
     candidates = order_;  // CSM1: C <- A (Theorem 6).
-  } else if (!NaiveCandidates(v0, delta_h, st, g, charged,
-                              &candidates)) {  // CSM2 (Theorem 7).
-    return SearchResult::MakeInterrupted(g.cause(),
-                                         HarvestPrefix(h_len, delta_h));
+  } else {
+    obs::PhaseStats& cand_ph = tracker.Enter(obs::Phase::kCandidates);
+    if (!NaiveCandidates(v0, delta_h, cand_ph, g, charged,
+                         &candidates)) {  // CSM2 (Theorem 7).
+      return SearchResult::MakeInterrupted(g.cause(),
+                                           HarvestPrefix(h_len, delta_h));
+    }
   }
   Community best;
-  if (!MaxCoreOfCandidates(v0, candidates, g, &best)) {
+  if (!MaxCoreOfCandidates(v0, candidates, g, tracker, &best)) {
     // The maxcore phase never yields partial answers; the proven prefix H
     // (δ(G[H]) <= the true optimum) is the best community so far.
     return SearchResult::MakeInterrupted(g.cause(),
                                          HarvestPrefix(h_len, delta_h));
   }
-  st.answer_size = best.members.size();
+  telemetry_.answer_size = best.members.size();
   return SearchResult::MakeFound(std::move(best));
 }
 
@@ -202,7 +217,7 @@ Community LocalCsmSolver::HarvestPrefix(size_t h_len, uint32_t delta_h) const {
 }
 
 bool LocalCsmSolver::NaiveCandidates(VertexId v0, uint32_t k,
-                                     QueryStats& stats, QueryGuard& guard,
+                                     obs::PhaseStats& ph, QueryGuard& guard,
                                      uint64_t& charged,
                                      std::vector<VertexId>* out) {
   // Cnaive(k): BFS from v0 over vertices of global degree >= k
@@ -222,29 +237,34 @@ bool LocalCsmSolver::NaiveCandidates(VertexId v0, uint32_t k,
   const bool use_ordered = ordered_ != nullptr;
   for (size_t head = 0; head < out->size(); ++head) {
     const VertexId u = (*out)[head];
-    ++stats.visited_vertices;
+    ++ph.vertices_visited;
     auto consider = [&](VertexId w) {
-      ++stats.scanned_edges;
+      ++ph.edges_scanned;
       if (bfs_seen_.Get(w) == 0) {
         bfs_seen_.Ref(w) = 1;
+        ++ph.candidates_generated;
         out->push_back(w);
       }
     };
     if (use_ordered) {
       for (VertexId w : ordered_->Neighbors(u)) {
-        if (graph_.Degree(w) < k) break;
+        if (graph_.Degree(w) < k) {
+          ++ph.candidates_rejected;
+          break;
+        }
         consider(w);
       }
     } else {
       for (VertexId w : graph_.Neighbors(u)) {
         if (graph_.Degree(w) < k) {
-          ++stats.scanned_edges;
+          ++ph.edges_scanned;
+          ++ph.candidates_rejected;
           continue;
         }
         consider(w);
       }
     }
-    const uint64_t total = stats.visited_vertices + stats.scanned_edges;
+    const uint64_t total = telemetry_.TotalWork();
     const bool stop = guard.Spend(total - charged);
     charged = total;
     if (stop) return false;
@@ -254,9 +274,18 @@ bool LocalCsmSolver::NaiveCandidates(VertexId v0, uint32_t k,
 
 bool LocalCsmSolver::MaxCoreOfCandidates(
     VertexId v0, const std::vector<VertexId>& candidates, QueryGuard& guard,
-    Community* out) {
+    obs::PhaseTracker& tracker, Community* out) {
   LOCS_CHECK(!candidates.empty());
   LOCS_CHECK_EQ(candidates.front(), v0);
+  // Phase accounting: the maxcore pass charges the guard directly with
+  // degree-proportional deltas (it has always been excluded from the
+  // visited/scanned totals), so the phase records those charges as
+  // budget_spent rather than double-counting work.
+  obs::PhaseStats& core_ph = tracker.Enter(obs::Phase::kCoreDecomposition);
+  auto charge = [&](uint64_t delta) {
+    core_ph.budget_spent += delta;
+    return guard.Spend(delta);
+  };
   // Build a compact (unsorted) CSR over the candidate set. Core
   // decomposition is insensitive to adjacency order, so no sorting is
   // needed, and all scratch is either epoch-stamped or sized O(|C|).
@@ -272,7 +301,7 @@ bool LocalCsmSolver::MaxCoreOfCandidates(
       deg += local_id_.Get(w) != 0;
     }
     sub_degree_[i] = deg;
-    if (guard.Spend(graph_.Degree(candidates[i]))) return false;
+    if (charge(graph_.Degree(candidates[i]))) return false;
   }
   sub_offsets_.assign(sub_n + 1, 0);
   for (uint32_t i = 0; i < sub_n; ++i) {
@@ -302,10 +331,11 @@ bool LocalCsmSolver::MaxCoreOfCandidates(
         queue.DecrementKey(w);
       }
     }
-    if (guard.Spend(1 + sub_offsets_[v + 1] - sub_offsets_[v])) return false;
+    if (charge(1 + sub_offsets_[v + 1] - sub_offsets_[v])) return false;
   }
 
   // Component of v0 (local id 0) within its maxcore.
+  tracker.Enter(obs::Phase::kConnectivity);
   const uint32_t k_star = core[0];
   std::vector<uint8_t> seen(sub_n, 0);
   std::vector<uint32_t> component;

@@ -42,21 +42,30 @@ class LocalCsmSolver {
   SearchResult Solve(VertexId v0, const CsmOptions& options = {},
                      QueryStats* stats = nullptr, QueryGuard* guard = nullptr);
 
+  /// Telemetry sink for completed queries; defaults to the no-op null
+  /// sink. Not owned.
+  void set_recorder(obs::Recorder* recorder) {
+    recorder_ = recorder != nullptr ? recorder : &obs::Recorder::Null();
+  }
+
  private:
   SearchResult SolveImpl(VertexId v0, const CsmOptions& options,
-                         QueryStats* stats, QueryGuard* guard);
-  void AddToA(VertexId v, QueryStats& stats);
-  bool NaiveCandidates(VertexId v0, uint32_t k, QueryStats& stats,
+                         QueryGuard* guard, obs::PhaseTracker& tracker);
+  void AddToA(VertexId v, obs::PhaseStats& ph);
+  bool NaiveCandidates(VertexId v0, uint32_t k, obs::PhaseStats& ph,
                        QueryGuard& guard, uint64_t& charged,
                        std::vector<VertexId>* out);
   bool MaxCoreOfCandidates(VertexId v0,
                            const std::vector<VertexId>& candidates,
-                           QueryGuard& guard, Community* out);
+                           QueryGuard& guard, obs::PhaseTracker& tracker,
+                           Community* out);
   Community HarvestPrefix(size_t h_len, uint32_t delta_h) const;
 
   const Graph& graph_;
   const OrderedAdjacency* ordered_;
   const GraphFacts* facts_;
+  obs::Recorder* recorder_ = &obs::Recorder::Null();
+  obs::QueryTelemetry telemetry_;  // reset at the top of every Solve
 
   EpochArray<uint8_t> in_a_;       // visited-set membership
   EpochArray<uint8_t> discovered_; // entered the frontier at least once

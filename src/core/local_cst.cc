@@ -41,25 +41,30 @@ LocalCstSolver::LocalCstSolver(const Graph& graph,
 SearchResult LocalCstSolver::Solve(VertexId v0, uint32_t k,
                                    const CstOptions& options,
                                    QueryStats* stats, QueryGuard* guard) {
-  SearchResult result = SolveImpl(v0, k, options, stats, guard);
+  telemetry_.Reset();
+  obs::PhaseTracker tracker(&telemetry_, recorder_->timing_enabled());
+  SearchResult result = SolveImpl(v0, k, options, guard, tracker);
+  tracker.Finish();
+  result.telemetry = telemetry_;
+  if (stats != nullptr) *stats = ToQueryStats(telemetry_);
+  recorder_->Record(telemetry_);
   LOCS_VALIDATE_RESULT("LocalCstSolver::Solve", graph_, result, v0, k);
   return result;
 }
 
 SearchResult LocalCstSolver::SolveImpl(VertexId v0, uint32_t k,
                                        const CstOptions& options,
-                                       QueryStats* stats, QueryGuard* guard) {
+                                       QueryGuard* guard,
+                                       obs::PhaseTracker& tracker) {
   LOCS_CHECK_LT(v0, graph_.NumVertices());
-  QueryStats local_stats;
-  QueryStats& st = stats != nullptr ? *stats : local_stats;
-  st = QueryStats{};
   QueryGuard unlimited;
   QueryGuard& g = guard != nullptr ? *guard : unlimited;
 
+  obs::PhaseStats& admission = tracker.Enter(obs::Phase::kAdmission);
   // Trivial threshold: the singleton community qualifies.
   if (k == 0) {
-    st.visited_vertices = 1;
-    st.answer_size = 1;
+    admission.vertices_visited = 1;
+    telemetry_.answer_size = 1;
     return SearchResult::MakeFound(Community{{v0}, 0});
   }
   // Proposition 3: v0 itself must have degree >= k.
@@ -90,19 +95,21 @@ SearchResult LocalCstSolver::SolveImpl(VertexId v0, uint32_t k,
   c_members_.clear();
   deficient_ = 0;
 
-  // Guard accounting: charge the stats delta after every expansion step.
+  // Guard accounting: charge the work delta after every expansion step.
   // The guard amortizes the expensive checks internally, so the per-step
-  // cost here is one add and one compare.
+  // cost here is a few adds and one compare. TotalWork sums the same
+  // increments the pre-obs counters held, so trip points are unchanged.
   uint64_t charged = 0;
   auto spend = [&]() {
-    const uint64_t total = st.visited_vertices + st.scanned_edges;
+    const uint64_t total = telemetry_.TotalWork();
     const bool stop = g.Spend(total - charged);
     charged = total;
     return stop;
   };
 
+  obs::PhaseStats& expansion = tracker.Enter(obs::Phase::kExpansion);
   enqueued_.Ref(v0) = 1;
-  AddToC(v0, k, options.strategy, use_ordered, st);
+  AddToC(v0, k, options.strategy, use_ordered, expansion);
   if (spend()) {
     return SearchResult::MakeInterrupted(g.cause(), HarvestExpansion());
   }
@@ -113,9 +120,9 @@ SearchResult LocalCstSolver::SolveImpl(VertexId v0, uint32_t k,
       // the candidate generation never skips a vertex of degree >= k that
       // is reachable through such vertices, C contains the whole k-core
       // component of v0 and the fallback answer is exact.
-      return GlobalFallback(v0, k, st, g, charged);
+      return GlobalFallback(v0, k, tracker, g, charged);
     }
-    AddToC(next, k, options.strategy, use_ordered, st);
+    AddToC(next, k, options.strategy, use_ordered, expansion);
     if (spend()) {
       return SearchResult::MakeInterrupted(g.cause(), HarvestExpansion());
     }
@@ -129,7 +136,7 @@ SearchResult LocalCstSolver::SolveImpl(VertexId v0, uint32_t k,
     min_degree = std::min(min_degree, deg_in_c_.Get(v));
   }
   community.min_degree = min_degree;
-  st.answer_size = community.members.size();
+  telemetry_.answer_size = community.members.size();
   return SearchResult::MakeFound(std::move(community));
 }
 
@@ -149,14 +156,14 @@ Community LocalCstSolver::HarvestExpansion() const {
 }
 
 void LocalCstSolver::AddToC(VertexId v, uint32_t k, Strategy strategy,
-                            bool use_ordered, QueryStats& stats) {
+                            bool use_ordered, obs::PhaseStats& ph) {
   in_c_.Ref(v) = 1;
   c_members_.push_back(v);
-  ++stats.visited_vertices;
+  ++ph.vertices_visited;
 
   uint32_t incidence = 0;
   auto visit_neighbor = [&](VertexId w) {
-    ++stats.scanned_edges;
+    ++ph.edges_scanned;
     if (in_c_.Get(w) != 0) {
       ++incidence;
       uint32_t& deg_w = deg_in_c_.Ref(w);
@@ -169,6 +176,7 @@ void LocalCstSolver::AddToC(VertexId v, uint32_t k, Strategy strategy,
     }
     if (enqueued_.Get(w) == 0) {
       enqueued_.Ref(w) = 1;
+      ++ph.candidates_generated;
       fifo_.push_back(w);
       if (strategy == Strategy::kLI) li_queue_.Insert(w, 1);
     } else if (strategy == Strategy::kLI && li_queue_.Contains(w)) {
@@ -180,13 +188,17 @@ void LocalCstSolver::AddToC(VertexId v, uint32_t k, Strategy strategy,
     // Neighbors sorted by descending degree: stop at the first one below k
     // (§4.3.2) — everything after it is prunable by Proposition 3.
     for (VertexId w : ordered_->Neighbors(v)) {
-      if (graph_.Degree(w) < k) break;
+      if (graph_.Degree(w) < k) {
+        ++ph.candidates_rejected;
+        break;
+      }
       visit_neighbor(w);
     }
   } else {
     for (VertexId w : graph_.Neighbors(v)) {
       if (graph_.Degree(w) < k) {
-        ++stats.scanned_edges;
+        ++ph.edges_scanned;
+        ++ph.candidates_rejected;
         continue;
       }
       visit_neighbor(w);
@@ -269,16 +281,17 @@ VertexId LocalCstSolver::SelectLg(uint32_t k, bool use_ordered) {
 }
 
 SearchResult LocalCstSolver::GlobalFallback(VertexId v0, uint32_t k,
-                                            QueryStats& stats,
+                                            obs::PhaseTracker& tracker,
                                             QueryGuard& guard,
                                             uint64_t& charged) {
   // Global peel restricted to G[C] (line 6 of Algorithm 2), done in place:
   // deg_in_c_ already holds the induced degrees, so the k-core of G[C] is
   // a plain worklist peel over C — no subgraph is materialized and the
   // cost stays O(|C| + edges(C)).
-  stats.used_global_fallback = true;
+  telemetry_.used_global_fallback = true;
+  obs::PhaseStats& peel_ph = tracker.Enter(obs::Phase::kCoreDecomposition);
   auto spend = [&]() {
-    const uint64_t total = stats.visited_vertices + stats.scanned_edges;
+    const uint64_t total = telemetry_.TotalWork();
     const bool stop = guard.Spend(total - charged);
     charged = total;
     return stop;
@@ -294,7 +307,7 @@ SearchResult LocalCstSolver::GlobalFallback(VertexId v0, uint32_t k,
   for (size_t head = 0; head < peel_worklist_.size(); ++head) {
     const VertexId v = peel_worklist_[head];
     for (VertexId w : graph_.Neighbors(v)) {
-      ++stats.scanned_edges;
+      ++peel_ph.edges_scanned;
       if (in_c_.Get(w) == 0 || peeled_.Get(w) != 0) continue;
       uint32_t& deg_w = deg_in_c_.Ref(w);
       if (--deg_w < k) {
@@ -317,6 +330,7 @@ SearchResult LocalCstSolver::GlobalFallback(VertexId v0, uint32_t k,
 
   // BFS from v0 over the surviving candidates. Reuse peeled_ as the
   // visited mark (2 = reached).
+  obs::PhaseStats& bfs_ph = tracker.Enter(obs::Phase::kConnectivity);
   Community community;
   community.members.push_back(v0);
   peeled_.Ref(v0) = 2;
@@ -325,7 +339,7 @@ SearchResult LocalCstSolver::GlobalFallback(VertexId v0, uint32_t k,
     const VertexId u = community.members[head];
     min_degree = std::min(min_degree, deg_in_c_.Get(u));
     for (VertexId w : graph_.Neighbors(u)) {
-      ++stats.scanned_edges;
+      ++bfs_ph.edges_scanned;
       if (in_c_.Get(w) != 0 && peeled_.Get(w) == 0) {
         peeled_.Ref(w) = 2;
         community.members.push_back(w);
@@ -340,7 +354,7 @@ SearchResult LocalCstSolver::GlobalFallback(VertexId v0, uint32_t k,
     }
   }
   community.min_degree = min_degree;
-  stats.answer_size = community.members.size();
+  telemetry_.answer_size = community.members.size();
   return SearchResult::MakeFound(std::move(community));
 }
 

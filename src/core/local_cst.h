@@ -23,6 +23,7 @@
 #include "core/result.h"
 #include "graph/graph.h"
 #include "graph/ordering.h"
+#include "obs/recorder.h"
 #include "util/guard.h"
 
 namespace locs {
@@ -57,15 +58,22 @@ class LocalCstSolver {
   SearchResult Solve(VertexId v0, uint32_t k, const CstOptions& options = {},
                      QueryStats* stats = nullptr, QueryGuard* guard = nullptr);
 
+  /// Telemetry sink for completed queries; defaults to the no-op null
+  /// sink (no clock reads, counters discarded). Not owned.
+  void set_recorder(obs::Recorder* recorder) {
+    recorder_ = recorder != nullptr ? recorder : &obs::Recorder::Null();
+  }
+
  private:
   SearchResult SolveImpl(VertexId v0, uint32_t k, const CstOptions& options,
-                         QueryStats* stats, QueryGuard* guard);
+                         QueryGuard* guard, obs::PhaseTracker& tracker);
   VertexId SelectNext(Strategy strategy, uint32_t k, bool use_ordered);
   VertexId SelectLg(uint32_t k, bool use_ordered);
   void AddToC(VertexId v, uint32_t k, Strategy strategy, bool use_ordered,
-              QueryStats& stats);
-  SearchResult GlobalFallback(VertexId v0, uint32_t k, QueryStats& stats,
-                              QueryGuard& guard, uint64_t& charged);
+              obs::PhaseStats& ph);
+  SearchResult GlobalFallback(VertexId v0, uint32_t k,
+                              obs::PhaseTracker& tracker, QueryGuard& guard,
+                              uint64_t& charged);
   Community HarvestExpansion() const;
   Community HarvestUnpeeled(VertexId v0);
   uint32_t InducedMinDegree(const std::vector<VertexId>& members,
@@ -74,6 +82,8 @@ class LocalCstSolver {
   const Graph& graph_;
   const OrderedAdjacency* ordered_;
   const GraphFacts* facts_;
+  obs::Recorder* recorder_ = &obs::Recorder::Null();
+  obs::QueryTelemetry telemetry_;  // reset at the top of every Solve
 
   EpochArray<uint8_t> in_c_;        // candidate-set membership
   EpochArray<uint8_t> enqueued_;    // discovered (queued) at least once

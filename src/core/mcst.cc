@@ -285,6 +285,14 @@ SearchResult GreedyMcstImpl(const Graph& graph, VertexId v0, uint32_t k,
   SearchResult start = solver.Solve(v0, k, {}, nullptr, &g);
   if (!start.Found()) return start;  // kNotExists or interrupted as-is
 
+  // Carry the CST stage's telemetry forward; the shrink probes below book
+  // their guard charges as connectivity-phase budget (they re-check that
+  // the trial set stays a connected CST(k) answer) without perturbing the
+  // visited/scanned totals of the underlying local search.
+  obs::QueryTelemetry telemetry = start.telemetry;
+  obs::PhaseStats& shrink_ph = telemetry[obs::Phase::kConnectivity];
+  ++shrink_ph.entered;
+
   std::vector<VertexId> members = std::move(start->members);
   bool changed = true;
   while (changed && members.size() > static_cast<size_t>(k) + 1) {
@@ -297,13 +305,18 @@ SearchResult GreedyMcstImpl(const Graph& graph, VertexId v0, uint32_t k,
         if (j != i) trial.push_back(members[j]);
       }
       // One validity probe inspects the whole candidate set.
+      shrink_ph.budget_spent += trial.size();
       if (g.Spend(trial.size())) {
         // `members` is still a valid CST(k) community — the shrink loop
         // merely stopped before reaching a minimal one.
         Community partial;
         partial.min_degree = MinDegreeOfInduced(graph, members);
         partial.members = std::move(members);
-        return SearchResult::MakeInterrupted(g.cause(), std::move(partial));
+        telemetry.answer_size = partial.members.size();
+        SearchResult interrupted =
+            SearchResult::MakeInterrupted(g.cause(), std::move(partial));
+        interrupted.telemetry = std::move(telemetry);
+        return interrupted;
       }
       if (IsValidCommunity(graph, trial, v0, k)) {
         members = std::move(trial);
@@ -315,7 +328,10 @@ SearchResult GreedyMcstImpl(const Graph& graph, VertexId v0, uint32_t k,
   Community community;
   community.min_degree = MinDegreeOfInduced(graph, members);
   community.members = std::move(members);
-  return SearchResult::MakeFound(std::move(community));
+  telemetry.answer_size = community.members.size();
+  SearchResult found = SearchResult::MakeFound(std::move(community));
+  found.telemetry = std::move(telemetry);
+  return found;
 }
 
 }  // namespace locs

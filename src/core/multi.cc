@@ -24,14 +24,13 @@ void CheckQuery(const Graph& graph, const std::vector<VertexId>& query) {
 /// postcondition oracle).
 SearchResult GlobalCstMultiImpl(const Graph& graph,
                                 const std::vector<VertexId>& query,
-                                uint32_t k, QueryStats* stats,
+                                uint32_t k, obs::QueryTelemetry& telemetry,
+                                obs::PhaseTracker& tracker,
                                 QueryGuard* guard) {
   CheckQuery(graph, query);
-  QueryStats local_stats;
-  QueryStats& st = stats != nullptr ? *stats : local_stats;
-  st = QueryStats{};
-  st.visited_vertices = graph.NumVertices();
-  st.scanned_edges = 2 * graph.NumEdges();
+  obs::PhaseStats& peel_ph = tracker.Enter(obs::Phase::kCoreDecomposition);
+  peel_ph.vertices_visited += graph.NumVertices();
+  peel_ph.edges_scanned += 2 * graph.NumEdges();
   if (guard != nullptr) {
     if (guard->Spend(0)) {
       return SearchResult::MakeInterrupted(guard->cause(),
@@ -64,6 +63,7 @@ SearchResult GlobalCstMultiImpl(const Graph& graph,
   }
   // BFS from the first query vertex over survivors; all other query
   // vertices must be reached.
+  tracker.Enter(obs::Phase::kConnectivity);
   Community community;
   community.members.push_back(query[0]);
   removed[query[0]] = 2;
@@ -83,13 +83,15 @@ SearchResult GlobalCstMultiImpl(const Graph& graph,
     if (removed[q] != 2) return SearchResult::MakeNotExists();
   }
   community.min_degree = min_degree;
-  st.answer_size = community.members.size();
+  telemetry.answer_size = community.members.size();
   return SearchResult::MakeFound(std::move(community));
 }
 
 SearchResult GlobalCsmMultiImpl(const Graph& graph,
                                 const std::vector<VertexId>& query,
-                                QueryStats* stats, QueryGuard* guard) {
+                                obs::QueryTelemetry& telemetry,
+                                obs::PhaseTracker& tracker,
+                                QueryGuard* guard) {
   CheckQuery(graph, query);
   // Feasibility is monotone decreasing in k (Proposition 1 lifts to query
   // sets verbatim), so binary search over [0, min degree of queries].
@@ -97,17 +99,19 @@ SearchResult GlobalCsmMultiImpl(const Graph& graph,
                     // component; handle the disconnected case first.
   uint32_t hi = graph.Degree(query[0]);
   for (VertexId q : query) hi = std::min(hi, graph.Degree(q));
-  SearchResult best = GlobalCstMultiImpl(graph, query, 0, stats, guard);
+  SearchResult best =
+      GlobalCstMultiImpl(graph, query, 0, telemetry, tracker, guard);
   if (best.Interrupted()) return best;
   if (!best.Found()) {
     // Queries in different components: fall back to the first query's
     // singleton (no community spans them).
+    telemetry.answer_size = 1;
     return SearchResult::MakeFound(Community{{query[0]}, 0});
   }
   while (lo < hi) {
     const uint32_t mid = lo + (hi - lo + 1) / 2;
     SearchResult attempt =
-        GlobalCstMultiImpl(graph, query, mid, stats, guard);
+        GlobalCstMultiImpl(graph, query, mid, telemetry, tracker, guard);
     if (attempt.Interrupted()) {
       // The best answer proven before the interruption is still valid.
       return SearchResult::MakeInterrupted(attempt.status,
@@ -141,20 +145,45 @@ void ValidateCsmMulti(const char* solver, const Graph& graph,
 }
 #endif  // LOCS_VALIDATE
 
+/// Shared solve epilogue: close spans, attach telemetry, project the
+/// legacy stats, record.
+void FinishQuery(SearchResult& result, obs::QueryTelemetry& telemetry,
+                 obs::PhaseTracker& tracker, QueryStats* stats,
+                 obs::Recorder& recorder) {
+  tracker.Finish();
+  result.telemetry = telemetry;
+  if (stats != nullptr) *stats = ToQueryStats(telemetry);
+  recorder.Record(telemetry);
+}
+
 }  // namespace
 
 SearchResult GlobalCstMulti(const Graph& graph,
                             const std::vector<VertexId>& query, uint32_t k,
-                            QueryStats* stats, QueryGuard* guard) {
-  SearchResult result = GlobalCstMultiImpl(graph, query, k, stats, guard);
+                            QueryStats* stats, QueryGuard* guard,
+                            obs::Recorder* recorder) {
+  obs::Recorder& rec =
+      recorder != nullptr ? *recorder : obs::Recorder::Null();
+  obs::QueryTelemetry telemetry;
+  obs::PhaseTracker tracker(&telemetry, rec.timing_enabled());
+  SearchResult result =
+      GlobalCstMultiImpl(graph, query, k, telemetry, tracker, guard);
+  FinishQuery(result, telemetry, tracker, stats, rec);
   LOCS_VALIDATE_RESULT("GlobalCstMulti", graph, result, query, k);
   return result;
 }
 
 SearchResult GlobalCsmMulti(const Graph& graph,
                             const std::vector<VertexId>& query,
-                            QueryStats* stats, QueryGuard* guard) {
-  SearchResult result = GlobalCsmMultiImpl(graph, query, stats, guard);
+                            QueryStats* stats, QueryGuard* guard,
+                            obs::Recorder* recorder) {
+  obs::Recorder& rec =
+      recorder != nullptr ? *recorder : obs::Recorder::Null();
+  obs::QueryTelemetry telemetry;
+  obs::PhaseTracker tracker(&telemetry, rec.timing_enabled());
+  SearchResult result =
+      GlobalCsmMultiImpl(graph, query, telemetry, tracker, guard);
+  FinishQuery(result, telemetry, tracker, stats, rec);
 #if defined(LOCS_VALIDATE)
   ValidateCsmMulti("GlobalCsmMulti", graph, result, query);
 #endif
@@ -197,13 +226,13 @@ void LocalMultiSolver::Union(VertexId a, VertexId b) {
   if (ra != rb) dsu_parent_.Ref(ra) = rb + 1;
 }
 
-void LocalMultiSolver::AddToC(VertexId v, uint32_t k, QueryStats& stats) {
+void LocalMultiSolver::AddToC(VertexId v, uint32_t k, obs::PhaseStats& ph) {
   in_c_.Ref(v) = 1;
   c_members_.push_back(v);
-  ++stats.visited_vertices;
+  ++ph.vertices_visited;
   uint32_t incidence = 0;
   auto visit = [&](VertexId w) {
-    ++stats.scanned_edges;
+    ++ph.edges_scanned;
     if (in_c_.Get(w) != 0) {
       ++incidence;
       uint32_t& deg_w = deg_in_c_.Ref(w);
@@ -213,6 +242,7 @@ void LocalMultiSolver::AddToC(VertexId v, uint32_t k, QueryStats& stats) {
     }
     if (enqueued_.Get(w) == 0) {
       enqueued_.Ref(w) = 1;
+      ++ph.candidates_generated;
       li_queue_.Insert(w, 1);
     } else if (li_queue_.Contains(w)) {
       li_queue_.Increment(w);
@@ -244,23 +274,27 @@ bool LocalMultiSolver::QueriesConnected(
 SearchResult LocalMultiSolver::CstMulti(const std::vector<VertexId>& query,
                                         uint32_t k, QueryStats* stats,
                                         QueryGuard* guard) {
-  SearchResult result = CstMultiImpl(query, k, stats, guard);
+  telemetry_.Reset();
+  obs::PhaseTracker tracker(&telemetry_, recorder_->timing_enabled());
+  SearchResult result = CstMultiImpl(query, k, guard, tracker);
+  tracker.Finish();
+  result.telemetry = telemetry_;
+  if (stats != nullptr) *stats = ToQueryStats(telemetry_);
+  recorder_->Record(telemetry_);
   LOCS_VALIDATE_RESULT("LocalMultiSolver::CstMulti", graph_, result, query, k);
   return result;
 }
 
 SearchResult LocalMultiSolver::CstMultiImpl(const std::vector<VertexId>& query,
-                                        uint32_t k, QueryStats* stats,
-                                        QueryGuard* guard) {
+                                        uint32_t k, QueryGuard* guard,
+                                        obs::PhaseTracker& tracker) {
   CheckQuery(graph_, query);
-  QueryStats local_stats;
-  QueryStats& st = stats != nullptr ? *stats : local_stats;
-  st = QueryStats{};
   QueryGuard unlimited;
   QueryGuard& g = guard != nullptr ? *guard : unlimited;
 
+  tracker.Enter(obs::Phase::kAdmission);
   if (k == 0 && query.size() == 1) {
-    st.answer_size = 1;
+    telemetry_.answer_size = 1;
     return SearchResult::MakeFound(Community{{query[0]}, 0});
   }
   for (VertexId q : query) {
@@ -282,27 +316,31 @@ SearchResult LocalMultiSolver::CstMultiImpl(const std::vector<VertexId>& query,
   c_members_.clear();
   deficient_ = 0;
 
-  uint64_t charged = 0;
+  // `charged` is relative to the whole accumulated telemetry (a CSM
+  // binary search reuses one QueryTelemetry across probes), so the
+  // baseline is the work already charged by earlier probes.
+  uint64_t charged = telemetry_.TotalWork();
   auto spend = [&]() {
-    const uint64_t total = st.visited_vertices + st.scanned_edges;
+    const uint64_t total = telemetry_.TotalWork();
     const bool stop = g.Spend(total - charged);
     charged = total;
     return stop;
   };
 
+  obs::PhaseStats& expansion = tracker.Enter(obs::Phase::kExpansion);
   for (VertexId q : query) {
     enqueued_.Ref(q) = 1;
   }
   for (VertexId q : query) {
-    AddToC(q, k, st);
+    AddToC(q, k, expansion);
   }
   if (spend()) {
     return SearchResult::MakeInterrupted(g.cause(),
                                          HarvestFragment(query[0]));
   }
   while (deficient_ > 0 || !QueriesConnected(query)) {
-    if (li_queue_.Empty()) return Fallback(query, k, st, g, charged);
-    AddToC(li_queue_.PopMax(), k, st);
+    if (li_queue_.Empty()) return Fallback(query, k, tracker, g, charged);
+    AddToC(li_queue_.PopMax(), k, expansion);
     if (spend()) {
       return SearchResult::MakeInterrupted(g.cause(),
                                            HarvestFragment(query[0]));
@@ -328,7 +366,7 @@ SearchResult LocalMultiSolver::CstMultiImpl(const std::vector<VertexId>& query,
     min_degree = std::min(min_degree, deg_in_c_.Get(v));
   }
   community.min_degree = min_degree;
-  st.answer_size = community.members.size();
+  telemetry_.answer_size = community.members.size();
   return SearchResult::MakeFound(std::move(community));
 }
 
@@ -377,12 +415,14 @@ Community LocalMultiSolver::HarvestUnpeeled(VertexId anchor) {
 }
 
 SearchResult LocalMultiSolver::Fallback(const std::vector<VertexId>& query,
-                                        uint32_t k, QueryStats& stats,
+                                        uint32_t k,
+                                        obs::PhaseTracker& tracker,
                                         QueryGuard& guard,
                                         uint64_t& charged) {
-  stats.used_global_fallback = true;
+  telemetry_.used_global_fallback = true;
+  obs::PhaseStats& peel_ph = tracker.Enter(obs::Phase::kCoreDecomposition);
   auto spend = [&]() {
-    const uint64_t total = stats.visited_vertices + stats.scanned_edges;
+    const uint64_t total = telemetry_.TotalWork();
     const bool stop = guard.Spend(total - charged);
     charged = total;
     return stop;
@@ -397,7 +437,7 @@ SearchResult LocalMultiSolver::Fallback(const std::vector<VertexId>& query,
   }
   for (size_t head = 0; head < peel_worklist_.size(); ++head) {
     for (VertexId w : graph_.Neighbors(peel_worklist_[head])) {
-      ++stats.scanned_edges;
+      ++peel_ph.edges_scanned;
       if (in_c_.Get(w) == 0 || peeled_.Get(w) != 0) continue;
       if (--deg_in_c_.Ref(w) < k) {
         peeled_.Ref(w) = 1;
@@ -418,6 +458,7 @@ SearchResult LocalMultiSolver::Fallback(const std::vector<VertexId>& query,
   for (VertexId q : query) {
     if (peeled_.Get(q) != 0) return SearchResult::MakeNotExists();
   }
+  obs::PhaseStats& bfs_ph = tracker.Enter(obs::Phase::kConnectivity);
   Community community;
   community.members.push_back(query[0]);
   peeled_.Ref(query[0]) = 2;
@@ -426,7 +467,7 @@ SearchResult LocalMultiSolver::Fallback(const std::vector<VertexId>& query,
     const VertexId u = community.members[head];
     min_degree = std::min(min_degree, deg_in_c_.Get(u));
     for (VertexId w : graph_.Neighbors(u)) {
-      ++stats.scanned_edges;
+      ++bfs_ph.edges_scanned;
       if (in_c_.Get(w) != 0 && peeled_.Get(w) == 0) {
         peeled_.Ref(w) = 2;
         community.members.push_back(w);
@@ -452,14 +493,20 @@ SearchResult LocalMultiSolver::Fallback(const std::vector<VertexId>& query,
     if (peeled_.Get(q) != 2) return SearchResult::MakeNotExists();
   }
   community.min_degree = min_degree;
-  stats.answer_size = community.members.size();
+  telemetry_.answer_size = community.members.size();
   return SearchResult::MakeFound(std::move(community));
 }
 
 SearchResult LocalMultiSolver::CsmMulti(const std::vector<VertexId>& query,
                                         QueryStats* stats,
                                         QueryGuard* guard) {
-  SearchResult result = CsmMultiImpl(query, stats, guard);
+  telemetry_.Reset();
+  obs::PhaseTracker tracker(&telemetry_, recorder_->timing_enabled());
+  SearchResult result = CsmMultiImpl(query, guard, tracker);
+  tracker.Finish();
+  result.telemetry = telemetry_;
+  if (stats != nullptr) *stats = ToQueryStats(telemetry_);
+  recorder_->Record(telemetry_);
 #if defined(LOCS_VALIDATE)
   ValidateCsmMulti("LocalMultiSolver::CsmMulti", graph_, result, query);
 #endif
@@ -467,8 +514,8 @@ SearchResult LocalMultiSolver::CsmMulti(const std::vector<VertexId>& query,
 }
 
 SearchResult LocalMultiSolver::CsmMultiImpl(
-    const std::vector<VertexId>& query, QueryStats* stats,
-    QueryGuard* guard) {
+    const std::vector<VertexId>& query, QueryGuard* guard,
+    obs::PhaseTracker& tracker) {
   CheckQuery(graph_, query);
   uint32_t hi = graph_.Degree(query[0]);
   for (VertexId q : query) hi = std::min(hi, graph_.Degree(q));
@@ -477,16 +524,22 @@ SearchResult LocalMultiSolver::CsmMultiImpl(
                   MStarUpperBound(facts_->num_edges, facts_->num_vertices));
   }
   // One shared guard spans every CST probe of the binary search, exactly
-  // like wall-clock time would.
-  SearchResult best = CstMulti(query, 0, stats, guard);
+  // like wall-clock time would; the probes also share this query's
+  // telemetry, so effort accumulates across the whole search.
+  SearchResult best = CstMultiImpl(query, 0, guard, tracker);
+  LOCS_VALIDATE_RESULT("LocalMultiSolver::CsmMulti[probe]", graph_, best,
+                       query, 0u);
   if (best.Interrupted()) return best;
   if (!best.Found()) {
+    telemetry_.answer_size = 1;
     return SearchResult::MakeFound(Community{{query[0]}, 0});
   }
   uint32_t lo = 0;
   while (lo < hi) {
     const uint32_t mid = lo + (hi - lo + 1) / 2;
-    SearchResult attempt = CstMulti(query, mid, stats, guard);
+    SearchResult attempt = CstMultiImpl(query, mid, guard, tracker);
+    LOCS_VALIDATE_RESULT("LocalMultiSolver::CsmMulti[probe]", graph_,
+                         attempt, query, mid);
     if (attempt.Interrupted()) {
       // The best answer proven before the interruption is still valid.
       return SearchResult::MakeInterrupted(attempt.status, std::move(*best));

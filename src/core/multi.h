@@ -34,7 +34,8 @@ namespace locs {
 SearchResult GlobalCstMulti(const Graph& graph,
                             const std::vector<VertexId>& query, uint32_t k,
                             QueryStats* stats = nullptr,
-                            QueryGuard* guard = nullptr);
+                            QueryGuard* guard = nullptr,
+                            obs::Recorder* recorder = nullptr);
 
 /// Global multi-vertex CSM: the largest k for which GlobalCstMulti
 /// succeeds, found by binary search (O((|V| + |E|) log δ*)). A shared
@@ -43,7 +44,8 @@ SearchResult GlobalCstMulti(const Graph& graph,
 SearchResult GlobalCsmMulti(const Graph& graph,
                             const std::vector<VertexId>& query,
                             QueryStats* stats = nullptr,
-                            QueryGuard* guard = nullptr);
+                            QueryGuard* guard = nullptr,
+                            obs::Recorder* recorder = nullptr);
 
 /// Reusable local multi-vertex solver. Not thread-safe.
 class LocalMultiSolver {
@@ -66,16 +68,23 @@ class LocalMultiSolver {
                         QueryStats* stats = nullptr,
                         QueryGuard* guard = nullptr);
 
+  /// Telemetry sink for completed queries; defaults to the no-op null
+  /// sink. Not owned. A CSM query records once (the binary-search probes
+  /// accumulate into one QueryTelemetry), not once per probe.
+  void set_recorder(obs::Recorder* recorder) {
+    recorder_ = recorder != nullptr ? recorder : &obs::Recorder::Null();
+  }
+
  private:
   SearchResult CstMultiImpl(const std::vector<VertexId>& query, uint32_t k,
-                            QueryStats* stats, QueryGuard* guard);
+                            QueryGuard* guard, obs::PhaseTracker& tracker);
   SearchResult CsmMultiImpl(const std::vector<VertexId>& query,
-                            QueryStats* stats, QueryGuard* guard);
+                            QueryGuard* guard, obs::PhaseTracker& tracker);
   VertexId Find(VertexId v);
   void Union(VertexId a, VertexId b);
-  void AddToC(VertexId v, uint32_t k, QueryStats& stats);
+  void AddToC(VertexId v, uint32_t k, obs::PhaseStats& ph);
   SearchResult Fallback(const std::vector<VertexId>& query, uint32_t k,
-                        QueryStats& stats, QueryGuard& guard,
+                        obs::PhaseTracker& tracker, QueryGuard& guard,
                         uint64_t& charged);
   bool QueriesConnected(const std::vector<VertexId>& query);
   Community HarvestFragment(VertexId anchor);
@@ -84,6 +93,8 @@ class LocalMultiSolver {
   const Graph& graph_;
   const OrderedAdjacency* ordered_;
   const GraphFacts* facts_;
+  obs::Recorder* recorder_ = &obs::Recorder::Null();
+  obs::QueryTelemetry telemetry_;  // reset per top-level query only
 
   EpochArray<uint8_t> in_c_;
   EpochArray<uint8_t> enqueued_;

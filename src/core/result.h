@@ -15,6 +15,7 @@
 #include <utility>
 
 #include "core/common.h"
+#include "obs/telemetry.h"
 #include "util/guard.h"
 
 namespace locs {
@@ -36,6 +37,10 @@ struct SearchResult {
   Termination status = Termination::kNotExists;
   std::optional<Community> community;
   Community best_so_far;
+  /// Per-phase effort accounting for this query (see obs/telemetry.h).
+  /// Always filled by the solver wrappers; durations are nonzero only
+  /// when the attached obs::Recorder enables timing.
+  obs::QueryTelemetry telemetry;
 
   bool Found() const { return status == Termination::kFound; }
   bool Interrupted() const {

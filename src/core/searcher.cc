@@ -58,7 +58,14 @@ SearchResult CommunitySearcher::Cst(VertexId v0, uint32_t k,
 SearchResult CommunitySearcher::CstGlobal(VertexId v0, uint32_t k,
                                           QueryStats* stats,
                                           QueryGuard* guard) {
-  return GlobalCst(graph_, v0, k, stats, guard);
+  return GlobalCst(graph_, v0, k, stats, guard, recorder_);
+}
+
+void CommunitySearcher::set_recorder(obs::Recorder* recorder) {
+  recorder_ = recorder != nullptr ? recorder : &obs::Recorder::Null();
+  cst_solver_.set_recorder(recorder_);
+  csm_solver_.set_recorder(recorder_);
+  multi_solver_.set_recorder(recorder_);
 }
 
 double CommunitySearcher::DegreeTailFraction(uint32_t k) const {
@@ -80,7 +87,7 @@ SearchResult CommunitySearcher::CstAdaptive(VertexId v0, uint32_t k,
   // degenerates to a slower global pass (the small-k regime of Figures
   // 8/9); dispatch straight to the global peel in that regime.
   if (k > 2 && DegreeTailFraction(k) > adaptive_global_fraction_) {
-    return GlobalCst(graph_, v0, k, stats, guard);
+    return GlobalCst(graph_, v0, k, stats, guard, recorder_);
   }
   return cst_solver_.Solve(v0, k, options, stats, guard);
 }
@@ -92,7 +99,7 @@ SearchResult CommunitySearcher::Csm(VertexId v0, const CsmOptions& options,
 
 SearchResult CommunitySearcher::CsmGlobal(VertexId v0, QueryStats* stats,
                                           QueryGuard* guard) {
-  return GlobalCsm(graph_, v0, stats, guard);
+  return GlobalCsm(graph_, v0, stats, guard, recorder_);
 }
 
 SearchResult CommunitySearcher::CstMulti(const std::vector<VertexId>& query,

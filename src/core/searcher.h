@@ -108,6 +108,11 @@ class CommunitySearcher {
                         QueryStats* stats = nullptr,
                         QueryGuard* guard = nullptr);
 
+  /// Telemetry sink shared by every solver behind this facade (local and
+  /// global, single- and multi-vertex). Defaults to the no-op null sink;
+  /// pass nullptr to restore it. Not owned.
+  void set_recorder(obs::Recorder* recorder);
+
  private:
   Graph graph_;
   GraphFacts facts_;
@@ -118,6 +123,7 @@ class CommunitySearcher {
   // a pointer during ordered_'s initialization.
   double ordering_build_ms_ = 0.0;
   std::unique_ptr<OrderedAdjacency> ordered_;
+  obs::Recorder* recorder_ = &obs::Recorder::Null();
   LocalCstSolver cst_solver_;
   LocalCsmSolver csm_solver_;
   LocalMultiSolver multi_solver_;

@@ -82,6 +82,7 @@ LocalCstSolver& BatchRunner::CstSolver(unsigned worker) {
   auto& slot = cst_solvers_[worker];
   if (slot == nullptr) {
     slot = std::make_unique<LocalCstSolver>(graph_, ordered_, facts_);
+    slot->set_recorder(recorder_);
   }
   return *slot;
 }
@@ -90,8 +91,19 @@ LocalCsmSolver& BatchRunner::CsmSolver(unsigned worker) {
   auto& slot = csm_solvers_[worker];
   if (slot == nullptr) {
     slot = std::make_unique<LocalCsmSolver>(graph_, ordered_, facts_);
+    slot->set_recorder(recorder_);
   }
   return *slot;
+}
+
+void BatchRunner::set_recorder(obs::Recorder* recorder) {
+  recorder_ = recorder != nullptr ? recorder : &obs::Recorder::Null();
+  for (auto& slot : cst_solvers_) {
+    if (slot != nullptr) slot->set_recorder(recorder_);
+  }
+  for (auto& slot : csm_solvers_) {
+    if (slot != nullptr) slot->set_recorder(recorder_);
+  }
 }
 
 BatchStats BatchRunner::Merge(const std::vector<WorkerTotals>& totals,

@@ -116,6 +116,13 @@ class BatchRunner {
                         const CsmOptions& options = {},
                         const BatchLimits& limits = {});
 
+  /// Telemetry sink shared by every per-worker solver (existing slots and
+  /// slots created later). The recorder must be safe for concurrent
+  /// Record() calls (obs::AggregateRecorder and obs::TraceSink are);
+  /// nullptr restores the no-op null sink. Not owned. Call between
+  /// batches only — BatchRunner is not thread-safe.
+  void set_recorder(obs::Recorder* recorder);
+
   Executor& executor() const { return *executor_; }
 
  private:
@@ -140,6 +147,7 @@ class BatchRunner {
   const OrderedAdjacency* ordered_;
   const GraphFacts* facts_;
   Executor* executor_;
+  obs::Recorder* recorder_ = &obs::Recorder::Null();
   // One solver per worker slot, created on first use; a slot that never
   // participates never pays the O(|V|) construction.
   std::vector<std::unique_ptr<LocalCstSolver>> cst_solvers_;

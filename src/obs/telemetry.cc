@@ -1,0 +1,30 @@
+#include "obs/telemetry.h"
+
+#include <chrono>
+
+namespace locs::obs {
+
+std::string_view PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kAdmission:
+      return "admission";
+    case Phase::kExpansion:
+      return "expansion";
+    case Phase::kCandidates:
+      return "candidates";
+    case Phase::kCoreDecomposition:
+      return "core";
+    case Phase::kConnectivity:
+      return "connectivity";
+  }
+  return "unknown";
+}
+
+uint64_t PhaseTracker::NowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace locs::obs

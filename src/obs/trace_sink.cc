@@ -1,0 +1,72 @@
+#include "obs/trace_sink.h"
+
+#include "util/json.h"
+
+namespace locs::obs {
+
+TraceSink::TraceSink(const std::string& path) {
+  locs::MutexLock lock(mutex_);
+  file_ = std::fopen(path.c_str(), "w");
+  ok_ = file_ != nullptr;
+}
+
+TraceSink::~TraceSink() {
+  locs::MutexLock lock(mutex_);
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool TraceSink::ok() const {
+  locs::MutexLock lock(mutex_);
+  return ok_;
+}
+
+void TraceSink::Annotate(const std::string& label) {
+  locs::MutexLock lock(mutex_);
+  label_ = label;
+}
+
+void TraceSink::Record(const QueryTelemetry& telemetry) {
+  json::Object line;
+  // Totals first so a flat reader never needs the phase blocks.
+  line.Count("visited", telemetry.TotalVisited())
+      .Count("scanned", telemetry.TotalScanned())
+      .Count("answer_size", telemetry.answer_size)
+      .Bool("fallback", telemetry.used_global_fallback)
+      .Count("duration_ns", telemetry.TotalDurationNs());
+  for (size_t i = 0; i < kNumPhases; ++i) {
+    const PhaseStats& p = telemetry.phases[i];
+    if (p.entered == 0) continue;
+    json::Object block;
+    block.Count("entered", p.entered)
+        .Count("visited", p.vertices_visited)
+        .Count("scanned", p.edges_scanned)
+        .Count("cand_gen", p.candidates_generated)
+        .Count("cand_rej", p.candidates_rejected)
+        .Count("budget", p.budget_spent)
+        .Count("duration_ns", p.duration_ns);
+    line.Field(std::string(PhaseName(static_cast<Phase>(i))),
+               block.Render());
+  }
+
+  locs::MutexLock lock(mutex_);
+  if (file_ == nullptr) return;
+  json::Object full;
+  full.Count("seq", sequence_++);
+  if (!label_.empty()) full.Str("label", label_);
+  std::string text = full.Render();
+  // Splice the prepared payload after the seq/label prefix:
+  // {"seq": n, "label": ..., <payload fields>}
+  const std::string payload = line.Render();
+  text.pop_back();  // drop '}'
+  if (payload.size() > 2) {
+    text += ", ";
+    text.append(payload, 1, payload.size() - 2);  // strip '{' and '}'
+  }
+  text += "}\n";
+  if (std::fwrite(text.data(), 1, text.size(), file_) != text.size()) {
+    ok_ = false;
+  }
+  std::fflush(file_);
+}
+
+}  // namespace locs::obs

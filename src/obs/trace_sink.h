@@ -1,0 +1,56 @@
+// TraceSink — JSONL query traces.
+//
+// One JSON object per completed query, one line per object: totals,
+// then one nested-flat block per phase that ran (counters plus
+// duration_ns). The format is append-friendly and trivially consumed by
+// `jq`/pandas; benches write `TRACE_*.jsonl` next to their
+// `BENCH_*.json` reports.
+//
+// Thread-safe: Record serializes line assembly + write under a mutex,
+// so one sink can be shared by concurrent workers (lines never
+// interleave).
+
+#ifndef LOCS_OBS_TRACE_SINK_H_
+#define LOCS_OBS_TRACE_SINK_H_
+
+#include <cstdio>
+#include <string>
+
+#include "obs/recorder.h"
+#include "util/thread_annotations.h"
+
+namespace locs::obs {
+
+/// Writes one JSONL line per recorded query to `path`.
+class TraceSink : public Recorder {
+ public:
+  /// Truncates and opens `path`; check ok() before relying on output.
+  explicit TraceSink(const std::string& path);
+  ~TraceSink() override;
+
+  TraceSink(const TraceSink&) = delete;
+  TraceSink& operator=(const TraceSink&) = delete;
+
+  /// False when the file could not be opened or a write failed.
+  bool ok() const LOCS_EXCLUDES(mutex_);
+
+  bool timing_enabled() const override { return true; }
+
+  /// Sets a label attached (as `"label"`) to subsequent lines — e.g.
+  /// the query vertex or workload tag. Empty clears it.
+  void Annotate(const std::string& label) LOCS_EXCLUDES(mutex_);
+
+  void Record(const QueryTelemetry& telemetry) override
+      LOCS_EXCLUDES(mutex_);
+
+ private:
+  mutable locs::Mutex mutex_;
+  std::FILE* file_ LOCS_GUARDED_BY(mutex_) = nullptr;
+  bool ok_ LOCS_GUARDED_BY(mutex_) = false;
+  std::string label_ LOCS_GUARDED_BY(mutex_);
+  uint64_t sequence_ LOCS_GUARDED_BY(mutex_) = 0;
+};
+
+}  // namespace locs::obs
+
+#endif  // LOCS_OBS_TRACE_SINK_H_

@@ -51,6 +51,7 @@ MetricsSnapshot ServerMetrics::Snapshot() const {
             std::memory_order_relaxed);
   }
   snap.uptime_ms = uptime_.Millis();
+  snap.telemetry = recorder_.Snapshot();
   return snap;
 }
 
@@ -124,6 +125,25 @@ std::string MetricsSnapshot::RenderStatsLine(unsigned inflight,
   Append(&line, "queries", TotalQueries());
   Append(&line, "p50_us", LatencyPercentileUs(0.50));
   Append(&line, "p95_us", LatencyPercentileUs(0.95));
+  // Aggregated per-phase solver telemetry. Phases no query entered are
+  // omitted, so the key set is deterministic for a scripted session; the
+  // only wall-clock-dependent values end in _ns (maskable, like _us).
+  Append(&line, "solver_queries", telemetry.queries);
+  Append(&line, "solver_fallbacks", telemetry.fallbacks);
+  for (size_t i = 0; i < obs::kNumPhases; ++i) {
+    const obs::PhaseStats& ph =
+        telemetry.sum.phases[i];
+    if (ph.entered == 0) continue;
+    std::string prefix = "ph_";
+    prefix += obs::PhaseName(static_cast<obs::Phase>(i));
+    Append(&line, (prefix + "_entered").c_str(), ph.entered);
+    Append(&line, (prefix + "_visited").c_str(), ph.vertices_visited);
+    Append(&line, (prefix + "_scanned").c_str(), ph.edges_scanned);
+    Append(&line, (prefix + "_cand_gen").c_str(), ph.candidates_generated);
+    Append(&line, (prefix + "_cand_rej").c_str(), ph.candidates_rejected);
+    Append(&line, (prefix + "_budget").c_str(), ph.budget_spent);
+    Append(&line, (prefix + "_ns").c_str(), ph.duration_ns);
+  }
   return line;
 }
 

@@ -19,6 +19,7 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/recorder.h"
 #include "serve/wire.h"
 #include "util/timer.h"
 
@@ -36,6 +37,9 @@ struct MetricsSnapshot {
   uint64_t sessions_closed = 0;
   uint64_t latency_hist[kLatencyBuckets] = {};
   double uptime_ms = 0.0;
+  /// Aggregated per-phase solver telemetry (obs::AggregateRecorder
+  /// totals across every query served by every session).
+  obs::AggregateRecorder::Totals telemetry;
 
   uint64_t TotalRequests() const;
   uint64_t TotalErrors() const;
@@ -82,9 +86,14 @@ class ServerMetrics {
   /// Records one query's latency into the histogram.
   void RecordLatencyUs(uint64_t us);
 
+  /// The telemetry sink sessions attach to their solvers; its per-phase
+  /// totals ride along in Snapshot() and the STATS line.
+  obs::AggregateRecorder& recorder() { return recorder_; }
+
   MetricsSnapshot Snapshot() const;
 
  private:
+  obs::AggregateRecorder recorder_;
   std::array<std::atomic<uint64_t>, kNumVerbs> requests_by_verb_ = {};
   std::array<std::atomic<uint64_t>, kNumWireErrors> errors_by_kind_ = {};
   std::atomic<uint64_t> rejected_{0};

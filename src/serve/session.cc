@@ -24,16 +24,17 @@ void AppendKv(std::string* out, const char* key, uint64_t value) {
 
 /// Renders a query reply. Replies are deterministic for a given (graph,
 /// request): timing lives in the STATS histogram, not here, so scripted
-/// sessions can be compared byte-for-byte.
+/// sessions can be compared byte-for-byte. The trace=1 breakdown keeps
+/// that property — it renders phase *counters* only, never durations.
 std::string FormatQueryReply(const SearchResult& result,
-                             const QueryStats& stats,
-                             uint64_t member_limit) {
+                             uint64_t member_limit, bool trace) {
+  const obs::QueryTelemetry& telemetry = result.telemetry;
   const Community& community = result.Best();
   std::string reply = "OK status=";
   reply += TerminationName(result.status);
   AppendKv(&reply, "n", community.members.size());
   AppendKv(&reply, "delta", community.min_degree);
-  AppendKv(&reply, "visited", stats.visited_vertices);
+  AppendKv(&reply, "visited", telemetry.TotalVisited());
   reply += " members=";
   const size_t shown =
       member_limit == 0
@@ -45,6 +46,29 @@ std::string FormatQueryReply(const SearchResult& result,
   }
   if (shown < community.members.size()) {
     AppendKv(&reply, "truncated", community.members.size() - shown);
+  }
+  if (trace) {
+    AppendKv(&reply, "scanned", telemetry.TotalScanned());
+    AppendKv(&reply, "fallback", telemetry.used_global_fallback ? 1 : 0);
+    // One block per entered phase:
+    //   <name>:<entered>:<visited>:<scanned>:<cand_gen>:<cand_rej>:<budget>
+    reply += " phases=";
+    bool first = true;
+    for (size_t i = 0; i < obs::kNumPhases; ++i) {
+      const obs::PhaseStats& ph = telemetry.phases[i];
+      if (ph.entered == 0) continue;
+      if (!first) reply += ',';
+      first = false;
+      reply += obs::PhaseName(static_cast<obs::Phase>(i));
+      for (const uint64_t value :
+           {ph.entered, ph.vertices_visited, ph.edges_scanned,
+            ph.candidates_generated, ph.candidates_rejected,
+            ph.budget_spent}) {
+        reply += ':';
+        reply += std::to_string(value);
+      }
+    }
+    if (first) reply += '-';  // no phase ran (e.g. core-index negative)
   }
   return reply;
 }
@@ -219,7 +243,8 @@ Session::BoundSolvers* Session::Bind(const std::string& name,
     return nullptr;
   }
   if (bound_ == nullptr || bound_->entry != entry) {
-    bound_ = std::make_unique<BoundSolvers>(std::move(entry));
+    bound_ = std::make_unique<BoundSolvers>(std::move(entry),
+                                            &metrics_.recorder());
   }
   return bound_.get();
 }
@@ -273,7 +298,6 @@ std::string Session::ExecQuery(const Request& request) {
                                     ? request.member_limit
                                     : options_.default_member_limit;
   WallTimer timer;
-  QueryStats stats;
   QueryGuard guard(EffectiveLimits(request.limits));
   SearchResult result;
   const CoreIndex& index = solvers->entry->index;
@@ -286,15 +310,15 @@ std::string Session::ExecQuery(const Request& request) {
         result = SearchResult::MakeNotExists();
       } else {
         result = solvers->cst.Solve(request.vertices[0], request.k, {},
-                                    &stats, &guard);
+                                    nullptr, &guard);
       }
       break;
     case Verb::kCsm:
-      result = solvers->csm.Solve(request.vertices[0], {}, &stats, &guard);
+      result = solvers->csm.Solve(request.vertices[0], {}, nullptr, &guard);
       break;
     case Verb::kMulti:
       if (request.multi_max) {
-        result = solvers->multi.CsmMulti(request.vertices, &stats, &guard);
+        result = solvers->multi.CsmMulti(request.vertices, nullptr, &guard);
       } else {
         // Same index shortcut, per seed vertex: every member of a δ>=k
         // community lies in the k-core, so one seed outside it is an
@@ -307,7 +331,7 @@ std::string Session::ExecQuery(const Request& request) {
           }
         }
         result = possible ? solvers->multi.CstMulti(request.vertices,
-                                                    request.k, &stats,
+                                                    request.k, nullptr,
                                                     &guard)
                           : SearchResult::MakeNotExists();
       }
@@ -317,7 +341,7 @@ std::string Session::ExecQuery(const Request& request) {
   }
   metrics_.RecordLatencyUs(static_cast<uint64_t>(timer.Micros()));
   if (result.Interrupted()) metrics_.CountInterrupted();
-  return FormatQueryReply(result, stats, member_limit);
+  return FormatQueryReply(result, member_limit, request.trace);
 }
 
 }  // namespace locs::serve

@@ -68,18 +68,25 @@ class Session {
 
  private:
   /// Solvers bound to one registry entry. Holding the shared_ptr keeps
-  /// the graph alive even if it is evicted or replaced mid-session.
+  /// the graph alive even if it is evicted or replaced mid-session. The
+  /// recorder (the server-wide aggregate living in ServerMetrics) feeds
+  /// the per-phase totals of the STATS line.
   struct BoundSolvers {
     std::shared_ptr<const ServedGraph> entry;
     LocalCstSolver cst;
     LocalCsmSolver csm;
     LocalMultiSolver multi;
 
-    explicit BoundSolvers(std::shared_ptr<const ServedGraph> bound)
+    BoundSolvers(std::shared_ptr<const ServedGraph> bound,
+                 obs::Recorder* recorder)
         : entry(std::move(bound)),
           cst(entry->graph, &entry->ordered, &entry->facts),
           csm(entry->graph, &entry->ordered, &entry->facts),
-          multi(entry->graph, &entry->ordered, &entry->facts) {}
+          multi(entry->graph, &entry->ordered, &entry->facts) {
+      cst.set_recorder(recorder);
+      csm.set_recorder(recorder);
+      multi.set_recorder(recorder);
+    }
   };
 
   /// Dispatches one parsed request; returns the reply line. Sets

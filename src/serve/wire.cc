@@ -75,6 +75,10 @@ bool ConsumeOptions(const std::vector<std::string_view>& tokens, size_t i,
       ok = ParseUnsigned(value, &request->limits.work_budget);
     } else if (key == "limit") {
       ok = ParseUnsigned(value, &request->member_limit);
+    } else if (key == "trace") {
+      uint64_t flag = 0;
+      ok = ParseUnsigned(value, &flag) && flag <= 1;
+      request->trace = flag != 0;
     } else {
       *error = Fail(WireError::kBadOption,
                     "unknown option '" + std::string(key) + "'");

@@ -15,7 +15,9 @@
 //
 // Trailing `opt` tokens are lowercase key=value pairs mapped onto the
 // QueryGuard limits: `deadline_ms=<double>`, `budget=<uint64>`, plus
-// `limit=<n>` capping the member ids echoed in the reply (0 = all).
+// `limit=<n>` capping the member ids echoed in the reply (0 = all) and
+// `trace=<0|1>` appending a per-phase telemetry breakdown to the reply
+// (deterministic: counters only, no durations).
 //
 // Every reply is also one line: `OK ...`, `ERR <kind> <detail>` or
 // `BUSY <detail>` (admission fast-reject). The parser is total: any byte
@@ -94,6 +96,7 @@ struct Request {
   std::vector<VertexId> vertices; ///< query vertices (MULTI: >= 1)
   QueryLimits limits;             ///< deadline_ms= / budget= options
   uint64_t member_limit = 0;      ///< limit= option; 0 = all members
+  bool trace = false;             ///< trace= option; phase breakdown
 };
 
 /// ParseRequest outcome: either a request or a typed error with detail.

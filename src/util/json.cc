@@ -1,0 +1,81 @@
+#include "util/json.h"
+
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+
+namespace locs::json {
+
+std::string Quote(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string Number(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buffer[32];
+  // Integral values (counts, sizes) read better undecorated.
+  if (value == std::floor(value) && std::fabs(value) < 9.0e15) {
+    std::snprintf(buffer, sizeof(buffer), "%.0f", value);
+    return buffer;
+  }
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  // Trim to the shortest representation that round-trips.
+  for (int precision = 1; precision < 17; ++precision) {
+    char shorter[32];
+    std::snprintf(shorter, sizeof(shorter), "%.*g", precision, value);
+    double parsed = 0.0;
+    if (std::sscanf(shorter, "%lf", &parsed) == 1 && parsed == value) {
+      return shorter;
+    }
+  }
+  return buffer;
+}
+
+std::string Number(uint64_t value) {
+  char buffer[24];
+  std::snprintf(buffer, sizeof(buffer), "%" PRIu64, value);
+  return buffer;
+}
+
+std::string Object::Render() const {
+  std::string out = "{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += Quote(fields_[i].first);
+    out += ": ";
+    out += fields_[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace locs::json

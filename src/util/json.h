@@ -1,0 +1,65 @@
+// Minimal JSON rendering primitives shared by the benchmark reports
+// (bench/common/reporting) and the telemetry trace sink (src/obs).
+//
+// This is a *writer*, not a document model: callers assemble objects as
+// ordered (key, rendered-value) pairs and the helpers here guarantee the
+// two things JSON gets wrong by hand — string escaping and number
+// round-tripping. Keeping it in locs_util lets src/obs emit JSONL
+// without depending on the bench tree.
+
+#ifndef LOCS_UTIL_JSON_H_
+#define LOCS_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace locs::json {
+
+/// JSON string literal: `text` with the escapes the grammar requires
+/// (quotes, backslash, \n/\t/\r, \u00xx for remaining control bytes),
+/// wrapped in double quotes.
+std::string Quote(const std::string& text);
+
+/// Shortest representation of `value` that parses back to the same
+/// double. Integral values render undecorated ("3", not "3.0"); JSON has
+/// no NaN/Inf, so non-finite values degrade to "null".
+std::string Number(double value);
+
+/// Exact decimal rendering of an unsigned counter. uint64_t values above
+/// 2^53 would lose precision through the double path.
+std::string Number(uint64_t value);
+
+/// One flat JSON object rendered onto a single line — the JSONL row
+/// format. Values must already be rendered JSON (via Quote/Number or a
+/// nested Object); keys are escaped here.
+class Object {
+ public:
+  Object& Field(const std::string& key, std::string rendered_value) {
+    fields_.emplace_back(key, std::move(rendered_value));
+    return *this;
+  }
+  Object& Str(const std::string& key, const std::string& value) {
+    return Field(key, Quote(value));
+  }
+  Object& Num(const std::string& key, double value) {
+    return Field(key, Number(value));
+  }
+  Object& Count(const std::string& key, uint64_t value) {
+    return Field(key, Number(value));
+  }
+  Object& Bool(const std::string& key, bool value) {
+    return Field(key, value ? "true" : "false");
+  }
+
+  /// `{"k1": v1, "k2": v2}` — single line, insertion order.
+  std::string Render() const;
+
+ private:
+  std::vector<std::pair<std::string, std::string>> fields_;
+};
+
+}  // namespace locs::json
+
+#endif  // LOCS_UTIL_JSON_H_

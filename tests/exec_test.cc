@@ -17,6 +17,7 @@
 #include "exec/executor.h"
 #include "gen/erdos_renyi.h"
 #include "gen/lfr.h"
+#include "obs/recorder.h"
 
 namespace locs {
 namespace {
@@ -362,6 +363,71 @@ TEST_F(BatchRunnerTest, RepeatedBatchesOnOneRunnerStayIdentical) {
     EXPECT_EQ(again.stats.visited_vertices, first.stats.visited_vertices);
     EXPECT_EQ(again.stats.scanned_edges, first.stats.scanned_edges);
   }
+}
+
+TEST_F(BatchRunnerTest, ReusedWorkerSolverResetsTelemetryBetweenQueries) {
+  // One worker thread means every query funnels through the same reused
+  // solver slot. Each query's telemetry must match a brand-new solver's
+  // — any counter carried over from the previous query would show up as
+  // an inflated phase total here.
+  LocalCstSolver reused(graph_, &ordered_, &facts_);
+  LocalCsmSolver reused_csm(graph_, &ordered_, &facts_);
+  for (int round = 0; round < 2; ++round) {
+    for (const VertexId v : {queries_[0], queries_[1], queries_[7]}) {
+      SCOPED_TRACE("round=" + std::to_string(round) +
+                   " v=" + std::to_string(v));
+      const SearchResult got = reused.Solve(v, 3);
+      LocalCstSolver fresh(graph_, &ordered_, &facts_);
+      const SearchResult want = fresh.Solve(v, 3);
+      for (size_t i = 0; i < obs::kNumPhases; ++i) {
+        EXPECT_EQ(got.telemetry.phases[i].vertices_visited,
+                  want.telemetry.phases[i].vertices_visited);
+        EXPECT_EQ(got.telemetry.phases[i].edges_scanned,
+                  want.telemetry.phases[i].edges_scanned);
+        EXPECT_EQ(got.telemetry.phases[i].entered,
+                  want.telemetry.phases[i].entered);
+      }
+      EXPECT_EQ(got.telemetry.answer_size, want.telemetry.answer_size);
+
+      const SearchResult got_csm = reused_csm.Solve(v);
+      LocalCsmSolver fresh_csm(graph_, &ordered_, &facts_);
+      const SearchResult want_csm = fresh_csm.Solve(v);
+      EXPECT_EQ(got_csm.telemetry.TotalVisited(),
+                want_csm.telemetry.TotalVisited());
+      EXPECT_EQ(got_csm.telemetry.TotalScanned(),
+                want_csm.telemetry.TotalScanned());
+    }
+  }
+}
+
+TEST_F(BatchRunnerTest, RecorderSeesEveryQueryAcrossBatches) {
+  BatchRunner runner(graph_, &ordered_, &facts_);
+  obs::AggregateRecorder recorder;
+  runner.set_recorder(&recorder);
+  BatchLimits limits;
+  limits.num_threads = 1;  // every query reuses one worker solver slot
+  const auto batch = runner.RunCst(queries_, 3, {}, limits);
+  obs::AggregateRecorder::Totals totals = recorder.Snapshot();
+  EXPECT_EQ(totals.queries, queries_.size());
+  // The recorded per-phase sums must agree with the batch's own stat
+  // aggregation — the recorder sees each query's telemetry exactly once.
+  EXPECT_EQ(totals.sum.TotalVisited(), batch.stats.visited_vertices);
+  EXPECT_EQ(totals.sum.TotalScanned(), batch.stats.scanned_edges);
+  EXPECT_EQ(totals.fallbacks, batch.stats.global_fallbacks);
+  EXPECT_EQ(totals.sum.answer_size, batch.stats.total_answer_size);
+
+  // A second batch on the same runner doubles the totals exactly, and a
+  // multi-threaded batch lands the same counts (worker-count invariant).
+  limits.num_threads = 4;
+  runner.RunCst(queries_, 3, {}, limits);
+  totals = recorder.Snapshot();
+  EXPECT_EQ(totals.queries, 2 * queries_.size());
+  EXPECT_EQ(totals.sum.TotalVisited(), 2 * batch.stats.visited_vertices);
+
+  // Detaching restores the null sink: nothing further is recorded.
+  runner.set_recorder(nullptr);
+  runner.RunCst(queries_, 3, {}, limits);
+  EXPECT_EQ(recorder.Snapshot().queries, 2 * queries_.size());
 }
 
 TEST_F(BatchRunnerTest, StatsAggregateThePerQueryCounters) {

@@ -115,6 +115,76 @@ TEST(LocsdIntegrationTest, StdioSessionEndToEnd) {
   EXPECT_EQ(replies[6], "OK bye");
 }
 
+/// Masks the values of duration keys (`*_ms=`, `*_us=`, `*_ns=`) in a
+/// reply line; everything else — including every telemetry counter — is
+/// left byte-exact.
+std::string MaskDurations(const std::string& line) {
+  std::string masked;
+  std::istringstream stream(line);
+  std::string token;
+  bool first = true;
+  while (stream >> token) {
+    if (!first) masked += ' ';
+    first = false;
+    const size_t eq = token.find('=');
+    bool timed = false;
+    if (eq != std::string::npos && eq >= 3) {
+      const std::string suffix = token.substr(eq - 3, 3);
+      timed = suffix == "_ms" || suffix == "_us" || suffix == "_ns";
+    }
+    masked += timed ? token.substr(0, eq + 1) + "X" : token;
+  }
+  return masked;
+}
+
+TEST(LocsdIntegrationTest, GoldenTranscriptIsDeterministicModuloDurations) {
+  // The full LOAD / traced-query / STATS / QUIT transcript must be
+  // byte-identical across two independent daemon processes once the
+  // wall-clock fields (keys ending _ms/_us/_ns) are masked. This pins
+  // down both the trace=1 phase breakdown and the STATS per-phase
+  // telemetry totals as deterministic solver facts, not timing noise.
+  const std::string script =
+      "LOAD g " + GraphPath() + "\n"
+      "CST g 7 3 trace=1 limit=5\n"
+      "CSM g 7 trace=1 limit=5\n"
+      "MULTI g 2 7 8 trace=1 limit=5\n"
+      "MULTI g max 7 8 trace=1 limit=5\n"
+      "STATS\n"
+      "QUIT\n";
+  const auto [code_a, replies_a] = StdioSession(script);
+  const auto [code_b, replies_b] = StdioSession(script);
+  EXPECT_EQ(code_a, 0);
+  EXPECT_EQ(code_b, 0);
+  ASSERT_EQ(replies_a.size(), 7u);
+  ASSERT_EQ(replies_b.size(), 7u);
+  for (size_t i = 0; i < replies_a.size(); ++i) {
+    EXPECT_EQ(MaskDurations(replies_a[i]), MaskDurations(replies_b[i]))
+        << "transcript line " << i << " diverges";
+  }
+  // Structural golden facts of the traced replies and STATS line.
+  for (const size_t traced : {1u, 2u, 3u, 4u}) {
+    EXPECT_TRUE(StartsWith(replies_a[traced], "OK status="))
+        << replies_a[traced];
+    EXPECT_NE(replies_a[traced].find(" phases="), std::string::npos)
+        << replies_a[traced];
+    EXPECT_NE(Field(replies_a[traced], "fallback"), "")
+        << replies_a[traced];
+    EXPECT_NE(Field(replies_a[traced], "scanned"), "")
+        << replies_a[traced];
+  }
+  // An untraced query must NOT carry the breakdown.
+  const auto [code_c, replies_c] =
+      StdioSession("LOAD g " + GraphPath() + "\nCST g 7 3 limit=5\nQUIT\n");
+  EXPECT_EQ(code_c, 0);
+  ASSERT_EQ(replies_c.size(), 3u);
+  EXPECT_EQ(replies_c[1].find(" phases="), std::string::npos)
+      << replies_c[1];
+  // STATS carries the aggregated per-phase totals (4 solver queries).
+  EXPECT_EQ(Field(replies_a[5], "solver_queries"), "4") << replies_a[5];
+  EXPECT_NE(Field(replies_a[5], "ph_expansion_visited"), "")
+      << replies_a[5];
+}
+
 TEST(LocsdIntegrationTest, ServedAnswersMatchOneShotCli) {
   // The daemon and the one-shot CLI must agree on community size and
   // goodness for the same (graph, query) — the serving layer adds

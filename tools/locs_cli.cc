@@ -17,12 +17,14 @@
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/kcore.h"
 #include "core/searcher.h"
 #include "exec/batch_runner.h"
+#include "obs/trace_sink.h"
 #include "serve/daemon.h"
 #include "gen/barabasi.h"
 #include "gen/erdos_renyi.h"
@@ -97,6 +99,24 @@ QueryLimits GuardLimits(const CommandLine& cli) {
   return limits;
 }
 
+/// Opens --trace=<file> as a JSONL telemetry sink labelled with the
+/// subcommand. Returns 0 with *out == nullptr when the flag is absent,
+/// 0 with an open sink on success, nonzero after printing an error.
+int AttachTrace(const CommandLine& cli, const char* label,
+                std::unique_ptr<obs::TraceSink>* out) {
+  const std::string path = cli.GetString("trace", "");
+  if (path.empty()) return 0;
+  auto sink = std::make_unique<obs::TraceSink>(path);
+  if (!sink->ok()) {
+    std::fprintf(stderr, "error: could not open trace file '%s'\n",
+                 path.c_str());
+    return 1;
+  }
+  sink->Annotate(label);
+  *out = std::move(sink);
+  return 0;
+}
+
 bool SaveAuto(const Graph& graph, const std::string& path) {
   if (EndsWith(path, ".lcsg")) return SaveBinary(graph, path);
   if (EndsWith(path, ".metis") || EndsWith(path, ".graph")) {
@@ -126,12 +146,13 @@ int Usage() {
       "  stats     --input=G\n"
       "  cst       --input=G --vertex=V --k=K [--global]\n"
       "            [--query-deadline-ms=D] [--work-budget=W]\n"
+      "            [--trace=F]   per-query JSONL telemetry\n"
       "  csm       --input=G --vertex=V [--global]\n"
-      "            [--query-deadline-ms=D] [--work-budget=W]\n"
+      "            [--query-deadline-ms=D] [--work-budget=W] [--trace=F]\n"
       "  batch     --input=G --mode=cst|csm [--k=K]\n"
       "            [--queries-file=F | --sample=N --seed=S]\n"
       "            [--threads=T] [--deadline-ms=D] [--show-results]\n"
-      "            [--query-deadline-ms=D] [--work-budget=W]\n"
+      "            [--query-deadline-ms=D] [--work-budget=W] [--trace=F]\n"
       "  decompose --input=G [--top=10]\n"
       "  convert   --input=G --output=F\n"
       "  generate  --model=lfr|ba|gnp --n=N --output=F [--seed=S]\n"
@@ -247,6 +268,9 @@ int CmdCst(const CommandLine& cli) {
     return 1;
   }
   CommunitySearcher searcher(std::move(*graph));
+  std::unique_ptr<obs::TraceSink> trace;
+  if (AttachTrace(cli, "cst", &trace) != 0) return 1;
+  if (trace != nullptr) searcher.set_recorder(trace.get());
   WallTimer timer;
   QueryStats stats;
   QueryGuard guard(GuardLimits(cli));
@@ -289,6 +313,9 @@ int CmdCsm(const CommandLine& cli) {
     return 1;
   }
   CommunitySearcher searcher(std::move(*graph));
+  std::unique_ptr<obs::TraceSink> trace;
+  if (AttachTrace(cli, "csm", &trace) != 0) return 1;
+  if (trace != nullptr) searcher.set_recorder(trace.get());
   WallTimer timer;
   QueryStats stats;
   QueryGuard guard(GuardLimits(cli));
@@ -360,6 +387,9 @@ int CmdBatch(const CommandLine& cli) {
   const GraphFacts facts = GraphFacts::Compute(*graph);
   const OrderedAdjacency ordered(*graph);
   BatchRunner runner(*graph, &ordered, &facts);
+  std::unique_ptr<obs::TraceSink> trace;
+  if (AttachTrace(cli, "batch", &trace) != 0) return 1;
+  if (trace != nullptr) runner.set_recorder(trace.get());
   BatchLimits limits;
   limits.num_threads =
       static_cast<unsigned>(cli.GetInt("threads", 0));

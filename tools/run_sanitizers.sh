@@ -49,15 +49,20 @@ run_pass() {
 # The concurrency label includes guard_test (deadline/budget/cancel
 # interruption) and the executor/batch-runner suites; the serve label
 # adds the serving layer's concurrent sessions (shared registry,
-# admission controller, metrics, TCP drain).
+# admission controller, metrics, TCP drain); the obs label adds the
+# telemetry sinks (AggregateRecorder/TraceSink are shared by concurrent
+# workers, so their locking claims belong under TSan).
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-  run_pass tsan thread 'concurrency|serve'
+  run_pass tsan thread 'concurrency|serve|obs'
 
 # The serve label rides along here too: the wire parser and transport
-# framing are the newest code facing adversarial bytes.
+# framing are the newest code facing adversarial bytes. The property
+# label (differential local-vs-global solver suite) and the obs label
+# (telemetry layer) run instrumented early for the same fast-fail
+# reason: they cover the widest solver surface per second of test time.
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}" \
-  run_pass asan-ubsan address,undefined 'io|serve'
+  run_pass asan-ubsan address,undefined 'io|serve|property|obs'
 
 # Third pass: same asan-ubsan tree (already built), everything.
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
