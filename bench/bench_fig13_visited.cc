@@ -24,6 +24,7 @@
 #include "core/kcore.h"
 #include "core/local_cst.h"
 #include "graph/ordering.h"
+#include "obs/recorder.h"
 #include "obs/telemetry.h"
 #include "obs/trace_sink.h"
 #include "util/cli.h"
@@ -79,9 +80,21 @@ int Run(int argc, char** argv) {
   const std::string trace_path =
       cli.GetString("trace", "TRACE_fig13.jsonl");
   std::optional<obs::TraceSink> trace;
+  obs::AggregateRecorder aggregate;
   if (!trace_path.empty()) {
     trace.emplace(trace_path);
-    if (trace->ok()) solver.set_recorder(&*trace);
+    if (!trace->ok()) {
+      // An unopenable trace file is a hard error — silently running
+      // untraced would upload an artifact that looks complete but lies.
+      std::fprintf(stderr, "fig13: could not open trace file '%s'\n",
+                   trace_path.c_str());
+      return 1;
+    }
+    solver.set_recorder(&*trace);
+  } else {
+    // No trace requested: still attach a timing-enabled sink so the
+    // phase-duration columns below are measured, not zero.
+    solver.set_recorder(&aggregate);
   }
 
   const uint32_t s = std::max(1u, cores.degeneracy / 10);
@@ -91,9 +104,13 @@ int Run(int argc, char** argv) {
                            "ls-li visited", "ls-lg visited"});
   // Where the local solvers' visited effort goes: expansion-phase share
   // versus the Algorithm-2-line-6 global fallback (core decomposition +
-  // connectivity phases), averaged over the ls-li queries.
-  TableWriter phase_table({"k", "ls-li expansion", "ls-li fallback",
-                           "fallback rate"});
+  // connectivity phases), averaged over the ls-li queries — both as
+  // visited-vertex counts (machine-independent) and as measured phase
+  // time (the hot-path claim).
+  TableWriter phase_table({"k", "ls-li expansion", "exp us", "ls-li fallback",
+                           "fb us", "fallback rate"});
+  double total_expansion_us = 0.0;
+  double total_fallback_us = 0.0;
   for (uint32_t mult = 1; mult <= 8; ++mult) {
     const uint32_t k = s * mult;
     const auto sample = SampleFromKCore(cores, k, queries, 330 + k);
@@ -102,6 +119,8 @@ int Run(int argc, char** argv) {
     std::vector<double> visits[4];
     std::vector<double> expansion_visits;
     std::vector<double> fallback_visits;
+    std::vector<double> expansion_us;
+    std::vector<double> fallback_us;
     uint64_t fallbacks = 0;
     for (VertexId v0 : sample) {
       QueryStats stats;
@@ -132,6 +151,16 @@ int Run(int argc, char** argv) {
           fallback_visits.push_back(static_cast<double>(
               t[obs::Phase::kCoreDecomposition].vertices_visited +
               t[obs::Phase::kConnectivity].vertices_visited));
+          expansion_us.push_back(
+              static_cast<double>(
+                  t[obs::Phase::kExpansion].duration_ns +
+                  t[obs::Phase::kAdmission].duration_ns) /
+              1000.0);
+          fallback_us.push_back(
+              static_cast<double>(
+                  t[obs::Phase::kCoreDecomposition].duration_ns +
+                  t[obs::Phase::kConnectivity].duration_ns) /
+              1000.0);
           fallbacks += t.used_global_fallback ? 1 : 0;
         }
       }
@@ -151,10 +180,14 @@ int Run(int argc, char** argv) {
     phase_table.Row()
         .Num(uint64_t{k})
         .Num(Summarize(expansion_visits).mean, 1)
+        .Num(Summarize(expansion_us).mean, 2)
         .Num(Summarize(fallback_visits).mean, 1)
+        .Num(Summarize(fallback_us).mean, 2)
         .Num(static_cast<double>(fallbacks) /
                  static_cast<double>(sample.size()),
              3);
+    for (const double us : expansion_us) total_expansion_us += us;
+    for (const double us : fallback_us) total_fallback_us += us;
     report.AddRow()
         .Num("k", k)
         .Num("samples", static_cast<double>(sample.size()))
@@ -168,10 +201,18 @@ int Run(int argc, char** argv) {
         .Num("lg_visited", Summarize(visits[3]).mean)
         .Num("li_expansion_visited", Summarize(expansion_visits).mean)
         .Num("li_fallback_visited", Summarize(fallback_visits).mean)
+        .Num("li_expansion_us", Summarize(expansion_us).mean)
+        .Num("li_fallback_us", Summarize(fallback_us).mean)
         .Num("li_fallback_rate",
              static_cast<double>(fallbacks) /
                  static_cast<double>(sample.size()));
   }
+  // Whole-run phase totals: the before/after comparison point for the
+  // hot-path work (run the bench on two builds and diff these).
+  report.AddRow()
+      .Str("row", "phase_totals")
+      .Num("li_expansion_total_us", total_expansion_us)
+      .Num("li_fallback_total_us", total_fallback_us);
   std::printf("(a) answer size, dataset %s\n", name.c_str());
   size_table.Print("fig13a_" + name);
   std::printf("\n(b) visited vertices, dataset %s\n", name.c_str());

@@ -6,14 +6,25 @@
 // structure min-oriented for the `lg` heuristic's minimum-degree sources.
 // All operations are O(1) amortized; a query reset is O(1) thanks to epoch
 // stamping on both the vertex entries and the bucket heads.
+//
+// Layout is flattened for the solvers' inner loops: each entry packs its
+// epoch stamp and key into one aligned 8-byte cell (likewise each bucket
+// head), so the membership test and the key read that every frontier probe
+// needs cost a single cache-line touch. Erasure leaves a same-epoch
+// tombstone instead of rolling the stamp back, which lets the stamp double
+// as the solvers' "discovered at least once this query" bit — the
+// single-probe IncrementOrInsert / IncrementIfPresent ops below are the
+// specialized inner loops of the `li` and `lg` strategies.
 
 #ifndef LOCS_CORE_BUCKET_LIST_H_
 #define LOCS_CORE_BUCKET_LIST_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
 #include "util/check.h"
+#include "util/prefetch.h"
 
 namespace locs {
 
@@ -22,39 +33,53 @@ class EpochBucketList {
  public:
   static constexpr uint32_t kNil = ~uint32_t{0};
 
-  /// `capacity` bounds element ids, `max_key` bounds key values.
+  /// What a single-probe frontier op did.
+  enum class Probe { kIncremented, kInserted, kSkipped };
+
+  /// `capacity` bounds element ids, `max_key` bounds key values (so kNil
+  /// is never a valid key and can serve as the erasure tombstone).
   EpochBucketList(uint32_t capacity, uint32_t max_key)
-      : head_(static_cast<size_t>(max_key) + 1, kNil),
+      : head_(static_cast<size_t>(max_key) + 1, 0),
         tail_(static_cast<size_t>(max_key) + 1, kNil),
-        head_stamp_(static_cast<size_t>(max_key) + 1, 0),
         next_(capacity, kNil),
         prev_(capacity, kNil),
-        key_(capacity, 0),
-        entry_stamp_(capacity, 0) {}
+        entry_(capacity, 0) {}
 
-  /// Invalidates the whole structure in O(1).
+  /// Invalidates the whole structure in O(1) (amortized: the 32-bit epoch
+  /// wraps once per ~4G queries, paying one O(n + max_key) clear).
   void NewEpoch() {
-    ++epoch_;
+    if (++epoch_ == 0) {
+      std::fill(entry_.begin(), entry_.end(), uint64_t{0});
+      std::fill(head_.begin(), head_.end(), uint64_t{0});
+      epoch_ = 1;
+    }
     size_ = 0;
     max_bucket_ = 0;
     min_bucket_ = 0;
   }
 
-  bool Contains(uint32_t v) const { return entry_stamp_[v] == epoch_; }
+  bool Contains(uint32_t v) const {
+    const uint64_t c = entry_[v];
+    return (c >> 32) == epoch_ && static_cast<uint32_t>(c) != kNil;
+  }
+
+  /// True if `v` was inserted at least once this epoch, whether or not it
+  /// has since been erased (tombstones keep the stamp current).
+  bool Seen(uint32_t v) const { return (entry_[v] >> 32) == epoch_; }
+
   bool Empty() const { return size_ == 0; }
   uint32_t Size() const { return size_; }
 
   uint32_t Key(uint32_t v) const {
     LOCS_DCHECK(Contains(v));
-    return key_[v];
+    return static_cast<uint32_t>(entry_[v]);
   }
 
   /// Inserts `v` with the given key; v must not be present.
   void Insert(uint32_t v, uint32_t key) {
     LOCS_DCHECK(!Contains(v));
     LOCS_DCHECK(key < head_.size());
-    entry_stamp_[v] = epoch_;
-    key_[v] = key;
+    entry_[v] = Pack(key);
     Link(v, key);
     if (size_ == 0) {
       max_bucket_ = min_bucket_ = key;
@@ -68,19 +93,46 @@ class EpochBucketList {
   /// Increments the key of a present element by one.
   void Increment(uint32_t v) {
     LOCS_DCHECK(Contains(v));
-    const uint32_t k = key_[v];
-    LOCS_DCHECK(k + 1 < head_.size());
-    Unlink(v, k);
-    key_[v] = k + 1;
-    Link(v, k + 1);
-    if (k + 1 > max_bucket_) max_bucket_ = k + 1;
+    Reslot(v, static_cast<uint32_t>(entry_[v]));
   }
 
-  /// Removes a present element.
+  /// Single-probe inner loop of the `li` frontier: one cell load decides
+  /// between incrementing a present element, skipping an element erased
+  /// this epoch (popped entries must never be re-admitted), and inserting
+  /// an unseen element with key `insert_key` — the latter only when
+  /// `admit()` approves, evaluated lazily so callers pay the admission
+  /// predicate only for genuinely new elements. The result tells the
+  /// caller which telemetry counter to charge.
+  template <typename AdmitFn>
+  Probe IncrementOrInsert(uint32_t v, uint32_t insert_key, AdmitFn&& admit) {
+    const uint64_t c = entry_[v];
+    if ((c >> 32) == epoch_) {
+      const uint32_t key = static_cast<uint32_t>(c);
+      if (key == kNil) return Probe::kSkipped;  // erased: tombstone
+      Reslot(v, key);
+      return Probe::kIncremented;
+    }
+    if (!admit()) return Probe::kSkipped;
+    Insert(v, insert_key);
+    return Probe::kInserted;
+  }
+
+  /// Single-probe inner loop of the `lg` source list: increments `v` when
+  /// present, no-ops when absent or erased.
+  void IncrementIfPresent(uint32_t v) {
+    const uint64_t c = entry_[v];
+    if ((c >> 32) != epoch_) return;
+    const uint32_t key = static_cast<uint32_t>(c);
+    if (key == kNil) return;
+    Reslot(v, key);
+  }
+
+  /// Removes a present element (leaving a same-epoch tombstone: Seen stays
+  /// true, Contains becomes false, and re-Insert remains legal).
   void Erase(uint32_t v) {
     LOCS_DCHECK(Contains(v));
-    Unlink(v, key_[v]);
-    entry_stamp_[v] = epoch_ - 1;  // mark stale
+    Unlink(v, static_cast<uint32_t>(entry_[v]));
+    entry_[v] = Pack(kNil);
     --size_;
   }
 
@@ -103,7 +155,7 @@ class EpochBucketList {
   }
 
   /// The maximal key currently present.
-  uint32_t MaxKey() { return key_[MaxElement()]; }
+  uint32_t MaxKey() { return Key(MaxElement()); }
 
   /// An element with the minimal key (not removed). Keys only grow through
   /// Increment, so the lazily advancing min pointer is amortized O(1).
@@ -117,11 +169,12 @@ class EpochBucketList {
   }
 
   /// The minimal key currently present.
-  uint32_t MinKey() { return key_[MinElement()]; }
+  uint32_t MinKey() { return Key(MinElement()); }
 
   /// First element of the `key` bucket, or kNil.
   uint32_t Head(uint32_t key) const {
-    return head_stamp_[key] == epoch_ ? head_[key] : kNil;
+    const uint64_t h = head_[key];
+    return (h >> 32) == epoch_ ? static_cast<uint32_t>(h) : kNil;
   }
 
   /// Successor of `v` within its bucket, or kNil.
@@ -130,15 +183,30 @@ class EpochBucketList {
     return next_[v];
   }
 
+  /// Hints an upcoming probe of `v`'s cell to the hardware prefetcher.
+  void Prefetch(uint32_t v) const { LOCS_PREFETCH(entry_.data() + v); }
+
  private:
+  uint64_t Pack(uint32_t low) const { return (uint64_t{epoch_} << 32) | low; }
+
+  /// Moves a present element from bucket `key` to bucket `key + 1`.
+  void Reslot(uint32_t v, uint32_t key) {
+    LOCS_DCHECK(key + 1 < head_.size());
+    Unlink(v, key);
+    entry_[v] = Pack(key + 1);
+    Link(v, key + 1);
+    if (key + 1 > max_bucket_) max_bucket_ = key + 1;
+  }
+
   // Elements append at the tail and selection reads the head, so ties
   // within a bucket resolve in FIFO (discovery) order — this reproduces
   // the paper's Figure 4(b) selection trace exactly.
   void Link(uint32_t v, uint32_t key) {
     next_[v] = kNil;
-    if (head_stamp_[key] != epoch_ || head_[key] == kNil) {
-      head_[key] = tail_[key] = v;
-      head_stamp_[key] = epoch_;
+    const uint64_t h = head_[key];
+    if ((h >> 32) != epoch_ || static_cast<uint32_t>(h) == kNil) {
+      head_[key] = Pack(v);
+      tail_[key] = v;
       prev_[v] = kNil;
       return;
     }
@@ -151,7 +219,7 @@ class EpochBucketList {
     if (prev_[v] != kNil) {
       next_[prev_[v]] = next_[v];
     } else {
-      head_[key] = next_[v];
+      head_[key] = Pack(next_[v]);
     }
     if (next_[v] != kNil) {
       prev_[next_[v]] = prev_[v];
@@ -160,14 +228,12 @@ class EpochBucketList {
     }
   }
 
-  std::vector<uint32_t> head_;
+  std::vector<uint64_t> head_;   // per key: (stamp << 32) | first element
   std::vector<uint32_t> tail_;
-  std::vector<uint64_t> head_stamp_;
   std::vector<uint32_t> next_;
   std::vector<uint32_t> prev_;
-  std::vector<uint32_t> key_;
-  std::vector<uint64_t> entry_stamp_;
-  uint64_t epoch_ = 1;
+  std::vector<uint64_t> entry_;  // per element: (stamp << 32) | key
+  uint32_t epoch_ = 1;
   uint32_t max_bucket_ = 0;
   uint32_t min_bucket_ = 0;
   uint32_t size_ = 0;

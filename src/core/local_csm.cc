@@ -3,12 +3,14 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <span>
 
 #include "core/bounds.h"
 #include "core/kcore.h"
 #include "core/validate.h"
 #include "graph/subgraph.h"
 #include "util/bucket_queue.h"
+#include "util/prefetch.h"
 
 namespace locs {
 
@@ -18,9 +20,7 @@ LocalCsmSolver::LocalCsmSolver(const Graph& graph,
     : graph_(graph),
       ordered_(ordered),
       facts_(facts),
-      in_a_(graph.NumVertices()),
-      discovered_(graph.NumVertices()),
-      deg_in_a_(graph.NumVertices()),
+      a_deg_(graph.NumVertices()),
       bfs_seen_(graph.NumVertices()),
       local_id_(graph.NumVertices()),
       frontier_(graph.NumVertices(), graph.MaxDegree() + 1),
@@ -31,19 +31,24 @@ void LocalCsmSolver::AddToA(VertexId v, obs::PhaseStats& ph) {
   uint32_t incidence = 0;
   // Insert v into the histogram *before* advancing δ so the histogram is
   // never transiently empty.
-  for (VertexId w : graph_.Neighbors(v)) {
+  const std::span<const VertexId> nbrs = graph_.Neighbors(v);
+  for (size_t i = 0; i < nbrs.size(); ++i) {
+    if (i + kPrefetchDistance < nbrs.size()) {
+      a_deg_.Prefetch(nbrs[i + kPrefetchDistance]);
+    }
+    const VertexId w = nbrs[i];
     ++ph.edges_scanned;
-    if (in_a_.Get(w) != 0) {
+    if (a_deg_.Fresh(w)) {
+      // One packed probe answers both "w ∈ A?" and its induced degree.
       ++incidence;
-      uint32_t& deg_w = deg_in_a_.Ref(w);
-      --degree_count_[deg_w];
-      ++deg_w;
+      const uint32_t deg_w = a_deg_.Get(w) + 1;
+      a_deg_.Set(w, deg_w);
+      --degree_count_[deg_w - 1];
       ++degree_count_[deg_w];
       max_count_touched_ = std::max(max_count_touched_, deg_w);
     }
   }
-  in_a_.Ref(v) = 1;
-  deg_in_a_.Ref(v) = incidence;
+  a_deg_.Set(v, incidence);
   ++degree_count_[incidence];
   max_count_touched_ = std::max(max_count_touched_, incidence);
   order_.push_back(v);
@@ -82,9 +87,7 @@ SearchResult LocalCsmSolver::SolveImpl(VertexId v0, const CsmOptions& options,
 
   // O(1) query reset (the histogram is reset over the range touched by the
   // previous query).
-  in_a_.NewEpoch();
-  discovered_.NewEpoch();
-  deg_in_a_.NewEpoch();
+  a_deg_.NewEpoch();
   frontier_.NewEpoch();
   order_.clear();
   std::fill(degree_count_.begin(),
@@ -115,7 +118,6 @@ SearchResult LocalCsmSolver::SolveImpl(VertexId v0, const CsmOptions& options,
   // Step 1: iterative searching and filtering (lines 1-15 of Algorithm 4).
   obs::PhaseStats& expansion = tracker.Enter(obs::Phase::kExpansion);
   AddToA(v0, expansion);
-  discovered_.Ref(v0) = 1;
   size_t h_len = 1;        // |H|: best prefix of order_
   uint32_t delta_h = 0;    // δ(G[H])
   uint64_t s = 0;          // vertices added since the last improvement
@@ -123,7 +125,6 @@ SearchResult LocalCsmSolver::SolveImpl(VertexId v0, const CsmOptions& options,
   for (VertexId w : graph_.Neighbors(v0)) {
     ++expansion.edges_scanned;
     if (graph_.Degree(w) > delta_h) {
-      discovered_.Ref(w) = 1;
       ++expansion.candidates_generated;
       frontier_.Insert(w, 1);
     }
@@ -156,16 +157,27 @@ SearchResult LocalCsmSolver::SolveImpl(VertexId v0, const CsmOptions& options,
       h_len = order_.size();
       s = 0;
     }
-    // Line 14: extend the frontier with v's neighbors of sufficient degree.
-    for (VertexId w : graph_.Neighbors(v)) {
+    // Line 14: extend the frontier with v's neighbors of sufficient
+    // degree. Two single-cell probes per neighbor: the packed A cell,
+    // then the frontier cell, whose IncrementOrInsert folds the old
+    // Contains/discovered/Insert triple into one load (tombstones left
+    // by PopMax keep rejected vertices out for good).
+    const std::span<const VertexId> nbrs = graph_.Neighbors(v);
+    const uint64_t* const offsets = graph_.offsets().data();
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (i + kPrefetchDistance < nbrs.size()) {
+        const VertexId ahead = nbrs[i + kPrefetchDistance];
+        LOCS_PREFETCH(offsets + ahead);  // Degree probe in the predicate
+        a_deg_.Prefetch(ahead);
+        frontier_.Prefetch(ahead);
+      }
+      const VertexId w = nbrs[i];
       ++expansion.edges_scanned;
-      if (in_a_.Get(w) != 0) continue;
-      if (frontier_.Contains(w)) {
-        frontier_.Increment(w);
-      } else if (discovered_.Get(w) == 0 && graph_.Degree(w) > delta_h) {
-        discovered_.Ref(w) = 1;
+      if (a_deg_.Fresh(w)) continue;
+      const EpochBucketList::Probe probe = frontier_.IncrementOrInsert(
+          w, 1, [&] { return graph_.Degree(w) > delta_h; });
+      if (probe == EpochBucketList::Probe::kInserted) {
         ++expansion.candidates_generated;
-        frontier_.Insert(w, 1);
       }
     }
     if (spend()) {
@@ -233,15 +245,14 @@ bool LocalCsmSolver::NaiveCandidates(VertexId v0, uint32_t k,
     return true;
   }
   out->push_back(v0);
-  bfs_seen_.Ref(v0) = 1;
+  bfs_seen_.Set(v0);
   const bool use_ordered = ordered_ != nullptr;
   for (size_t head = 0; head < out->size(); ++head) {
     const VertexId u = (*out)[head];
     ++ph.vertices_visited;
     auto consider = [&](VertexId w) {
       ++ph.edges_scanned;
-      if (bfs_seen_.Get(w) == 0) {
-        bfs_seen_.Ref(w) = 1;
+      if (bfs_seen_.TestAndSet(w)) {
         ++ph.candidates_generated;
         out->push_back(w);
       }
@@ -292,7 +303,7 @@ bool LocalCsmSolver::MaxCoreOfCandidates(
   const auto sub_n = static_cast<uint32_t>(candidates.size());
   local_id_.NewEpoch();
   for (uint32_t i = 0; i < sub_n; ++i) {
-    local_id_.Ref(candidates[i]) = i + 1;  // 0 = not a candidate
+    local_id_.Set(candidates[i], i + 1);  // 0 = not a candidate
   }
   sub_degree_.assign(sub_n, 0);
   for (uint32_t i = 0; i < sub_n; ++i) {

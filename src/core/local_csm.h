@@ -67,11 +67,13 @@ class LocalCsmSolver {
   obs::Recorder* recorder_ = &obs::Recorder::Null();
   obs::QueryTelemetry telemetry_;  // reset at the top of every Solve
 
-  EpochArray<uint8_t> in_a_;       // visited-set membership
-  EpochArray<uint8_t> discovered_; // entered the frontier at least once
-  EpochArray<uint32_t> deg_in_a_;  // degree within G[A]
-  EpochArray<uint8_t> bfs_seen_;   // scratch for Cnaive BFS (CSM2)
-  EpochArray<uint32_t> local_id_;  // candidate -> compact id + 1
+  // Flattened scratch: membership and induced degree share one packed
+  // cell (fresh ⟺ v ∈ A), and the frontier's own epoch stamps double as
+  // the "discovered at least once" bit (erased entries leave tombstones),
+  // so the line-14 inner loop costs two single-cell probes per neighbor.
+  EpochU32Array a_deg_;            // fresh ⟺ in A; value = deg within G[A]
+  EpochFlags bfs_seen_;            // scratch for Cnaive BFS (CSM2)
+  EpochU32Array local_id_;         // candidate -> compact id + 1
   EpochBucketList frontier_;       // B, keyed by incidence to A
   std::vector<VertexId> order_;    // A in insertion order
   // Compact unsorted CSR over the candidate set, rebuilt per query for

@@ -1,12 +1,14 @@
 #include "core/local_cst.h"
 
 #include <algorithm>
+#include <span>
 
 #include "core/bounds.h"
 #include "core/kcore.h"
 #include "core/validate.h"
 #include "graph/subgraph.h"
 #include "graph/traversal.h"
+#include "util/prefetch.h"
 
 namespace locs {
 
@@ -30,10 +32,9 @@ LocalCstSolver::LocalCstSolver(const Graph& graph,
     : graph_(graph),
       ordered_(ordered),
       facts_(facts),
-      in_c_(graph.NumVertices()),
+      c_deg_(graph.NumVertices()),
       enqueued_(graph.NumVertices()),
       peeled_(graph.NumVertices()),
-      deg_in_c_(graph.NumVertices()),
       cursor_(graph.NumVertices()),
       li_queue_(graph.NumVertices(), graph.MaxDegree() + 1),
       lg_sources_(graph.NumVertices(), graph.MaxDegree() + 1) {}
@@ -84,9 +85,8 @@ SearchResult LocalCstSolver::SolveImpl(VertexId v0, uint32_t k,
       ordered_ != nullptr && options.use_ordered_adjacency;
 
   // Reset per-query state in O(1).
-  in_c_.NewEpoch();
+  c_deg_.NewEpoch();
   enqueued_.NewEpoch();
-  deg_in_c_.NewEpoch();
   cursor_.NewEpoch();
   li_queue_.NewEpoch();
   lg_sources_.NewEpoch();
@@ -108,7 +108,7 @@ SearchResult LocalCstSolver::SolveImpl(VertexId v0, uint32_t k,
   };
 
   obs::PhaseStats& expansion = tracker.Enter(obs::Phase::kExpansion);
-  enqueued_.Ref(v0) = 1;
+  enqueued_.Set(v0);
   AddToC(v0, k, options.strategy, use_ordered, expansion);
   if (spend()) {
     return SearchResult::MakeInterrupted(g.cause(), HarvestExpansion());
@@ -133,7 +133,7 @@ SearchResult LocalCstSolver::SolveImpl(VertexId v0, uint32_t k,
   community.members = c_members_;
   uint32_t min_degree = ~uint32_t{0};
   for (VertexId v : c_members_) {
-    min_degree = std::min(min_degree, deg_in_c_.Get(v));
+    min_degree = std::min(min_degree, c_deg_.Get(v));
   }
   community.min_degree = min_degree;
   telemetry_.answer_size = community.members.size();
@@ -142,14 +142,14 @@ SearchResult LocalCstSolver::SolveImpl(VertexId v0, uint32_t k,
 
 Community LocalCstSolver::HarvestExpansion() const {
   // During expansion the candidate set C is always connected (vertices are
-  // only ever discovered as neighbors of C) and contains v0, and deg_in_c_
+  // only ever discovered as neighbors of C) and contains v0, and c_deg_
   // holds the exact induced degrees — so C itself is the best connected
   // community so far.
   Community partial;
   partial.members = c_members_;
   uint32_t min_degree = ~uint32_t{0};
   for (VertexId v : c_members_) {
-    min_degree = std::min(min_degree, deg_in_c_.Get(v));
+    min_degree = std::min(min_degree, c_deg_.Get(v));
   }
   partial.min_degree = c_members_.empty() ? 0 : min_degree;
   return partial;
@@ -157,37 +157,59 @@ Community LocalCstSolver::HarvestExpansion() const {
 
 void LocalCstSolver::AddToC(VertexId v, uint32_t k, Strategy strategy,
                             bool use_ordered, obs::PhaseStats& ph) {
-  in_c_.Ref(v) = 1;
+  c_deg_.Set(v, 0);  // marks v ∈ C; the exact incidence is written below
   c_members_.push_back(v);
   ++ph.vertices_visited;
 
   uint32_t incidence = 0;
   auto visit_neighbor = [&](VertexId w) {
     ++ph.edges_scanned;
-    if (in_c_.Get(w) != 0) {
+    if (c_deg_.Fresh(w)) {
+      // One packed probe answers both "w ∈ C?" and its induced degree.
       ++incidence;
-      uint32_t& deg_w = deg_in_c_.Ref(w);
-      ++deg_w;
+      const uint32_t deg_w = c_deg_.Get(w) + 1;
+      c_deg_.Set(w, deg_w);
       if (deg_w == k) --deficient_;
-      if (strategy == Strategy::kLG && lg_sources_.Contains(w)) {
-        lg_sources_.Increment(w);
+      if (strategy == Strategy::kLG) lg_sources_.IncrementIfPresent(w);
+      return;
+    }
+    if (strategy == Strategy::kLI) {
+      // Single-probe frontier upkeep: the queue's own stamps already
+      // encode "discovered this query" (popped vertices go straight into
+      // C, so tombstones are unreachable here), and the naive fifo is
+      // never consulted under li — no per-candidate bookkeeping beyond
+      // the one bucket cell.
+      if (li_queue_.IncrementOrInsert(w, 1, [] { return true; }) ==
+          EpochBucketList::Probe::kInserted) {
+        ++ph.candidates_generated;
       }
       return;
     }
-    if (enqueued_.Get(w) == 0) {
-      enqueued_.Ref(w) = 1;
+    if (enqueued_.TestAndSet(w)) {
       ++ph.candidates_generated;
       fifo_.push_back(w);
-      if (strategy == Strategy::kLI) li_queue_.Insert(w, 1);
-    } else if (strategy == Strategy::kLI && li_queue_.Contains(w)) {
-      li_queue_.Increment(w);
     }
   };
 
+  // Three independent random-access streams per neighbor: the CSR
+  // offsets (degree probe), the packed c_deg_ cells, and — under li —
+  // the frontier's bucket cells. Each gets its own prefetch ahead of
+  // the sequential neighbor scan.
+  const uint64_t* const offsets = graph_.offsets().data();
+  auto prefetch_ahead = [&](VertexId ahead, Strategy s) {
+    LOCS_PREFETCH(offsets + ahead);
+    c_deg_.Prefetch(ahead);
+    if (s == Strategy::kLI) li_queue_.Prefetch(ahead);
+  };
   if (use_ordered) {
     // Neighbors sorted by descending degree: stop at the first one below k
     // (§4.3.2) — everything after it is prunable by Proposition 3.
-    for (VertexId w : ordered_->Neighbors(v)) {
+    const std::span<const VertexId> nbrs = ordered_->Neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (i + kPrefetchDistance < nbrs.size()) {
+        prefetch_ahead(nbrs[i + kPrefetchDistance], strategy);
+      }
+      const VertexId w = nbrs[i];
       if (graph_.Degree(w) < k) {
         ++ph.candidates_rejected;
         break;
@@ -195,7 +217,12 @@ void LocalCstSolver::AddToC(VertexId v, uint32_t k, Strategy strategy,
       visit_neighbor(w);
     }
   } else {
-    for (VertexId w : graph_.Neighbors(v)) {
+    const std::span<const VertexId> nbrs = graph_.Neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (i + kPrefetchDistance < nbrs.size()) {
+        prefetch_ahead(nbrs[i + kPrefetchDistance], strategy);
+      }
+      const VertexId w = nbrs[i];
       if (graph_.Degree(w) < k) {
         ++ph.edges_scanned;
         ++ph.candidates_rejected;
@@ -205,11 +232,11 @@ void LocalCstSolver::AddToC(VertexId v, uint32_t k, Strategy strategy,
     }
   }
 
-  deg_in_c_.Ref(v) = incidence;
+  c_deg_.Set(v, incidence);
   if (incidence < k) ++deficient_;
   if (strategy == Strategy::kLG) {
     lg_sources_.Insert(v, incidence);
-    cursor_.Ref(v) = 0;
+    cursor_.Set(v, 0);
   }
 }
 
@@ -219,7 +246,7 @@ VertexId LocalCstSolver::SelectNext(Strategy strategy, uint32_t k,
     case Strategy::kNaive:
       while (fifo_head_ < fifo_.size()) {
         const VertexId v = fifo_[fifo_head_++];
-        if (in_c_.Get(v) == 0) return v;
+        if (!c_deg_.Fresh(v)) return v;
       }
       return kInvalidVertex;
     case Strategy::kLI:
@@ -253,17 +280,17 @@ VertexId LocalCstSolver::SelectLg(uint32_t k, bool use_ordered) {
         ++cur;
         continue;
       }
-      if (in_c_.Get(w) != 0) {
+      if (c_deg_.Fresh(w)) {
         ++cur;
         continue;
       }
       // Frontier vertex adjacent to a minimum-degree member found.
-      cursor_.Ref(u) = cur;
+      cursor_.Set(u, cur);
       exhausted = false;
       break;
     }
     if (exhausted) {
-      cursor_.Ref(u) = cur;
+      cursor_.Set(u, cur);
       // u has no unexplored eligible neighbors left; it can no longer act
       // as a selection source (it stays a C member regardless).
       lg_sources_.Erase(u);
@@ -275,7 +302,7 @@ VertexId LocalCstSolver::SelectLg(uint32_t k, bool use_ordered) {
   // discovery (FIFO) order.
   while (fifo_head_ < fifo_.size()) {
     const VertexId v = fifo_[fifo_head_++];
-    if (in_c_.Get(v) == 0) return v;
+    if (!c_deg_.Fresh(v)) return v;
   }
   return kInvalidVertex;
 }
@@ -285,7 +312,7 @@ SearchResult LocalCstSolver::GlobalFallback(VertexId v0, uint32_t k,
                                             QueryGuard& guard,
                                             uint64_t& charged) {
   // Global peel restricted to G[C] (line 6 of Algorithm 2), done in place:
-  // deg_in_c_ already holds the induced degrees, so the k-core of G[C] is
+  // c_deg_ already holds the induced degrees, so the k-core of G[C] is
   // a plain worklist peel over C — no subgraph is materialized and the
   // cost stays O(|C| + edges(C)).
   telemetry_.used_global_fallback = true;
@@ -299,19 +326,27 @@ SearchResult LocalCstSolver::GlobalFallback(VertexId v0, uint32_t k,
   peeled_.NewEpoch();
   peel_worklist_.clear();
   for (VertexId v : c_members_) {
-    if (deg_in_c_.Get(v) < k) {
-      peeled_.Ref(v) = 1;
+    if (c_deg_.Get(v) < k) {
+      peeled_.Set(v, 1);
       peel_worklist_.push_back(v);
     }
   }
   for (size_t head = 0; head < peel_worklist_.size(); ++head) {
     const VertexId v = peel_worklist_[head];
-    for (VertexId w : graph_.Neighbors(v)) {
+    const std::span<const VertexId> nbrs = graph_.Neighbors(v);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (i + kPrefetchDistance < nbrs.size()) {
+        const VertexId ahead = nbrs[i + kPrefetchDistance];
+        c_deg_.Prefetch(ahead);
+        peeled_.Prefetch(ahead);
+      }
+      const VertexId w = nbrs[i];
       ++peel_ph.edges_scanned;
-      if (in_c_.Get(w) == 0 || peeled_.Get(w) != 0) continue;
-      uint32_t& deg_w = deg_in_c_.Ref(w);
-      if (--deg_w < k) {
-        peeled_.Ref(w) = 1;
+      if (!c_deg_.Fresh(w) || peeled_.Get(w) != 0) continue;
+      const uint32_t deg_w = c_deg_.Get(w) - 1;
+      c_deg_.Set(w, deg_w);
+      if (deg_w < k) {
+        peeled_.Set(w, 1);
         peel_worklist_.push_back(w);
       }
     }
@@ -333,15 +368,15 @@ SearchResult LocalCstSolver::GlobalFallback(VertexId v0, uint32_t k,
   obs::PhaseStats& bfs_ph = tracker.Enter(obs::Phase::kConnectivity);
   Community community;
   community.members.push_back(v0);
-  peeled_.Ref(v0) = 2;
+  peeled_.Set(v0, 2);
   uint32_t min_degree = ~uint32_t{0};
   for (size_t head = 0; head < community.members.size(); ++head) {
     const VertexId u = community.members[head];
-    min_degree = std::min(min_degree, deg_in_c_.Get(u));
+    min_degree = std::min(min_degree, c_deg_.Get(u));
     for (VertexId w : graph_.Neighbors(u)) {
       ++bfs_ph.edges_scanned;
-      if (in_c_.Get(w) != 0 && peeled_.Get(w) == 0) {
-        peeled_.Ref(w) = 2;
+      if (c_deg_.Fresh(w) && peeled_.Get(w) == 0) {
+        peeled_.Set(w, 2);
         community.members.push_back(w);
       }
     }
@@ -361,15 +396,15 @@ SearchResult LocalCstSolver::GlobalFallback(VertexId v0, uint32_t k,
 Community LocalCstSolver::HarvestUnpeeled(VertexId v0) {
   // Connected component of v0 over candidates the (interrupted) peel has
   // not yet removed; marks reached vertices with 2 so the induced degrees
-  // can be recounted exactly. deg_in_c_ is NOT usable here — mid-peel it
+  // can be recounted exactly. c_deg_ is NOT usable here — mid-peel it
   // still counts edges to peeled-but-unprocessed vertices.
   Community partial;
   partial.members.push_back(v0);
-  peeled_.Ref(v0) = 2;
+  peeled_.Set(v0, 2);
   for (size_t head = 0; head < partial.members.size(); ++head) {
     for (VertexId w : graph_.Neighbors(partial.members[head])) {
-      if (in_c_.Get(w) != 0 && peeled_.Get(w) == 0) {
-        peeled_.Ref(w) = 2;
+      if (c_deg_.Fresh(w) && peeled_.Get(w) == 0) {
+        peeled_.Set(w, 2);
         partial.members.push_back(w);
       }
     }
@@ -379,7 +414,7 @@ Community LocalCstSolver::HarvestUnpeeled(VertexId v0) {
 }
 
 uint32_t LocalCstSolver::InducedMinDegree(const std::vector<VertexId>& members,
-                                          uint8_t mark) const {
+                                          uint32_t mark) const {
   uint32_t min_degree = ~uint32_t{0};
   for (VertexId u : members) {
     uint32_t degree = 0;

@@ -77,7 +77,7 @@ class LocalCstSolver {
   Community HarvestExpansion() const;
   Community HarvestUnpeeled(VertexId v0);
   uint32_t InducedMinDegree(const std::vector<VertexId>& members,
-                            uint8_t mark) const;
+                            uint32_t mark) const;
 
   const Graph& graph_;
   const OrderedAdjacency* ordered_;
@@ -85,11 +85,13 @@ class LocalCstSolver {
   obs::Recorder* recorder_ = &obs::Recorder::Null();
   obs::QueryTelemetry telemetry_;  // reset at the top of every Solve
 
-  EpochArray<uint8_t> in_c_;        // candidate-set membership
-  EpochArray<uint8_t> enqueued_;    // discovered (queued) at least once
-  EpochArray<uint8_t> peeled_;      // fallback: removed during the peel
-  EpochArray<uint32_t> deg_in_c_;   // degree within G[C]
-  EpochArray<uint32_t> cursor_;     // lg: adjacency scan position
+  // Flattened scratch: membership and induced degree share one packed cell
+  // (fresh ⟺ v ∈ C), so the expansion inner loop's "is w in C, and at what
+  // degree" probe is a single cache-line touch.
+  EpochU32Array c_deg_;             // fresh ⟺ in C; value = deg within G[C]
+  EpochFlags enqueued_;             // naive/lg: discovered (queued) once
+  EpochU32Array peeled_;            // fallback: 1 = peeled, 2 = BFS-reached
+  EpochU32Array cursor_;            // lg: adjacency scan position
   std::vector<VertexId> peel_worklist_;
   EpochBucketList li_queue_;        // li: frontier keyed by incidence
   EpochBucketList lg_sources_;      // lg: C members keyed by deg_in_c

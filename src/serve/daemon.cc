@@ -97,6 +97,8 @@ bool ParseDaemonOptions(const CommandLine& cli, DaemonOptions* options,
       static_cast<uint64_t>(cli.GetInt("max-budget", 0));
   server.session.default_member_limit =
       static_cast<uint64_t>(cli.GetInt("member-limit", 0));
+  server.cache_entries =
+      static_cast<size_t>(cli.GetInt("cache-entries", 1024));
   const std::string preload = cli.GetString("preload", "");
   if (!preload.empty() && !ParsePreload(preload, &server, error)) {
     return false;
@@ -117,7 +119,9 @@ const char* DaemonFlagHelp() {
       "  --default-deadline-ms=D --max-deadline-ms=D\n"
       "  --default-budget=W --max-budget=W\n"
       "                            per-query guard policy (0 = none)\n"
-      "  --member-limit=N          member ids echoed per reply (0 = all)\n";
+      "  --member-limit=N          member ids echoed per reply (0 = all)\n"
+      "  --cache-entries=N         result-cache capacity in replies\n"
+      "                            (default 1024, 0 disables)\n";
 }
 
 int DaemonMain(const DaemonOptions& options) {

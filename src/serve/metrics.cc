@@ -1,20 +1,30 @@
 #include "serve/metrics.h"
 
+#include <algorithm>
 #include <bit>
 #include <cinttypes>
+#include <cmath>
 #include <cstdio>
 
 namespace locs::serve {
 
 namespace {
 
-/// Bucket index for a latency: bucket b counts latencies in
-/// [2^(b-1), 2^b) us (bucket 0: < 1 us); the last bucket is open-ended.
+/// Bucket index for a latency: bucket b >= 1 counts latencies in
+/// [2^(b-1), 2^b - 1] us, bucket 0 exactly 0 us (sub-microsecond), and
+/// the last bucket is open-ended.
 int BucketOf(uint64_t us) {
   const int bucket = us == 0 ? 0 : static_cast<int>(std::bit_width(us));
   return bucket < MetricsSnapshot::kLatencyBuckets
              ? bucket
              : MetricsSnapshot::kLatencyBuckets - 1;
+}
+
+/// Largest latency bucket `b` can hold (the value percentile queries
+/// report): the inclusive bound 2^b - 1, or 0 for the zero bucket — the
+/// open-ended last bucket saturates at its nominal bound.
+uint64_t BucketUpperBoundUs(int b) {
+  return b == 0 ? 0 : (uint64_t{1} << b) - 1;
 }
 
 void Append(std::string* out, const char* key, uint64_t value) {
@@ -45,6 +55,10 @@ MetricsSnapshot ServerMetrics::Snapshot() const {
   snap.interrupted = interrupted_.load(std::memory_order_relaxed);
   snap.sessions_opened = sessions_opened_.load(std::memory_order_relaxed);
   snap.sessions_closed = sessions_closed_.load(std::memory_order_relaxed);
+  snap.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  snap.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  snap.cache_inserts = cache_inserts_.load(std::memory_order_relaxed);
+  snap.cache_evictions = cache_evictions_.load(std::memory_order_relaxed);
   for (int b = 0; b < MetricsSnapshot::kLatencyBuckets; ++b) {
     snap.latency_hist[b] =
         latency_hist_[static_cast<size_t>(b)].load(
@@ -79,17 +93,19 @@ uint64_t MetricsSnapshot::LatencyPercentileUs(double p) const {
   if (total == 0) return 0;
   if (p < 0.0) p = 0.0;
   if (p > 1.0) p = 1.0;
-  // Rank of the percentile sample, 1-based (ceil(p * total), min 1).
-  const uint64_t rank = std::max<uint64_t>(
-      1, static_cast<uint64_t>(p * static_cast<double>(total) + 0.999999));
+  // Rank of the percentile sample, 1-based: exact ceil(p * total) clamped
+  // to [1, total], so p = 1.0 selects the last sample and a single-sample
+  // histogram always selects that sample (no additive fudge that could
+  // push the rank past the population).
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(p * static_cast<double>(total)));
+  rank = std::min(std::max<uint64_t>(rank, 1), total);
   uint64_t cumulative = 0;
   for (int b = 0; b < kLatencyBuckets; ++b) {
     cumulative += latency_hist[b];
-    if (cumulative >= rank) {
-      return b == 0 ? 1 : uint64_t{1} << b;  // bucket upper bound
-    }
+    if (cumulative >= rank) return BucketUpperBoundUs(b);
   }
-  return uint64_t{1} << (kLatencyBuckets - 1);
+  return BucketUpperBoundUs(kLatencyBuckets - 1);
 }
 
 std::string MetricsSnapshot::RenderStatsLine(unsigned inflight,
@@ -122,6 +138,10 @@ std::string MetricsSnapshot::RenderStatsLine(unsigned inflight,
   }
   Append(&line, "rejected", rejected);
   Append(&line, "interrupted", interrupted);
+  Append(&line, "cache_hits", cache_hits);
+  Append(&line, "cache_misses", cache_misses);
+  Append(&line, "cache_inserts", cache_inserts);
+  Append(&line, "cache_evictions", cache_evictions);
   Append(&line, "queries", TotalQueries());
   Append(&line, "p50_us", LatencyPercentileUs(0.50));
   Append(&line, "p95_us", LatencyPercentileUs(0.95));

@@ -7,9 +7,10 @@
 // of serving metrics.
 //
 // Query latency uses a fixed power-of-two histogram over microseconds
-// (bucket b counts latencies < 2^b us, last bucket open-ended), so
-// percentile estimation is a cumulative scan over 32 integers with at
-// most 2x resolution error — no allocation, no sampling, no lock.
+// (bucket b >= 1 counts latencies in [2^(b-1), 2^b - 1] us, bucket 0
+// exactly 0 us, last bucket open-ended), so percentile estimation is a
+// cumulative scan over 32 integers with at most 2x resolution error —
+// no allocation, no sampling, no lock.
 
 #ifndef LOCS_SERVE_METRICS_H_
 #define LOCS_SERVE_METRICS_H_
@@ -35,6 +36,10 @@ struct MetricsSnapshot {
   uint64_t interrupted = 0;  ///< queries tripped by their guard
   uint64_t sessions_opened = 0;
   uint64_t sessions_closed = 0;
+  uint64_t cache_hits = 0;       ///< result-cache hits (no solver run)
+  uint64_t cache_misses = 0;     ///< cacheable queries that missed
+  uint64_t cache_inserts = 0;    ///< replies admitted into the cache
+  uint64_t cache_evictions = 0;  ///< LRU entries displaced by inserts
   uint64_t latency_hist[kLatencyBuckets] = {};
   double uptime_ms = 0.0;
   /// Aggregated per-phase solver telemetry (obs::AggregateRecorder
@@ -45,9 +50,12 @@ struct MetricsSnapshot {
   uint64_t TotalErrors() const;
   uint64_t TotalQueries() const;  ///< CST + CSM + MULTI recorded latencies
 
-  /// Latency percentile estimate in microseconds: the upper bound of the
-  /// first histogram bucket whose cumulative count reaches `p` (0..1) of
-  /// the total. 0 when no query has been recorded.
+  /// Latency percentile estimate in microseconds: the inclusive upper
+  /// bound of the histogram bucket holding the nearest-rank sample
+  /// (rank = ceil(p * total), clamped to [1, total]). Exact for counts
+  /// that land a bucket boundary: p = 1.0 selects the slowest sample's
+  /// bucket, a single sample selects its own bucket, and sub-microsecond
+  /// samples report 0. 0 when no query has been recorded.
   uint64_t LatencyPercentileUs(double p) const;
 
   /// Renders the one-line `OK ...` STATS reply. `inflight`/`queued` come
@@ -82,6 +90,18 @@ class ServerMetrics {
   void CountSessionClosed() {
     sessions_closed_.fetch_add(1, std::memory_order_relaxed);
   }
+  void CountCacheHit() {
+    cache_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountCacheMiss() {
+    cache_misses_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountCacheInsert() {
+    cache_inserts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountCacheEvictions(uint64_t n) {
+    if (n != 0) cache_evictions_.fetch_add(n, std::memory_order_relaxed);
+  }
 
   /// Records one query's latency into the histogram.
   void RecordLatencyUs(uint64_t us);
@@ -100,6 +120,10 @@ class ServerMetrics {
   std::atomic<uint64_t> interrupted_{0};
   std::atomic<uint64_t> sessions_opened_{0};
   std::atomic<uint64_t> sessions_closed_{0};
+  std::atomic<uint64_t> cache_hits_{0};
+  std::atomic<uint64_t> cache_misses_{0};
+  std::atomic<uint64_t> cache_inserts_{0};
+  std::atomic<uint64_t> cache_evictions_{0};
   std::array<std::atomic<uint64_t>, MetricsSnapshot::kLatencyBuckets>
       latency_hist_ = {};
   WallTimer uptime_;

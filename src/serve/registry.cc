@@ -30,6 +30,7 @@ std::shared_ptr<const ServedGraph> GraphRegistry::Load(
       std::make_shared<ServedGraph>(name, path, std::move(*graph));
   entry->load_ms = load_ms;
   entry->build_ms = timer.Millis();
+  entry->epoch = next_epoch_.fetch_add(1, std::memory_order_relaxed);
   MutexLock lock(mutex_);
   auto [it, inserted] = graphs_.try_emplace(name, entry);
   if (!inserted) {

@@ -17,6 +17,7 @@
 #ifndef LOCS_SERVE_REGISTRY_H_
 #define LOCS_SERVE_REGISTRY_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -43,6 +44,11 @@ struct ServedGraph {
   CoreIndex index;
   double load_ms = 0.0;   ///< file parse time
   double build_ms = 0.0;  ///< facts + ordering + core-index build time
+  /// Registry-unique load generation: every successful Load — including
+  /// a replacing re-LOAD under the same name — mints a fresh epoch.
+  /// Cache keys lead with it, so replies can never outlive the graph
+  /// contents they were computed from (see serve/result_cache.h).
+  uint64_t epoch = 0;
 
   ServedGraph(std::string name_in, std::string path_in, Graph graph_in)
       : name(std::move(name_in)),
@@ -95,6 +101,7 @@ class GraphRegistry {
 
  private:
   const size_t max_graphs_;
+  std::atomic<uint64_t> next_epoch_{1};
   mutable Mutex mutex_;
   std::map<std::string, std::shared_ptr<const ServedGraph>> graphs_
       LOCS_GUARDED_BY(mutex_);

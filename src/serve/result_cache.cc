@@ -1,0 +1,43 @@
+#include "serve/result_cache.h"
+
+namespace locs::serve {
+
+bool ResultCache::Lookup(const std::string& key, std::string* reply) {
+  MutexLock lock(mutex_);
+  const auto it = index_.find(key);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote, iterator stays
+  *reply = it->second->second;
+  return true;
+}
+
+size_t ResultCache::Insert(const std::string& key,
+                           const std::string& reply) {
+  if (max_entries_ == 0) return 0;
+  MutexLock lock(mutex_);
+  const auto it = index_.find(key);
+  if (it != index_.end()) {
+    // Refresh: same key, same deterministic reply (or a racing re-LOAD
+    // minted a new epoch and this key is already unreachable) — just
+    // promote and overwrite.
+    it->second->second = reply;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return 0;
+  }
+  lru_.emplace_front(key, reply);
+  index_.emplace(key, lru_.begin());
+  size_t evicted = 0;
+  while (lru_.size() > max_entries_) {
+    index_.erase(lru_.back().first);
+    lru_.pop_back();
+    ++evicted;
+  }
+  return evicted;
+}
+
+size_t ResultCache::size() const {
+  MutexLock lock(mutex_);
+  return lru_.size();
+}
+
+}  // namespace locs::serve

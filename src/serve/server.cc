@@ -34,7 +34,8 @@ bool WritePortFile(const std::string& path, uint16_t port) {
 CommunityServer::CommunityServer(const ServerOptions& options)
     : options_(options),
       registry_(options.max_graphs),
-      admission_(options.admission) {}
+      admission_(options.admission),
+      cache_(options.cache_entries) {}
 
 bool CommunityServer::Preload(std::string* error) {
   for (const auto& [name, path] : options_.preload) {
@@ -52,9 +53,10 @@ bool CommunityServer::Preload(std::string* error) {
   return true;
 }
 
-SessionOptions CommunityServer::MakeSessionOptions() const {
+SessionOptions CommunityServer::MakeSessionOptions() {
   SessionOptions session = options_.session;
   session.stop = &stop_;
+  session.cache = options_.cache_entries != 0 ? &cache_ : nullptr;
   return session;
 }
 

@@ -38,6 +38,9 @@ struct ServerOptions {
   SessionOptions session;
   AdmissionController::Options admission;
   size_t max_graphs = 16;
+  /// Result-cache capacity in replies (see serve/result_cache.h);
+  /// 0 disables caching entirely (sessions get a null cache pointer).
+  size_t cache_entries = 1024;
   /// Concurrent TCP sessions; connections beyond get `BUSY` and close.
   unsigned max_sessions = 8;
   /// TCP port; 0 picks an ephemeral port (see TcpServer::port()).
@@ -60,6 +63,7 @@ class CommunityServer {
   GraphRegistry& registry() { return registry_; }
   AdmissionController& admission() { return admission_; }
   ServerMetrics& metrics() { return metrics_; }
+  ResultCache& cache() { return cache_; }
 
   /// Loads every options.preload graph; false (with `*error` set) on the
   /// first failure.
@@ -73,8 +77,8 @@ class CommunityServer {
   void RequestStop() { stop_.store(true, std::memory_order_relaxed); }
   bool stopping() const { return stop_.load(std::memory_order_relaxed); }
 
-  /// Session policy with the drain flag threaded in.
-  SessionOptions MakeSessionOptions() const;
+  /// Session policy with the drain flag and result cache threaded in.
+  SessionOptions MakeSessionOptions();
 
   /// The final STATS line for the shutdown flush.
   std::string FinalStatsLine();
@@ -84,6 +88,7 @@ class CommunityServer {
   GraphRegistry registry_;
   AdmissionController admission_;
   ServerMetrics metrics_;
+  ResultCache cache_;
   std::atomic<bool> stop_{false};
 };
 

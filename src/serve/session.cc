@@ -144,6 +144,25 @@ std::string Session::Dispatch(const Request& request, bool* quit) {
         metrics_.CountError(WireError::kShuttingDown);
         return FormatError(WireError::kShuttingDown, "server draining");
       }
+      // Result-cache lookup, before admission: a hit is answered from
+      // memory without a solver run, so it neither takes a ticket nor
+      // competes with real queries for a slot. The key pins the
+      // registry's *current* epoch for the graph — a reply cached
+      // against an evicted or replaced generation can never match.
+      if (request.verb != Verb::kLoad && options_.cache != nullptr) {
+        if (const auto entry = registry_.Get(request.graph)) {
+          WallTimer timer;
+          std::string reply;
+          if (options_.cache->Lookup(MakeCacheKey(entry->epoch, request),
+                                     &reply)) {
+            metrics_.CountCacheHit();
+            metrics_.recorder().RecordCacheHit();
+            metrics_.RecordLatencyUs(static_cast<uint64_t>(timer.Micros()));
+            return reply;
+          }
+          metrics_.CountCacheMiss();
+        }
+      }
       // Admission gates the expensive verbs: graph loads and queries.
       // Cheap control verbs above bypass it so STATS stays responsive
       // under overload — exactly when it is most needed.
@@ -313,9 +332,13 @@ std::string Session::ExecQuery(const Request& request) {
                                     nullptr, &guard);
       }
       break;
-    case Verb::kCsm:
-      result = solvers->csm.Solve(request.vertices[0], {}, nullptr, &guard);
+    case Verb::kCsm: {
+      CsmOptions csm_options;
+      csm_options.gamma = request.gamma;
+      result = solvers->csm.Solve(request.vertices[0], csm_options,
+                                  nullptr, &guard);
       break;
+    }
     case Verb::kMulti:
       if (request.multi_max) {
         result = solvers->multi.CsmMulti(request.vertices, nullptr, &guard);
@@ -341,7 +364,42 @@ std::string Session::ExecQuery(const Request& request) {
   }
   metrics_.RecordLatencyUs(static_cast<uint64_t>(timer.Micros()));
   if (result.Interrupted()) metrics_.CountInterrupted();
-  return FormatQueryReply(result, member_limit, request.trace);
+  std::string reply = FormatQueryReply(result, member_limit, request.trace);
+  // Admit only settled results: an interrupted reply reflects where the
+  // guard happened to trip, not a deterministic function of the key.
+  // The insert key uses the epoch of the entry that answered (not the
+  // registry's current one), keeping key and value consistent even if a
+  // re-LOAD raced this query.
+  if (options_.cache != nullptr && !result.Interrupted()) {
+    const size_t evicted = options_.cache->Insert(
+        MakeCacheKey(solvers->entry->epoch, request), reply);
+    metrics_.CountCacheInsert();
+    metrics_.CountCacheEvictions(evicted);
+  }
+  return reply;
+}
+
+std::string Session::MakeCacheKey(uint64_t epoch,
+                                  const Request& request) const {
+  const QueryLimits limits = EffectiveLimits(request.limits);
+  const uint64_t member_limit = request.member_limit != 0
+                                    ? request.member_limit
+                                    : options_.default_member_limit;
+  std::string key = std::to_string(epoch);
+  key += '|';
+  key += VerbName(request.verb);
+  char buffer[96];
+  std::snprintf(buffer, sizeof(buffer),
+                "|%" PRIu32 "|%d|%.17g|%.17g|%" PRIu64 "|%" PRIu64 "|%d",
+                request.k, request.multi_max ? 1 : 0, request.gamma,
+                limits.deadline_ms, limits.work_budget, member_limit,
+                request.trace ? 1 : 0);
+  key += buffer;
+  for (const VertexId v : request.vertices) {
+    key += '|';
+    key += std::to_string(v);
+  }
+  return key;
 }
 
 }  // namespace locs::serve

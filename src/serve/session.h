@@ -28,6 +28,7 @@
 #include "serve/admission.h"
 #include "serve/metrics.h"
 #include "serve/registry.h"
+#include "serve/result_cache.h"
 #include "serve/transport.h"
 #include "serve/wire.h"
 
@@ -46,6 +47,10 @@ struct SessionOptions {
   /// Raised by the server during drain: new queries get ERR
   /// shutting-down, the session exits after the current request.
   const std::atomic<bool>* stop = nullptr;
+  /// Server-wide result cache shared by every session (null disables
+  /// caching). Hits are answered before admission — a cached reply costs
+  /// no solver run, so it should not compete for a query slot.
+  ResultCache* cache = nullptr;
 };
 
 /// See the file comment. One session per transport; not thread-safe
@@ -102,6 +107,15 @@ class Session {
   /// Binds solvers to the named graph (cache-aware); null + ERR reply in
   /// `*error_reply` when the graph is unknown.
   BoundSolvers* Bind(const std::string& name, std::string* error_reply);
+
+  /// Result-cache key for `request` against graph generation `epoch`:
+  /// epoch + verb + query vertices + k/max + γ + the *effective* limits
+  /// and member limit + trace flag — every input the rendered reply is a
+  /// deterministic function of. Lookup keys use the registry's current
+  /// epoch; insert keys use the epoch of the entry that actually
+  /// answered, so a racing re-LOAD can waste an insert but never alias
+  /// one epoch's reply under another's key.
+  std::string MakeCacheKey(uint64_t epoch, const Request& request) const;
 
   /// Merges request limits with the session's defaults and caps.
   QueryLimits EffectiveLimits(const QueryLimits& requested) const;

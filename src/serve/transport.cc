@@ -38,6 +38,12 @@ long FdTransport::Refill() {
 
 Transport::ReadStatus FdTransport::ReadLine(std::string* line) {
   line->clear();
+  if (pending_error_) {
+    // The previous call surfaced a buffered partial line ahead of a read
+    // failure; deliver the deferred error now.
+    pending_error_ = false;
+    return ReadStatus::kError;
+  }
   bool overflow = false;
   while (true) {
     const size_t newline = buffer_.find('\n', buffer_pos_);
@@ -60,16 +66,20 @@ Transport::ReadStatus FdTransport::ReadLine(std::string* line) {
       buffer_pos_ = 0;
     }
     const long n = Refill();
-    if (n < 0) return ReadStatus::kError;
-    if (n == 0) {
-      // EOF. A final unterminated line still parses (common with
-      // printf-piped scripts lacking the last newline).
+    if (n <= 0) {
+      // Stream over (orderly EOF or errno-level failure). Either way a
+      // buffered unterminated line is a complete request the peer already
+      // sent — surface it first (common with printf-piped scripts lacking
+      // the last newline, and with peers torn down mid-session); a read
+      // error is then re-reported by the next call.
       if (!overflow && buffer_pos_ < buffer_.size()) {
         line->assign(buffer_, buffer_pos_, buffer_.size() - buffer_pos_);
         if (!line->empty() && line->back() == '\r') line->pop_back();
         buffer_pos_ = buffer_.size();
+        pending_error_ = n < 0;
         return ReadStatus::kLine;
       }
+      if (n < 0) return ReadStatus::kError;
       return overflow ? ReadStatus::kTooLong : ReadStatus::kEof;
     }
   }

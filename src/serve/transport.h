@@ -64,6 +64,9 @@ class FdTransport final : public Transport {
   const bool owns_fds_;
   std::string buffer_;     ///< bytes read but not yet consumed
   size_t buffer_pos_ = 0;  ///< consumption cursor into buffer_
+  /// A read failure was deferred so the buffered partial line it
+  /// interrupted could be surfaced first; reported by the next ReadLine.
+  bool pending_error_ = false;
 };
 
 }  // namespace locs::serve

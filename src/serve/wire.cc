@@ -46,6 +46,20 @@ bool ParseDouble(std::string_view token, double* out) {
   return true;
 }
 
+/// Like ParseDouble but signed: gamma is meaningfully negative (γ → −∞
+/// disables the Eq.-8 budget). Still rejects NaN — a NaN γ would poison
+/// every budget comparison downstream.
+bool ParseSignedDouble(std::string_view token, double* out) {
+  if (token.empty()) return false;
+  double value{};
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) return false;
+  if (value != value) return false;  // NaN
+  *out = value;
+  return true;
+}
+
 ParseResult Fail(WireError error, std::string detail) {
   ParseResult result;
   result.error = error;
@@ -79,6 +93,8 @@ bool ConsumeOptions(const std::vector<std::string_view>& tokens, size_t i,
       uint64_t flag = 0;
       ok = ParseUnsigned(value, &flag) && flag <= 1;
       request->trace = flag != 0;
+    } else if (key == "gamma") {
+      ok = ParseSignedDouble(value, &request->gamma);
     } else {
       *error = Fail(WireError::kBadOption,
                     "unknown option '" + std::string(key) + "'");

@@ -15,9 +15,11 @@
 //
 // Trailing `opt` tokens are lowercase key=value pairs mapped onto the
 // QueryGuard limits: `deadline_ms=<double>`, `budget=<uint64>`, plus
-// `limit=<n>` capping the member ids echoed in the reply (0 = all) and
+// `limit=<n>` capping the member ids echoed in the reply (0 = all),
 // `trace=<0|1>` appending a per-phase telemetry breakdown to the reply
-// (deterministic: counters only, no durations).
+// (deterministic: counters only, no durations), and `gamma=<double>`
+// tuning the CSM Equation-8 search budget (signed: negative γ widens
+// the budget, `-inf` disables it; ignored by CST/MULTI).
 //
 // Every reply is also one line: `OK ...`, `ERR <kind> <detail>` or
 // `BUSY <detail>` (admission fast-reject). The parser is total: any byte
@@ -97,6 +99,7 @@ struct Request {
   QueryLimits limits;             ///< deadline_ms= / budget= options
   uint64_t member_limit = 0;      ///< limit= option; 0 = all members
   bool trace = false;             ///< trace= option; phase breakdown
+  double gamma = 0.0;             ///< gamma= option; CSM Eq.-8 budget γ
 };
 
 /// ParseRequest outcome: either a request or a typed error with detail.

@@ -76,6 +76,21 @@ TEST(CliIntegrationTest, GenerateStatsQueryPipeline) {
   }
 }
 
+TEST(CliIntegrationTest, UnopenableTraceFileIsAHardError) {
+  // A --trace= path that cannot be opened must abort the run with the
+  // typed open-error exit code — not run untraced with exit 0 and not
+  // collapse into the generic failure code.
+  const std::string graph_path = TempPath("cli_trace_err.lcsg");
+  ASSERT_EQ(RunCli("generate --model=gnp --n=50 --p=0.2 --seed=9 --output=" +
+                   graph_path)
+                .first,
+            0);
+  const auto [code, out] =
+      RunCli("cst --input=" + graph_path + " --vertex=1 --k=1 " +
+             "--trace=/nonexistent-dir/trace.jsonl");
+  EXPECT_EQ(code, 3);  // kExitOpenError
+}
+
 TEST(CliIntegrationTest, LocalAndGlobalAgreeOnGoodness) {
   const std::string graph_path = TempPath("cli_agree.lcsg");
   ASSERT_EQ(RunCli("generate --model=ba --n=1000 --m=4 --seed=3 --output=" +

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <fcntl.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
 #include <cstdint>
@@ -261,6 +262,58 @@ TEST(FdTransportTest, PreservesEmbeddedNul) {
   const auto out = Feed(std::string("A\0B\n", 4));
   ASSERT_GE(out.size(), 1u);
   EXPECT_EQ(out[0].second, std::string("A\0B", 3));
+}
+
+TEST(FdTransportTest, WriteSideClosedMidLineSurfacesPartialThenEof) {
+  // A peer torn down mid-line (pipe writer closes without the final
+  // newline) already sent a complete request — it must surface as a
+  // line, then a clean EOF.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::write(fds[1], "PING\nSTA", 8), 8);
+  ::close(fds[1]);  // mid-line hangup
+  FdTransport transport(fds[0], -1);
+  std::string line;
+  EXPECT_EQ(transport.ReadLine(&line), Transport::ReadStatus::kLine);
+  EXPECT_EQ(line, "PING");
+  EXPECT_EQ(transport.ReadLine(&line), Transport::ReadStatus::kLine);
+  EXPECT_EQ(line, "STA");
+  EXPECT_EQ(transport.ReadLine(&line), Transport::ReadStatus::kEof);
+  ::close(fds[0]);
+}
+
+TEST(FdTransportTest, SocketShutdownMidLineSurfacesPartialThenEof) {
+  // Same contract over a socketpair with SHUT_WR — the TCP-shaped
+  // variant of the mid-line hangup.
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  ASSERT_EQ(::send(fds[1], "QUIT", 4, 0), 4);
+  ASSERT_EQ(::shutdown(fds[1], SHUT_WR), 0);
+  FdTransport transport(fds[0], -1);
+  std::string line;
+  EXPECT_EQ(transport.ReadLine(&line), Transport::ReadStatus::kLine);
+  EXPECT_EQ(line, "QUIT");
+  EXPECT_EQ(transport.ReadLine(&line), Transport::ReadStatus::kEof);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+TEST(FdTransportTest, ReadErrorAfterPartialLineSurfacesLineThenError) {
+  // An errno-level read failure must not swallow a buffered partial
+  // line: the line is delivered first, the error on the next call.
+  // A non-blocking pipe makes the failure deterministic — the first
+  // read drains the buffered bytes, the second fails with EAGAIN.
+  int fds[2];
+  ASSERT_EQ(::pipe(fds), 0);
+  ASSERT_EQ(::fcntl(fds[0], F_SETFL, O_NONBLOCK), 0);
+  ASSERT_EQ(::write(fds[1], "STATS", 5), 5);
+  FdTransport transport(fds[0], -1);
+  std::string line;
+  EXPECT_EQ(transport.ReadLine(&line), Transport::ReadStatus::kLine);
+  EXPECT_EQ(line, "STATS");
+  EXPECT_EQ(transport.ReadLine(&line), Transport::ReadStatus::kError);
+  ::close(fds[0]);
+  ::close(fds[1]);
 }
 
 }  // namespace

@@ -101,7 +101,9 @@ QueryLimits GuardLimits(const CommandLine& cli) {
 
 /// Opens --trace=<file> as a JSONL telemetry sink labelled with the
 /// subcommand. Returns 0 with *out == nullptr when the flag is absent,
-/// 0 with an open sink on success, nonzero after printing an error.
+/// 0 with an open sink on success, kExitOpenError after printing an
+/// error — an unopenable trace file is a hard failure, never a silent
+/// untraced run.
 int AttachTrace(const CommandLine& cli, const char* label,
                 std::unique_ptr<obs::TraceSink>* out) {
   const std::string path = cli.GetString("trace", "");
@@ -110,7 +112,7 @@ int AttachTrace(const CommandLine& cli, const char* label,
   if (!sink->ok()) {
     std::fprintf(stderr, "error: could not open trace file '%s'\n",
                  path.c_str());
-    return 1;
+    return kExitOpenError;
   }
   sink->Annotate(label);
   *out = std::move(sink);
@@ -269,7 +271,7 @@ int CmdCst(const CommandLine& cli) {
   }
   CommunitySearcher searcher(std::move(*graph));
   std::unique_ptr<obs::TraceSink> trace;
-  if (AttachTrace(cli, "cst", &trace) != 0) return 1;
+  if (const int rc = AttachTrace(cli, "cst", &trace); rc != 0) return rc;
   if (trace != nullptr) searcher.set_recorder(trace.get());
   WallTimer timer;
   QueryStats stats;
@@ -314,7 +316,7 @@ int CmdCsm(const CommandLine& cli) {
   }
   CommunitySearcher searcher(std::move(*graph));
   std::unique_ptr<obs::TraceSink> trace;
-  if (AttachTrace(cli, "csm", &trace) != 0) return 1;
+  if (const int rc = AttachTrace(cli, "csm", &trace); rc != 0) return rc;
   if (trace != nullptr) searcher.set_recorder(trace.get());
   WallTimer timer;
   QueryStats stats;
@@ -388,7 +390,7 @@ int CmdBatch(const CommandLine& cli) {
   const OrderedAdjacency ordered(*graph);
   BatchRunner runner(*graph, &ordered, &facts);
   std::unique_ptr<obs::TraceSink> trace;
-  if (AttachTrace(cli, "batch", &trace) != 0) return 1;
+  if (const int rc = AttachTrace(cli, "batch", &trace); rc != 0) return rc;
   if (trace != nullptr) runner.set_recorder(trace.get());
   BatchLimits limits;
   limits.num_threads =
