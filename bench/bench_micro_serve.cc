@@ -27,11 +27,13 @@
 #include "exec/executor.h"
 #include "graph/io.h"
 #include "serve/admission.h"
+#include "serve/client.h"
 #include "serve/metrics.h"
 #include "serve/registry.h"
 #include "serve/result_cache.h"
 #include "serve/session.h"
 #include "serve/transport.h"
+#include "util/cli.h"
 #include "util/table.h"
 #include "util/timer.h"
 
@@ -181,6 +183,124 @@ SweepPoint RunSweepPoint(serve::GraphRegistry& registry, Executor& executor,
   return point;
 }
 
+/// --port mode: the same closed loops, but against an external locsd
+/// over TCP through the self-healing RetryClient. Each client thread
+/// owns one RetryClient with a generous retry budget, so the run
+/// survives a daemon kill+restart mid-loop — the recovery stats in the
+/// output show what it cost. Exit is nonzero only when a request
+/// ultimately failed after exhausting its attempts.
+int TcpMain(uint16_t port, unsigned sessions, size_t queries) {
+  const Graph graph = [] {
+    gen::LfrParams params;
+    params.n = 20000;
+    params.min_degree = 5;
+    params.max_degree = 80;
+    params.min_community = 20;
+    params.max_community = 150;
+    params.mu = 0.1;
+    params.seed = 808;
+    return CachedLfrComponent(params, "micro_serve_20k");
+  }();
+  const uint32_t n = graph.NumVertices();
+  const std::string path = CacheDir() + "/micro_serve_20k.lcsg";
+  if (!SaveBinary(graph, path)) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+
+  const auto make_options = [port](uint64_t seed) {
+    serve::RetryClientOptions options;
+    options.port = port;
+    options.max_attempts = 64;
+    options.request_deadline_ms = 30000;
+    options.backoff_base_ms = 10;
+    options.backoff_cap_ms = 1000;
+    options.breaker_threshold = 4;
+    options.breaker_cooldown_ms = 200;
+    options.jitter_seed = seed;
+    return options;
+  };
+  // Register the dataset over the wire (idempotent across runs and
+  // across a daemon restart mid-run: any thread's retry re-LOADs only
+  // if its own request path needs the connection re-established, and a
+  // LOAD of an already-registered name refreshes it).
+  {
+    serve::RetryClient loader(make_options(0));
+    std::string reply;
+    if (!loader.Request("LOAD g " + path, &reply) ||
+        reply.compare(0, 2, "OK") != 0) {
+      std::fprintf(stderr, "LOAD failed: %s\n", reply.c_str());
+      return 1;
+    }
+  }
+
+  struct ThreadOutcome {
+    size_t ok = 0;
+    size_t failed = 0;
+    serve::RetryClient::Stats stats;
+  };
+  std::vector<ThreadOutcome> outcomes(sessions);
+  WallTimer wall;
+  std::vector<std::thread> clients;
+  clients.reserve(sessions);
+  for (unsigned s = 0; s < sessions; ++s) {
+    clients.emplace_back([&, s] {
+      serve::RetryClient client(make_options(s + 1));
+      uint64_t state = (s + 1) * 0x9e3779b97f4a7c15ULL + 1;
+      std::string reply;
+      for (size_t q = 0; q < queries; ++q) {
+        state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+        const uint32_t vertex = static_cast<uint32_t>((state >> 33) % n);
+        const std::string request = "CST g " + std::to_string(vertex) +
+                                    " " + std::to_string(kQueryK) +
+                                    " limit=1";
+        if (client.Request(request, &reply) &&
+            reply.compare(0, 2, "OK") == 0) {
+          ++outcomes[s].ok;
+        } else {
+          ++outcomes[s].failed;
+        }
+      }
+      outcomes[s].stats = client.stats();
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  const double wall_ms = wall.Millis();
+
+  ThreadOutcome total;
+  for (const ThreadOutcome& o : outcomes) {
+    total.ok += o.ok;
+    total.failed += o.failed;
+    total.stats.connects += o.stats.connects;
+    total.stats.retries += o.stats.retries;
+    total.stats.busy_honored += o.stats.busy_honored;
+    total.stats.breaker_opens += o.stats.breaker_opens;
+    total.stats.probes += o.stats.probes;
+  }
+  TableWriter table({"sessions", "ok", "failed", "wall ms", "qps",
+                     "connects", "retries", "busy", "breaker", "probes"});
+  table.Row()
+      .Num(uint64_t{sessions})
+      .Num(uint64_t{total.ok})
+      .Num(uint64_t{total.failed})
+      .Num(wall_ms, 1)
+      .Num(static_cast<double>(total.ok + total.failed) /
+               (wall_ms / 1000.0),
+           0)
+      .Num(total.stats.connects)
+      .Num(total.stats.retries)
+      .Num(total.stats.busy_honored)
+      .Num(total.stats.breaker_opens)
+      .Num(total.stats.probes);
+  table.Print();
+  if (total.failed != 0) {
+    std::fprintf(stderr, "%zu requests failed after retries\n",
+                 total.failed);
+    return 1;
+  }
+  return 0;
+}
+
 int Main() {
   PrintBanner(
       "micro_serve: closed-loop stdio-transport serving throughput",
@@ -306,4 +426,16 @@ int Main() {
 }  // namespace
 }  // namespace locs::bench
 
-int main() { return locs::bench::Main(); }
+int main(int argc, char** argv) {
+  const locs::CommandLine cli(argc, argv);
+  const int64_t port = cli.GetInt("port", -1);
+  if (port > 0 && port <= 65535) {
+    // External-daemon mode: closed loops over TCP via the RetryClient,
+    // built to ride through a daemon kill+restart mid-run.
+    return locs::bench::TcpMain(
+        static_cast<uint16_t>(port),
+        static_cast<unsigned>(cli.GetInt("sessions", 4)),
+        static_cast<size_t>(cli.GetInt("queries", 2000)));
+  }
+  return locs::bench::Main();
+}

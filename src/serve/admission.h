@@ -1,4 +1,5 @@
-// AdmissionController — bounded concurrency with fast rejection.
+// AdmissionController — bounded concurrency with fast rejection and
+// tiered load shedding.
 //
 // The serving layer promises every accepted query a bounded share of the
 // machine; beyond that it must say BUSY *immediately* rather than build
@@ -10,12 +11,35 @@
 //   - Close() flips the controller into drain mode: waiters wake up and
 //     are rejected, new arrivals are rejected, in-flight work finishes.
 //
+// Under sustained overload the controller sheds lower-value work before
+// the queue fills, keeping headroom for the requests that matter most.
+// Callers classify each request (WorkClass) and the queue thresholds
+// ladder accordingly:
+//
+//   kBulk      (LOAD)                sheds once the queue is half full —
+//                                    registry loads are heavyweight and
+//                                    never latency-critical;
+//   kRetryable (cache-eligible query) sheds at 3/4 — a retry is likely a
+//                                    cheap cache hit, so dropping it now
+//                                    costs the client little;
+//   kCritical  (everything else)     only rejected when the queue is
+//                                    truly full.
+//
+// Shedding engages only when queueing is enabled (max_queued > 0): a
+// controller configured for pure admit-or-reject keeps its historical
+// two-outcome behavior.
+//
+// Every non-admission carries a retry_after_ms hint proportional to the
+// queue depth, which the wire layer folds into BUSY replies so clients
+// back off instead of stampeding.
+//
 // A Ticket is the RAII admission token: destroying it releases the slot
 // and wakes one waiter.
 
 #ifndef LOCS_SERVE_ADMISSION_H_
 #define LOCS_SERVE_ADMISSION_H_
 
+#include <algorithm>
 #include <cstdint>
 
 #include "util/thread_annotations.h"
@@ -35,6 +59,14 @@ class AdmissionController {
   enum class Decision : uint8_t {
     kAdmitted,  ///< slot held; call Leave() (or let the Ticket do it)
     kRejected,  ///< saturated beyond the queue bound, or draining
+    kShed,      ///< dropped early by the overload ladder (see WorkClass)
+  };
+
+  /// Caller-declared value class of a request; see the file comment.
+  enum class WorkClass : uint8_t {
+    kBulk,       ///< heavyweight, never latency-critical (LOAD)
+    kRetryable,  ///< a retry would likely be a cache hit
+    kCritical,   ///< shed only at hard saturation
   };
 
   struct Counts {
@@ -42,6 +74,7 @@ class AdmissionController {
     unsigned queued = 0;
     uint64_t admitted_total = 0;
     uint64_t rejected_total = 0;
+    uint64_t shed_total = 0;
   };
 
   explicit AdmissionController(const Options& options)
@@ -52,8 +85,12 @@ class AdmissionController {
   AdmissionController(const AdmissionController&) = delete;
   AdmissionController& operator=(const AdmissionController&) = delete;
 
-  /// Requests admission; blocks only while a queue slot is held.
-  Decision Enter() LOCS_EXCLUDES(mutex_) {
+  /// Requests admission; blocks only while a queue slot is held. On a
+  /// non-admitted outcome `*retry_after_ms` (when non-null) receives the
+  /// load-derived backoff hint for the BUSY reply.
+  Decision Enter(WorkClass work = WorkClass::kCritical,
+                 uint64_t* retry_after_ms = nullptr)
+      LOCS_EXCLUDES(mutex_) {
     MutexLock lock(mutex_);
     if (closed_ || queued_ >= max_queued_) {
       if (!closed_ && inflight_ < max_inflight_) {
@@ -64,13 +101,24 @@ class AdmissionController {
         return Decision::kAdmitted;
       }
       ++rejected_total_;
+      if (retry_after_ms != nullptr) *retry_after_ms = RetryAfterMsLocked();
       return Decision::kRejected;
+    }
+    // Tiered shedding: lower-value classes give up their queue slot
+    // before the queue fills. Only reachable when max_queued_ > 0 and
+    // the per-class bound keeps at least one slot of pressure, so an
+    // idle controller never sheds.
+    if (work != WorkClass::kCritical && queued_ >= ShedBound(work)) {
+      ++shed_total_;
+      if (retry_after_ms != nullptr) *retry_after_ms = RetryAfterMsLocked();
+      return Decision::kShed;
     }
     ++queued_;
     while (!closed_ && inflight_ >= max_inflight_) cv_.Wait(lock);
     --queued_;
     if (closed_) {
       ++rejected_total_;
+      if (retry_after_ms != nullptr) *retry_after_ms = RetryAfterMsLocked();
       cv_.NotifyAll();  // propagate the drain wake-up to other waiters
       return Decision::kRejected;
     }
@@ -97,6 +145,12 @@ class AdmissionController {
     cv_.NotifyAll();
   }
 
+  /// Current backoff hint (what a BUSY reply issued now would carry).
+  uint64_t RetryAfterMs() const LOCS_EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return RetryAfterMsLocked();
+  }
+
   Counts Snapshot() const LOCS_EXCLUDES(mutex_) {
     MutexLock lock(mutex_);
     Counts counts;
@@ -104,6 +158,7 @@ class AdmissionController {
     counts.queued = queued_;
     counts.admitted_total = admitted_total_;
     counts.rejected_total = rejected_total_;
+    counts.shed_total = shed_total_;
     return counts;
   }
 
@@ -111,6 +166,29 @@ class AdmissionController {
   unsigned max_queued() const { return max_queued_; }
 
  private:
+  /// Queue occupancy at which `work` is shed; >= 1 so the ladder never
+  /// fires on an idle queue, and kCritical's bound is the hard cap.
+  unsigned ShedBound(WorkClass work) const LOCS_REQUIRES(mutex_) {
+    switch (work) {
+      case WorkClass::kBulk:
+        return std::max(1u, max_queued_ / 2);
+      case WorkClass::kRetryable:
+        return std::max(1u, (max_queued_ * 3) / 4);
+      case WorkClass::kCritical:
+        break;
+    }
+    return max_queued_;
+  }
+
+  /// Backoff hint scaled by queue depth: an empty queue asks for one
+  /// base interval, a deep queue for proportionally longer, capped so a
+  /// hint can never park a client for more than two seconds.
+  uint64_t RetryAfterMsLocked() const LOCS_REQUIRES(mutex_) {
+    constexpr uint64_t kBaseMs = 25;
+    constexpr uint64_t kCapMs = 2000;
+    return std::min(kCapMs, kBaseMs * (1 + uint64_t{queued_}));
+  }
+
   const unsigned max_inflight_;
   const unsigned max_queued_;
   mutable Mutex mutex_;
@@ -120,27 +198,38 @@ class AdmissionController {
   bool closed_ LOCS_GUARDED_BY(mutex_) = false;
   uint64_t admitted_total_ LOCS_GUARDED_BY(mutex_) = 0;
   uint64_t rejected_total_ LOCS_GUARDED_BY(mutex_) = 0;
+  uint64_t shed_total_ LOCS_GUARDED_BY(mutex_) = 0;
 };
 
 /// RAII admission token.
 class AdmissionTicket {
  public:
-  explicit AdmissionTicket(AdmissionController& controller)
+  explicit AdmissionTicket(
+      AdmissionController& controller,
+      AdmissionController::WorkClass work =
+          AdmissionController::WorkClass::kCritical)
       : controller_(controller),
-        admitted_(controller.Enter() ==
-                  AdmissionController::Decision::kAdmitted) {}
+        decision_(controller.Enter(work, &retry_after_ms_)) {}
   ~AdmissionTicket() {
-    if (admitted_) controller_.Leave();
+    if (admitted()) controller_.Leave();
   }
 
   AdmissionTicket(const AdmissionTicket&) = delete;
   AdmissionTicket& operator=(const AdmissionTicket&) = delete;
 
-  bool admitted() const { return admitted_; }
+  bool admitted() const {
+    return decision_ == AdmissionController::Decision::kAdmitted;
+  }
+  bool shed() const {
+    return decision_ == AdmissionController::Decision::kShed;
+  }
+  /// Backoff hint for the BUSY reply; 0 when admitted.
+  uint64_t retry_after_ms() const { return retry_after_ms_; }
 
  private:
   AdmissionController& controller_;
-  const bool admitted_;
+  uint64_t retry_after_ms_ = 0;
+  const AdmissionController::Decision decision_;
 };
 
 }  // namespace locs::serve

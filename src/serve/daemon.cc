@@ -97,8 +97,16 @@ bool ParseDaemonOptions(const CommandLine& cli, DaemonOptions* options,
       static_cast<uint64_t>(cli.GetInt("max-budget", 0));
   server.session.default_member_limit =
       static_cast<uint64_t>(cli.GetInt("member-limit", 0));
+  server.session.max_reply_bytes =
+      static_cast<uint64_t>(cli.GetInt("max-reply-bytes", 0));
   server.cache_entries =
       static_cast<size_t>(cli.GetInt("cache-entries", 1024));
+  server.io_timeout_ms =
+      static_cast<uint64_t>(cli.GetInt("io-timeout-ms", 0));
+  server.idle_timeout_ms =
+      static_cast<uint64_t>(cli.GetInt("idle-timeout-ms", 0));
+  server.max_sessions_per_peer = static_cast<unsigned>(
+      cli.GetInt("max-sessions-per-peer", 0));
   const std::string preload = cli.GetString("preload", "");
   if (!preload.empty() && !ParsePreload(preload, &server, error)) {
     return false;
@@ -120,8 +128,15 @@ const char* DaemonFlagHelp() {
       "  --default-budget=W --max-budget=W\n"
       "                            per-query guard policy (0 = none)\n"
       "  --member-limit=N          member ids echoed per reply (0 = all)\n"
+      "  --max-reply-bytes=N       cap one reply line; beyond it the\n"
+      "                            reply becomes ERR too-large (0 = none)\n"
       "  --cache-entries=N         result-cache capacity in replies\n"
-      "                            (default 1024, 0 disables)\n";
+      "                            (default 1024, 0 disables)\n"
+      "  --io-timeout-ms=D         close a session whose peer stalls\n"
+      "                            mid-request/mid-reply (0 = never)\n"
+      "  --idle-timeout-ms=D       reap a session idle between requests\n"
+      "                            (0 = never)\n"
+      "  --max-sessions-per-peer=N per-address session cap (0 = none)\n";
 }
 
 int DaemonMain(const DaemonOptions& options) {
@@ -162,39 +177,20 @@ int DaemonMain(const DaemonOptions& options) {
   return 0;
 }
 
-int ClientMain(uint16_t port) {
-  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd < 0) {
-    std::perror("locs client: socket");
-    return 1;
-  }
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(port);
-  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
-                sizeof(addr)) != 0) {
-    std::fprintf(stderr, "locs client: connect 127.0.0.1:%u: %s\n",
-                 unsigned{port}, std::strerror(errno));
-    ::close(fd);
-    return 1;
-  }
-  std::signal(SIGPIPE, SIG_IGN);
-  FdTransport transport(fd, fd, /*owns_fds=*/true);
+int ClientMain(const RetryClientOptions& options) {
+  RetryClient client(options);
   std::string line;
   std::string reply;
   bool quit_sent = false;
   // Lockstep: every request line gets exactly one reply line (blank
   // input lines get none and are skipped), so a pipe never deadlocks.
+  // Recovery (reconnect/backoff/BUSY pacing) happens inside Request();
+  // with max_attempts == 1 a failure here is the historical hard exit.
   while (std::getline(std::cin, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.find_first_not_of(" \t") == std::string::npos) continue;
-    if (!transport.WriteLine(line)) {
-      std::fprintf(stderr, "locs client: connection lost\n");
-      return 1;
-    }
-    if (transport.ReadLine(&reply) != Transport::ReadStatus::kLine) {
-      std::fprintf(stderr, "locs client: server closed mid-session\n");
+    if (!client.Request(line, &reply)) {
+      std::fprintf(stderr, "locs client: %s\n", reply.c_str());
       return 1;
     }
     std::printf("%s\n", reply.c_str());
@@ -203,11 +199,8 @@ int ClientMain(uint16_t port) {
       break;
     }
   }
-  if (!quit_sent) {
-    if (transport.WriteLine("QUIT") &&
-        transport.ReadLine(&reply) == Transport::ReadStatus::kLine) {
-      std::printf("%s\n", reply.c_str());
-    }
+  if (!quit_sent && client.connected()) {
+    if (client.Request("QUIT", &reply)) std::printf("%s\n", reply.c_str());
   }
   return 0;
 }

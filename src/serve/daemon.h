@@ -8,6 +8,7 @@
 
 #include <string>
 
+#include "serve/client.h"
 #include "serve/server.h"
 #include "util/cli.h"
 
@@ -32,11 +33,14 @@ const char* DaemonFlagHelp();
 /// graceful drain and flushes a final STATS line to stderr on exit.
 int DaemonMain(const DaemonOptions& options);
 
-/// Scripted TCP client: forwards stdin lines to 127.0.0.1:`port` in
-/// lockstep (one reply line read and printed per request line), appends
-/// QUIT when stdin ends without one. Returns nonzero on connect or
-/// transport failure.
-int ClientMain(uint16_t port);
+/// Scripted TCP client: forwards stdin lines to the daemon in lockstep
+/// (one reply line read and printed per request line), appends QUIT
+/// when stdin ends without one. With max_attempts == 1 (the default) a
+/// transport failure is fatal, the historical behavior; larger values
+/// engage the RetryClient recovery discipline (reconnect, backoff,
+/// BUSY pacing, circuit breaker). Returns nonzero when a request
+/// ultimately failed.
+int ClientMain(const RetryClientOptions& options);
 
 }  // namespace locs::serve
 

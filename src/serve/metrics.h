@@ -34,6 +34,18 @@ struct MetricsSnapshot {
   uint64_t errors_by_kind[kNumWireErrors] = {};
   uint64_t rejected = 0;     ///< BUSY fast-rejects (admission)
   uint64_t interrupted = 0;  ///< queries tripped by their guard
+  uint64_t io_timeouts = 0;  ///< transport deadline expiries (read/write)
+  uint64_t idle_reaped = 0;  ///< sessions ended by the idle timeout
+  uint64_t retry_hints = 0;  ///< BUSY replies sent with retry_after_ms
+  /// Query conservation ledger (CST/CSM/MULTI only). Every attempted
+  /// query reaches exactly one terminal: attempted = completed + failed
+  /// + shed. Counted entirely inside the session dispatch path so the
+  /// identity is exact, not eventually-consistent — the chaos soak
+  /// asserts it after every run.
+  uint64_t q_attempted = 0;
+  uint64_t q_completed = 0;  ///< OK reply delivered (incl. cache hits)
+  uint64_t q_failed = 0;     ///< ERR reply (or reply write failed)
+  uint64_t q_shed = 0;       ///< BUSY: admission rejected or shed
   uint64_t sessions_opened = 0;
   uint64_t sessions_closed = 0;
   uint64_t cache_hits = 0;       ///< result-cache hits (no solver run)
@@ -84,6 +96,27 @@ class ServerMetrics {
   void CountInterrupted() {
     interrupted_.fetch_add(1, std::memory_order_relaxed);
   }
+  void CountIoTimeout() {
+    io_timeouts_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountIdleReaped() {
+    idle_reaped_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountRetryHint() {
+    retry_hints_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountQueryAttempted() {
+    q_attempted_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountQueryCompleted() {
+    q_completed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountQueryFailed() {
+    q_failed_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountQueryShed() {
+    q_shed_.fetch_add(1, std::memory_order_relaxed);
+  }
   void CountSessionOpened() {
     sessions_opened_.fetch_add(1, std::memory_order_relaxed);
   }
@@ -118,6 +151,13 @@ class ServerMetrics {
   std::array<std::atomic<uint64_t>, kNumWireErrors> errors_by_kind_ = {};
   std::atomic<uint64_t> rejected_{0};
   std::atomic<uint64_t> interrupted_{0};
+  std::atomic<uint64_t> io_timeouts_{0};
+  std::atomic<uint64_t> idle_reaped_{0};
+  std::atomic<uint64_t> retry_hints_{0};
+  std::atomic<uint64_t> q_attempted_{0};
+  std::atomic<uint64_t> q_completed_{0};
+  std::atomic<uint64_t> q_failed_{0};
+  std::atomic<uint64_t> q_shed_{0};
   std::atomic<uint64_t> sessions_opened_{0};
   std::atomic<uint64_t> sessions_closed_{0};
   std::atomic<uint64_t> cache_hits_{0};

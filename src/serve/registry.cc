@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "util/failpoint.h"
 #include "util/timer.h"
 
 namespace locs::serve {
@@ -10,6 +11,15 @@ std::shared_ptr<const ServedGraph> GraphRegistry::Load(
     const std::string& name, const std::string& path, IoError* error,
     bool* full) {
   if (full != nullptr) *full = false;
+  // Chaos hook: a registry-load fault surfaces as an ordinary IO error
+  // on this LOAD; graphs already registered keep serving untouched.
+  if (LOCS_FAILPOINT("serve.registry.load_error")) {
+    if (error != nullptr) {
+      error->kind = IoErrorKind::kOpen;
+      error->message = "injected registry load fault";
+    }
+    return nullptr;
+  }
   {
     // Capacity pre-check: refuse before paying the parse when the name is
     // new and the registry is full. Rechecked at insert (another session

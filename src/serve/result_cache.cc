@@ -1,5 +1,7 @@
 #include "serve/result_cache.h"
 
+#include "util/failpoint.h"
+
 namespace locs::serve {
 
 bool ResultCache::Lookup(const std::string& key, std::string* reply) {
@@ -14,6 +16,10 @@ bool ResultCache::Lookup(const std::string& key, std::string* reply) {
 size_t ResultCache::Insert(const std::string& key,
                            const std::string& reply) {
   if (max_entries_ == 0) return 0;
+  // Chaos hook: dropping an insert is always correct (the cache is a
+  // pure performance layer), so an injected fault here must only cost a
+  // future miss, never an error the client can see.
+  if (LOCS_FAILPOINT("serve.cache.insert_drop")) return 0;
   MutexLock lock(mutex_);
   const auto it = index_.find(key);
   if (it != index_.end()) {

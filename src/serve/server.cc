@@ -60,9 +60,20 @@ SessionOptions CommunityServer::MakeSessionOptions() {
   return session;
 }
 
+FdTransportOptions CommunityServer::MakeTransportOptions() {
+  FdTransportOptions transport;
+  transport.io_timeout_ms = options_.io_timeout_ms;
+  transport.idle_timeout_ms = options_.idle_timeout_ms;
+  transport.stop = &stop_;
+  return transport;
+}
+
 int CommunityServer::RunStdioSession() {
   IgnoreSigpipe();
-  FdTransport transport(STDIN_FILENO, STDOUT_FILENO);
+  // The stop-observing transport makes SIGTERM prompt even while the
+  // session is parked in a blocked read on a silent peer.
+  FdTransport transport(STDIN_FILENO, STDOUT_FILENO, /*owns_fds=*/false,
+                        MakeTransportOptions());
   Session session(transport, registry_, admission_, metrics_,
                   MakeSessionOptions());
   session.Run();
@@ -135,15 +146,27 @@ void TcpServer::Run() {
     }
     if ((fds[1].revents & POLLIN) != 0) break;  // Stop() requested
     if ((fds[0].revents & POLLIN) == 0) continue;
-    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    sockaddr_in peer_addr{};
+    socklen_t peer_len = sizeof(peer_addr);
+    const int fd = ::accept(
+        listen_fd_, reinterpret_cast<sockaddr*>(&peer_addr), &peer_len);
     if (fd < 0) continue;  // transient (EINTR, peer reset in backlog)
+    const uint32_t peer = peer_addr.sin_addr.s_addr;
 
     bool admitted = false;
+    bool peer_capped = false;
     {
       MutexLock lock(mutex_);
-      if (active_sessions_ < options_.max_sessions) {
+      if (options_.max_sessions_per_peer != 0) {
+        unsigned from_peer = 0;
+        for (const SessionFd& s : session_fds_) {
+          if (s.peer == peer) ++from_peer;
+        }
+        peer_capped = from_peer >= options_.max_sessions_per_peer;
+      }
+      if (!peer_capped && active_sessions_ < options_.max_sessions) {
         ++active_sessions_;
-        session_fds_.push_back(fd);
+        session_fds_.push_back(SessionFd{fd, peer});
         admitted = true;
       }
     }
@@ -154,16 +177,18 @@ void TcpServer::Run() {
       admitted = executor_.Submit([this, fd] { HandleConnection(fd); });
       if (!admitted) {
         MutexLock lock(mutex_);
+        EraseSessionFd(fd);
         --active_sessions_;
-        session_fds_.erase(std::find(session_fds_.begin(),
-                                     session_fds_.end(), fd));
       }
     }
     if (!admitted) {
       shared_.metrics().CountRejected();
       FdTransport transport(fd, fd);
-      transport.WriteLine("BUSY sessions=" +
-                          std::to_string(options_.max_sessions));
+      transport.WriteLine(
+          peer_capped
+              ? "BUSY peer_sessions=" +
+                    std::to_string(options_.max_sessions_per_peer)
+              : "BUSY sessions=" + std::to_string(options_.max_sessions));
       ::close(fd);
     }
   }
@@ -173,7 +198,7 @@ void TcpServer::Run() {
   shared_.RequestStop();
   {
     MutexLock lock(mutex_);
-    for (const int fd : session_fds_) ::shutdown(fd, SHUT_RD);
+    for (const SessionFd& s : session_fds_) ::shutdown(s.fd, SHUT_RD);
     while (active_sessions_ != 0) drained_cv_.Wait(lock);
   }
   ::close(listen_fd_);
@@ -194,17 +219,23 @@ unsigned TcpServer::active_sessions() const {
   return active_sessions_;
 }
 
+void TcpServer::EraseSessionFd(int fd) {
+  session_fds_.erase(
+      std::find_if(session_fds_.begin(), session_fds_.end(),
+                   [fd](const SessionFd& s) { return s.fd == fd; }));
+}
+
 void TcpServer::HandleConnection(int fd) {
   {
-    FdTransport transport(fd, fd);
+    FdTransport transport(fd, fd, /*owns_fds=*/false,
+                          shared_.MakeTransportOptions());
     Session session(transport, shared_.registry(), shared_.admission(),
                     shared_.metrics(), shared_.MakeSessionOptions());
     session.Run();
   }
   {
     MutexLock lock(mutex_);
-    session_fds_.erase(
-        std::find(session_fds_.begin(), session_fds_.end(), fd));
+    EraseSessionFd(fd);
     --active_sessions_;
     // Notify while still holding the lock: once the drain loop in Run()
     // can observe active_sessions_ == 0 the server (and this condvar) may

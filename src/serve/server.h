@@ -29,6 +29,7 @@
 #include "serve/metrics.h"
 #include "serve/registry.h"
 #include "serve/session.h"
+#include "serve/transport.h"
 #include "util/thread_annotations.h"
 
 namespace locs::serve {
@@ -43,6 +44,16 @@ struct ServerOptions {
   size_t cache_entries = 1024;
   /// Concurrent TCP sessions; connections beyond get `BUSY` and close.
   unsigned max_sessions = 8;
+  /// Concurrent TCP sessions per peer address (0 = unlimited). On the
+  /// loopback-only listener every peer shares 127.0.0.1, so this is a
+  /// second, tighter global ring; on a future non-loopback front end it
+  /// becomes true per-client isolation.
+  unsigned max_sessions_per_peer = 0;
+  /// Transport deadlines applied to every session (stdio and TCP);
+  /// 0 = unbounded, the historical blocking behavior. See
+  /// FdTransportOptions for exact semantics.
+  uint64_t io_timeout_ms = 0;
+  uint64_t idle_timeout_ms = 0;
   /// TCP port; 0 picks an ephemeral port (see TcpServer::port()).
   uint16_t port = 0;
   /// When set, the chosen port is written here after listen() — the
@@ -79,6 +90,11 @@ class CommunityServer {
 
   /// Session policy with the drain flag and result cache threaded in.
   SessionOptions MakeSessionOptions();
+
+  /// Transport deadlines with the drain flag threaded in: every blocked
+  /// read/write observes the stop flag, so drain reclaims sessions
+  /// parked on silent peers promptly.
+  FdTransportOptions MakeTransportOptions();
 
   /// The final STATS line for the shutdown flush.
   std::string FinalStatsLine();
@@ -123,7 +139,15 @@ class TcpServer {
   unsigned active_sessions() const LOCS_EXCLUDES(mutex_);
 
  private:
+  /// One live TCP session's fd plus its peer IPv4 address (network
+  /// order) for the per-peer session cap.
+  struct SessionFd {
+    int fd;
+    uint32_t peer;
+  };
+
   void HandleConnection(int fd);
+  void EraseSessionFd(int fd) LOCS_REQUIRES(mutex_);
 
   CommunityServer& shared_;
   Executor& executor_;
@@ -134,7 +158,7 @@ class TcpServer {
 
   mutable Mutex mutex_;
   CondVar drained_cv_;
-  std::vector<int> session_fds_ LOCS_GUARDED_BY(mutex_);
+  std::vector<SessionFd> session_fds_ LOCS_GUARDED_BY(mutex_);
   unsigned active_sessions_ LOCS_GUARDED_BY(mutex_) = 0;
 };
 

@@ -96,6 +96,22 @@ void Session::Run() {
         status == Transport::ReadStatus::kError) {
       return;
     }
+    if (status == Transport::ReadStatus::kTimeout) {
+      // Peer started a request and stalled past the io deadline; the
+      // parting ERR is best-effort (the peer may already be gone).
+      metrics_.CountIoTimeout();
+      metrics_.CountError(WireError::kIoTimeout);
+      transport_.WriteLine(
+          FormatError(WireError::kIoTimeout, "request stalled; closing"));
+      return;
+    }
+    if (status == Transport::ReadStatus::kIdleTimeout) {
+      // Idle reaper: a quiet-but-open connection gives its thread back.
+      metrics_.CountIdleReaped();
+      transport_.WriteLine(
+          FormatError(WireError::kIoTimeout, "idle; closing"));
+      return;
+    }
     if (status == Transport::ReadStatus::kTooLong) {
       ++requests_handled_;
       metrics_.CountError(WireError::kLineTooLong);
@@ -118,7 +134,10 @@ void Session::Run() {
     metrics_.CountRequest(parsed.request.verb);
     bool quit = false;
     const std::string reply = Dispatch(parsed.request, &quit);
-    if (!transport_.WriteLine(reply)) return;
+    if (!transport_.WriteLine(reply)) {
+      if (transport_.WriteTimedOut()) metrics_.CountIoTimeout();
+      return;
+    }
     if (quit || Stopping()) return;
   }
 }
@@ -140,7 +159,13 @@ std::string Session::Dispatch(const Request& request, bool* quit) {
     case Verb::kCst:
     case Verb::kCsm:
     case Verb::kMulti: {
+      // Conservation ledger: every attempted query reaches exactly one
+      // of {completed, failed, shed}. All ledger updates live in this
+      // single-threaded dispatch path, so the identity is exact.
+      const bool is_query = request.verb != Verb::kLoad;
+      if (is_query) metrics_.CountQueryAttempted();
       if (Stopping()) {
+        if (is_query) metrics_.CountQueryFailed();
         metrics_.CountError(WireError::kShuttingDown);
         return FormatError(WireError::kShuttingDown, "server draining");
       }
@@ -158,6 +183,7 @@ std::string Session::Dispatch(const Request& request, bool* quit) {
             metrics_.CountCacheHit();
             metrics_.recorder().RecordCacheHit();
             metrics_.RecordLatencyUs(static_cast<uint64_t>(timer.Micros()));
+            metrics_.CountQueryCompleted();
             return reply;
           }
           metrics_.CountCacheMiss();
@@ -165,23 +191,49 @@ std::string Session::Dispatch(const Request& request, bool* quit) {
       }
       // Admission gates the expensive verbs: graph loads and queries.
       // Cheap control verbs above bypass it so STATS stays responsive
-      // under overload — exactly when it is most needed.
-      AdmissionTicket ticket(admission_);
+      // under overload — exactly when it is most needed. The work class
+      // drives the overload ladder: LOADs shed first, cache-eligible
+      // queries next (their retry is likely a cheap hit), everything
+      // else only at hard saturation.
+      const AdmissionController::WorkClass work =
+          !is_query ? AdmissionController::WorkClass::kBulk
+          : options_.cache != nullptr
+              ? AdmissionController::WorkClass::kRetryable
+              : AdmissionController::WorkClass::kCritical;
+      AdmissionTicket ticket(admission_, work);
       if (!ticket.admitted()) {
         metrics_.CountRejected();
+        if (is_query) metrics_.CountQueryShed();
+        metrics_.CountRetryHint();
         const AdmissionController::Counts counts = admission_.Snapshot();
-        std::string reply = "BUSY";
-        AppendKv(&reply, "inflight", counts.inflight);
-        AppendKv(&reply, "queued", counts.queued);
-        return reply;
+        return FormatBusy(counts.inflight, counts.queued,
+                          ticket.retry_after_ms());
       }
       // Test hook: makes "the server is saturated" a deterministic state
       // (see serve_session_test's BUSY coverage).
       if (LOCS_FAILPOINT("serve.slow_query")) {
         std::this_thread::sleep_for(std::chrono::milliseconds(200));
       }
-      return request.verb == Verb::kLoad ? ExecLoad(request)
-                                         : ExecQuery(request);
+      std::string reply = request.verb == Verb::kLoad ? ExecLoad(request)
+                                                      : ExecQuery(request);
+      if (options_.max_reply_bytes != 0 &&
+          reply.size() > options_.max_reply_bytes) {
+        metrics_.CountError(WireError::kReplyTooLarge);
+        reply = FormatError(
+            WireError::kReplyTooLarge,
+            "reply of " + std::to_string(reply.size()) +
+                " bytes exceeds cap " +
+                std::to_string(options_.max_reply_bytes) +
+                "; page with limit=");
+      }
+      if (is_query) {
+        if (reply.compare(0, 2, "OK") == 0) {
+          metrics_.CountQueryCompleted();
+        } else {
+          metrics_.CountQueryFailed();
+        }
+      }
+      return reply;
     }
     case Verb::kNone:
       break;
@@ -311,6 +363,13 @@ std::string Session::ExecQuery(const Request& request) {
       return FormatError(WireError::kDuplicateVertex,
                          "MULTI query vertices must be distinct");
     }
+  }
+
+  // Chaos hook: a solver-dispatch fault degrades to a typed ERR on this
+  // one request; the session (and every other session) keeps serving.
+  if (LOCS_FAILPOINT("serve.solver.error")) {
+    metrics_.CountError(WireError::kInternal);
+    return FormatError(WireError::kInternal, "injected solver fault");
   }
 
   const uint64_t member_limit = request.member_limit != 0

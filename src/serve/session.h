@@ -44,6 +44,10 @@ struct SessionOptions {
   uint64_t max_work_budget = 0;
   /// Member ids echoed per reply when the query has no limit= (0 = all).
   uint64_t default_member_limit = 0;
+  /// Hard cap on one rendered LOAD/query reply line; an oversized reply
+  /// is replaced by `ERR too-large` instead of buffering without bound
+  /// (0 = uncapped). Clients wanting big communities page with limit=.
+  uint64_t max_reply_bytes = 0;
   /// Raised by the server during drain: new queries get ERR
   /// shutting-down, the session exits after the current request.
   const std::atomic<bool>* stop = nullptr;

@@ -1,21 +1,84 @@
 #include "serve/transport.h"
 
+#include <poll.h>
+#include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <climits>
 
 #include "serve/wire.h"
+#include "util/failpoint.h"
 
 namespace locs::serve {
 
 namespace {
+
 constexpr size_t kReadChunk = 4096;
+
+/// Upper bound on one poll() when a stop flag is set: a signal landing
+/// between the stop check and the poll syscall is only delayed by one
+/// tick, not forever (poll is also EINTR-exempt from SA_RESTART, so in
+/// practice the wakeup is immediate and the tick is just the backstop).
+constexpr int kStopTickMs = 200;
+
+/// Injected read-side stall length for serve.transport.read_delay —
+/// long enough to straddle the small io-timeouts chaos runs configure,
+/// short enough not to dominate a soak.
+constexpr uint64_t kInjectedReadDelayMs = 50;
+
+uint64_t NowMs() {
+  struct timespec ts;
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000u +
+         static_cast<uint64_t>(ts.tv_nsec) / 1000000u;
+}
+
+void SleepMs(uint64_t ms) {
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(ms / 1000);
+  ts.tv_nsec = static_cast<long>(ms % 1000) * 1000000L;
+  while (::nanosleep(&ts, &ts) != 0 && errno == EINTR) {
+  }
+}
+
 }  // namespace
 
 FdTransport::~FdTransport() {
   if (!owns_fds_) return;
   ::close(read_fd_);
   if (write_fd_ != read_fd_) ::close(write_fd_);
+}
+
+FdTransport::WaitResult FdTransport::Wait(int fd, short events,
+                                          uint64_t deadline_ms) const {
+  while (true) {
+    if (options_.stop != nullptr &&
+        options_.stop->load(std::memory_order_relaxed)) {
+      return WaitResult::kStop;
+    }
+    int timeout = -1;
+    if (deadline_ms != 0) {
+      const uint64_t now = NowMs();
+      if (now >= deadline_ms) return WaitResult::kTimeout;
+      timeout = static_cast<int>(
+          std::min<uint64_t>(deadline_ms - now, INT_MAX));
+    }
+    if (options_.stop != nullptr) {
+      timeout = timeout < 0 ? kStopTickMs : std::min(timeout, kStopTickMs);
+    }
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = events;
+    pfd.revents = 0;
+    const int rc = ::poll(&pfd, 1, timeout);
+    // Readiness includes POLLHUP/POLLERR: the subsequent read()/write()
+    // surfaces the actual EOF or errno, which the caller already handles.
+    if (rc > 0) return WaitResult::kReady;
+    if (rc < 0 && errno != EINTR) return WaitResult::kError;
+    // rc == 0 (tick expired) or EINTR: loop re-checks stop and deadline.
+  }
 }
 
 long FdTransport::Refill() {
@@ -44,6 +107,26 @@ Transport::ReadStatus FdTransport::ReadLine(std::string* line) {
     pending_error_ = false;
     return ReadStatus::kError;
   }
+  if (LOCS_FAILPOINT("serve.transport.read_error")) {
+    return ReadStatus::kError;
+  }
+  if (LOCS_FAILPOINT("serve.transport.read_delay")) {
+    SleepMs(kInjectedReadDelayMs);
+  }
+  const bool guarded = Guarded();
+  uint64_t idle_deadline = 0;
+  uint64_t io_deadline = 0;
+  if (guarded) {
+    const uint64_t now = NowMs();
+    if (options_.idle_timeout_ms != 0) {
+      idle_deadline = now + options_.idle_timeout_ms;
+    }
+    // Bytes of the next line already buffered mean the request is in
+    // flight: the io clock starts now, not at the next read syscall.
+    if (options_.io_timeout_ms != 0 && buffer_pos_ < buffer_.size()) {
+      io_deadline = now + options_.io_timeout_ms;
+    }
+  }
   bool overflow = false;
   while (true) {
     const size_t newline = buffer_.find('\n', buffer_pos_);
@@ -65,6 +148,25 @@ Transport::ReadStatus FdTransport::ReadLine(std::string* line) {
       buffer_.clear();
       buffer_pos_ = 0;
     }
+    if (guarded) {
+      // Mid-request once the io clock is running (or an overflow discard
+      // is in progress); idle otherwise. The io deadline is absolute —
+      // it never resets on partial progress, so a drip-feeding peer is
+      // bounded by io_timeout_ms total, not per byte.
+      const bool mid_request = io_deadline != 0 || overflow;
+      const uint64_t deadline = mid_request ? io_deadline : idle_deadline;
+      switch (Wait(read_fd_, POLLIN, deadline)) {
+        case WaitResult::kReady:
+          break;
+        case WaitResult::kTimeout:
+          return mid_request ? ReadStatus::kTimeout
+                             : ReadStatus::kIdleTimeout;
+        case WaitResult::kStop:
+          return ReadStatus::kEof;
+        case WaitResult::kError:
+          return ReadStatus::kError;
+      }
+    }
     const long n = Refill();
     if (n <= 0) {
       // Stream over (orderly EOF or errno-level failure). Either way a
@@ -82,16 +184,49 @@ Transport::ReadStatus FdTransport::ReadLine(std::string* line) {
       if (n < 0) return ReadStatus::kError;
       return overflow ? ReadStatus::kTooLong : ReadStatus::kEof;
     }
+    // First bytes of this request: start the io clock.
+    if (guarded && io_deadline == 0 && options_.io_timeout_ms != 0) {
+      io_deadline = NowMs() + options_.io_timeout_ms;
+    }
   }
 }
 
 bool FdTransport::WriteLine(std::string_view reply) {
+  write_timed_out_ = false;
+  if (LOCS_FAILPOINT("serve.transport.write_error")) {
+    return false;
+  }
   std::string framed;
   framed.reserve(reply.size() + 1);
   framed.append(reply);
   framed.push_back('\n');
+  if (LOCS_FAILPOINT("serve.transport.partial_write")) {
+    // Tear the reply: emit a prefix so the peer sees a malformed line,
+    // then report failure as if the connection dropped mid-write.
+    const ssize_t ignored =
+        ::write(write_fd_, framed.data(), framed.size() / 2);
+    (void)ignored;
+    return false;
+  }
+  const bool guarded = Guarded();
+  uint64_t deadline = 0;
+  if (guarded && options_.io_timeout_ms != 0) {
+    deadline = NowMs() + options_.io_timeout_ms;
+  }
   size_t written = 0;
   while (written < framed.size()) {
+    if (guarded) {
+      switch (Wait(write_fd_, POLLOUT, deadline)) {
+        case WaitResult::kReady:
+          break;
+        case WaitResult::kTimeout:
+          write_timed_out_ = true;
+          return false;
+        case WaitResult::kStop:
+        case WaitResult::kError:
+          return false;
+      }
+    }
     const ssize_t n =
         ::write(write_fd_, framed.data() + written, framed.size() - written);
     if (n < 0) {

@@ -10,11 +10,30 @@
 // newline and reports kTooLong, so a hostile peer cannot make the
 // server buffer unbounded input, and the session stays usable for the
 // next request.
+//
+// Lifecycle guards (all opt-in via FdTransportOptions; with none set the
+// transport is a plain blocking reader/writer, byte-for-byte the
+// historical behavior):
+//
+//   - io_timeout_ms bounds the wall time a peer may take to finish a
+//     request it has started (first byte seen -> newline) and the time a
+//     reply write may stall on a full socket buffer. This is the
+//     slowloris defense: drip-feeding one byte at a time buys the peer
+//     nothing, because the clock starts at the first byte and never
+//     resets.
+//   - idle_timeout_ms bounds the quiet gap between requests, so an
+//     abandoned-but-open connection cannot pin a session slot forever.
+//   - stop, when non-null, is observed during every wait (poll wakes on
+//     EINTR and ticks at a bounded interval as a signal-race backstop),
+//     so a daemon draining on SIGTERM reclaims sessions blocked on
+//     silent peers promptly instead of waiting for them to speak.
 
 #ifndef LOCS_SERVE_TRANSPORT_H_
 #define LOCS_SERVE_TRANSPORT_H_
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <string_view>
 
@@ -24,10 +43,12 @@ namespace locs::serve {
 class Transport {
  public:
   enum class ReadStatus : uint8_t {
-    kLine,     ///< *line holds the next request (newline stripped)
-    kEof,      ///< orderly end of stream
-    kTooLong,  ///< line exceeded kMaxLineBytes; discarded to its newline
-    kError,    ///< unrecoverable read failure (errno-level)
+    kLine,         ///< *line holds the next request (newline stripped)
+    kEof,          ///< orderly end of stream (or stop observed mid-wait)
+    kTooLong,      ///< line exceeded kMaxLineBytes; discarded to newline
+    kError,        ///< unrecoverable read failure (errno-level)
+    kTimeout,      ///< peer stalled mid-request past io_timeout_ms
+    kIdleTimeout,  ///< no request started within idle_timeout_ms
   };
 
   virtual ~Transport() = default;
@@ -38,6 +59,17 @@ class Transport {
 
   /// Writes `reply` plus a newline. False on a write failure (peer gone).
   virtual bool WriteLine(std::string_view reply) = 0;
+
+  /// True when the most recent WriteLine failure was a deadline expiry
+  /// rather than a peer-gone error (metrics attribute them differently).
+  virtual bool WriteTimedOut() const { return false; }
+};
+
+/// Deadline policy for FdTransport. Zeros + null stop = fully blocking.
+struct FdTransportOptions {
+  uint64_t io_timeout_ms = 0;    ///< mid-request / write stall cap; 0 = none
+  uint64_t idle_timeout_ms = 0;  ///< between-requests cap; 0 = none
+  const std::atomic<bool>* stop = nullptr;  ///< drain flag observed in waits
 };
 
 /// Transport over a POSIX read/write fd pair. Does not own the fds
@@ -45,8 +77,12 @@ class Transport {
 /// the same fd twice for a socket and it is closed once).
 class FdTransport final : public Transport {
  public:
-  FdTransport(int read_fd, int write_fd, bool owns_fds = false)
-      : read_fd_(read_fd), write_fd_(write_fd), owns_fds_(owns_fds) {}
+  FdTransport(int read_fd, int write_fd, bool owns_fds = false,
+              FdTransportOptions options = {})
+      : read_fd_(read_fd),
+        write_fd_(write_fd),
+        owns_fds_(owns_fds),
+        options_(options) {}
   ~FdTransport() override;
 
   FdTransport(const FdTransport&) = delete;
@@ -54,19 +90,34 @@ class FdTransport final : public Transport {
 
   ReadStatus ReadLine(std::string* line) override;
   bool WriteLine(std::string_view reply) override;
+  bool WriteTimedOut() const override { return write_timed_out_; }
 
  private:
+  enum class WaitResult : uint8_t { kReady, kTimeout, kStop, kError };
+
+  /// Polls `fd` for `events` until ready, `deadline_ms` (absolute
+  /// monotonic; 0 = unbounded) expires, stop is raised, or a hard error.
+  WaitResult Wait(int fd, short events, uint64_t deadline_ms) const;
+
+  /// True when any guard is configured and waits must go through poll.
+  bool Guarded() const {
+    return options_.io_timeout_ms != 0 || options_.idle_timeout_ms != 0 ||
+           options_.stop != nullptr;
+  }
+
   /// Refills buffer_; returns bytes read (0 = EOF, -1 = error).
   long Refill();
 
   const int read_fd_;
   const int write_fd_;
   const bool owns_fds_;
+  const FdTransportOptions options_;
   std::string buffer_;     ///< bytes read but not yet consumed
   size_t buffer_pos_ = 0;  ///< consumption cursor into buffer_
   /// A read failure was deferred so the buffered partial line it
   /// interrupted could be surfaced first; reported by the next ReadLine.
   bool pending_error_ = false;
+  bool write_timed_out_ = false;  ///< last WriteLine failure was a timeout
 };
 
 }  // namespace locs::serve

@@ -75,9 +75,12 @@ enum class WireError : uint8_t {
   kRegistryFull,    ///< LOAD rejected: registry at capacity
   kIo,              ///< LOAD failed; detail carries the IoErrorKind
   kShuttingDown,    ///< server is draining; no new work admitted
+  kReplyTooLarge,   ///< rendered reply exceeded the per-session cap
+  kIoTimeout,       ///< peer stalled mid-request past --io-timeout-ms
+  kInternal,        ///< server-side execution fault (incl. injected)
 };
 
-inline constexpr int kNumWireErrors = 13;
+inline constexpr int kNumWireErrors = 16;
 
 /// Wire name of an error kind ("line-too-long", "bad-number", ...).
 std::string_view WireErrorName(WireError error);
@@ -117,6 +120,19 @@ ParseResult ParseRequest(std::string_view line);
 
 /// Formats an `ERR <kind> <detail>` reply line (no newline).
 std::string FormatError(WireError error, std::string_view detail);
+
+/// Formats the admission fast-reject reply. `retry_after_ms` is the
+/// server's load-derived backoff hint; clients honoring it (see
+/// serve/client.h) retry no sooner, which converts an overload spike
+/// into a spread-out retry wave instead of a stampede.
+std::string FormatBusy(unsigned inflight, unsigned queued,
+                       uint64_t retry_after_ms);
+
+/// True when `reply` is a BUSY line. `*retry_after_ms` receives the
+/// parsed hint (0 when the field is absent or malformed — old servers
+/// and the session-cap reject both omit context a client could misread,
+/// so absence degrades to "retry at your own pace").
+bool ParseBusyReply(std::string_view reply, uint64_t* retry_after_ms);
 
 }  // namespace locs::serve
 

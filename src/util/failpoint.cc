@@ -13,9 +13,11 @@ namespace locs::failpoint {
 namespace {
 
 struct State {
-  uint64_t skip = 0;   // hits to let pass before firing
-  uint64_t hits = 0;   // total evaluations since armed
-  bool armed = false;  // disarmed entries are kept for HitCount
+  uint64_t skip = 0;       // hits to let pass before firing
+  uint64_t every = 1;      // fire on every Nth post-skip hit (<=1: all)
+  uint64_t hits = 0;       // total evaluations since armed
+  uint64_t past_skip = 0;  // evaluations past the skip window
+  bool armed = false;      // disarmed entries are kept for HitCount
 };
 
 Mutex registry_mutex;
@@ -29,16 +31,18 @@ std::map<std::string, State>& Registry() LOCS_REQUIRES(registry_mutex) {
 
 /// Writes an armed entry into the registry (no armed_count update —
 /// callers account for that themselves).
-void ArmLocked(const std::string& name, uint64_t skip)
+void ArmLocked(const std::string& name, uint64_t skip, uint64_t every)
     LOCS_REQUIRES(registry_mutex) {
   State& state = Registry()[name];
   state.armed = true;
   state.skip = skip;
+  state.every = every == 0 ? 1 : every;
   state.hits = 0;
+  state.past_skip = 0;
 }
 
-/// Parses LOCS_FAILPOINT="name[=skip][,name...]" into the registry and
-/// returns the number of entries armed.
+/// Parses LOCS_FAILPOINT="name[=skip][%every][,name...]" into the
+/// registry and returns the number of entries armed.
 uint64_t ArmFromEnvironmentLocked() LOCS_REQUIRES(registry_mutex) {
   const char* spec = std::getenv("LOCS_FAILPOINT");
   if (spec == nullptr) return 0;
@@ -50,12 +54,19 @@ uint64_t ArmFromEnvironmentLocked() LOCS_REQUIRES(registry_mutex) {
       continue;
     }
     if (!entry.empty()) {
+      uint64_t every = 1;
+      const size_t pct = entry.find('%');
+      if (pct != std::string::npos) {
+        every = std::strtoull(entry.c_str() + pct + 1, nullptr, 10);
+        entry.erase(pct);
+      }
       const size_t eq = entry.find('=');
       if (eq == std::string::npos) {
-        ArmLocked(entry, 0);
+        ArmLocked(entry, 0, every);
       } else {
         ArmLocked(entry.substr(0, eq),
-                  std::strtoull(entry.c_str() + eq + 1, nullptr, 10));
+                  std::strtoull(entry.c_str() + eq + 1, nullptr, 10),
+                  every);
       }
       ++armed;
       entry.clear();
@@ -83,23 +94,26 @@ bool FireSlow(const char* name) {
   MutexLock lock(registry_mutex);
   const auto it = Registry().find(name);
   if (it == Registry().end() || !it->second.armed) return false;
-  ++it->second.hits;
-  if (it->second.skip > 0) {
-    --it->second.skip;
+  State& state = it->second;
+  ++state.hits;
+  if (state.skip > 0) {
+    --state.skip;
     return false;
   }
-  return true;
+  // Periodic mode fires on the 1st, every+1-th, ... post-skip hit, so
+  // every=1 reproduces the historical fire-on-all behavior exactly.
+  return state.past_skip++ % state.every == 0;
 }
 
 }  // namespace internal
 
-void Arm(const char* name, uint64_t skip) {
+void Arm(const char* name, uint64_t skip, uint64_t every) {
   MutexLock lock(registry_mutex);
   const auto it = Registry().find(name);
   if (it == Registry().end() || !it->second.armed) {
     internal::armed_count.fetch_add(1, std::memory_order_relaxed);
   }
-  ArmLocked(name, skip);
+  ArmLocked(name, skip, every);
 }
 
 void Disarm(const char* name) {

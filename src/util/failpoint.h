@@ -16,11 +16,14 @@
 //
 // Arming:
 //   - in-process: locs::failpoint::Arm("name"), optionally with a number
-//     of hits to skip first; Disarm / DisarmAll to clean up (tests use
-//     the ScopedFailpoint RAII helper);
-//   - cross-process: LOCS_FAILPOINT="name[=skip][,name...]" in the
-//     environment, parsed on first use — this is how the CLI integration
-//     tests force failures inside locs_cli.
+//     of hits to skip first and a period (fire every Nth evaluation
+//     instead of every one — the chaos-soak mode, where a fault should
+//     recur throughout a run without killing every request); Disarm /
+//     DisarmAll to clean up (tests use the ScopedFailpoint RAII helper);
+//   - cross-process: LOCS_FAILPOINT="name[=skip][%every][,name...]" in
+//     the environment, parsed on first use — this is how the CLI
+//     integration tests force failures inside locs_cli and how
+//     tools/chaos_serve.sh arms a whole daemon.
 //
 // Fire(name) returns true when the site should fail; it also counts
 // every evaluation of an armed name so tests can assert a site was
@@ -64,8 +67,11 @@ inline bool Fire(const char* name) {
 }
 
 /// Arms `name`: Fire skips the first `skip` hits, then returns true on
-/// every subsequent hit until Disarm.
-void Arm(const char* name, uint64_t skip = 0);
+/// every `every`-th subsequent hit until Disarm (every <= 1 fires on all
+/// of them — the deterministic always-fail mode tests use; larger values
+/// are the periodic chaos mode, firing on the 1st, every+1-th, ... hit
+/// past the skip).
+void Arm(const char* name, uint64_t skip = 0, uint64_t every = 1);
 void Disarm(const char* name);
 void DisarmAll();
 
@@ -76,9 +82,10 @@ uint64_t HitCount(const char* name);
 /// RAII arming for tests.
 class ScopedFailpoint {
  public:
-  explicit ScopedFailpoint(const char* name, uint64_t skip = 0)
+  explicit ScopedFailpoint(const char* name, uint64_t skip = 0,
+                           uint64_t every = 1)
       : name_(name) {
-    Arm(name, skip);
+    Arm(name, skip, every);
   }
   ~ScopedFailpoint() { Disarm(name_); }
   ScopedFailpoint(const ScopedFailpoint&) = delete;

@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
 #include <signal.h>
 #include <sys/wait.h>
 #include <unistd.h>
@@ -359,6 +360,51 @@ TEST(LocsdIntegrationTest, TcpSessionCapSaysBusy) {
   EXPECT_EQ(code, 0);
   EXPECT_NE(out.find("BUSY sessions=1"), std::string::npos) << out;
   EXPECT_EQ(daemon.Terminate(), 0);
+}
+
+TEST(LocsdIntegrationTest, StdioSigtermDuringBlockedReadExitsPromptly) {
+  // Regression: locsd --stdio parked in a blocking read on a silent,
+  // still-open stdin used to sit in read(2) until the peer spoke, so
+  // SIGTERM never finished the drain. The stop flag is now observed
+  // inside the transport's poll loop (EINTR wake + bounded tick), so
+  // termination must complete promptly with exit 0 while stdin is still
+  // open and silent.
+  int stdin_pipe[2];
+  ASSERT_EQ(::pipe(stdin_pipe), 0);
+  const pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    ::dup2(stdin_pipe[0], STDIN_FILENO);
+    ::close(stdin_pipe[0]);
+    ::close(stdin_pipe[1]);
+    const int devnull = ::open("/dev/null", O_WRONLY);
+    ::dup2(devnull, STDOUT_FILENO);
+    ::dup2(devnull, STDERR_FILENO);
+    ::execl(LOCSD_PATH, LOCSD_PATH, "--stdio",
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  ::close(stdin_pipe[0]);
+  // Let the daemon reach its blocking read before the signal.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  ASSERT_EQ(::kill(pid, SIGTERM), 0);
+  int status = 0;
+  pid_t reaped = 0;
+  // 3s budget: one transport stop tick is 200ms, so a healthy daemon
+  // exits orders of magnitude inside this.
+  for (int i = 0; i < 150; ++i) {
+    reaped = ::waitpid(pid, &status, WNOHANG);
+    if (reaped != 0) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ::close(stdin_pipe[1]);
+  if (reaped != pid) {
+    ::kill(pid, SIGKILL);
+    ::waitpid(pid, &status, 0);
+    FAIL() << "locsd --stdio did not exit within 3s of SIGTERM";
+  }
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
 }
 
 }  // namespace

@@ -298,6 +298,54 @@ TEST(FdTransportTest, SocketShutdownMidLineSurfacesPartialThenEof) {
   ::close(fds[1]);
 }
 
+TEST(BusyReplyTest, FormatCarriesCountsAndRetryHint) {
+  EXPECT_EQ(FormatBusy(3, 7, 200),
+            "BUSY inflight=3 queued=7 retry_after_ms=200");
+  // The hint rides last so historical "BUSY inflight=... queued=..."
+  // prefix matchers keep working.
+  EXPECT_EQ(FormatBusy(0, 0, 25).find("BUSY inflight=0 queued=0"), 0u);
+}
+
+TEST(BusyReplyTest, FormatParseRoundTrip) {
+  for (const uint64_t hint : {uint64_t{0}, uint64_t{25}, uint64_t{2000},
+                              uint64_t{123456789}}) {
+    uint64_t parsed = ~uint64_t{0};
+    EXPECT_TRUE(ParseBusyReply(FormatBusy(1, 2, hint), &parsed));
+    EXPECT_EQ(parsed, hint);
+  }
+}
+
+TEST(BusyReplyTest, ParseToleratesLegacyAndForeignShapes) {
+  uint64_t hint = ~uint64_t{0};
+  // Pre-hint servers and the session-cap fast-reject carry no field:
+  // still BUSY, hint degrades to 0.
+  EXPECT_TRUE(ParseBusyReply("BUSY inflight=1 queued=0", &hint));
+  EXPECT_EQ(hint, 0u);
+  EXPECT_TRUE(ParseBusyReply("BUSY sessions=8", &hint));
+  EXPECT_EQ(hint, 0u);
+  EXPECT_TRUE(ParseBusyReply("BUSY", &hint));
+  EXPECT_EQ(hint, 0u);
+  // Malformed values degrade to 0 rather than mis-parse.
+  EXPECT_TRUE(ParseBusyReply("BUSY retry_after_ms=12x queued=0", &hint));
+  EXPECT_EQ(hint, 0u);
+  EXPECT_TRUE(ParseBusyReply("BUSY retry_after_ms=", &hint));
+  EXPECT_EQ(hint, 0u);
+  // The field must sit on a token boundary.
+  EXPECT_TRUE(ParseBusyReply("BUSY xretry_after_ms=99", &hint));
+  EXPECT_EQ(hint, 0u);
+  // Non-BUSY replies are not BUSY.
+  EXPECT_FALSE(ParseBusyReply("OK pong", &hint));
+  EXPECT_FALSE(ParseBusyReply("ERR busy", &hint));
+  EXPECT_FALSE(ParseBusyReply("BUSYx", &hint));
+  EXPECT_FALSE(ParseBusyReply("", &hint));
+}
+
+TEST(BusyReplyTest, NewWireErrorKindsHaveStableNames) {
+  EXPECT_EQ(WireErrorName(WireError::kReplyTooLarge), "too-large");
+  EXPECT_EQ(WireErrorName(WireError::kIoTimeout), "io-timeout");
+  EXPECT_EQ(WireErrorName(WireError::kInternal), "internal");
+}
+
 TEST(FdTransportTest, ReadErrorAfterPartialLineSurfacesLineThenError) {
   // An errno-level read failure must not swallow a buffered partial
   // line: the line is delivered first, the error on the next call.

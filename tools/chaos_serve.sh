@@ -1,0 +1,240 @@
+#!/usr/bin/env bash
+# Chaos soak for the hardened serving layer: runs locsd under armed
+# failpoints and hostile clients and fails unless the daemon degrades
+# the way the failure model promises — typed errors and reaped
+# sessions, never a hang, a crash, or a leaked ledger entry.
+#
+#   1. Failpoint soak — locsd on TCP loopback with periodic faults armed
+#      via LOCS_FAILPOINT (solver errors, dropped cache inserts, read
+#      delays, torn/failed reply writes, failed reads) plus io/idle
+#      timeouts, soaked by >= CHAOS_SESSIONS concurrent self-healing
+#      clients for >= CHAOS_SOAK_SECONDS. A silent connection opened at
+#      soak start must be idle-reaped along the way. Afterwards the
+#      daemon must still answer PING and its STATS ledger must conserve
+#      q_attempted = q_completed + q_failed + q_shed.
+#   2. Kill + restart recovery — bench_micro_serve --port runs its
+#      closed loops through the RetryClient while the daemon is
+#      SIGKILLed mid-run and restarted on the same port; the bench must
+#      finish with zero ultimately-failed requests. (Skipped with a
+#      notice when the build tree has benchmarks off.)
+#   3. Drain — SIGTERM must exit 0 with the drain message logged.
+#
+# Usage: tools/chaos_serve.sh [build-dir]     (default: build)
+# Env:   CHAOS_SOAK_SECONDS (>= 30 default), CHAOS_SESSIONS (>= 8
+#        default), CHAOS_BENCH_QUERIES (per-session, default 10000).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build="${1:-build}"
+jobs="$(nproc 2>/dev/null || echo 2)"
+soak="${CHAOS_SOAK_SECONDS:-30}"
+sessions="${CHAOS_SESSIONS:-8}"
+bench_queries="${CHAOS_BENCH_QUERIES:-10000}"
+
+cmake --build "${build}" -j "${jobs}" --target locsd locs_cli
+
+locsd="${build}/tools/locsd"
+cli="${build}/tools/locs_cli"
+bench="${build}/bench/bench_micro_serve"
+work="$(mktemp -d)"
+daemon_pid=""
+silent_fd=""
+cleanup() {
+  [[ -n "${silent_fd}" ]] && exec {silent_fd}>&- 2>/dev/null || true
+  [[ -n "${daemon_pid}" ]] && kill -9 "${daemon_pid}" 2>/dev/null || true
+  # CI post-mortem hook: preserve daemon logs, bench output, and the
+  # final STATS snapshot before the work dir goes away.
+  if [[ -n "${CHAOS_ARTIFACT_DIR:-}" ]]; then
+    mkdir -p "${CHAOS_ARTIFACT_DIR}"
+    cp "${work}"/*.log "${work}"/stats.txt "${CHAOS_ARTIFACT_DIR}/" \
+      2>/dev/null || true
+  fi
+  rm -rf "${work}"
+}
+trap cleanup EXIT
+
+# Waits for the port file of the daemon just started; prints the port.
+wait_port() {
+  local file="$1" port=""
+  for _ in $(seq 1 200); do
+    [[ -s "${file}" ]] && { port="$(cat "${file}")"; break; }
+    sleep 0.05
+  done
+  if [[ -z "${port}" ]]; then
+    echo "FAIL: locsd never wrote its port file ${file}" >&2
+    return 1
+  fi
+  echo "${port}"
+}
+
+# Extracts ` key=value` from a STATS line; empty when absent.
+stat_field() {
+  sed -n "s/.* $2=\([0-9][0-9]*\).*/\1/p" <<<"$1"
+}
+
+"${cli}" generate --model=lfr --n=2000 --seed=5 \
+  --output="${work}/g.lcsg" >/dev/null
+
+echo "=== chaos: failpoint soak (${sessions} sessions, ${soak}s) ==="
+# Periodic (%every) faults recur throughout the soak without killing
+# every request. A periodic failpoint fires on its FIRST hit past the
+# skip, so the transport faults carry skips: without them the very
+# first read in the daemon's lifetime — the silent connection this
+# script parks for the idle reaper — would die to read_error instead
+# of idling out. Clients must ride everything out via retries.
+LOCS_FAILPOINT="serve.solver.error%17,serve.cache.insert_drop%7,serve.transport.read_delay=50%101,serve.transport.partial_write=50%503,serve.transport.write_error=50%709,serve.transport.read_error=200%613" \
+  "${locsd}" --port=0 --port-file="${work}/port" \
+  --preload=g="${work}/g.lcsg" \
+  --io-timeout-ms=2000 --idle-timeout-ms=3000 \
+  --max-sessions=$((sessions + 4)) --max-sessions-per-peer=$((sessions + 4)) \
+  --max-inflight=4 --max-queue=8 --max-reply-bytes=8192 \
+  2>"${work}/daemon.log" &
+daemon_pid="$!"
+port="$(wait_port "${work}/port")" || { cat "${work}/daemon.log" >&2; exit 1; }
+
+# Silent victim for the idle reaper: connect, say nothing.
+exec {silent_fd}<>"/dev/tcp/127.0.0.1/${port}" || {
+  echo "FAIL: cannot open silent connection" >&2
+  exit 1
+}
+
+chaos_client() {
+  # One self-healing client loop: batches of queries (some drawing the
+  # injected ERR internal replies — that is the point) until soak end.
+  # Nonzero only when a request failed after exhausting its retries.
+  local id="$1" end=$((SECONDS + soak)) batch=0
+  while (( SECONDS < end )); do
+    {
+      for i in $(seq 1 50); do
+        printf 'CST g %d 6 limit=1\n' \
+          $(( (id * 7919 + i * 104729 + batch) % 2000 ))
+      done
+      printf 'STATS\nQUIT\n'
+    } | "${cli}" client --port="${port}" --retries=8 \
+          --request-deadline-ms=10000 >/dev/null 2>&1 || return 1
+    batch=$((batch + 50))
+  done
+}
+
+client_pids=()
+for s in $(seq 1 "${sessions}"); do
+  chaos_client "${s}" &
+  client_pids+=("$!")
+done
+soak_failed=0
+for pid in "${client_pids[@]}"; do
+  wait "${pid}" || soak_failed=1
+done
+if [[ "${soak_failed}" -ne 0 ]]; then
+  echo "FAIL: a chaos client exhausted its retries during the soak" >&2
+  cat "${work}/daemon.log" >&2
+  exit 1
+fi
+if ! kill -0 "${daemon_pid}" 2>/dev/null; then
+  echo "FAIL: locsd died during the soak" >&2
+  cat "${work}/daemon.log" >&2
+  exit 1
+fi
+exec {silent_fd}>&- || true
+silent_fd=""
+
+# Post-soak health: PING must answer, and the ledger must conserve.
+# Reply writes can still be torn by the armed write faults, so retry
+# the STATS fetch until one parses.
+stats_line=""
+for _ in $(seq 1 20); do
+  out="$(printf 'PING\nSTATS\nQUIT\n' | "${cli}" client --port="${port}" \
+         --retries=8 --request-deadline-ms=10000 2>/dev/null)" || continue
+  grep -q '^OK pong' <<<"${out}" || continue
+  candidate="$(grep '^OK uptime_ms=' <<<"${out}" | head -1)"
+  [[ -n "$(stat_field "${candidate}" q_attempted)" ]] || continue
+  stats_line="${candidate}"
+  break
+done
+if [[ -z "${stats_line}" ]]; then
+  echo "FAIL: daemon unresponsive (or STATS unparseable) after the soak" >&2
+  cat "${work}/daemon.log" >&2
+  exit 1
+fi
+q_attempted="$(stat_field "${stats_line}" q_attempted)"
+q_completed="$(stat_field "${stats_line}" q_completed)"
+q_failed="$(stat_field "${stats_line}" q_failed)"
+q_shed="$(stat_field "${stats_line}" q_shed)"
+idle_reaped="$(stat_field "${stats_line}" idle_reaped)"
+errors="$(stat_field "${stats_line}" errors)"
+printf '%s\n' "${stats_line}" >"${work}/stats.txt"
+echo "soak ledger: attempted=${q_attempted} completed=${q_completed}" \
+     "failed=${q_failed} shed=${q_shed} idle_reaped=${idle_reaped}" \
+     "errors=${errors:-?}"
+if (( q_attempted != q_completed + q_failed + q_shed )); then
+  echo "FAIL: ledger leak: ${q_attempted} != ${q_completed} +" \
+       "${q_failed} + ${q_shed}" >&2
+  exit 1
+fi
+if (( q_attempted < sessions * 50 )); then
+  echo "FAIL: soak barely ran (${q_attempted} queries attempted)" >&2
+  exit 1
+fi
+if (( q_failed == 0 )); then
+  echo "FAIL: no injected fault surfaced — are failpoints compiled in?" >&2
+  exit 1
+fi
+if [[ -z "${idle_reaped}" ]] || (( idle_reaped < 1 )); then
+  echo "FAIL: the silent connection was never idle-reaped" >&2
+  exit 1
+fi
+
+echo "=== chaos: SIGTERM drain after soak ==="
+kill -TERM "${daemon_pid}"
+if ! wait "${daemon_pid}"; then
+  echo "FAIL: locsd did not drain cleanly on SIGTERM" >&2
+  cat "${work}/daemon.log" >&2
+  exit 1
+fi
+daemon_pid=""
+grep -q 'drained' "${work}/daemon.log" || {
+  echo "FAIL: drain message missing from daemon log" >&2
+  exit 1
+}
+
+echo "=== chaos: daemon kill + restart under bench load ==="
+if ! cmake --build "${build}" -j "${jobs}" --target bench_micro_serve \
+     >/dev/null 2>&1 || [[ ! -x "${bench}" ]]; then
+  echo "SKIP: bench_micro_serve not in this tree" \
+       "(configure with -DLOCS_BUILD_BENCHMARKS=ON to run this leg)"
+else
+  rm -f "${work}/port"
+  "${locsd}" --port=0 --port-file="${work}/port" \
+    2>"${work}/daemon2.log" &
+  daemon_pid="$!"
+  port="$(wait_port "${work}/port")" || { cat "${work}/daemon2.log" >&2; exit 1; }
+  "${bench}" --port="${port}" --sessions=4 \
+    --queries="${bench_queries}" >"${work}/bench.log" 2>&1 &
+  bench_pid="$!"
+  sleep 2
+  if kill -0 "${bench_pid}" 2>/dev/null; then
+    kill -9 "${daemon_pid}" 2>/dev/null || true
+    wait "${daemon_pid}" 2>/dev/null || true
+    sleep 0.5
+    # Same port, dataset preloaded from the bench's own cache: clients
+    # must reconnect and finish with zero ultimately-failed requests.
+    "${locsd}" --port="${port}" \
+      --preload=g=data/micro_serve_20k.lcsg 2>>"${work}/daemon2.log" &
+    daemon_pid="$!"
+  else
+    echo "note: bench finished before the kill; restart leg degraded" \
+         "to a plain bench run"
+  fi
+  if ! wait "${bench_pid}"; then
+    echo "FAIL: bench reported failed requests across the restart" >&2
+    cat "${work}/bench.log" >&2
+    cat "${work}/daemon2.log" >&2
+    exit 1
+  fi
+  cat "${work}/bench.log"
+  kill -TERM "${daemon_pid}" 2>/dev/null || true
+  wait "${daemon_pid}" 2>/dev/null || true
+  daemon_pid=""
+fi
+
+echo "Chaos soak passed."

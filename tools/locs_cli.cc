@@ -161,7 +161,9 @@ int Usage() {
       "            [--mu=0.1 --min-degree --max-degree --min-community\n"
       "             --max-community] [--m=3] [--p=0.01]\n"
       "  serve     (--stdio | --port=P) [flags]   resident query daemon\n"
-      "  client    --port=P                       scripted TCP session\n"
+      "  client    --port=P [--retries=N]         scripted TCP session\n"
+      "            [--request-deadline-ms=D]      (N>0: self-healing\n"
+      "                                            reconnect + backoff)\n"
       "exit codes: 0 ok, 3 open, 4 parse, 5 truncated, 6 alloc,\n"
       "            10 deadline, 11 work-budget, 12 cancelled,\n"
       "            64 unknown command\n");
@@ -185,7 +187,16 @@ int CmdClient(const CommandLine& cli) {
     std::fprintf(stderr, "error: client requires --port=P (1..65535)\n");
     return 2;
   }
-  return serve::ClientMain(static_cast<uint16_t>(port));
+  serve::RetryClientOptions options;
+  options.port = static_cast<uint16_t>(port);
+  // --retries=N grants N extra attempts per request (reconnect, backoff,
+  // BUSY pacing); the default 0 keeps the historical die-on-first-error
+  // lockstep semantics scripted tests rely on.
+  options.max_attempts =
+      1 + static_cast<unsigned>(cli.GetInt("retries", 0));
+  options.request_deadline_ms =
+      static_cast<uint64_t>(cli.GetInt("request-deadline-ms", 0));
+  return serve::ClientMain(options);
 }
 
 /// Loads --input; on failure prints the IoError detail and stores the
