@@ -16,6 +16,7 @@
 
 #include "exec/executor.h"
 #include "gen/erdos_renyi.h"
+#include "util/thread_annotations.h"
 #include "gen/lfr.h"
 #include "obs/recorder.h"
 
@@ -154,12 +155,12 @@ TEST(ExecutorTest, MaxWorkersCapsWorkerIds) {
   Executor::RunOptions options;
   options.max_workers = 2;
   options.chunk_size = 1;
-  std::mutex mutex;
+  locs::Mutex mutex;
   std::set<unsigned> seen;
   exec.ParallelFor(
       500,
       [&](unsigned worker, size_t, size_t) {
-        std::lock_guard<std::mutex> lock(mutex);
+        locs::MutexLock lock(mutex);
         seen.insert(worker);
       },
       options);

@@ -82,6 +82,15 @@ echo "=== chaos: failpoint soak (${sessions} sessions, ${soak}s) ==="
 # first read in the daemon's lifetime — the silent connection this
 # script parks for the idle reaper — would die to read_error instead
 # of idling out. Clients must ride everything out via retries.
+#
+# Failpoints deliberately NOT armed here — tools/lint_failpoints.sh
+# cross-checks these annotations against the tree, so adding a new
+# LOCS_FAILPOINT site forces a decision: arm it or document why not.
+# chaos-unarmed: guard.force_deadline — would trip every query's deadline, so the soak would measure only the trip path; covered by the guard unit tests.
+# chaos-unarmed: io.binary.alloc — load-time fault; the soak preloads its graph exactly once, and the IO tests cover it.
+# chaos-unarmed: io.binary.short_read — load-time fault on the same preload path, covered by the IO tests.
+# chaos-unarmed: serve.registry.load_error — would kill this script's own --preload before any client connects.
+# chaos-unarmed: serve.slow_query — a 200 ms stall per fire collapses soak throughput; the serve tests exercise it against the query deadline.
 LOCS_FAILPOINT="serve.solver.error%17,serve.cache.insert_drop%7,serve.transport.read_delay=50%101,serve.transport.partial_write=50%503,serve.transport.write_error=50%709,serve.transport.read_error=200%613" \
   "${locsd}" --port=0 --port-file="${work}/port" \
   --preload=g="${work}/g.lcsg" \

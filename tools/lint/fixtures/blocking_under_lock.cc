@@ -1,0 +1,54 @@
+// Fixture: locs-blocking-under-lock — syscall-shaped calls must not
+// run while a locs::MutexLock is live: a blocked thread must never
+// hold a serving-path mutex.
+#include "locs_stubs.h"
+
+namespace fixture {
+
+class Sink {
+ public:
+  // Blocking IO with the lock held: one finding per call.
+  void BadAppend(const char* data, unsigned long size) {
+    locs::MutexLock lock(mutex_);
+    fwrite(data, 1, size, file_);
+    fflush(file_);
+  }
+
+  // Sleeping on a held mutex convoys every waiting peer.
+  void BadNap() {
+    locs::MutexLock lock(mutex_);
+    std::this_thread::sleep_for(10);
+  }
+
+  // Lock released before the IO: clean.
+  void GoodAppend(const char* data, unsigned long size) {
+    {
+      locs::MutexLock lock(mutex_);
+      dirty_ = true;
+    }
+    fwrite(data, 1, size, file_);
+  }
+
+  // Explicit unlock window: the syscall runs lock-free.
+  void WindowedPoll() {
+    locs::MutexLock lock(mutex_);
+    lock.Unlock();
+    poll(nullptr, 0, 0);
+    lock.Lock();
+  }
+
+  // Audited exception with the required justification comment.
+  void AuditedFlush() {
+    locs::MutexLock lock(mutex_);
+    // Serialized line-at-a-time writes must stay under the lock (see
+    // docs/ARCHITECTURE.md, "Static analysis").
+    fflush(file_);  // NOLINT(locs-blocking-under-lock)
+  }
+
+ private:
+  locs::Mutex mutex_;
+  void* file_ = nullptr;
+  bool dirty_ = false;
+};
+
+}  // namespace fixture

@@ -1,0 +1,68 @@
+#ifndef LOCS_TOOLS_LINT_FIXTURES_INCLUDE_LOCS_STUBS_H_
+#define LOCS_TOOLS_LINT_FIXTURES_INCLUDE_LOCS_STUBS_H_
+
+// Minimal stand-ins for the project types the lint fixtures exercise,
+// so the clang-tidy plugin can parse them syntax-only without the real
+// tree on the include path. The lexical fallback engine never resolves
+// includes — it sees only the fixture sources themselves — so nothing
+// here can influence its verdicts.
+
+namespace std {
+class mutex {
+ public:
+  void lock();
+  void unlock();
+};
+class condition_variable {};
+template <typename M>
+class lock_guard {
+ public:
+  explicit lock_guard(M& m);
+};
+template <typename M>
+class unique_lock {
+ public:
+  explicit unique_lock(M& m);
+};
+namespace this_thread {
+void sleep_for(int ticks);
+}  // namespace this_thread
+}  // namespace std
+
+namespace locs {
+class __attribute__((capability("mutex"))) Mutex {
+ public:
+  void Lock();
+  void Unlock();
+};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& mutex);
+  void Lock();
+  void Unlock();
+};
+class CondVar {};
+}  // namespace locs
+
+#define LOCS_REQUIRES(...) \
+  __attribute__((requires_capability(__VA_ARGS__)))
+
+namespace obs {
+class PhaseTracker {
+ public:
+  PhaseTracker();
+};
+}  // namespace obs
+
+struct SearchResult {
+  int vertices = 0;
+};
+
+#define LOCS_VALIDATE_RESULT(tag, result, seed, k) ((void)(result))
+
+// Syscall-shaped functions the blocking fixture calls.
+int fwrite(const char* data, int size, unsigned long count, void* file);
+int fflush(void* file);
+int poll(void* fds, unsigned long nfds, int timeout_ms);
+
+#endif  // LOCS_TOOLS_LINT_FIXTURES_INCLUDE_LOCS_STUBS_H_

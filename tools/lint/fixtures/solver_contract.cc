@@ -1,0 +1,59 @@
+// Fixture: locs-solver-contract — every solver entry point must open
+// an obs::PhaseTracker span and reach a LOCS_VALIDATE hook, or
+// delegate to an entry point that does.
+#include "locs_stubs.h"
+
+namespace fixture {
+
+// Uninstrumented entry point: both obligations missed, two findings.
+SearchResult DarkSolve(int seed) {
+  SearchResult result;
+  result.vertices = seed;
+  return result;
+}
+
+// Span opened but the result leaves unvalidated: one finding.
+SearchResult HalfSolve(int seed) {
+  obs::PhaseTracker tracker;
+  SearchResult result;
+  result.vertices = seed;
+  return result;
+}
+
+// Fully instrumented: clean.
+SearchResult GoodSolve(int seed) {
+  obs::PhaseTracker tracker;
+  SearchResult result;
+  result.vertices = seed;
+  LOCS_VALIDATE_RESULT("GoodSolve", result, seed, 0);
+  return result;
+}
+
+// Facade delegation to an instrumented entry point: clean.
+class Facade {
+ public:
+  SearchResult Solve(int seed) {
+    return GoodSolve(seed);
+  }
+};
+
+// Worker internals and factories are the caller's responsibility.
+SearchResult GoodSolveImpl(int seed) {
+  SearchResult result;
+  result.vertices = seed;
+  return result;
+}
+
+SearchResult MakeEmptyResult() {
+  return SearchResult();
+}
+
+// Helpers handed a caller's span run inside its contract: clean.
+SearchResult Narrow(obs::PhaseTracker& tracker, int seed) {
+  SearchResult result;
+  result.vertices = seed + 1;
+  (void)tracker;
+  return result;
+}
+
+}  // namespace fixture

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Golden expected-diagnostics runner for the locs-* check fixtures.
+#
+# Each fixtures/<check>.cc encodes firing, clean, and NOLINT-audited
+# variants of one invariant; fixtures/<check>.expected lists the
+# diagnostics that must fire as sorted "line check-name" pairs
+# (column-free so both engines normalize identically). The same
+# goldens validate whichever engine runs:
+#
+#   run_fixtures.sh <fixtures-dir> fallback <locs_lint-binary>
+#   run_fixtures.sh <fixtures-dir> plugin <clang-tidy> <module.so>
+#
+# Exit: 0 all fixtures match, 1 any mismatch, 2 usage.
+set -uo pipefail
+
+fixtures="${1:-}"
+mode="${2:-}"
+binary="${3:-}"
+module="${4:-}"
+usage() {
+  echo "usage: run_fixtures.sh <fixtures-dir> fallback <locs_lint>" >&2
+  echo "       run_fixtures.sh <fixtures-dir> plugin <clang-tidy> <module>" >&2
+  exit 2
+}
+[[ -d "${fixtures}" && -n "${binary}" ]] || usage
+case "${mode}" in
+  fallback) ;;
+  plugin) [[ -n "${module}" ]] || usage ;;
+  *) usage ;;
+esac
+
+# clang-tidy prints "path:line:col: warning: msg [check]"; locs_lint
+# matches that shape. Reduce either to sorted unique "line check" pairs
+# (the plugin can double-report one construct via type sugar).
+normalize() {
+  sed -n 's/^[^:]*:\([0-9][0-9]*\):[0-9][0-9]*: warning: .*\[\(locs-[a-z-]*\)\]$/\1 \2/p' |
+    sort -u
+}
+
+status=0
+shopt -s nullglob
+count=0
+for fixture in "${fixtures}"/*.cc; do
+  count=$((count + 1))
+  name="$(basename "${fixture}" .cc)"
+  expected="${fixtures}/${name}.expected"
+  if [[ ! -f "${expected}" ]]; then
+    echo "FAIL: ${fixture} has no ${name}.expected golden" >&2
+    status=1
+    continue
+  fi
+  if [[ "${mode}" == fallback ]]; then
+    got="$("${binary}" "${fixture}" | normalize)"
+  else
+    got="$("${binary}" -load "${module}" --checks='-*,locs-*' --quiet \
+            "${fixture}" -- -std=c++17 -I "${fixtures}/include" \
+            2>/dev/null | normalize)"
+  fi
+  want="$(sort -u "${expected}")"
+  if [[ "${got}" != "${want}" ]]; then
+    echo "FAIL: ${name}: diagnostics differ from the golden" >&2
+    diff <(printf '%s\n' "${want}") <(printf '%s\n' "${got}") >&2 || true
+    status=1
+  fi
+done
+if [[ "${count}" -eq 0 ]]; then
+  echo "FAIL: no fixtures found under ${fixtures}" >&2
+  status=1
+fi
+if [[ "${status}" -eq 0 ]]; then
+  echo "lint fixtures: ${count} goldens match (${mode} engine)"
+fi
+exit "${status}"

@@ -1,0 +1,67 @@
+#include "BlockingUnderLockCheck.h"
+
+#include "LockScope.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::locs {
+
+void BlockingUnderLockCheck::registerMatchers(
+    ast_matchers::MatchFinder* finder) {
+  // Syscall-shaped free functions: raw fd IO, multiplexing, socket
+  // setup, stdio, and sleeps. Matches both ::read and std::fread
+  // spellings via the unqualified name.
+  const auto blocking_fn = functionDecl(hasAnyName(
+      "read", "pread", "readv", "write", "pwrite", "writev", "recv",
+      "recvfrom", "recvmsg", "send", "sendto", "sendmsg", "poll", "ppoll",
+      "select", "pselect", "epoll_wait", "epoll_pwait", "accept", "accept4",
+      "connect", "open", "openat", "close", "fsync", "fdatasync", "sleep",
+      "usleep", "nanosleep", "fopen", "fclose", "fread", "fwrite", "fputs",
+      "fputc", "fprintf", "vfprintf", "fflush", "fgets", "getline",
+      "getdelim", "printf", "puts", "system", "popen", "pclose",
+      "sleep_for", "sleep_until"));
+  finder->addMatcher(
+      callExpr(callee(blocking_fn)).bind("call"), this);
+  // Stream members that force IO while held: std::ostream::flush etc.
+  finder->addMatcher(
+      cxxMemberCallExpr(callee(cxxMethodDecl(hasAnyName("flush", "sync"))))
+          .bind("call"),
+      this);
+}
+
+void BlockingUnderLockCheck::check(
+    const ast_matchers::MatchFinder::MatchResult& result) {
+  const auto* call = result.Nodes.getNodeAs<CallExpr>("call");
+  if (call == nullptr) return;
+  SourceLocation loc = call->getBeginLoc();
+  if (loc.isInvalid()) return;
+  const SourceManager& sm = *result.SourceManager;
+  if (sm.isInSystemHeader(sm.getSpellingLoc(loc))) return;
+
+  ASTContext& ctx = *result.Context;
+  llvm::SmallVector<const VarDecl*, 4> live_locks;
+  const FunctionDecl* enclosing = CollectLiveLocks(ctx, call, &live_locks);
+
+  std::string mutex_name;
+  if (!live_locks.empty()) {
+    mutex_name = LockedMutexName(live_locks.back(), enclosing, ctx);
+  } else {
+    llvm::SmallVector<std::string, 2> required;
+    CollectRequiredMutexes(enclosing, ctx, &required);
+    if (required.empty()) return;
+    mutex_name = required.front();
+  }
+
+  std::string callee = "<indirect>";
+  if (const FunctionDecl* fn = call->getDirectCallee()) {
+    callee = fn->getNameAsString();
+  }
+  diag(loc,
+       "blocking call '%0' while '%1' is held; perform IO outside the "
+       "critical section or audit with NOLINT(locs-blocking-under-lock)")
+      << callee << mutex_name;
+}
+
+}  // namespace clang::tidy::locs

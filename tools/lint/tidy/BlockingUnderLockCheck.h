@@ -1,0 +1,27 @@
+#ifndef LOCS_TOOLS_LINT_TIDY_BLOCKING_UNDER_LOCK_CHECK_H_
+#define LOCS_TOOLS_LINT_TIDY_BLOCKING_UNDER_LOCK_CHECK_H_
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::locs {
+
+// locs-blocking-under-lock: no syscall-shaped call (read/write/poll/
+// connect/sleeps/stdio) may execute while a locs::MutexLock is live in
+// the enclosing scope chain, or inside a function annotated
+// LOCS_REQUIRES. A blocked syscall under a serving-path lock turns one
+// slow client into a convoy.
+//
+// The analysis is an over-approximation: a MutexLock declared earlier
+// in an enclosing scope counts as live even if lock.Unlock() was
+// called before the blocking call. Audited exceptions use
+// // NOLINT(locs-blocking-under-lock) with a justification comment.
+class BlockingUnderLockCheck : public ClangTidyCheck {
+ public:
+  using ClangTidyCheck::ClangTidyCheck;
+  void registerMatchers(ast_matchers::MatchFinder* finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& result) override;
+};
+
+}  // namespace clang::tidy::locs
+
+#endif  // LOCS_TOOLS_LINT_TIDY_BLOCKING_UNDER_LOCK_CHECK_H_

@@ -1,0 +1,117 @@
+#include "LockOrderCheck.h"
+
+#include "LockScope.h"
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::locs {
+
+void LockOrderCheck::registerMatchers(ast_matchers::MatchFinder* finder) {
+  finder->addMatcher(
+      declStmt(has(varDecl(hasType(cxxRecordDecl(
+                               hasName("::locs::MutexLock"))))
+                       .bind("lock")))
+          .bind("stmt"),
+      this);
+}
+
+void LockOrderCheck::check(
+    const ast_matchers::MatchFinder::MatchResult& result) {
+  const auto* lock = result.Nodes.getNodeAs<VarDecl>("lock");
+  const auto* stmt = result.Nodes.getNodeAs<DeclStmt>("stmt");
+  if (lock == nullptr || stmt == nullptr) return;
+  SourceLocation loc = lock->getLocation();
+  if (loc.isInvalid()) return;
+  const SourceManager& sm = *result.SourceManager;
+  if (sm.isInSystemHeader(sm.getSpellingLoc(loc))) return;
+
+  ASTContext& ctx = *result.Context;
+  llvm::SmallVector<const VarDecl*, 4> enclosing_locks;
+  const FunctionDecl* enclosing =
+      CollectLiveLocks(ctx, stmt, &enclosing_locks);
+
+  const std::string acquired = LockedMutexName(lock, enclosing, ctx);
+  if (acquired.empty()) return;
+
+  std::string function = "<file scope>";
+  if (enclosing != nullptr) {
+    function = enclosing->getQualifiedNameAsString();
+  }
+
+  llvm::SmallVector<std::string, 4> held;
+  for (const VarDecl* outer : enclosing_locks) {
+    held.push_back(LockedMutexName(outer, enclosing, ctx));
+  }
+  CollectRequiredMutexes(enclosing, ctx, &held);
+
+  for (const std::string& from : held) {
+    if (from.empty()) continue;
+    if (seen_.insert({from, acquired}).second) {
+      edges_.push_back({from, acquired, loc, function});
+    }
+  }
+}
+
+void LockOrderCheck::onEndOfTranslationUnit() {
+  // Self-edges first: locs::Mutex is non-reentrant, so A -> A is a
+  // certain deadlock, not just an ordering hazard.
+  std::map<std::string, std::vector<const Edge*>> graph;
+  for (const Edge& edge : edges_) {
+    if (edge.held == edge.acquired) {
+      diag(edge.loc,
+           "self-deadlock: '%0' re-acquires '%1' already held in this "
+           "scope (locs::Mutex is non-reentrant)")
+          << edge.function << edge.acquired;
+      continue;
+    }
+    graph[edge.held].push_back(&edge);
+  }
+
+  // DFS cycle detection over the merged acquisition graph; report the
+  // edge that closes each cycle at its acquisition site.
+  std::set<std::string> done;
+  for (const auto& [root, unused] : graph) {
+    (void)unused;
+    if (done.count(root) != 0) continue;
+    std::vector<std::string> path{root};
+    std::set<std::string> on_path{root};
+    std::vector<size_t> next{0};
+    while (!next.empty()) {
+      const std::string& node = path.back();
+      auto it = graph.find(node);
+      if (it == graph.end() || next.back() >= it->second.size()) {
+        done.insert(node);
+        on_path.erase(node);
+        path.pop_back();
+        next.pop_back();
+        continue;
+      }
+      const Edge* edge = it->second[next.back()++];
+      const std::string& target = edge->acquired;
+      if (on_path.count(target) != 0) {
+        std::string cycle;
+        bool in_cycle = false;
+        for (const std::string& n : path) {
+          if (n == target) in_cycle = true;
+          if (in_cycle) cycle += n + " -> ";
+        }
+        cycle += target;
+        diag(edge->loc,
+             "lock-order cycle: acquiring '%0' while holding '%1' closes "
+             "%2 (potential deadlock; pick one order)")
+            << target << edge->held << cycle;
+        continue;
+      }
+      if (done.count(target) != 0) continue;
+      path.push_back(target);
+      on_path.insert(target);
+      next.push_back(0);
+    }
+  }
+  edges_.clear();
+  seen_.clear();
+}
+
+}  // namespace clang::tidy::locs

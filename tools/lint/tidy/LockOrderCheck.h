@@ -1,0 +1,39 @@
+#ifndef LOCS_TOOLS_LINT_TIDY_LOCK_ORDER_CHECK_H_
+#define LOCS_TOOLS_LINT_TIDY_LOCK_ORDER_CHECK_H_
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::locs {
+
+// locs-lock-order: builds the lock-acquisition graph for the whole
+// translation unit — an edge A -> B for every locs::MutexLock on B
+// taken while A is held (via an enclosing MutexLock scope or a
+// LOCS_REQUIRES annotation) — and reports any cycle as a static
+// deadlock, plus any self-edge as a guaranteed self-deadlock on the
+// non-reentrant locs::Mutex.
+class LockOrderCheck : public ClangTidyCheck {
+ public:
+  using ClangTidyCheck::ClangTidyCheck;
+  void registerMatchers(ast_matchers::MatchFinder* finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& result) override;
+  void onEndOfTranslationUnit() override;
+
+ private:
+  struct Edge {
+    std::string held;
+    std::string acquired;
+    SourceLocation loc;
+    std::string function;
+  };
+  std::vector<Edge> edges_;
+  std::set<std::pair<std::string, std::string>> seen_;
+};
+
+}  // namespace clang::tidy::locs
+
+#endif  // LOCS_TOOLS_LINT_TIDY_LOCK_ORDER_CHECK_H_

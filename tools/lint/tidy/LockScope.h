@@ -1,0 +1,122 @@
+#ifndef LOCS_TOOLS_LINT_TIDY_LOCK_SCOPE_H_
+#define LOCS_TOOLS_LINT_TIDY_LOCK_SCOPE_H_
+
+// Shared scope-walking helpers for the lock-sensitive checks:
+// given a statement, find every locs::MutexLock variable whose scope
+// is still open at that statement (declared earlier in an enclosing
+// CompoundStmt), plus the enclosing function definition.
+
+#include <string>
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Attr.h"
+#include "clang/AST/Decl.h"
+#include "clang/AST/DeclCXX.h"
+#include "clang/AST/Expr.h"
+#include "clang/AST/Stmt.h"
+#include "clang/Lex/Lexer.h"
+#include "llvm/ADT/SmallVector.h"
+
+namespace clang::tidy::locs {
+
+inline bool IsMutexLockType(QualType type) {
+  return type.getUnqualifiedType().getAsString().find("MutexLock") !=
+         std::string::npos;
+}
+
+// Source spelling of an expression (used for mutex identities: the
+// ctor argument of a MutexLock, or a LOCS_REQUIRES attribute operand).
+inline std::string ExprSpelling(const Expr* expr, const ASTContext& ctx) {
+  if (expr == nullptr) return std::string();
+  const SourceManager& sm = ctx.getSourceManager();
+  CharSourceRange range =
+      CharSourceRange::getTokenRange(expr->getSourceRange());
+  std::string text =
+      Lexer::getSourceText(range, sm, ctx.getLangOpts()).str();
+  // Normalize "this->m_" and "obj.m_" to the trailing member so the
+  // same mutex spells the same node in the acquisition graph.
+  const size_t arrow = text.rfind("->");
+  if (arrow != std::string::npos) text = text.substr(arrow + 2);
+  const size_t dot = text.rfind('.');
+  if (dot != std::string::npos) text = text.substr(dot + 1);
+  return text;
+}
+
+// Qualifies a bare mutex member name with the class of the enclosing
+// method, e.g. mutex_ inside TraceSink::Record -> "TraceSink::mutex_".
+inline std::string QualifyMutex(const std::string& name,
+                                const FunctionDecl* enclosing) {
+  if (name.find("::") != std::string::npos) return name;
+  if (const auto* method = dyn_cast_or_null<CXXMethodDecl>(enclosing)) {
+    return method->getParent()->getNameAsString() + "::" + name;
+  }
+  return name;
+}
+
+// The mutex identity a MutexLock variable guards: the spelling of its
+// constructor argument, class-qualified when inside a method.
+inline std::string LockedMutexName(const VarDecl* lock,
+                                   const FunctionDecl* enclosing,
+                                   const ASTContext& ctx) {
+  const Expr* init = lock->getInit();
+  if (const auto* cleanups = dyn_cast_or_null<ExprWithCleanups>(init)) {
+    init = cleanups->getSubExpr();
+  }
+  const Expr* arg = nullptr;
+  if (const auto* construct = dyn_cast_or_null<CXXConstructExpr>(init)) {
+    if (construct->getNumArgs() > 0) arg = construct->getArg(0);
+  }
+  return QualifyMutex(ExprSpelling(arg, ctx), enclosing);
+}
+
+// Walks the parent chain from `origin`, collecting MutexLock variables
+// declared earlier in each enclosing CompoundStmt. Stops at the
+// enclosing function definition and returns it (null when `origin` is
+// not inside one, e.g. an initializer).
+inline const FunctionDecl* CollectLiveLocks(
+    ASTContext& ctx, const Stmt* origin,
+    llvm::SmallVectorImpl<const VarDecl*>* locks) {
+  DynTypedNode node = DynTypedNode::create(*origin);
+  const Stmt* came_from = origin;
+  for (int depth = 0; depth < 128; ++depth) {
+    const auto parents = ctx.getParents(node);
+    if (parents.empty()) return nullptr;
+    const DynTypedNode parent = parents[0];
+    if (const auto* fn = parent.get<FunctionDecl>()) return fn;
+    if (const auto* lambda = parent.get<LambdaExpr>()) {
+      return lambda->getCallOperator();
+    }
+    if (const auto* compound = parent.get<CompoundStmt>()) {
+      for (const Stmt* child : compound->body()) {
+        if (child == came_from) break;
+        const auto* decl_stmt = dyn_cast<DeclStmt>(child);
+        if (decl_stmt == nullptr) continue;
+        for (const Decl* decl : decl_stmt->decls()) {
+          const auto* var = dyn_cast<VarDecl>(decl);
+          if (var != nullptr && IsMutexLockType(var->getType())) {
+            locks->push_back(var);
+          }
+        }
+      }
+    }
+    if (const auto* stmt = parent.get<Stmt>()) came_from = stmt;
+    node = parent;
+  }
+  return nullptr;
+}
+
+// Mutexes a function's LOCS_REQUIRES annotation says are held on entry.
+inline void CollectRequiredMutexes(const FunctionDecl* fn,
+                                   const ASTContext& ctx,
+                                   llvm::SmallVectorImpl<std::string>* out) {
+  if (fn == nullptr) return;
+  for (const auto* attr : fn->specific_attrs<RequiresCapabilityAttr>()) {
+    for (const Expr* arg : attr->args()) {
+      out->push_back(QualifyMutex(ExprSpelling(arg, ctx), fn));
+    }
+  }
+}
+
+}  // namespace clang::tidy::locs
+
+#endif  // LOCS_TOOLS_LINT_TIDY_LOCK_SCOPE_H_

@@ -1,0 +1,49 @@
+// LocsTidyModule — project-invariant checks for the locs codebase,
+// loaded into clang-tidy via `-load liblocs_tidy_module.so`.
+//
+// The module registers the five locs-* checks. Each check encodes one
+// serving-layer invariant (see docs/ARCHITECTURE.md, "Static analysis"):
+//
+//   locs-raw-sync            all locking through locs::Mutex wrappers
+//   locs-lock-order          the lock-acquisition graph stays acyclic
+//   locs-blocking-under-lock no syscall-shaped call while a lock is live
+//   locs-wire-err-literal    every "ERR ..." reply comes from wire.h
+//   locs-solver-contract     solver entries open a PhaseTracker span and
+//                            reach a LOCS_VALIDATE hook
+//
+// The portable lexical engine in ../locs_lint.cc enforces the same five
+// invariants with the same check names and diagnostic format, so the
+// golden fixtures under ../fixtures/ validate either engine.
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "BlockingUnderLockCheck.h"
+#include "LockOrderCheck.h"
+#include "RawSyncCheck.h"
+#include "SolverContractCheck.h"
+#include "WireErrLiteralCheck.h"
+
+namespace clang::tidy::locs {
+
+class LocsTidyModule : public ClangTidyModule {
+ public:
+  void addCheckFactories(ClangTidyCheckFactories& factories) override {
+    factories.registerCheck<RawSyncCheck>("locs-raw-sync");
+    factories.registerCheck<LockOrderCheck>("locs-lock-order");
+    factories.registerCheck<BlockingUnderLockCheck>(
+        "locs-blocking-under-lock");
+    factories.registerCheck<WireErrLiteralCheck>("locs-wire-err-literal");
+    factories.registerCheck<SolverContractCheck>("locs-solver-contract");
+  }
+};
+
+static ClangTidyModuleRegistry::Add<LocsTidyModule> kLocsModule(
+    "locs-module", "Project-invariant checks for the locs serving layer.");
+
+// Anchor so the shared library exports at least one symbol the loader
+// must resolve; referenced nowhere, but keeps -load from dead-stripping
+// the registration on over-eager linkers.
+volatile int kLocsTidyModuleAnchorSource = 0;
+
+}  // namespace clang::tidy::locs

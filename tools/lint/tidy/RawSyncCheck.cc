@@ -1,0 +1,57 @@
+#include "RawSyncCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/Support/Regex.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::locs {
+
+RawSyncCheck::RawSyncCheck(StringRef name, ClangTidyContext* context)
+    : ClangTidyCheck(name, context),
+      allowed_files_(
+          Options.get("AllowedFiles", "util/thread_annotations\\.h$")) {}
+
+void RawSyncCheck::storeOptions(ClangTidyOptions::OptionMap& opts) {
+  Options.store(opts, "AllowedFiles", allowed_files_);
+}
+
+void RawSyncCheck::registerMatchers(ast_matchers::MatchFinder* finder) {
+  // Any written type that resolves to a raw std:: synchronization
+  // primitive. TypeLocs catch declarations, members, parameters, and
+  // template arguments alike; system headers are skipped by the
+  // default clang-tidy file filter.
+  const auto raw_sync = namedDecl(hasAnyName(
+      "::std::mutex", "::std::timed_mutex", "::std::recursive_mutex",
+      "::std::recursive_timed_mutex", "::std::shared_mutex",
+      "::std::shared_timed_mutex", "::std::condition_variable",
+      "::std::condition_variable_any", "::std::lock_guard",
+      "::std::unique_lock", "::std::scoped_lock", "::std::shared_lock"));
+  finder->addMatcher(
+      typeLoc(loc(qualType(hasDeclaration(raw_sync)))).bind("type"), this);
+}
+
+void RawSyncCheck::check(
+    const ast_matchers::MatchFinder::MatchResult& result) {
+  const auto* type_loc = result.Nodes.getNodeAs<TypeLoc>("type");
+  if (type_loc == nullptr) return;
+  SourceLocation loc = type_loc->getBeginLoc();
+  if (loc.isInvalid()) return;
+  const SourceManager& sm = *result.SourceManager;
+  loc = sm.getSpellingLoc(loc);
+  if (sm.isInSystemHeader(loc)) return;
+  llvm::Regex allowed(allowed_files_);
+  if (allowed.match(sm.getFilename(loc))) return;
+
+  const QualType type = type_loc->getType();
+  std::string name = type.getUnqualifiedType().getAsString();
+  diag(loc,
+       "raw '%0' is invisible to thread-safety analysis; use "
+       "locs::Mutex / locs::MutexLock / locs::CondVar from "
+       "util/thread_annotations.h")
+      << name;
+}
+
+}  // namespace clang::tidy::locs

@@ -1,0 +1,28 @@
+#ifndef LOCS_TOOLS_LINT_TIDY_RAW_SYNC_CHECK_H_
+#define LOCS_TOOLS_LINT_TIDY_RAW_SYNC_CHECK_H_
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::locs {
+
+// locs-raw-sync: raw std:: synchronization primitives (mutex, lock
+// guards, condition variables) are invisible to the Clang thread-safety
+// analysis the project relies on; every use outside
+// util/thread_annotations.h must go through the locs:: wrappers.
+class RawSyncCheck : public ClangTidyCheck {
+ public:
+  RawSyncCheck(StringRef name, ClangTidyContext* context);
+  void registerMatchers(ast_matchers::MatchFinder* finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& result) override;
+  void storeOptions(ClangTidyOptions::OptionMap& opts) override;
+
+ private:
+  // Files where raw primitives are allowed (the wrapper header itself).
+  const std::string allowed_files_;
+};
+
+}  // namespace clang::tidy::locs
+
+#endif  // LOCS_TOOLS_LINT_TIDY_RAW_SYNC_CHECK_H_

@@ -1,0 +1,145 @@
+#include "SolverContractCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Decl.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceManager.h"
+#include "clang/Lex/PPCallbacks.h"
+#include "clang/Lex/Preprocessor.h"
+#include "llvm/Support/Regex.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::locs {
+
+namespace {
+
+// Records every expansion of the LOCS_VALIDATE_RESULT macro so the
+// AST pass can test whether a solver body reaches a validate hook.
+class ValidateMacroRecorder : public PPCallbacks {
+ public:
+  explicit ValidateMacroRecorder(SolverContractCheck* check)
+      : check_(check) {}
+  void MacroExpands(const Token& name, const MacroDefinition& definition,
+                    SourceRange range, const MacroArgs* args) override {
+    (void)definition;
+    (void)args;
+    const IdentifierInfo* ident = name.getIdentifierInfo();
+    if (ident != nullptr && ident->getName() == "LOCS_VALIDATE_RESULT") {
+      check_->RecordValidateExpansion(range.getBegin());
+    }
+  }
+
+ private:
+  SolverContractCheck* check_;
+};
+
+bool ReturnsSearchResult(const FunctionDecl* fn) {
+  return fn->getReturnType().getUnqualifiedType().getAsString().find(
+             "SearchResult") != std::string::npos;
+}
+
+bool TypeMentions(QualType type, StringRef needle) {
+  return StringRef(type.getAsString()).contains(needle);
+}
+
+}  // namespace
+
+SolverContractCheck::SolverContractCheck(StringRef name,
+                                         ClangTidyContext* context)
+    : ClangTidyCheck(name, context),
+      contract_paths_(
+          Options.get("ContractPaths", "src/core/|lint/fixtures/")) {}
+
+void SolverContractCheck::storeOptions(ClangTidyOptions::OptionMap& opts) {
+  Options.store(opts, "ContractPaths", contract_paths_);
+}
+
+void SolverContractCheck::registerPPCallbacks(const SourceManager& sm,
+                                              Preprocessor* pp,
+                                              Preprocessor* module_expander) {
+  (void)sm;
+  (void)module_expander;
+  pp->addPPCallbacks(std::make_unique<ValidateMacroRecorder>(this));
+}
+
+void SolverContractCheck::registerMatchers(
+    ast_matchers::MatchFinder* finder) {
+  finder->addMatcher(functionDecl(isDefinition(), hasBody(compoundStmt()))
+                         .bind("fn"),
+                     this);
+}
+
+void SolverContractCheck::check(
+    const ast_matchers::MatchFinder::MatchResult& result) {
+  const auto* fn = result.Nodes.getNodeAs<FunctionDecl>("fn");
+  if (fn == nullptr || !ReturnsSearchResult(fn)) return;
+  SourceLocation loc = fn->getLocation();
+  if (loc.isInvalid()) return;
+  const SourceManager& sm = *result.SourceManager;
+  loc = sm.getSpellingLoc(loc);
+  llvm::Regex scope(contract_paths_);
+  if (!scope.match(sm.getFilename(loc))) return;
+
+  const std::string name = fn->getNameAsString();
+  // Internals and factories run inside a caller's span; SearchResult /
+  // PhaseTracker parameters mark a helper operating on a caller's
+  // result or span.
+  if (StringRef(name).endswith("Impl") || StringRef(name).startswith("Make"))
+    return;
+  for (const ParmVarDecl* param : fn->parameters()) {
+    if (TypeMentions(param->getType(), "PhaseTracker") ||
+        TypeMentions(param->getType(), "SearchResult")) {
+      return;
+    }
+  }
+
+  ASTContext& ctx = *result.Context;
+  const Stmt* body = fn->getBody();
+
+  // Delegation: a call to another SearchResult-returning function (not
+  // plain recursion) hands the contract to the callee.
+  for (const auto& node :
+       match(findAll(callExpr().bind("call")), *body, ctx)) {
+    const auto* call = node.getNodeAs<CallExpr>("call");
+    const FunctionDecl* callee =
+        call != nullptr ? call->getDirectCallee() : nullptr;
+    if (callee == nullptr || callee->getCanonicalDecl() ==
+                                 fn->getCanonicalDecl()) {
+      continue;
+    }
+    if (ReturnsSearchResult(callee)) return;
+  }
+
+  const bool has_tracker =
+      !match(findAll(varDecl(
+                 hasType(cxxRecordDecl(hasName("PhaseTracker"))))),
+             *body, ctx)
+           .empty();
+
+  bool has_validate = false;
+  const SourceRange body_range = body->getSourceRange();
+  for (SourceLocation expansion : validate_expansions_) {
+    if (sm.isPointWithin(sm.getExpansionLoc(expansion),
+                         sm.getExpansionLoc(body_range.getBegin()),
+                         sm.getExpansionLoc(body_range.getEnd()))) {
+      has_validate = true;
+      break;
+    }
+  }
+
+  if (!has_tracker) {
+    diag(loc,
+         "solver entry '%0' never opens an obs::PhaseTracker span; "
+         "telemetry for this entry point is dark")
+        << name;
+  }
+  if (!has_validate) {
+    diag(loc,
+         "solver entry '%0' never reaches a LOCS_VALIDATE hook; results "
+         "leave the solver unvalidated")
+        << name;
+  }
+}
+
+}  // namespace clang::tidy::locs

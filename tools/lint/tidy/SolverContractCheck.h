@@ -1,0 +1,42 @@
+#ifndef LOCS_TOOLS_LINT_TIDY_SOLVER_CONTRACT_CHECK_H_
+#define LOCS_TOOLS_LINT_TIDY_SOLVER_CONTRACT_CHECK_H_
+
+#include <string>
+#include <vector>
+
+#include "clang-tidy/ClangTidyCheck.h"
+#include "clang/Basic/SourceLocation.h"
+
+namespace clang::tidy::locs {
+
+// locs-solver-contract: every solver entry point — a function defined
+// under src/core/ that returns a SearchResult — must open an
+// obs::PhaseTracker span and reach a LOCS_VALIDATE hook (the
+// LOCS_VALIDATE_RESULT macro) before returning, or visibly delegate to
+// another entry point that does.
+//
+// Exempt: *Impl internals, Make* factories, and functions that take a
+// PhaseTracker or SearchResult parameter (they run inside a caller's
+// span and validation).
+class SolverContractCheck : public ClangTidyCheck {
+ public:
+  SolverContractCheck(StringRef name, ClangTidyContext* context);
+  void registerMatchers(ast_matchers::MatchFinder* finder) override;
+  void registerPPCallbacks(const SourceManager& sm, Preprocessor* pp,
+                           Preprocessor* module_expander) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& result) override;
+  void storeOptions(ClangTidyOptions::OptionMap& opts) override;
+
+  void RecordValidateExpansion(SourceLocation loc) {
+    validate_expansions_.push_back(loc);
+  }
+
+ private:
+  // Path fragments that put a file in solver-contract scope.
+  const std::string contract_paths_;
+  std::vector<SourceLocation> validate_expansions_;
+};
+
+}  // namespace clang::tidy::locs
+
+#endif  // LOCS_TOOLS_LINT_TIDY_SOLVER_CONTRACT_CHECK_H_

@@ -1,0 +1,50 @@
+#include "WireErrLiteralCheck.h"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Expr.h"
+#include "clang/ASTMatchers/ASTMatchFinder.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/Support/Regex.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang::tidy::locs {
+
+WireErrLiteralCheck::WireErrLiteralCheck(StringRef name,
+                                         ClangTidyContext* context)
+    : ClangTidyCheck(name, context),
+      allowed_files_(
+          Options.get("AllowedFiles", "serve/wire\\.cc$|tests/")) {}
+
+void WireErrLiteralCheck::storeOptions(ClangTidyOptions::OptionMap& opts) {
+  Options.store(opts, "AllowedFiles", allowed_files_);
+}
+
+void WireErrLiteralCheck::registerMatchers(
+    ast_matchers::MatchFinder* finder) {
+  finder->addMatcher(stringLiteral().bind("lit"), this);
+}
+
+void WireErrLiteralCheck::check(
+    const ast_matchers::MatchFinder::MatchResult& result) {
+  const auto* lit = result.Nodes.getNodeAs<StringLiteral>("lit");
+  if (lit == nullptr || lit->getCharByteWidth() != 1) return;
+  const StringRef text = lit->getString();
+  // The detector must spell the pattern it detects.
+  // NOLINTNEXTLINE(locs-wire-err-literal)
+  if (!(text == "ERR" || text.substr(0, 4) == "ERR ")) return;
+
+  SourceLocation loc = lit->getBeginLoc();
+  if (loc.isInvalid()) return;
+  const SourceManager& sm = *result.SourceManager;
+  loc = sm.getSpellingLoc(loc);
+  if (sm.isInSystemHeader(loc)) return;
+  llvm::Regex allowed(allowed_files_);
+  if (allowed.match(sm.getFilename(loc))) return;
+
+  diag(loc,
+       "ad-hoc \"ERR ...\" literal bypasses the typed WireError table; "
+       "reply through FormatError(WireError::...) from serve/wire.h");
+}
+
+}  // namespace clang::tidy::locs

@@ -1,0 +1,30 @@
+#ifndef LOCS_TOOLS_LINT_TIDY_WIRE_ERR_LITERAL_CHECK_H_
+#define LOCS_TOOLS_LINT_TIDY_WIRE_ERR_LITERAL_CHECK_H_
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+namespace clang::tidy::locs {
+
+// locs-wire-err-literal: every "ERR ..." reply on the wire must come
+// from the typed WireError table in src/serve/wire.h (rendered by
+// FormatError in wire.cc). Ad-hoc "ERR foo" string literals anywhere
+// else bypass the error taxonomy that clients and the chaos harness
+// key on.
+class WireErrLiteralCheck : public ClangTidyCheck {
+ public:
+  WireErrLiteralCheck(StringRef name, ClangTidyContext* context);
+  void registerMatchers(ast_matchers::MatchFinder* finder) override;
+  void check(const ast_matchers::MatchFinder::MatchResult& result) override;
+  void storeOptions(ClangTidyOptions::OptionMap& opts) override;
+
+ private:
+  // Files allowed to spell ERR literals: the typed table's renderer and
+  // tests (which assert on the wire format).
+  const std::string allowed_files_;
+};
+
+}  // namespace clang::tidy::locs
+
+#endif  // LOCS_TOOLS_LINT_TIDY_WIRE_ERR_LITERAL_CHECK_H_

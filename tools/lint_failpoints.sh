@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Failpoint-name cross-check (ctest: lint_failpoints; also run in CI).
+#
+# Chaos coverage rots silently: a new LOCS_FAILPOINT site that nobody
+# arms in tools/chaos_serve.sh is a failure path no soak ever takes,
+# and an armed name with no site left in the tree is a soak that
+# injects nothing. This script fails unless the two stay in sync:
+#
+#   - every LOCS_FAILPOINT("name") site in src/ appears in
+#     chaos_serve.sh, either in the armed LOCS_FAILPOINT= list or as an
+#     explicit `# chaos-unarmed: name — reason` annotation;
+#   - every name chaos_serve.sh references (armed or unarmed) still has
+#     a site in the tree;
+#   - no name is both armed and annotated unarmed.
+#
+# Exit: 0 in sync, 1 any drift.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+chaos="tools/chaos_serve.sh"
+
+# Source-tree inventory; comment-only lines (doc examples) are skipped.
+sites="$(grep -rn 'LOCS_FAILPOINT("' src --include='*.cc' --include='*.h' |
+  grep -vE ':[0-9]+: *//' |
+  grep -oE 'LOCS_FAILPOINT\("[a-z0-9._]+"' |
+  sed 's/LOCS_FAILPOINT("//; s/"$//' | sort -u)"
+
+# Armed list: the LOCS_FAILPOINT="a[=v][%n],b,..." assignment.
+armed="$(sed -n 's/^LOCS_FAILPOINT="\(.*\)" *\\*$/\1/p' "${chaos}" |
+  tr ',' '\n' | sed 's/[=%].*//' | sed '/^$/d' | sort -u)"
+
+# Acknowledged exclusions: `# chaos-unarmed: name — reason` lines.
+unarmed="$(sed -n 's/^# chaos-unarmed: \([a-z0-9._]*\).*/\1/p' "${chaos}" |
+  sort -u)"
+
+fail=0
+
+if [[ -z "${sites}" ]]; then
+  echo "FAIL: no LOCS_FAILPOINT sites found under src/ — inventory broken" >&2
+  exit 1
+fi
+if [[ -z "${armed}" ]]; then
+  echo "FAIL: no armed LOCS_FAILPOINT list parsed from ${chaos}" >&2
+  exit 1
+fi
+
+covered="$(printf '%s\n%s\n' "${armed}" "${unarmed}" | sed '/^$/d' | sort -u)"
+
+while IFS= read -r name; do
+  if ! grep -qx "${name}" <<<"${covered}"; then
+    echo "FAIL: failpoint '${name}' has a site in src/ but ${chaos}" \
+         "neither arms it nor documents it as chaos-unarmed" >&2
+    fail=1
+  fi
+done <<<"${sites}"
+
+while IFS= read -r name; do
+  [[ -z "${name}" ]] && continue
+  if ! grep -qx "${name}" <<<"${sites}"; then
+    echo "FAIL: '${name}' is referenced in ${chaos} but no" \
+         "LOCS_FAILPOINT(\"${name}\") site exists in src/" >&2
+    fail=1
+  fi
+done <<<"${covered}"
+
+while IFS= read -r name; do
+  [[ -z "${name}" ]] && continue
+  if grep -qx "${name}" <<<"${unarmed}"; then
+    echo "FAIL: '${name}' is both armed and annotated chaos-unarmed" \
+         "in ${chaos}" >&2
+    fail=1
+  fi
+done <<<"${armed}"
+
+if [[ ${fail} -eq 0 ]]; then
+  total="$(wc -l <<<"${sites}")"
+  echo "failpoint cross-check: ${total} sites in sync" \
+       "($(wc -l <<<"${armed}") armed, $(wc -l <<<"${unarmed}") unarmed)"
+fi
+exit "${fail}"
