@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <numeric>
+#include <utility>
 
 namespace locs {
 
@@ -44,98 +45,127 @@ class MergeDsu {
 
 }  // namespace
 
-CoreIndex::CoreIndex(const Graph& graph) : cores_(ComputeCores(graph)) {
+CoreIndex::CoreIndex(const Graph& graph) {
+  CoreDecomposition cores = ComputeCores(graph);
   const VertexId n = graph.NumVertices();
+  // The tree is grown in plain vectors and only wrapped into ConstArrays
+  // once the shape is final.
+  std::vector<uint32_t> level(n);
+  std::vector<uint32_t> parent(n, kNil);
+  std::vector<uint32_t> first_child(n, kNil);
+  std::vector<uint32_t> next_sibling(n, kNil);
+  std::vector<VertexId> vertex(n);
   // Leaves 0..n-1 mirror the vertices.
-  node_level_.resize(n);
-  node_parent_.assign(n, kNil);
-  node_first_child_.assign(n, kNil);
-  node_next_sibling_.assign(n, kNil);
-  node_vertex_.resize(n);
   for (VertexId v = 0; v < n; ++v) {
-    node_level_[v] = cores_.core[v];
-    node_vertex_[v] = v;
+    level[v] = cores.core[v];
+    vertex[v] = v;
   }
-  if (n == 0) return;
 
-  auto new_node = [this](uint32_t level) {
-    const auto id = static_cast<uint32_t>(node_level_.size());
-    node_level_.push_back(level);
-    node_parent_.push_back(kNil);
-    node_first_child_.push_back(kNil);
-    node_next_sibling_.push_back(kNil);
-    node_vertex_.push_back(kNil);
+  auto new_node = [&](uint32_t node_level) {
+    const auto id = static_cast<uint32_t>(level.size());
+    level.push_back(node_level);
+    parent.push_back(kNil);
+    first_child.push_back(kNil);
+    next_sibling.push_back(kNil);
+    vertex.push_back(kNil);
     return id;
   };
-  auto attach = [this](uint32_t parent, uint32_t child) {
-    node_parent_[child] = parent;
-    node_next_sibling_[child] = node_first_child_[parent];
-    node_first_child_[parent] = child;
+  auto attach = [&](uint32_t p, uint32_t child) {
+    parent[child] = p;
+    next_sibling[child] = first_child[p];
+    first_child[p] = child;
   };
 
-  MergeDsu dsu(n);
-  // Vertices grouped by core number; peel_order is sorted by
-  // non-decreasing core number, so iterate it backwards for the
-  // decreasing-level sweep.
-  const std::vector<VertexId>& order = cores_.peel_order;
-  size_t hi = order.size();
-  while (hi > 0) {
-    // [lo, hi) is the block of vertices with this core number.
-    const uint32_t level = cores_.core[order[hi - 1]];
-    size_t lo = hi;
-    while (lo > 0 && cores_.core[order[lo - 1]] == level) --lo;
-    // All level-`level` vertices are now active; union each with its
-    // already-active neighbors (core >= level).
-    for (size_t i = lo; i < hi; ++i) {
-      const VertexId v = order[i];
-      for (VertexId w : graph.Neighbors(v)) {
-        if (cores_.core[w] < level) continue;
-        uint32_t rv = dsu.Find(v);
-        const uint32_t rw = dsu.Find(w);
-        if (rv == rw) continue;
-        const uint32_t nv = dsu.NodeOf(rv);
-        const uint32_t nw = dsu.NodeOf(rw);
-        // A component may be represented by an internal node already
-        // created at this level — reuse it as the merge target so leaf
-        // paths stay short (one node per (component, level)). Leaves are
-        // never targets: they cannot adopt children.
-        const bool nv_reusable =
-            node_level_[nv] == level && node_vertex_[nv] == kNil;
-        const bool nw_reusable =
-            node_level_[nw] == level && node_vertex_[nw] == kNil;
-        uint32_t target;
-        if (nv_reusable && nw_reusable) {
-          // Fold nw's children into nv; nw becomes an orphan no leaf
-          // path traverses.
-          target = nv;
-          uint32_t child = node_first_child_[nw];
-          while (child != kNil) {
-            const uint32_t next = node_next_sibling_[child];
-            attach(nv, child);
-            child = next;
+  if (n > 0) {
+    MergeDsu dsu(n);
+    // Vertices grouped by core number; peel_order is sorted by
+    // non-decreasing core number, so iterate it backwards for the
+    // decreasing-level sweep.
+    const std::vector<VertexId>& order = cores.peel_order;
+    size_t hi = order.size();
+    while (hi > 0) {
+      // [lo, hi) is the block of vertices with this core number.
+      const uint32_t block_level = cores.core[order[hi - 1]];
+      size_t lo = hi;
+      while (lo > 0 && cores.core[order[lo - 1]] == block_level) --lo;
+      // All level-`block_level` vertices are now active; union each with
+      // its already-active neighbors (core >= block_level).
+      for (size_t i = lo; i < hi; ++i) {
+        const VertexId v = order[i];
+        for (VertexId w : graph.Neighbors(v)) {
+          if (cores.core[w] < block_level) continue;
+          uint32_t rv = dsu.Find(v);
+          const uint32_t rw = dsu.Find(w);
+          if (rv == rw) continue;
+          const uint32_t nv = dsu.NodeOf(rv);
+          const uint32_t nw = dsu.NodeOf(rw);
+          // A component may be represented by an internal node already
+          // created at this level — reuse it as the merge target so leaf
+          // paths stay short (one node per (component, level)). Leaves
+          // are never targets: they cannot adopt children.
+          const bool nv_reusable =
+              level[nv] == block_level && vertex[nv] == kNil;
+          const bool nw_reusable =
+              level[nw] == block_level && vertex[nw] == kNil;
+          uint32_t target;
+          if (nv_reusable && nw_reusable) {
+            // Fold nw's children into nv; nw becomes an orphan no leaf
+            // path traverses.
+            target = nv;
+            uint32_t child = first_child[nw];
+            while (child != kNil) {
+              const uint32_t next = next_sibling[child];
+              attach(nv, child);
+              child = next;
+            }
+            first_child[nw] = kNil;
+          } else if (nv_reusable) {
+            target = nv;
+            attach(nv, nw);
+          } else if (nw_reusable) {
+            target = nw;
+            attach(nw, nv);
+          } else {
+            target = new_node(block_level);
+            attach(target, nv);
+            attach(target, nw);
           }
-          node_first_child_[nw] = kNil;
-        } else if (nv_reusable) {
-          target = nv;
-          attach(nv, nw);
-        } else if (nw_reusable) {
-          target = nw;
-          attach(nw, nv);
-        } else {
-          target = new_node(level);
-          attach(target, nv);
-          attach(target, nw);
+          const uint32_t root = dsu.Link(rv, rw);
+          dsu.SetNode(root, target);
         }
-        const uint32_t root = dsu.Link(rv, rw);
-        dsu.SetNode(root, target);
       }
+      hi = lo;
     }
-    hi = lo;
   }
+
+  degeneracy_ = cores.degeneracy;
+  core_ = ConstArray<uint32_t>(std::move(cores.core));
+  node_level_ = ConstArray<uint32_t>(std::move(level));
+  node_parent_ = ConstArray<uint32_t>(std::move(parent));
+  node_first_child_ = ConstArray<uint32_t>(std::move(first_child));
+  node_next_sibling_ = ConstArray<uint32_t>(std::move(next_sibling));
+  node_vertex_ = ConstArray<VertexId>(std::move(vertex));
+}
+
+CoreIndex CoreIndex::FromParts(ConstArray<uint32_t> core, uint32_t degeneracy,
+                               ConstArray<uint32_t> node_level,
+                               ConstArray<uint32_t> node_parent,
+                               ConstArray<uint32_t> node_first_child,
+                               ConstArray<uint32_t> node_next_sibling,
+                               ConstArray<VertexId> node_vertex) {
+  CoreIndex index;
+  index.core_ = std::move(core);
+  index.degeneracy_ = degeneracy;
+  index.node_level_ = std::move(node_level);
+  index.node_parent_ = std::move(node_parent);
+  index.node_first_child_ = std::move(node_first_child);
+  index.node_next_sibling_ = std::move(node_next_sibling);
+  index.node_vertex_ = std::move(node_vertex);
+  return index;
 }
 
 uint32_t CoreIndex::AncestorAtLevel(VertexId v, uint32_t k) const {
-  if (cores_.core[v] < k) return kNil;
+  if (core_[v] < k) return kNil;
   uint32_t node = v;  // leaf
   while (node_parent_[node] != kNil &&
          node_level_[node_parent_[node]] >= k) {
@@ -171,8 +201,8 @@ std::vector<VertexId> CoreIndex::CstMembers(VertexId v, uint32_t k) const {
 
 Community CoreIndex::Csm(VertexId v) const {
   Community community;
-  community.min_degree = cores_.core[v];
-  community.members = CstMembers(v, cores_.core[v]);
+  community.min_degree = core_[v];
+  community.members = CstMembers(v, core_[v]);
   return community;
 }
 

@@ -28,25 +28,40 @@
 #include "core/common.h"
 #include "core/kcore.h"
 #include "graph/graph.h"
+#include "util/const_array.h"
 
 namespace locs {
 
 /// Immutable index over one graph answering CST/CSM queries in output-
 /// sensitive time. Thread-safe for concurrent queries (read-only).
+/// Storage is ConstArray-backed so an index deserialized from a graph
+/// image (src/store/) points straight into the mmap'd file.
 class CoreIndex {
  public:
+  static constexpr uint32_t kNil = ~uint32_t{0};
+
   explicit CoreIndex(const Graph& graph);
 
+  /// Adopts a precomputed index (the store/ image loader). The caller is
+  /// responsible for structural validity: `core` has one entry per
+  /// vertex, the five node arrays share one length >= core.size(), tree
+  /// links are in-range or kNil, and slots [0, core.size()) are the
+  /// vertex leaves.
+  static CoreIndex FromParts(ConstArray<uint32_t> core, uint32_t degeneracy,
+                             ConstArray<uint32_t> node_level,
+                             ConstArray<uint32_t> node_parent,
+                             ConstArray<uint32_t> node_first_child,
+                             ConstArray<uint32_t> node_next_sibling,
+                             ConstArray<VertexId> node_vertex);
+
   /// Core number of `v` — equals m*(G, v) (Lemma 4).
-  uint32_t CoreNumber(VertexId v) const { return cores_.core[v]; }
+  uint32_t CoreNumber(VertexId v) const { return core_[v]; }
 
   /// Degeneracy of the indexed graph.
-  uint32_t Degeneracy() const { return cores_.degeneracy; }
+  uint32_t Degeneracy() const { return degeneracy_; }
 
   /// O(1): true iff CST(k) has an answer for v (v lies in the k-core).
-  bool HasCst(VertexId v, uint32_t k) const {
-    return cores_.core[v] >= k;
-  }
+  bool HasCst(VertexId v, uint32_t k) const { return core_[v] >= k; }
 
   /// O(answer): the maximal CST(k) answer — the connected component of v
   /// in the k-core (Lemma 3) — or an empty vector.
@@ -58,24 +73,39 @@ class CoreIndex {
   /// Number of merge-tree nodes (diagnostics).
   size_t NumTreeNodes() const { return node_level_.size(); }
 
+  /// Raw array access for serialization (src/store/).
+  const ConstArray<uint32_t>& core_numbers() const { return core_; }
+  const ConstArray<uint32_t>& node_level() const { return node_level_; }
+  const ConstArray<uint32_t>& node_parent() const { return node_parent_; }
+  const ConstArray<uint32_t>& node_first_child() const {
+    return node_first_child_;
+  }
+  const ConstArray<uint32_t>& node_next_sibling() const {
+    return node_next_sibling_;
+  }
+  const ConstArray<VertexId>& node_vertex() const { return node_vertex_; }
+
  private:
-  static constexpr uint32_t kNil = ~uint32_t{0};
+  CoreIndex() = default;
 
   /// Highest ancestor of v's leaf whose level is >= k, or kNil.
   uint32_t AncestorAtLevel(VertexId v, uint32_t k) const;
   /// Collects the leaves under `node`.
   std::vector<VertexId> SubtreeLeaves(uint32_t node) const;
 
-  CoreDecomposition cores_;
+  /// Per-vertex core numbers (the peel order is build-time scaffolding
+  /// and is not retained).
+  ConstArray<uint32_t> core_;
+  uint32_t degeneracy_ = 0;
 
   // Merge tree in first-child / next-sibling form. The first NumVertices
   // node slots are the vertex leaves.
-  std::vector<uint32_t> node_level_;
-  std::vector<uint32_t> node_parent_;
-  std::vector<uint32_t> node_first_child_;
-  std::vector<uint32_t> node_next_sibling_;
+  ConstArray<uint32_t> node_level_;
+  ConstArray<uint32_t> node_parent_;
+  ConstArray<uint32_t> node_first_child_;
+  ConstArray<uint32_t> node_next_sibling_;
   /// Leaf payload: the vertex id (kNil for internal nodes).
-  std::vector<VertexId> node_vertex_;
+  ConstArray<VertexId> node_vertex_;
 };
 
 }  // namespace locs

@@ -22,6 +22,15 @@ Graph Graph::FromCsr(std::vector<uint64_t> offsets,
     }
   }
 #endif
+  return Graph(ConstArray<uint64_t>(std::move(offsets)),
+               ConstArray<VertexId>(std::move(neighbors)));
+}
+
+Graph Graph::FromParts(ConstArray<uint64_t> offsets,
+                       ConstArray<VertexId> neighbors) {
+  LOCS_CHECK(!offsets.empty());
+  LOCS_CHECK_EQ(offsets.front(), 0u);
+  LOCS_CHECK_EQ(offsets.back(), neighbors.size());
   return Graph(std::move(offsets), std::move(neighbors));
 }
 

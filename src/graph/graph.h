@@ -14,6 +14,7 @@
 
 #include "graph/types.h"
 #include "util/check.h"
+#include "util/const_array.h"
 
 namespace locs {
 
@@ -30,6 +31,13 @@ class Graph {
   /// Validates structural invariants in debug builds.
   static Graph FromCsr(std::vector<uint64_t> offsets,
                        std::vector<VertexId> neighbors);
+
+  /// Same contract as FromCsr but over any ConstArray backing — this is how
+  /// the store/ subsystem builds a graph directly over an mmap'd image with
+  /// zero copy. The caller (image reader) has already validated the arrays
+  /// structurally, so only the cheap front/back checks run here.
+  static Graph FromParts(ConstArray<uint64_t> offsets,
+                         ConstArray<VertexId> neighbors);
 
   /// Number of vertices.
   VertexId NumVertices() const {
@@ -66,15 +74,15 @@ class Graph {
   double AverageDegree() const;
 
   /// Raw CSR access for serialization.
-  const std::vector<uint64_t>& offsets() const { return offsets_; }
-  const std::vector<VertexId>& neighbors() const { return neighbors_; }
+  const ConstArray<uint64_t>& offsets() const { return offsets_; }
+  const ConstArray<VertexId>& neighbors() const { return neighbors_; }
 
  private:
-  Graph(std::vector<uint64_t> offsets, std::vector<VertexId> neighbors)
+  Graph(ConstArray<uint64_t> offsets, ConstArray<VertexId> neighbors)
       : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {}
 
-  std::vector<uint64_t> offsets_;    // size n+1
-  std::vector<VertexId> neighbors_;  // size 2|E|
+  ConstArray<uint64_t> offsets_;    // size n+1
+  ConstArray<VertexId> neighbors_;  // size 2|E|
 };
 
 }  // namespace locs

@@ -111,18 +111,23 @@ std::optional<Graph> LoadEdgeList(const std::string& path, IoError* error) {
     const char* cursor = line.c_str() + start;
     char* end = nullptr;
     const uint64_t u = std::strtoull(cursor, &end, 10);
+    // The line number rides in the message text too: consumers that only
+    // surface `message` (the locsd ERR detail, logs) still point at the
+    // offending line.
     if (end == cursor) {
       return Fail(error, IoErrorKind::kParse,
-                  Format("expected \"u v\" edge, got \"%.60s\"", cursor),
+                  Format("line %" PRIu64
+                         ": expected \"u v\" edge, got \"%.60s\"",
+                         line_no, cursor),
                   line_no);
     }
     cursor = end;
     const uint64_t v = std::strtoull(cursor, &end, 10);
     if (end == cursor) {
       return Fail(error, IoErrorKind::kParse,
-                  Format("edge for vertex %" PRIu64
+                  Format("line %" PRIu64 ": edge for vertex %" PRIu64
                          " is missing its endpoint",
-                         u),
+                         line_no, u),
                   line_no);
     }
     // Extra columns (weights, timestamps) are ignored, as before.

@@ -1,24 +1,41 @@
 #include "graph/ordering.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace locs {
 
-OrderedAdjacency::OrderedAdjacency(const Graph& graph)
-    : offsets_(graph.offsets()), neighbors_(graph.neighbors()) {
-  // Sort each adjacency list by (degree desc, id asc). Precompute degrees
-  // once; comparator reads the flat array.
+namespace {
+
+// Sort each adjacency list by (degree desc, id asc). Precompute degrees
+// once; comparator reads the flat array.
+std::vector<VertexId> SortByDegree(const Graph& graph) {
+  std::vector<VertexId> neighbors(graph.neighbors().begin(),
+                                  graph.neighbors().end());
+  const auto& offsets = graph.offsets();
   const VertexId n = graph.NumVertices();
   std::vector<uint32_t> degree(n);
   for (VertexId v = 0; v < n; ++v) degree[v] = graph.Degree(v);
   for (VertexId v = 0; v < n; ++v) {
-    std::sort(neighbors_.begin() + static_cast<ptrdiff_t>(offsets_[v]),
-              neighbors_.begin() + static_cast<ptrdiff_t>(offsets_[v + 1]),
+    std::sort(neighbors.begin() + static_cast<ptrdiff_t>(offsets[v]),
+              neighbors.begin() + static_cast<ptrdiff_t>(offsets[v + 1]),
               [&degree](VertexId a, VertexId b) {
                 if (degree[a] != degree[b]) return degree[a] > degree[b];
                 return a < b;
               });
   }
+  return neighbors;
+}
+
+}  // namespace
+
+OrderedAdjacency::OrderedAdjacency(const Graph& graph)
+    : OrderedAdjacency(graph.offsets(),
+                       ConstArray<VertexId>(SortByDegree(graph))) {}
+
+OrderedAdjacency OrderedAdjacency::FromParts(ConstArray<uint64_t> offsets,
+                                             ConstArray<VertexId> neighbors) {
+  return OrderedAdjacency(std::move(offsets), std::move(neighbors));
 }
 
 }  // namespace locs

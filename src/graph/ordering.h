@@ -15,6 +15,7 @@
 
 #include "graph/graph.h"
 #include "graph/types.h"
+#include "util/const_array.h"
 
 namespace locs {
 
@@ -27,6 +28,12 @@ class OrderedAdjacency {
   /// by ascending vertex id to keep the structure deterministic.
   explicit OrderedAdjacency(const Graph& graph);
 
+  /// Adopts a pre-sorted ordered adjacency (the store/ image loader; the
+  /// offsets are shared with the graph's own CSR offsets array). The
+  /// caller is responsible for the degree-descending invariant.
+  static OrderedAdjacency FromParts(ConstArray<uint64_t> offsets,
+                                    ConstArray<VertexId> neighbors);
+
   /// Neighbors of `v` sorted by descending degree.
   std::span<const VertexId> Neighbors(VertexId v) const {
     return {neighbors_.data() + offsets_[v],
@@ -37,9 +44,18 @@ class OrderedAdjacency {
     return offsets_.empty() ? 0 : static_cast<VertexId>(offsets_.size() - 1);
   }
 
+  /// Raw access for serialization. offsets() is layout-identical to the
+  /// graph's own offsets array (re-sorting is per-vertex, in place).
+  const ConstArray<uint64_t>& offsets() const { return offsets_; }
+  const ConstArray<VertexId>& neighbors() const { return neighbors_; }
+
  private:
-  std::vector<uint64_t> offsets_;
-  std::vector<VertexId> neighbors_;
+  OrderedAdjacency(ConstArray<uint64_t> offsets,
+                   ConstArray<VertexId> neighbors)
+      : offsets_(std::move(offsets)), neighbors_(std::move(neighbors)) {}
+
+  ConstArray<uint64_t> offsets_;
+  ConstArray<VertexId> neighbors_;
 };
 
 }  // namespace locs

@@ -66,6 +66,9 @@ MetricsSnapshot ServerMetrics::Snapshot() const {
   snap.cache_misses = cache_misses_.load(std::memory_order_relaxed);
   snap.cache_inserts = cache_inserts_.load(std::memory_order_relaxed);
   snap.cache_evictions = cache_evictions_.load(std::memory_order_relaxed);
+  snap.image_loads = image_loads_.load(std::memory_order_relaxed);
+  snap.image_load_errors =
+      image_load_errors_.load(std::memory_order_relaxed);
   for (int b = 0; b < MetricsSnapshot::kLatencyBuckets; ++b) {
     snap.latency_hist[b] =
         latency_hist_[static_cast<size_t>(b)].load(
@@ -156,6 +159,8 @@ std::string MetricsSnapshot::RenderStatsLine(unsigned inflight,
   Append(&line, "cache_misses", cache_misses);
   Append(&line, "cache_inserts", cache_inserts);
   Append(&line, "cache_evictions", cache_evictions);
+  Append(&line, "image_loads", image_loads);
+  Append(&line, "image_load_errors", image_load_errors);
   Append(&line, "queries", TotalQueries());
   Append(&line, "p50_us", LatencyPercentileUs(0.50));
   Append(&line, "p95_us", LatencyPercentileUs(0.95));

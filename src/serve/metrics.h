@@ -52,6 +52,8 @@ struct MetricsSnapshot {
   uint64_t cache_misses = 0;     ///< cacheable queries that missed
   uint64_t cache_inserts = 0;    ///< replies admitted into the cache
   uint64_t cache_evictions = 0;  ///< LRU entries displaced by inserts
+  uint64_t image_loads = 0;      ///< mmap-backed graph-image LOADs served
+  uint64_t image_load_errors = 0;  ///< image LOAD attempts that failed
   uint64_t latency_hist[kLatencyBuckets] = {};
   double uptime_ms = 0.0;
   /// Aggregated per-phase solver telemetry (obs::AggregateRecorder
@@ -135,6 +137,12 @@ class ServerMetrics {
   void CountCacheEvictions(uint64_t n) {
     if (n != 0) cache_evictions_.fetch_add(n, std::memory_order_relaxed);
   }
+  void CountImageLoad() {
+    image_loads_.fetch_add(1, std::memory_order_relaxed);
+  }
+  void CountImageLoadError() {
+    image_load_errors_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   /// Records one query's latency into the histogram.
   void RecordLatencyUs(uint64_t us);
@@ -164,6 +172,8 @@ class ServerMetrics {
   std::atomic<uint64_t> cache_misses_{0};
   std::atomic<uint64_t> cache_inserts_{0};
   std::atomic<uint64_t> cache_evictions_{0};
+  std::atomic<uint64_t> image_loads_{0};
+  std::atomic<uint64_t> image_load_errors_{0};
   std::array<std::atomic<uint64_t>, MetricsSnapshot::kLatencyBuckets>
       latency_hist_ = {};
   WallTimer uptime_;

@@ -9,8 +9,9 @@ namespace locs::serve {
 
 std::shared_ptr<const ServedGraph> GraphRegistry::Load(
     const std::string& name, const std::string& path, IoError* error,
-    bool* full) {
+    bool* full, LoadSource source, bool* image_attempted) {
   if (full != nullptr) *full = false;
+  if (image_attempted != nullptr) *image_attempted = false;
   // Chaos hook: a registry-load fault surfaces as an ordinary IO error
   // on this LOAD; graphs already registered keep serving untouched.
   if (LOCS_FAILPOINT("serve.registry.load_error")) {
@@ -31,15 +32,31 @@ std::shared_ptr<const ServedGraph> GraphRegistry::Load(
       return nullptr;
     }
   }
+  // File IO and index building run outside the registry lock: concurrent
+  // LOADs of different graphs overlap, and lookups never wait on a load.
+  // The content sniff (not the extension) routes to the image path, so a
+  // compiled image is picked up under any file name; LOADIMG skips the
+  // sniff and lets the image reader reject non-images with a typed
+  // error.
   WallTimer timer;
-  auto graph = LoadGraphAuto(path, error);
-  if (!graph.has_value()) return nullptr;
-  const double load_ms = timer.Millis();
-  timer.Restart();
-  auto entry =
-      std::make_shared<ServedGraph>(name, path, std::move(*graph));
-  entry->load_ms = load_ms;
-  entry->build_ms = timer.Millis();
+  std::shared_ptr<ServedGraph> entry;
+  if (source == LoadSource::kImage || store::SniffGraphImage(path)) {
+    if (image_attempted != nullptr) *image_attempted = true;
+    auto image = store::LoadGraphImage(path, error);
+    if (!image.has_value()) return nullptr;
+    const double load_ms = timer.Millis();
+    entry = std::make_shared<ServedGraph>(name, path, std::move(*image));
+    entry->load_ms = load_ms;
+    entry->build_ms = 0.0;  // nothing to build: the image holds it all
+  } else {
+    auto graph = LoadGraphAuto(path, error);
+    if (!graph.has_value()) return nullptr;
+    const double load_ms = timer.Millis();
+    timer.Restart();
+    entry = std::make_shared<ServedGraph>(name, path, std::move(*graph));
+    entry->load_ms = load_ms;
+    entry->build_ms = timer.Millis();
+  }
   entry->epoch = next_epoch_.fetch_add(1, std::memory_order_relaxed);
   MutexLock lock(mutex_);
   auto [it, inserted] = graphs_.try_emplace(name, entry);

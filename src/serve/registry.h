@@ -29,6 +29,7 @@
 #include "graph/graph.h"
 #include "graph/io.h"
 #include "graph/ordering.h"
+#include "store/image.h"
 #include "util/thread_annotations.h"
 
 namespace locs::serve {
@@ -42,8 +43,12 @@ struct ServedGraph {
   GraphFacts facts;
   OrderedAdjacency ordered;
   CoreIndex index;
-  double load_ms = 0.0;   ///< file parse time
+  double load_ms = 0.0;   ///< file parse (or image map+verify) time
   double build_ms = 0.0;  ///< facts + ordering + core-index build time
+                          ///< (0 for image loads: all precomputed)
+  /// True when this snapshot is mmap-backed by a graph image; its arrays
+  /// view the mapping, kept alive by the ConstArray keepalives.
+  bool from_image = false;
   /// Registry-unique load generation: every successful Load — including
   /// a replacing re-LOAD under the same name — mints a fresh epoch.
   /// Cache keys lead with it, so replies can never outlive the graph
@@ -57,6 +62,18 @@ struct ServedGraph {
         facts(GraphFacts::Compute(graph)),
         ordered(graph),
         index(graph) {}
+
+  /// Image-backed snapshot: everything was deserialized, nothing is
+  /// rebuilt.
+  ServedGraph(std::string name_in, std::string path_in,
+              store::LoadedImage image)
+      : name(std::move(name_in)),
+        source_path(std::move(path_in)),
+        graph(std::move(image.graph)),
+        facts(image.facts),
+        ordered(std::move(image.ordered)),
+        index(std::move(image.index)),
+        from_image(true) {}
 };
 
 /// Thread-safe name -> ServedGraph map with a capacity cap.
@@ -77,14 +94,23 @@ class GraphRegistry {
   GraphRegistry(const GraphRegistry&) = delete;
   GraphRegistry& operator=(const GraphRegistry&) = delete;
 
-  /// Loads `path` (format by extension, see LoadGraphAuto) and registers
-  /// it under `name`, replacing any previous graph of that name. Returns
-  /// the entry, or null with `error` populated on a load failure or
-  /// `*full` set when the registry is at capacity.
-  std::shared_ptr<const ServedGraph> Load(const std::string& name,
-                                          const std::string& path,
-                                          IoError* error, bool* full)
-      LOCS_EXCLUDES(mutex_);
+  /// How Load interprets the file at `path`.
+  enum class LoadSource : uint8_t {
+    kAuto,   ///< graph image when the content sniff says so (any
+             ///< extension), else by extension via LoadGraphAuto
+    kImage,  ///< must be a graph image (the LOADIMG verb)
+  };
+
+  /// Loads `path` and registers it under `name`, replacing any previous
+  /// graph of that name. Returns the entry, or null with `error`
+  /// populated on a load failure or `*full` set when the registry is at
+  /// capacity. `*image_attempted` (optional) reports whether the image
+  /// path was taken — set even on failure, so callers can attribute the
+  /// error to the image store.
+  std::shared_ptr<const ServedGraph> Load(
+      const std::string& name, const std::string& path, IoError* error,
+      bool* full, LoadSource source = LoadSource::kAuto,
+      bool* image_attempted = nullptr) LOCS_EXCLUDES(mutex_);
 
   /// The named entry, or null. O(log graphs).
   std::shared_ptr<const ServedGraph> Get(const std::string& name) const

@@ -156,13 +156,15 @@ std::string Session::Dispatch(const Request& request, bool* quit) {
     case Verb::kEvict:
       return ExecEvict(request);
     case Verb::kLoad:
+    case Verb::kLoadImg:
     case Verb::kCst:
     case Verb::kCsm:
     case Verb::kMulti: {
       // Conservation ledger: every attempted query reaches exactly one
       // of {completed, failed, shed}. All ledger updates live in this
       // single-threaded dispatch path, so the identity is exact.
-      const bool is_query = request.verb != Verb::kLoad;
+      const bool is_query =
+          request.verb != Verb::kLoad && request.verb != Verb::kLoadImg;
       if (is_query) metrics_.CountQueryAttempted();
       if (Stopping()) {
         if (is_query) metrics_.CountQueryFailed();
@@ -174,7 +176,7 @@ std::string Session::Dispatch(const Request& request, bool* quit) {
       // competes with real queries for a slot. The key pins the
       // registry's *current* epoch for the graph — a reply cached
       // against an evicted or replaced generation can never match.
-      if (request.verb != Verb::kLoad && options_.cache != nullptr) {
+      if (is_query && options_.cache != nullptr) {
         if (const auto entry = registry_.Get(request.graph)) {
           WallTimer timer;
           std::string reply;
@@ -214,8 +216,7 @@ std::string Session::Dispatch(const Request& request, bool* quit) {
       if (LOCS_FAILPOINT("serve.slow_query")) {
         std::this_thread::sleep_for(std::chrono::milliseconds(200));
       }
-      std::string reply = request.verb == Verb::kLoad ? ExecLoad(request)
-                                                      : ExecQuery(request);
+      std::string reply = is_query ? ExecQuery(request) : ExecLoad(request);
       if (options_.max_reply_bytes != 0 &&
           reply.size() > options_.max_reply_bytes) {
         metrics_.CountError(WireError::kReplyTooLarge);
@@ -245,8 +246,12 @@ std::string Session::Dispatch(const Request& request, bool* quit) {
 std::string Session::ExecLoad(const Request& request) {
   IoError io_error;
   bool full = false;
-  const auto entry =
-      registry_.Load(request.graph, request.path, &io_error, &full);
+  bool image_attempted = false;
+  const auto source = request.verb == Verb::kLoadImg
+                          ? GraphRegistry::LoadSource::kImage
+                          : GraphRegistry::LoadSource::kAuto;
+  const auto entry = registry_.Load(request.graph, request.path, &io_error,
+                                    &full, source, &image_attempted);
   if (entry == nullptr) {
     if (full) {
       metrics_.CountError(WireError::kRegistryFull);
@@ -255,16 +260,19 @@ std::string Session::ExecLoad(const Request& request) {
                              std::to_string(registry_.max_graphs()) +
                              " graphs; EVICT one first");
     }
+    if (image_attempted) metrics_.CountImageLoadError();
     metrics_.CountError(WireError::kIo);
     return FormatError(
         WireError::kIo,
         std::string(IoErrorKindName(io_error.kind)) + ": " +
             io_error.message);
   }
+  if (entry->from_image) metrics_.CountImageLoad();
   std::string reply = "OK graph=" + entry->name;
   AppendKv(&reply, "vertices", entry->graph.NumVertices());
   AppendKv(&reply, "edges", entry->graph.NumEdges());
   AppendKv(&reply, "degeneracy", entry->index.Degeneracy());
+  reply += entry->from_image ? " source=image" : " source=text";
   AppendKv(&reply, "load_ms", static_cast<uint64_t>(entry->load_ms));
   AppendKv(&reply, "build_ms", static_cast<uint64_t>(entry->build_ms));
   return reply;

@@ -128,6 +128,8 @@ std::string_view VerbName(Verb verb) {
       return "-";
     case Verb::kLoad:
       return "LOAD";
+    case Verb::kLoadImg:
+      return "LOADIMG";
     case Verb::kEvict:
       return "EVICT";
     case Verb::kList:
@@ -216,6 +218,13 @@ ParseResult ParseRequest(std::string_view line) {
 
   if (verb == "LOAD") {
     request.verb = Verb::kLoad;
+    if (!exactly(2)) return result;
+    request.graph = tokens[1];
+    request.path = tokens[2];
+    return result;
+  }
+  if (verb == "LOADIMG") {
+    request.verb = Verb::kLoadImg;
     if (!exactly(2)) return result;
     request.graph = tokens[1];
     request.path = tokens[2];

@@ -4,6 +4,10 @@
 // One request per line, space-separated tokens, uppercase verbs:
 //
 //   LOAD <name> <path>                 register a graph under a name
+//                                      (graph images auto-detected by
+//                                      content; see src/store/)
+//   LOADIMG <name> <path>              register a graph image, rejecting
+//                                      anything that is not one
 //   EVICT <name>                       drop a graph from the registry
 //   LIST                               enumerate registered graphs
 //   CST <graph> <v> <k> [opt...]       CST(k) community of vertex v
@@ -45,6 +49,7 @@ namespace locs::serve {
 enum class Verb : uint8_t {
   kNone,
   kLoad,
+  kLoadImg,
   kEvict,
   kList,
   kCst,
@@ -55,7 +60,7 @@ enum class Verb : uint8_t {
   kQuit,
 };
 
-inline constexpr int kNumVerbs = 10;
+inline constexpr int kNumVerbs = 11;
 
 /// Wire name of a verb ("LOAD", "CST", ...; kNone reports "-").
 std::string_view VerbName(Verb verb);

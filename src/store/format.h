@@ -1,0 +1,120 @@
+// On-disk layout of a locs graph image (.limg) — the persistent,
+// mmap-ready artifact holding one graph's CSR arrays plus every serving
+// precomputation (degree-descending ordering, core numbers, the
+// CoreIndex merge tree, and the GraphFacts scalars).
+//
+// Layout (all integers written in host byte order; the endianness tag
+// in the header detects a cross-endian file at load):
+//
+//   ImageHeader            magic, version, endian tag, file size,
+//                          whole-file checksum, section count
+//   SectionEntry[count]    id + absolute byte offset + byte length
+//   sections...            each starting at an 8-byte-aligned offset
+//                          (zero padding between sections), so a span
+//                          over the mmap is correctly aligned for its
+//                          element type
+//
+// The checksum is FNV-1a 64 over the entire file with the checksum
+// field itself read as zero. Version policy: the format version bumps
+// on any layout change; readers reject unknown versions rather than
+// guess (images are cheap to regenerate from the source graph).
+
+#ifndef LOCS_STORE_FORMAT_H_
+#define LOCS_STORE_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace locs::store {
+
+/// First 8 bytes of every graph image.
+inline constexpr char kImageMagic[8] = {'L', 'O', 'C', 'S',
+                                        'I', 'M', 'G', '1'};
+
+/// Current (only) format version.
+inline constexpr uint32_t kImageVersion = 1;
+
+/// Written as a native uint32; reads back byte-reversed on a machine of
+/// the opposite endianness, which the reader rejects with a typed error.
+inline constexpr uint32_t kEndianTag = 0x01020304u;
+inline constexpr uint32_t kEndianTagSwapped = 0x04030201u;
+
+/// Every section payload starts at a multiple of this.
+inline constexpr uint64_t kSectionAlign = 8;
+
+/// Section identifiers. A version-1 image contains each exactly once.
+enum class SectionId : uint32_t {
+  kMeta = 1,              ///< ImageMeta scalars
+  kOffsets = 2,           ///< uint64[n+1] CSR offsets
+  kNeighbors = 3,         ///< VertexId[2|E|] ascending adjacency
+  kOrderedNeighbors = 4,  ///< VertexId[2|E|] degree-descending adjacency
+                          ///< (shares the kOffsets array)
+  kCoreNumbers = 5,       ///< uint32[n]
+  kNodeLevel = 6,         ///< uint32[tree_node_count]
+  kNodeParent = 7,        ///< uint32[tree_node_count]
+  kNodeFirstChild = 8,    ///< uint32[tree_node_count]
+  kNodeNextSibling = 9,   ///< uint32[tree_node_count]
+  kNodeVertex = 10,       ///< VertexId[tree_node_count]
+};
+inline constexpr uint32_t kNumSections = 10;
+
+/// Fixed file header. 8-byte aligned size so the section table that
+/// follows is aligned too.
+struct ImageHeader {
+  char magic[8];
+  uint32_t version;
+  uint32_t endian;
+  uint64_t file_bytes;  ///< total file size; must match the mapping
+  uint64_t checksum;    ///< FNV-1a 64 with this field read as zero
+  uint32_t section_count;
+  uint32_t reserved;
+};
+static_assert(sizeof(ImageHeader) == 40, "header layout is part of the ABI");
+
+/// One section-table row.
+struct SectionEntry {
+  uint32_t id;  ///< SectionId
+  uint32_t reserved;
+  uint64_t offset;  ///< absolute byte offset, multiple of kSectionAlign
+  uint64_t length;  ///< payload bytes
+};
+static_assert(sizeof(SectionEntry) == 24,
+              "section entry layout is part of the ABI");
+
+/// The kMeta payload: counts that size every other section plus the
+/// GraphFacts scalars, so a cold load needs no recomputation (notably no
+/// connectivity BFS).
+struct ImageMeta {
+  uint64_t num_vertices;
+  uint64_t num_half_edges;   ///< 2|E| = neighbor-array length
+  uint64_t tree_node_count;  ///< CoreIndex merge-tree nodes (>= vertices)
+  uint32_t degeneracy;
+  uint32_t max_degree;
+  uint32_t connected;  ///< GraphFacts::connected, 0 or 1
+  uint32_t reserved;
+};
+static_assert(sizeof(ImageMeta) == 40, "meta layout is part of the ABI");
+
+inline constexpr uint64_t kFnvOffsetBasis = 14695981039346656037ull;
+inline constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+/// Incremental FNV-1a 64: feed chunks, threading the returned state into
+/// the next call's `state`.
+inline uint64_t Fnv1a64(const void* data, size_t bytes,
+                        uint64_t state = kFnvOffsetBasis) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < bytes; ++i) {
+    state ^= p[i];
+    state *= kFnvPrime;
+  }
+  return state;
+}
+
+/// Rounds `offset` up to the next section boundary.
+inline constexpr uint64_t AlignUp(uint64_t offset) {
+  return (offset + kSectionAlign - 1) & ~(kSectionAlign - 1);
+}
+
+}  // namespace locs::store
+
+#endif  // LOCS_STORE_FORMAT_H_

@@ -1,0 +1,163 @@
+#include <algorithm>
+#include <cerrno>
+#include <cstddef>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "store/format.h"
+#include "store/image.h"
+
+namespace locs::store {
+
+namespace {
+
+void Fail(IoError* error, IoErrorKind kind, std::string message) {
+  if (error == nullptr) return;
+  error->kind = kind;
+  error->message = std::move(message);
+  error->line = 0;
+}
+
+/// fwrite that also threads the running FNV-1a state, so the checksum is
+/// computed in one streaming pass (the header's checksum field is
+/// written as zero and patched after the last section).
+class HashingWriter {
+ public:
+  explicit HashingWriter(std::FILE* file) : file_(file) {}
+
+  bool Write(const void* data, size_t bytes) {
+    if (bytes == 0) return true;
+    fnv_ = Fnv1a64(data, bytes, fnv_);
+    written_ += bytes;
+    return std::fwrite(data, 1, bytes, file_) == bytes;
+  }
+
+  /// Writes zero bytes up to absolute offset `target`.
+  bool PadTo(uint64_t target) {
+    static constexpr char kZeros[kSectionAlign] = {};
+    while (written_ < target) {
+      const auto chunk =
+          static_cast<size_t>(std::min<uint64_t>(target - written_,
+                                                 sizeof(kZeros)));
+      if (!Write(kZeros, chunk)) return false;
+    }
+    return true;
+  }
+
+  uint64_t checksum() const { return fnv_; }
+  uint64_t written() const { return written_; }
+
+ private:
+  std::FILE* file_;
+  uint64_t fnv_ = kFnvOffsetBasis;
+  uint64_t written_ = 0;
+};
+
+}  // namespace
+
+bool WriteGraphImage(const Graph& graph, const GraphFacts& facts,
+                     const OrderedAdjacency& ordered, const CoreIndex& index,
+                     const std::string& path, IoError* error) {
+  const uint64_t n = graph.NumVertices();
+  const uint64_t half_edges = graph.neighbors().size();
+  const uint64_t tree_nodes = index.NumTreeNodes();
+
+  ImageMeta meta = {};
+  meta.num_vertices = n;
+  meta.num_half_edges = half_edges;
+  meta.tree_node_count = tree_nodes;
+  meta.degeneracy = index.Degeneracy();
+  meta.max_degree = facts.max_degree;
+  meta.connected = facts.connected ? 1u : 0u;
+
+  // The ten sections, in SectionId order. The payload pointer/length
+  // pairs reference the live in-memory arrays; nothing is staged.
+  struct Payload {
+    SectionId id;
+    const void* data;
+    uint64_t bytes;
+  };
+  const Payload payloads[kNumSections] = {
+      {SectionId::kMeta, &meta, sizeof(meta)},
+      {SectionId::kOffsets, graph.offsets().data(),
+       graph.offsets().size() * sizeof(uint64_t)},
+      {SectionId::kNeighbors, graph.neighbors().data(),
+       half_edges * sizeof(VertexId)},
+      {SectionId::kOrderedNeighbors, ordered.neighbors().data(),
+       half_edges * sizeof(VertexId)},
+      {SectionId::kCoreNumbers, index.core_numbers().data(),
+       n * sizeof(uint32_t)},
+      {SectionId::kNodeLevel, index.node_level().data(),
+       tree_nodes * sizeof(uint32_t)},
+      {SectionId::kNodeParent, index.node_parent().data(),
+       tree_nodes * sizeof(uint32_t)},
+      {SectionId::kNodeFirstChild, index.node_first_child().data(),
+       tree_nodes * sizeof(uint32_t)},
+      {SectionId::kNodeNextSibling, index.node_next_sibling().data(),
+       tree_nodes * sizeof(uint32_t)},
+      {SectionId::kNodeVertex, index.node_vertex().data(),
+       tree_nodes * sizeof(VertexId)},
+  };
+
+  // Lay out the section table before writing anything.
+  SectionEntry table[kNumSections] = {};
+  uint64_t cursor =
+      sizeof(ImageHeader) + kNumSections * sizeof(SectionEntry);
+  for (uint32_t i = 0; i < kNumSections; ++i) {
+    cursor = AlignUp(cursor);
+    table[i].id = static_cast<uint32_t>(payloads[i].id);
+    table[i].offset = cursor;
+    table[i].length = payloads[i].bytes;
+    cursor += payloads[i].bytes;
+  }
+  const uint64_t file_bytes = cursor;
+
+  ImageHeader header = {};
+  std::memcpy(header.magic, kImageMagic, sizeof(kImageMagic));
+  header.version = kImageVersion;
+  header.endian = kEndianTag;
+  header.file_bytes = file_bytes;
+  header.checksum = 0;  // patched below
+  header.section_count = kNumSections;
+
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    Fail(error, IoErrorKind::kOpen,
+         "cannot create " + path + ": " + std::strerror(errno));
+    return false;
+  }
+
+  HashingWriter writer(file);
+  bool ok = writer.Write(&header, sizeof(header)) &&
+            writer.Write(table, sizeof(table));
+  for (uint32_t i = 0; ok && i < kNumSections; ++i) {
+    ok = writer.PadTo(table[i].offset) &&
+         writer.Write(payloads[i].data, payloads[i].bytes);
+  }
+  // Patch the checksum in place; the field was hashed as zero.
+  const uint64_t checksum = writer.checksum();
+  ok = ok && writer.written() == file_bytes &&
+       std::fseek(file, static_cast<long>(offsetof(ImageHeader, checksum)),
+                  SEEK_SET) == 0 &&
+       std::fwrite(&checksum, sizeof(checksum), 1, file) == 1;
+  ok = std::fclose(file) == 0 && ok;
+  if (!ok) {
+    Fail(error, IoErrorKind::kOpen,
+         "write failed for " + path + ": " + std::strerror(errno));
+    std::remove(path.c_str());  // never leave a half-written image
+    return false;
+  }
+  if (error != nullptr) *error = IoError{};
+  return true;
+}
+
+bool CompileGraphImage(const Graph& graph, const std::string& path,
+                       IoError* error) {
+  const GraphFacts facts = GraphFacts::Compute(graph);
+  const OrderedAdjacency ordered(graph);
+  const CoreIndex index(graph);
+  return WriteGraphImage(graph, facts, ordered, index, path, error);
+}
+
+}  // namespace locs::store

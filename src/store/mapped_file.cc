@@ -1,0 +1,73 @@
+#include "store/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "util/failpoint.h"
+
+namespace locs::store {
+
+namespace {
+
+void Fail(IoError* error, IoErrorKind kind, std::string message) {
+  if (error == nullptr) return;
+  error->kind = kind;
+  error->message = std::move(message);
+  error->line = 0;
+}
+
+}  // namespace
+
+std::shared_ptr<const MappedFile> MappedFile::Open(const std::string& path,
+                                                   IoError* error) {
+  if (LOCS_FAILPOINT("serve.store.image_open_error")) {
+    Fail(error, IoErrorKind::kOpen, "injected image open fault: " + path);
+    return nullptr;
+  }
+  const int fd = ::open(path.c_str(), O_RDONLY);  // NOLINT(android-cloexec-open)
+  if (fd < 0) {
+    Fail(error, IoErrorKind::kOpen,
+         "cannot open " + path + ": " + std::strerror(errno));
+    return nullptr;
+  }
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0) {
+    Fail(error, IoErrorKind::kOpen,
+         "cannot stat " + path + ": " + std::strerror(errno));
+    ::close(fd);
+    return nullptr;
+  }
+  const auto size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    Fail(error, IoErrorKind::kParse, path + " is empty");
+    ::close(fd);
+    return nullptr;
+  }
+  void* mapping = MAP_FAILED;
+  if (LOCS_FAILPOINT("serve.store.image_mmap_error")) {
+    errno = ENOMEM;
+  } else {
+    mapping = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  }
+  ::close(fd);
+  if (mapping == MAP_FAILED) {
+    Fail(error, IoErrorKind::kOpen,
+         "cannot mmap " + path + ": " + std::strerror(errno));
+    return nullptr;
+  }
+  return std::shared_ptr<const MappedFile>(
+      new MappedFile(static_cast<const char*>(mapping), size));
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+  }
+}
+
+}  // namespace locs::store

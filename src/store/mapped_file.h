@@ -1,0 +1,46 @@
+// Read-only memory-mapped file. The mapping is the keepalive region
+// behind every ConstArray an image-backed graph hands out: the
+// shared_ptr<MappedFile> travels inside Graph/CoreIndex storage, and the
+// file unmaps only when the last snapshot reference drops (e.g. after an
+// EVICT once in-flight queries drain).
+
+#ifndef LOCS_STORE_MAPPED_FILE_H_
+#define LOCS_STORE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "graph/io.h"
+
+namespace locs::store {
+
+/// An open mmap(PROT_READ) of a whole file. The descriptor is closed
+/// right after mapping; the mapping lives until destruction.
+class MappedFile {
+ public:
+  /// Maps `path` read-only. Returns null on failure with `error`
+  /// populated (kOpen for open/stat/mmap problems, kParse for an empty
+  /// file, which can never hold a valid image header). Failpoints
+  /// `serve.store.image_open_error` and `serve.store.image_mmap_error`
+  /// force the respective failure for chaos testing.
+  static std::shared_ptr<const MappedFile> Open(const std::string& path,
+                                                IoError* error);
+
+  ~MappedFile();
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  const char* data() const { return data_; }
+  size_t size() const { return size_; }
+
+ private:
+  MappedFile(const char* data, size_t size) : data_(data), size_(size) {}
+
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+}  // namespace locs::store
+
+#endif  // LOCS_STORE_MAPPED_FILE_H_

@@ -95,7 +95,9 @@ TEST(GraphTest, HasEdgeNegative) {
 
 TEST(GraphTest, FromCsrRoundTrip) {
   Graph original = gen::Grid(3, 4);
-  Graph copy = Graph::FromCsr(original.offsets(), original.neighbors());
+  Graph copy = Graph::FromCsr(
+      {original.offsets().begin(), original.offsets().end()},
+      {original.neighbors().begin(), original.neighbors().end()});
   EXPECT_EQ(copy.NumVertices(), original.NumVertices());
   EXPECT_EQ(copy.NumEdges(), original.NumEdges());
   EXPECT_EQ(ValidateGraph(copy), "");

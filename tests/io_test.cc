@@ -328,6 +328,10 @@ TEST(IoErrorTest, EdgeListParseErrorReportsOffendingLine) {
   EXPECT_FALSE(LoadEdgeList(path, &error).has_value());
   EXPECT_EQ(error.kind, IoErrorKind::kParse);
   EXPECT_EQ(error.line, 3u);
+  // The message itself names the line: consumers that only forward the
+  // message string (the locsd ERR detail) still localize the failure.
+  EXPECT_NE(error.message.find("line 3"), std::string::npos)
+      << error.message;
 }
 
 TEST(IoErrorTest, EdgeListMissingEndpointReportsParse) {
@@ -340,6 +344,8 @@ TEST(IoErrorTest, EdgeListMissingEndpointReportsParse) {
   EXPECT_FALSE(LoadEdgeList(path, &error).has_value());
   EXPECT_EQ(error.kind, IoErrorKind::kParse);
   EXPECT_EQ(error.line, 2u);
+  EXPECT_NE(error.message.find("line 2"), std::string::npos)
+      << error.message;
 }
 
 TEST(IoErrorTest, MetisWeightedFormatIsParseError) {

@@ -33,6 +33,7 @@ TEST(WireParseTest, BlankLinesAreIgnorable) {
 
 TEST(WireParseTest, EveryVerbRoundTrips) {
   EXPECT_EQ(Parse("LOAD g /tmp/g.lcsg").request.verb, Verb::kLoad);
+  EXPECT_EQ(Parse("LOADIMG g /tmp/g.limg").request.verb, Verb::kLoadImg);
   EXPECT_EQ(Parse("EVICT g").request.verb, Verb::kEvict);
   EXPECT_EQ(Parse("LIST").request.verb, Verb::kList);
   EXPECT_EQ(Parse("CST g 7 3").request.verb, Verb::kCst);
@@ -53,6 +54,14 @@ TEST(WireParseTest, CstCarriesAllFields) {
   EXPECT_DOUBLE_EQ(result.request.limits.deadline_ms, 250.0);
   EXPECT_EQ(result.request.limits.work_budget, 100000u);
   EXPECT_EQ(result.request.member_limit, 10u);
+}
+
+TEST(WireParseTest, LoadImgCarriesGraphAndPath) {
+  const ParseResult result = Parse("LOADIMG web /data/web.limg");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.request.verb, Verb::kLoadImg);
+  EXPECT_EQ(result.request.graph, "web");
+  EXPECT_EQ(result.request.path, "/data/web.limg");
 }
 
 TEST(WireParseTest, MultiParsesKOrMax) {
@@ -100,8 +109,9 @@ TEST(WireParseTest, UnknownVerbDetailIsSanitizedAndBounded) {
 
 TEST(WireParseTest, MissingArgsForEveryVerb) {
   for (const char* line :
-       {"LOAD", "LOAD g", "EVICT", "CST", "CST g", "CST g 7", "CSM",
-        "CSM g", "MULTI", "MULTI g", "MULTI g 3", "MULTI g max"}) {
+       {"LOAD", "LOAD g", "LOADIMG", "LOADIMG g", "EVICT", "CST", "CST g",
+        "CST g 7", "CSM", "CSM g", "MULTI", "MULTI g", "MULTI g 3",
+        "MULTI g max"}) {
     EXPECT_EQ(Parse(line).error, WireError::kMissingArg) << line;
   }
 }
@@ -109,7 +119,8 @@ TEST(WireParseTest, MissingArgsForEveryVerb) {
 TEST(WireParseTest, SurplusArgsAreRejected) {
   for (const char* line :
        {"LIST extra", "STATS now", "PING x", "QUIT y", "EVICT g h",
-        "LOAD g path extra", "CST g 7 3 9", "CSM g 7 9"}) {
+        "LOAD g path extra", "LOADIMG g path extra", "CST g 7 3 9",
+        "CSM g 7 9"}) {
     EXPECT_EQ(Parse(line).error, WireError::kExtraArg) << line;
   }
 }

@@ -74,6 +74,8 @@ stat_field() {
 
 "${cli}" generate --model=lfr --n=2000 --seed=5 \
   --output="${work}/g.lcsg" >/dev/null
+# Graph image for the LOADIMG churn leg of the soak.
+"${cli}" compile "${work}/g.lcsg" "${work}/g.limg" >/dev/null
 
 echo "=== chaos: failpoint soak (${sessions} sessions, ${soak}s) ==="
 # Periodic (%every) faults recur throughout the soak without killing
@@ -91,7 +93,7 @@ echo "=== chaos: failpoint soak (${sessions} sessions, ${soak}s) ==="
 # chaos-unarmed: io.binary.short_read — load-time fault on the same preload path, covered by the IO tests.
 # chaos-unarmed: serve.registry.load_error — would kill this script's own --preload before any client connects.
 # chaos-unarmed: serve.slow_query — a 200 ms stall per fire collapses soak throughput; the serve tests exercise it against the query deadline.
-LOCS_FAILPOINT="serve.solver.error%17,serve.cache.insert_drop%7,serve.transport.read_delay=50%101,serve.transport.partial_write=50%503,serve.transport.write_error=50%709,serve.transport.read_error=200%613" \
+LOCS_FAILPOINT="serve.solver.error%17,serve.cache.insert_drop%7,serve.transport.read_delay=50%101,serve.transport.partial_write=50%503,serve.transport.write_error=50%709,serve.transport.read_error=200%613,serve.store.image_open_error=1%5,serve.store.image_mmap_error=1%7" \
   "${locsd}" --port=0 --port-file="${work}/port" \
   --preload=g="${work}/g.lcsg" \
   --io-timeout-ms=2000 --idle-timeout-ms=3000 \
@@ -125,11 +127,29 @@ chaos_client() {
   done
 }
 
+image_churn_client() {
+  # Reloads the mmap'd graph image over and over (the armed
+  # serve.store.* failpoints turn a periodic subset into typed
+  # `ERR io open` replies), then queries whatever load last succeeded.
+  local end=$((SECONDS + soak)) i=0
+  while (( SECONDS < end )); do
+    {
+      printf 'LOADIMG gi %s\n' "${work}/g.limg"
+      printf 'CST gi %d 6 limit=1\n' $(( i % 2000 ))
+      printf 'QUIT\n'
+    } | "${cli}" client --port="${port}" --retries=8 \
+          --request-deadline-ms=10000 >/dev/null 2>&1 || return 1
+    i=$((i + 1))
+  done
+}
+
 client_pids=()
 for s in $(seq 1 "${sessions}"); do
   chaos_client "${s}" &
   client_pids+=("$!")
 done
+image_churn_client &
+client_pids+=("$!")
 soak_failed=0
 for pid in "${client_pids[@]}"; do
   wait "${pid}" || soak_failed=1
@@ -171,10 +191,13 @@ q_failed="$(stat_field "${stats_line}" q_failed)"
 q_shed="$(stat_field "${stats_line}" q_shed)"
 idle_reaped="$(stat_field "${stats_line}" idle_reaped)"
 errors="$(stat_field "${stats_line}" errors)"
+image_loads="$(stat_field "${stats_line}" image_loads)"
+image_load_errors="$(stat_field "${stats_line}" image_load_errors)"
 printf '%s\n' "${stats_line}" >"${work}/stats.txt"
 echo "soak ledger: attempted=${q_attempted} completed=${q_completed}" \
      "failed=${q_failed} shed=${q_shed} idle_reaped=${idle_reaped}" \
-     "errors=${errors:-?}"
+     "errors=${errors:-?} image_loads=${image_loads:-?}" \
+     "image_load_errors=${image_load_errors:-?}"
 if (( q_attempted != q_completed + q_failed + q_shed )); then
   echo "FAIL: ledger leak: ${q_attempted} != ${q_completed} +" \
        "${q_failed} + ${q_shed}" >&2
@@ -190,6 +213,14 @@ if (( q_failed == 0 )); then
 fi
 if [[ -z "${idle_reaped}" ]] || (( idle_reaped < 1 )); then
   echo "FAIL: the silent connection was never idle-reaped" >&2
+  exit 1
+fi
+if [[ -z "${image_loads}" ]] || (( image_loads < 1 )); then
+  echo "FAIL: the image-churn client never completed a LOADIMG" >&2
+  exit 1
+fi
+if [[ -z "${image_load_errors}" ]] || (( image_load_errors < 1 )); then
+  echo "FAIL: no injected image fault surfaced during the churn" >&2
   exit 1
 fi
 

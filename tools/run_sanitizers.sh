@@ -52,9 +52,11 @@ run_pass() {
 # admission controller, metrics, TCP drain); the obs label adds the
 # telemetry sinks (AggregateRecorder/TraceSink are shared by concurrent
 # workers, so their locking claims belong under TSan); the cache label
-# covers the ResultCache LRU, shared by every session under one mutex.
+# covers the ResultCache LRU, shared by every session under one mutex;
+# the store label covers mmap'd graph images whose ConstArray views are
+# shared read-only across sessions.
 TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
-  run_pass tsan thread 'concurrency|serve|obs|cache|chaos'
+  run_pass tsan thread 'concurrency|serve|obs|cache|chaos|store'
 
 # The serve label rides along here too: the wire parser and transport
 # framing are the newest code facing adversarial bytes. The property
@@ -63,7 +65,8 @@ TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}" \
 # reason: they cover the widest solver surface per second of test time.
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \
 UBSAN_OPTIONS="${UBSAN_OPTIONS:-halt_on_error=1 print_stacktrace=1}" \
-  run_pass asan-ubsan address,undefined 'io|serve|property|obs|cache|chaos'
+  run_pass asan-ubsan address,undefined \
+    'io|serve|property|obs|cache|chaos|store'
 
 # Third pass: same asan-ubsan tree (already built), everything.
 ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1}" \

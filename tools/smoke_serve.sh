@@ -3,8 +3,11 @@
 # modes and fails unless every query draws an OK reply.
 #
 #   1. scripted stdio session  — LOAD + CST + CSM + MULTI + STATS + QUIT
-#   2. malformed-input session — typed ERR replies, clean exit (no crash)
-#   3. TCP loopback session    — locsd --port=0 + locs_cli client, with
+#   2. image-backed session    — locs_cli compile + LOAD of the .limg
+#      (auto-detected by content), with every query reply required to
+#      match the text-loaded transcript byte for byte
+#   3. malformed-input session — typed ERR replies, clean exit (no crash)
+#   4. TCP loopback session    — locsd --port=0 + locs_cli client, with
 #      the CST reply required to match the stdio transcript byte for
 #      byte (replies are deterministic by design), then SIGTERM drain.
 #
@@ -44,6 +47,31 @@ grep -q '^OK status=found' <<<"${stdio_out}" || {
   echo "FAIL: no query answered over stdio" >&2
   exit 1
 }
+
+echo "=== smoke: image-backed session ==="
+"${cli}" compile "${work}/g.lcsg" "${work}/g.limg"
+img_out="$(printf 'PING\nLOAD g %s\nCST g 7 3 limit=5\nCSM g 7 limit=5\nMULTI g 2 7 8 limit=5\nSTATS\nQUIT\n' \
+  "${work}/g.limg" | "${locsd}" --stdio 2>/dev/null)"
+echo "${img_out}"
+img_ok_lines="$(grep -c '^OK ' <<<"${img_out}")"
+if [[ "${img_ok_lines}" -ne 7 ]]; then
+  echo "FAIL: expected 7 OK replies from the image session," \
+       "got ${img_ok_lines}" >&2
+  exit 1
+fi
+grep -q 'source=image' <<<"${img_out}" || {
+  echo "FAIL: LOAD of a .limg file was not detected as an image" >&2
+  exit 1
+}
+# Query replies are deterministic; the image-backed graph must answer
+# every query exactly like the text-loaded one.
+if [[ "$(grep '^OK status=' <<<"${img_out}")" \
+      != "$(grep '^OK status=' <<<"${stdio_out}")" ]]; then
+  echo "FAIL: image-backed replies diverge from text-loaded replies" >&2
+  diff <(grep '^OK status=' <<<"${stdio_out}") \
+       <(grep '^OK status=' <<<"${img_out}") >&2 || true
+  exit 1
+fi
 
 echo "=== smoke: malformed input survives ==="
 bad_out="$(printf 'FROBNICATE\nCST\nCST g seven 3\nPING\nQUIT\n' \
