@@ -69,10 +69,14 @@ uint64_t FileChecksum(const char* base, size_t size) {
 
 /// The merge-tree links must form a forest rooted by kNil parents:
 /// parents strictly above children (ids increase with creation time, so
-/// a valid tree always has parent > child), sibling chains duplicate-
-/// free and consistent with the parent array. This bounds every tree
-/// walk a query performs.
-bool ValidateTree(std::span<const uint32_t> parent,
+/// a valid tree always has parent > child), levels non-increasing toward
+/// the root (merges happen at or below their children's level — the
+/// invariant AncestorAtLevel's upward walk relies on to stop at the
+/// right node), leaves childless, and sibling chains duplicate-free and
+/// consistent with the parent array. This bounds every tree walk a
+/// query performs and pins the node each walk lands on.
+bool ValidateTree(std::span<const uint32_t> level,
+                  std::span<const uint32_t> parent,
                   std::span<const uint32_t> first_child,
                   std::span<const uint32_t> next_sibling,
                   std::span<const VertexId> vertex, uint64_t num_vertices) {
@@ -81,8 +85,10 @@ bool ValidateTree(std::span<const uint32_t> parent,
     if (parent[i] != kNil && (parent[i] <= i || parent[i] >= t)) {
       return false;
     }
+    if (parent[i] != kNil && level[parent[i]] > level[i]) return false;
     const bool is_leaf = i < num_vertices;
     if (is_leaf && vertex[i] != i) return false;
+    if (is_leaf && first_child[i] != kNil) return false;
     if (!is_leaf && vertex[i] != kNil) return false;
   }
   std::vector<bool> seen(t, false);
@@ -213,20 +219,29 @@ std::optional<LoadedImage> LoadGraphImage(const std::string& path,
   }
   const struct {
     SectionId id;
-    uint64_t expect;
-  } expected_lengths[] = {
-      {SectionId::kOffsets, (n + 1) * sizeof(uint64_t)},
-      {SectionId::kNeighbors, half * sizeof(VertexId)},
-      {SectionId::kOrderedNeighbors, half * sizeof(VertexId)},
-      {SectionId::kCoreNumbers, n * sizeof(uint32_t)},
-      {SectionId::kNodeLevel, tree * sizeof(uint32_t)},
-      {SectionId::kNodeParent, tree * sizeof(uint32_t)},
-      {SectionId::kNodeFirstChild, tree * sizeof(uint32_t)},
-      {SectionId::kNodeNextSibling, tree * sizeof(uint32_t)},
-      {SectionId::kNodeVertex, tree * sizeof(VertexId)},
+    uint64_t count;
+    uint64_t elem_bytes;
+  } expected_counts[] = {
+      {SectionId::kOffsets, n + 1, sizeof(uint64_t)},
+      {SectionId::kNeighbors, half, sizeof(VertexId)},
+      {SectionId::kOrderedNeighbors, half, sizeof(VertexId)},
+      {SectionId::kCoreNumbers, n, sizeof(uint32_t)},
+      {SectionId::kNodeLevel, tree, sizeof(uint32_t)},
+      {SectionId::kNodeParent, tree, sizeof(uint32_t)},
+      {SectionId::kNodeFirstChild, tree, sizeof(uint32_t)},
+      {SectionId::kNodeNextSibling, tree, sizeof(uint32_t)},
+      {SectionId::kNodeVertex, tree, sizeof(VertexId)},
   };
-  for (const auto& want : expected_lengths) {
-    if (SectionLength(sections, want.id) != want.expect) {
+  for (const auto& want : expected_counts) {
+    // Compare element counts via division, never `count * elem_bytes`: a
+    // crafted count near 2^64 (e.g. half = 2^62 with 4-byte elements)
+    // wraps the product to match a short or empty section, which would
+    // send the `i < count` validation loops far past the mapping. The
+    // section length is already bounded by the file size, so the
+    // division side cannot be spoofed.
+    const uint64_t length = SectionLength(sections, want.id);
+    if (length % want.elem_bytes != 0 ||
+        length / want.elem_bytes != want.count) {
       Fail(error, IoErrorKind::kParse,
            path + ": section " +
                std::to_string(static_cast<uint32_t>(want.id)) +
@@ -296,8 +311,8 @@ std::optional<LoadedImage> LoadGraphImage(const std::string& path,
     bad_structure = "meta scalars disagree with the arrays";
   }
   if (bad_structure == nullptr &&
-      !ValidateTree(node_parent, node_first_child, node_next_sibling,
-                    node_vertex, n)) {
+      !ValidateTree(node_level, node_parent, node_first_child,
+                    node_next_sibling, node_vertex, n)) {
     bad_structure = "merge-tree links do not form a forest";
   }
   if (bad_structure != nullptr) {

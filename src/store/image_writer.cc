@@ -141,10 +141,17 @@ bool WriteGraphImage(const Graph& graph, const GraphFacts& facts,
        std::fseek(file, static_cast<long>(offsetof(ImageHeader, checksum)),
                   SEEK_SET) == 0 &&
        std::fwrite(&checksum, sizeof(checksum), 1, file) == 1;
-  ok = std::fclose(file) == 0 && ok;
+  // Capture errno before fclose: when an fwrite/fseek above failed but
+  // the close itself succeeds, fclose would leave a stale or unrelated
+  // value behind ("write failed: Success").
+  int write_errno = ok ? 0 : errno;
+  if (std::fclose(file) != 0) {
+    if (ok) write_errno = errno;
+    ok = false;
+  }
   if (!ok) {
     Fail(error, IoErrorKind::kOpen,
-         "write failed for " + path + ": " + std::strerror(errno));
+         "write failed for " + path + ": " + std::strerror(write_errno));
     std::remove(path.c_str());  // never leave a half-written image
     return false;
   }

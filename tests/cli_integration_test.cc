@@ -30,6 +30,22 @@ std::pair<int, std::string> RunCli(const std::string& args) {
   return {WEXITSTATUS(status), output};
 }
 
+/// Like RunCli, but with stderr folded into the captured output — for
+/// asserting on diagnostics.
+std::pair<int, std::string> RunCliMergedStderr(const std::string& args) {
+  const std::string command =
+      std::string(LOCS_CLI_PATH) + " " + args + " 2>&1";
+  std::FILE* pipe = ::popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  std::string output;
+  std::array<char, 4096> buffer{};
+  while (std::fgets(buffer.data(), buffer.size(), pipe) != nullptr) {
+    output += buffer.data();
+  }
+  const int status = ::pclose(pipe);
+  return {WEXITSTATUS(status), output};
+}
+
 std::string TempPath(const std::string& name) {
   return ::testing::TempDir() + "/" + name;
 }
@@ -74,6 +90,25 @@ TEST(CliIntegrationTest, GenerateStatsQueryPipeline) {
     EXPECT_NE(out.find("degeneracy"), std::string::npos);
     EXPECT_NE(out.find("k-shell"), std::string::npos);
   }
+}
+
+TEST(CliIntegrationTest, CompileRejectsAnAlreadyCompiledImage) {
+  // Recompiling a .limg must fail with a clear diagnostic, not a
+  // confusing edge-list parse error from feeding binary bytes to the
+  // text loader.
+  const std::string graph_path = TempPath("cli_recompile.lcsg");
+  const std::string image_path = TempPath("cli_recompile.limg");
+  ASSERT_EQ(RunCli("generate --model=gnp --n=60 --p=0.2 --seed=4 "
+                   "--output=" +
+                   graph_path)
+                .first,
+            0);
+  ASSERT_EQ(RunCli("compile " + graph_path + " " + image_path).first, 0);
+  const auto [code, out] = RunCliMergedStderr(
+      "compile " + image_path + " " + TempPath("cli_recompile2.limg"));
+  EXPECT_EQ(code, 2);
+  EXPECT_NE(out.find("already a compiled graph image"), std::string::npos)
+      << out;
 }
 
 TEST(CliIntegrationTest, UnopenableTraceFileIsAHardError) {

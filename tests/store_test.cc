@@ -85,6 +85,19 @@ uint64_t SectionOffsetOf(const std::string& bytes, SectionId id) {
   return 0;
 }
 
+/// Absolute offset of a section's row in the section table itself.
+uint64_t SectionEntryPos(const std::string& bytes, SectionId id) {
+  for (uint32_t i = 0; i < kNumSections; ++i) {
+    const uint64_t pos = sizeof(ImageHeader) + i * sizeof(SectionEntry);
+    SectionEntry entry;
+    std::memcpy(&entry, bytes.data() + pos, sizeof(entry));
+    if (entry.id == static_cast<uint32_t>(id)) return pos;
+  }
+  ADD_FAILURE() << "section " << static_cast<uint32_t>(id)
+                << " missing from table";
+  return 0;
+}
+
 /// Writes `graph`'s image to a temp file and returns the path.
 std::string CompileToTemp(const Graph& graph, const std::string& tag) {
   const std::string path = TempPath("store_" + tag + ".limg");
@@ -291,6 +304,92 @@ TEST(StoreCraftedTest, BrokenTreeLinksFailStructuralPass) {
   std::memcpy(bytes.data() + off, &self, sizeof(self));
   FixChecksum(&bytes);
   const std::string patched = TempPath("store_tree.limg");
+  WriteFileBytes(patched, bytes);
+  IoError error;
+  EXPECT_FALSE(LoadGraphImage(patched, &error).has_value());
+  EXPECT_EQ(error.kind, IoErrorKind::kParse);
+  EXPECT_NE(error.message.find("structural validation"), std::string::npos)
+      << error.message;
+}
+
+TEST(StoreCraftedTest, OverflowingHalfEdgeCountIsRejected) {
+  const std::string path = CompileToTemp(gen::Barbell(4, 0), "ovf_src");
+  std::string bytes = ReadFileBytes(path);
+  // half = 2^62 wraps `half * sizeof(VertexId)` to 0 mod 2^64, so paired
+  // with zero-length neighbor sections it slips past a multiply-based
+  // length cross-check — after which the `i < half` validation loops
+  // would index 2^62 elements past the mapping. The reader must reject
+  // the counts, not trust the wrapped product.
+  const uint64_t huge = uint64_t{1} << 62;
+  const uint64_t meta_off = SectionOffsetOf(bytes, SectionId::kMeta);
+  std::memcpy(bytes.data() + meta_off + offsetof(ImageMeta, num_half_edges),
+              &huge, sizeof(huge));
+  const uint64_t zero = 0;
+  for (const SectionId id :
+       {SectionId::kNeighbors, SectionId::kOrderedNeighbors}) {
+    std::memcpy(bytes.data() + SectionEntryPos(bytes, id) +
+                    offsetof(SectionEntry, length),
+                &zero, sizeof(zero));
+  }
+  // Make offsets[n] agree with the huge count too, so a reader without
+  // the overflow-safe cross-check would sail into the CSR loop and read
+  // out of bounds (ASan-visible) instead of stopping at the coverage
+  // check.
+  uint64_t n = 0;
+  std::memcpy(&n, bytes.data() + meta_off + offsetof(ImageMeta, num_vertices),
+              sizeof(n));
+  std::memcpy(bytes.data() + SectionOffsetOf(bytes, SectionId::kOffsets) +
+                  n * sizeof(uint64_t),
+              &huge, sizeof(huge));
+  FixChecksum(&bytes);
+  const std::string patched = TempPath("store_ovf.limg");
+  WriteFileBytes(patched, bytes);
+  IoError error;
+  EXPECT_FALSE(LoadGraphImage(patched, &error).has_value());
+  EXPECT_EQ(error.kind, IoErrorKind::kParse);
+  EXPECT_NE(error.message.find("disagrees with the meta counts"),
+            std::string::npos)
+      << error.message;
+}
+
+TEST(StoreCraftedTest, NonMonotoneTreeLevelsFailStructuralPass) {
+  const std::string path = CompileToTemp(gen::Barbell(4, 0), "lvl_src");
+  std::string bytes = ReadFileBytes(path);
+  // Raise the level of leaf 0's parent above the leaf's own level. Leaf
+  // levels still match the core numbers and every link still forms a
+  // forest, but AncestorAtLevel's upward walk would now stop at the
+  // wrong node — the monotone-level check must reject the image.
+  const uint64_t parent_off =
+      SectionOffsetOf(bytes, SectionId::kNodeParent);
+  uint32_t parent0 = 0;
+  std::memcpy(&parent0, bytes.data() + parent_off, sizeof(parent0));
+  ASSERT_NE(parent0, CoreIndex::kNil);
+  const uint64_t level_off = SectionOffsetOf(bytes, SectionId::kNodeLevel);
+  const uint32_t bogus = 1000;
+  std::memcpy(bytes.data() + level_off + parent0 * sizeof(uint32_t),
+              &bogus, sizeof(bogus));
+  FixChecksum(&bytes);
+  const std::string patched = TempPath("store_lvl.limg");
+  WriteFileBytes(patched, bytes);
+  IoError error;
+  EXPECT_FALSE(LoadGraphImage(patched, &error).has_value());
+  EXPECT_EQ(error.kind, IoErrorKind::kParse);
+  EXPECT_NE(error.message.find("structural validation"), std::string::npos)
+      << error.message;
+}
+
+TEST(StoreCraftedTest, LeafWithChildrenFailsStructuralPass) {
+  const std::string path = CompileToTemp(gen::Barbell(4, 0), "leaf_src");
+  std::string bytes = ReadFileBytes(path);
+  // Give leaf 0 a "child": point first_child[0] at leaf 1. Leaves must
+  // be childless or SubtreeLeaves would return members the merge never
+  // produced.
+  const uint64_t fc_off =
+      SectionOffsetOf(bytes, SectionId::kNodeFirstChild);
+  const uint32_t child = 1;
+  std::memcpy(bytes.data() + fc_off, &child, sizeof(child));
+  FixChecksum(&bytes);
+  const std::string patched = TempPath("store_leaf.limg");
   WriteFileBytes(patched, bytes);
   IoError error;
   EXPECT_FALSE(LoadGraphImage(patched, &error).has_value());

@@ -564,6 +564,16 @@ int CmdCompile(int argc, char** argv) {
                  "--output=)\n");
     return 2;
   }
+  // Detect by content, like RequireGraph does: feeding a compiled image
+  // back into compile would otherwise surface as a baffling edge-list
+  // parse error.
+  if (store::SniffGraphImage(input)) {
+    std::fprintf(stderr,
+                 "error: '%s' is already a compiled graph image; compile "
+                 "expects an uncompiled graph input\n",
+                 input.c_str());
+    return 2;
+  }
   WallTimer timer;
   IoError error;
   const auto graph = LoadGraphAuto(input, &error);
